@@ -1,0 +1,37 @@
+//! Criterion bench for Appendix A (Table 1) paths: zoo construction, model
+//! compilation, and the profiling step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockwork_model::compiler::Compiler;
+use clockwork_model::profiler::{profile_model, ProfilerConfig};
+use clockwork_model::source::ModelSource;
+use clockwork_model::zoo::ModelZoo;
+use clockwork_sim::gpu::{GpuSpec, GpuTimingModel};
+use clockwork_sim::rng::SimRng;
+
+fn model_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_model_pipeline");
+    group.bench_function("zoo_construction", |b| {
+        b.iter(|| black_box(ModelZoo::new().len()));
+    });
+    group.bench_function("compile_resnet_like", |b| {
+        let compiler = Compiler::new();
+        let source = ModelSource::resnet_like("bench", 4);
+        b.iter(|| black_box(compiler.compile(black_box(&source))));
+    });
+    group.bench_function("profile_resnet50", |b| {
+        let zoo = ModelZoo::new();
+        let spec = zoo.resnet50().clone();
+        let cfg = ProfilerConfig::default();
+        b.iter(|| {
+            let mut gpu = GpuTimingModel::new(GpuSpec::tesla_v100(), SimRng::seeded(3));
+            black_box(profile_model(&spec, &mut gpu, &cfg))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, model_pipeline);
+criterion_main!(benches);

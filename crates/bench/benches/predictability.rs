@@ -1,0 +1,27 @@
+//! Criterion bench for the Fig. 2 substrate: isolated vs. concurrent GPU
+//! execution sampling, and the worker's INFER fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clockwork_model::zoo::ModelZoo;
+use clockwork_sim::gpu::{GpuSpec, GpuTimingModel};
+use clockwork_sim::rng::SimRng;
+
+fn gpu_sampling(c: &mut Criterion) {
+    let zoo = ModelZoo::new();
+    let base = zoo.resnet50().exec_latency(1).unwrap();
+    let mut group = c.benchmark_group("fig2_gpu_sampling");
+    group.bench_function("isolated_exec_duration", |b| {
+        let mut gpu = GpuTimingModel::new(GpuSpec::tesla_v100(), SimRng::seeded(1));
+        b.iter(|| black_box(gpu.exec_duration(black_box(base))));
+    });
+    group.bench_function("concurrent16_exec_duration", |b| {
+        let mut gpu = GpuTimingModel::new(GpuSpec::tesla_v100(), SimRng::seeded(2));
+        b.iter(|| black_box(gpu.exec_duration_concurrent(black_box(base), 16)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gpu_sampling);
+criterion_main!(benches);

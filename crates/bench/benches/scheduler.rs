@@ -1,0 +1,66 @@
+//! Criterion bench for the controller hot path: request admission + INFER
+//! scheduling + result handling. The paper's controller sustains thousands of
+//! requests per second; the scheduler callback cost is what bounds that.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use clockwork_controller::request::{InferenceRequest, RequestId};
+use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
+use clockwork_controller::worker_state::GpuRef;
+use clockwork_controller::ClockworkScheduler;
+use clockwork_model::zoo::ModelZoo;
+use clockwork_model::ModelId;
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_worker::{GpuId, WorkerId};
+
+fn scheduler_hot_path(c: &mut Criterion) {
+    let zoo = ModelZoo::new();
+    let spec = Arc::new(zoo.resnet50().clone());
+    let mut group = c.benchmark_group("scheduler_hot_path");
+    group.bench_function("on_request_warm_model", |b| {
+        let mut s = ClockworkScheduler::with_defaults();
+        for w in 0..6 {
+            s.add_gpu(
+                GpuRef {
+                    worker: WorkerId(w),
+                    gpu: GpuId(0),
+                },
+                1984,
+                16 * 1024 * 1024,
+            );
+        }
+        for m in 0..16 {
+            s.add_model(ModelId(m), Arc::clone(&spec), Nanos::from_millis_f64(8.33));
+        }
+        let mut ctx = SchedulerCtx::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let request = InferenceRequest {
+                id: RequestId(i),
+                model: ModelId((i % 16) as u32),
+                arrival: Timestamp::from_micros_like(i),
+                slo: Nanos::from_millis(100),
+            };
+            i += 1;
+            s.on_request(request.arrival, black_box(request), &mut ctx);
+            let _ = ctx.take_actions();
+            let _ = ctx.take_responses();
+        });
+    });
+    group.finish();
+}
+
+trait FromMicrosLike {
+    fn from_micros_like(v: u64) -> Self;
+}
+
+impl FromMicrosLike for Timestamp {
+    fn from_micros_like(v: u64) -> Self {
+        Timestamp::from_nanos(v * 1_000)
+    }
+}
+
+criterion_group!(benches, scheduler_hot_path);
+criterion_main!(benches);

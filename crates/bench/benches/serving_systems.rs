@@ -1,0 +1,43 @@
+//! Criterion bench comparing end-to-end serving disciplines on a short
+//! closed-loop workload (a miniature of Fig. 5). The measured quantity is the
+//! host-time cost of simulating one second of serving, which also serves as a
+//! regression guard for the event loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clockwork::prelude::*;
+use clockwork_baselines::{ClipperConfig, InfaasConfig};
+
+fn run_once(kind: SchedulerKind, seed: u64) -> u64 {
+    let zoo = ModelZoo::new();
+    let mut system = SystemBuilder::new().scheduler(kind).seed(seed).build();
+    let models = system.register_copies(zoo.resnet50(), 4);
+    for (i, &m) in models.iter().enumerate() {
+        system.add_closed_loop_client(
+            ClosedLoopClient::new(m, 8, Nanos::from_millis(100)),
+            Timestamp::from_millis(i as u64),
+        );
+    }
+    system.run_until(Timestamp::from_secs(1));
+    system.telemetry().metrics().successes
+}
+
+fn serving_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_one_second");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("clockwork", SchedulerKind::default()),
+        ("fifo", SchedulerKind::Fifo),
+        ("clipper", SchedulerKind::Clipper(ClipperConfig::default())),
+        ("infaas", SchedulerKind::Infaas(InfaasConfig::default())),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, kind| {
+            b.iter(|| black_box(run_once(*kind, 7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serving_systems);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation — which parts of "consolidating choice" matter?
+//!
+//! DESIGN.md calls out four design choices; this binary removes them one at a
+//! time and measures the effect on goodput and tail latency under the same
+//! moderately overloaded open-loop workload:
+//!
+//! * full Clockwork (batching + admission control + exclusive execution)
+//! * no admission control (doomed requests are executed anyway)
+//! * no batching (every INFER is batch-1)
+//! * concurrent EXEC (the GPU is allowed to run kernels concurrently)
+//! * the FIFO strawman scheduler
+
+use bench::{run_closed_loop, RunSummary};
+use clockwork::prelude::*;
+use clockwork_controller::ClockworkSchedulerConfig;
+
+fn run(label: &str, kind: SchedulerKind, exec_override: Option<ExecMode>) -> RunSummary {
+    let zoo = ModelZoo::new();
+    let mut builder = SystemBuilder::new().scheduler(kind).seed(424);
+    if let Some(mode) = exec_override {
+        builder = builder.exec_mode(mode);
+    }
+    let mut system = builder.build();
+    let models = system.register_copies(zoo.resnet50(), 8);
+    // Open-loop pressure slightly above single-GPU batch-1 capacity plus
+    // closed-loop background to keep the executor busy.
+    let trace = OpenLoopClient::generate_many(
+        &models,
+        60.0,
+        Nanos::from_millis(50),
+        Nanos::from_secs(10),
+        &mut SimRng::seeded(17),
+    );
+    system.submit_trace(&trace);
+    run_closed_loop(
+        &mut system,
+        &models[..2],
+        4,
+        Nanos::from_millis(50),
+        Nanos::from_secs(11),
+    );
+    RunSummary::from_system(label, &system)
+}
+
+fn main() {
+    bench::section("Ablation: contribution of each consolidation-of-choice mechanism");
+    println!("{}", RunSummary::csv_header());
+
+    let full = ClockworkSchedulerConfig::default();
+    println!("{}", run("clockwork_full", SchedulerKind::Clockwork(full), None).csv_row());
+
+    let mut no_admission = ClockworkSchedulerConfig::default();
+    no_admission.admission_control = false;
+    println!(
+        "{}",
+        run(
+            "no_admission_control",
+            SchedulerKind::Clockwork(no_admission),
+            None
+        )
+        .csv_row()
+    );
+
+    let mut no_batching = ClockworkSchedulerConfig::default();
+    no_batching.batching = false;
+    println!(
+        "{}",
+        run("no_batching", SchedulerKind::Clockwork(no_batching), None).csv_row()
+    );
+
+    println!(
+        "{}",
+        run(
+            "concurrent_exec",
+            SchedulerKind::Clockwork(ClockworkSchedulerConfig::default()),
+            Some(ExecMode::Concurrent { max_concurrent: 8 })
+        )
+        .csv_row()
+    );
+
+    println!("{}", run("fifo_strawman", SchedulerKind::Fifo, None).csv_row());
+
+    println!("# expected shape: removing admission control and batching hurts goodput under");
+    println!("# overload; concurrent EXEC inflates tail latency; FIFO does both.");
+}

@@ -1,0 +1,66 @@
+//! Fig. 2 — DNN inference is predictable in isolation, unpredictable when the
+//! GPU is given choices.
+//!
+//! (a) CDF of single-threaded ResNet50 inference latency (11 M inferences in
+//!     the paper; 1 M here).
+//! (b) Throughput and latency as the number of concurrently executing
+//!     inferences grows from 1 to 16.
+
+use clockwork_metrics::LatencyHistogram;
+use clockwork_model::zoo::ModelZoo;
+use clockwork_sim::gpu::{GpuSpec, GpuTimingModel};
+use clockwork_sim::rng::SimRng;
+use clockwork_sim::time::Nanos;
+
+fn main() {
+    let zoo = ModelZoo::new();
+    let resnet = zoo.resnet50();
+    let base = resnet.exec_latency(1).expect("batch-1 kernel");
+
+    bench::section("Fig 2a: CDF of 1-thread ResNet50 inference latency");
+    let mut gpu = GpuTimingModel::new(GpuSpec::tesla_v100(), SimRng::seeded(2));
+    let mut hist = LatencyHistogram::new();
+    let samples = 1_000_000;
+    for _ in 0..samples {
+        hist.record(gpu.exec_duration(base));
+    }
+    println!("percentile,latency_ms");
+    for p in [50.0, 90.0, 99.0, 99.9, 99.99, 99.999] {
+        println!("{p},{:.4}", hist.percentile(p).as_millis_f64());
+    }
+    let median = hist.percentile(50.0).as_millis_f64();
+    let p9999 = hist.percentile(99.99).as_millis_f64();
+    println!(
+        "# p99.99 is within {:.3}% of the median (paper: 0.03%)",
+        (p9999 - median) / median * 100.0
+    );
+
+    bench::section("Fig 2b: throughput and latency vs. GPU concurrency");
+    println!("concurrency,throughput_rps,median_ms,p99_ms");
+    for concurrency in [1u32, 2, 4, 8, 16] {
+        let mut gpu = GpuTimingModel::new(GpuSpec::tesla_v100(), SimRng::seeded(3));
+        let mut hist = LatencyHistogram::new();
+        let mut busy = Nanos::ZERO;
+        let rounds = 20_000;
+        for _ in 0..rounds {
+            // `concurrency` kernels share the GPU; the round finishes when the
+            // slowest finishes.
+            let mut slowest = Nanos::ZERO;
+            for _ in 0..concurrency {
+                let d = gpu.exec_duration_concurrent(base, concurrency);
+                hist.record(d);
+                slowest = slowest.max(d);
+            }
+            busy += slowest;
+        }
+        let served = rounds * u64::from(concurrency);
+        let throughput = served as f64 / busy.as_secs_f64();
+        println!(
+            "{concurrency},{:.0},{:.2},{:.2}",
+            throughput,
+            hist.percentile(50.0).as_millis_f64(),
+            hist.percentile(99.0).as_millis_f64()
+        );
+    }
+    println!("# concurrency buys ~25% throughput but orders of magnitude more latency variance");
+}

@@ -1,0 +1,61 @@
+//! Fig. 5 — Clipper / INFaaS / Clockwork goodput and latency vs. SLO.
+//!
+//! 15 copies of ResNet50 on one worker, 16 closed-loop clients per model,
+//! target SLO swept from 10 ms to 500 ms. Goodput counts only requests that
+//! complete within the SLO. The absolute rates differ from the paper (the
+//! substrate is simulated), but the shape should hold: the reactive baselines
+//! collapse below a ~100 ms SLO while Clockwork keeps serving, and
+//! Clockwork's tail latency stays pinned near the SLO.
+
+use bench::{resnet_system, run_closed_loop, RunSummary};
+use clockwork::prelude::*;
+use clockwork_baselines::{ClipperConfig, InfaasConfig};
+
+fn main() {
+    let slos_ms = [10u64, 25, 50, 100, 250, 500];
+    let duration = Nanos::from_secs(20);
+    let copies = 15;
+    let concurrency = 16;
+
+    bench::section("Fig 5: goodput vs SLO (15x ResNet50, 1 worker, 16 closed-loop clients/model)");
+    println!("{}", RunSummary::csv_header());
+    for &slo_ms in &slos_ms {
+        let slo = Nanos::from_millis(slo_ms);
+        for (label, kind) in [
+            ("clockwork", SchedulerKind::default()),
+            ("clipper", SchedulerKind::Clipper(ClipperConfig::default())),
+            ("infaas", SchedulerKind::Infaas(InfaasConfig::default())),
+        ] {
+            let (mut system, models) = resnet_system(kind, 1, copies, 50 + slo_ms);
+            run_closed_loop(&mut system, &models, concurrency, slo, duration);
+            let summary = RunSummary::from_system(format!("{label}_slo{slo_ms}ms"), &system);
+            println!("{}", summary.csv_row());
+        }
+    }
+
+    bench::section("Fig 5 (right): latency CDF tails at a 100 ms SLO");
+    println!("system,p50_ms,p99_ms,p999_ms,p9999_ms,max_ms");
+    for (label, kind) in [
+        ("clockwork", SchedulerKind::default()),
+        ("clipper", SchedulerKind::Clipper(ClipperConfig::default())),
+        ("infaas", SchedulerKind::Infaas(InfaasConfig::default())),
+    ] {
+        let (mut system, models) = resnet_system(kind, 1, copies, 99);
+        run_closed_loop(
+            &mut system,
+            &models,
+            concurrency,
+            Nanos::from_millis(100),
+            duration,
+        );
+        let hist = system.telemetry().latency_histogram();
+        println!(
+            "{label},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            hist.percentile(50.0).as_millis_f64(),
+            hist.percentile(99.0).as_millis_f64(),
+            hist.percentile(99.9).as_millis_f64(),
+            hist.percentile(99.99).as_millis_f64(),
+            hist.max().as_millis_f64()
+        );
+    }
+}

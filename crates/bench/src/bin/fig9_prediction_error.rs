@@ -1,0 +1,101 @@
+//! Fig. 9 — how accurate are the controller's predictions?
+//!
+//! Runs an Azure-like workload with prediction recording enabled and reports
+//! the distribution of over- and under-prediction errors for INFER and LOAD
+//! action durations, and of completion-time errors. The paper's key
+//! observations: the p99 duration error is a few hundred microseconds, the
+//! controller deliberately over-predicts slightly more than it
+//! under-predicts (it uses a rolling p99), and completion errors compound
+//! only a few times the duration error.
+
+use clockwork::prelude::*;
+use clockwork_controller::clockwork_scheduler::PredictionRecord;
+use clockwork_metrics::percentile::percentile_f64;
+
+fn error_summary(label: &str, errors_us: &[f64]) {
+    if errors_us.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let over: Vec<f64> = errors_us.iter().filter(|e| **e < 0.0).map(|e| -e).collect();
+    let under: Vec<f64> = errors_us.iter().filter(|e| **e >= 0.0).copied().collect();
+    let p = |v: &[f64], q: f64| percentile_f64(v, q).unwrap_or(0.0);
+    println!(
+        "{label}: n={} under={} over={} p50_under_us={:.0} p99_under_us={:.0} p50_over_us={:.0} p99_over_us={:.0} max_us={:.0}",
+        errors_us.len(),
+        under.len(),
+        over.len(),
+        p(&under, 50.0),
+        p(&under, 99.0),
+        p(&over, 50.0),
+        p(&over, 99.0),
+        errors_us.iter().map(|e| e.abs()).fold(0.0, f64::max),
+    );
+}
+
+fn main() {
+    let zoo = ModelZoo::new();
+    let mut scheduler_config = clockwork_controller::ClockworkSchedulerConfig::default();
+    scheduler_config.record_predictions = true;
+
+    let config = AzureTraceConfig {
+        functions: 400,
+        models: 120,
+        duration: Nanos::from_minutes(5),
+        target_rate: 800.0,
+        slo: Nanos::from_millis(100),
+        seed: 9,
+    };
+    let trace = AzureTraceGenerator::new(config).generate();
+
+    let mut system = SystemBuilder::new()
+        .workers(6)
+        .scheduler(SchedulerKind::Clockwork(scheduler_config))
+        .variance(VarianceConfig::default())
+        .seed(99)
+        .drop_raw_responses()
+        .build();
+    let varieties = zoo.all();
+    for i in 0..config.models {
+        system.register_model(&varieties[i % varieties.len()]);
+    }
+    system.submit_trace(&trace);
+    system.run_until(Timestamp::ZERO + config.duration + Nanos::from_secs(2));
+
+    let predictions: Vec<PredictionRecord> = system
+        .clockwork_scheduler()
+        .expect("clockwork scheduler configured")
+        .predictions()
+        .to_vec();
+    println!("# {} predictions recorded from {} requests", predictions.len(), trace.len());
+
+    bench::section("Fig 9 (top): action duration prediction error (microseconds)");
+    let infer_errors: Vec<f64> = predictions
+        .iter()
+        .filter(|p| !p.is_load)
+        .map(|p| p.duration_error_ns() as f64 / 1e3)
+        .collect();
+    let load_errors: Vec<f64> = predictions
+        .iter()
+        .filter(|p| p.is_load)
+        .map(|p| p.duration_error_ns() as f64 / 1e3)
+        .collect();
+    error_summary("INFER duration", &infer_errors);
+    error_summary("LOAD duration", &load_errors);
+
+    bench::section("Fig 9 (bottom): completion time error (microseconds)");
+    let infer_completion: Vec<f64> = predictions
+        .iter()
+        .filter(|p| !p.is_load)
+        .map(|p| p.completion_error_ns() as f64 / 1e3)
+        .collect();
+    let load_completion: Vec<f64> = predictions
+        .iter()
+        .filter(|p| p.is_load)
+        .map(|p| p.completion_error_ns() as f64 / 1e3)
+        .collect();
+    error_summary("INFER completion", &infer_completion);
+    error_summary("LOAD completion", &load_completion);
+    println!("# paper shape: p99 duration errors of a few hundred microseconds, more");
+    println!("# underprediction than overprediction, completion errors a small multiple.");
+}

@@ -1,0 +1,58 @@
+//! §6.5 scale table — tighter SLOs at larger scale.
+//!
+//! The paper's final experiment: 10 workers × 2 GPUs, the MAF trace scaled up
+//! 1.5×, run once with a 100 ms SLO and once with a 25 ms SLO, reporting
+//! goodput, missed-SLO count, P50 and P99.99 latency. We scale the trace to
+//! ~1 500 r/s over 4 minutes of virtual time (single-core host budget); the
+//! shape to reproduce is that the 100 ms run misses essentially nothing and
+//! the 25 ms run rejects a small percentage up-front while keeping the served
+//! tail under the SLO.
+
+use clockwork::prelude::*;
+
+fn run(slo: Nanos) -> (f64, u64, u64, f64, f64, f64) {
+    let zoo = ModelZoo::new();
+    let config = AzureTraceConfig {
+        functions: 600,
+        models: 150,
+        duration: Nanos::from_minutes(4),
+        target_rate: 1_500.0,
+        slo,
+        seed: 65,
+    };
+    let trace = AzureTraceGenerator::new(config).generate();
+    let mut system = SystemBuilder::new()
+        .workers(10)
+        .gpus_per_worker(2)
+        .seed(650)
+        .drop_raw_responses()
+        .build();
+    let varieties = zoo.all();
+    for i in 0..config.models {
+        system.register_model(&varieties[i % varieties.len()]);
+    }
+    system.submit_trace(&trace);
+    system.run_until(Timestamp::ZERO + config.duration + Nanos::from_secs(2));
+    let m = system.telemetry().metrics();
+    let missed_after_admission = m.successes - m.goodput;
+    let rejected: u64 = m.rejections.values().sum();
+    (
+        m.goodput_rate(),
+        missed_after_admission,
+        rejected,
+        m.latency.percentile(50.0).as_millis_f64(),
+        m.latency.percentile(99.99).as_millis_f64(),
+        m.latency.max().as_millis_f64(),
+    )
+}
+
+fn main() {
+    bench::section("Section 6.5 table: 10 workers x 2 GPUs, scaled Azure-like trace");
+    println!("slo_ms,goodput_rps,missed_slo_after_admission,rejected_upfront,p50_ms,p9999_ms,max_ms");
+    for slo_ms in [100u64, 25] {
+        let (goodput, missed, rejected, p50, p9999, max) = run(Nanos::from_millis(slo_ms));
+        println!("{slo_ms},{goodput:.0},{missed},{rejected},{p50:.2},{p9999:.2},{max:.2}");
+    }
+    println!("# paper: 100 ms -> 6174 r/s, 0 missed, P50 6.28 ms, P99.99 49.92 ms");
+    println!("#        25 ms -> 6060 r/s, 361 missed (0.00002%), P50 5.77 ms, P99.99 21.60 ms");
+}

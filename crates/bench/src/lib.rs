@@ -1,0 +1,144 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the index and EXPERIMENTS.md for measured results). The
+//! helpers here keep the binaries small: building systems for a scenario,
+//! running a workload, and printing result rows as CSV.
+
+use clockwork::prelude::*;
+
+/// The result row shared by most experiments.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Label of the system / configuration.
+    pub label: String,
+    /// Total requests submitted.
+    pub total: u64,
+    /// Requests completed within their SLO.
+    pub goodput: u64,
+    /// Goodput in requests per second.
+    pub goodput_rate: f64,
+    /// Fraction of requests that met the SLO.
+    pub satisfaction: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// 99.99th percentile latency in milliseconds.
+    pub p9999_ms: f64,
+    /// Maximum latency in milliseconds.
+    pub max_ms: f64,
+    /// Cold start fraction among successes.
+    pub cold_fraction: f64,
+    /// Mean batch size.
+    pub mean_batch: f64,
+}
+
+impl RunSummary {
+    /// Builds a summary from a finished system run.
+    pub fn from_system(label: impl Into<String>, system: &ServingSystem) -> Self {
+        let m = system.telemetry().metrics();
+        let t = m.latency.tail_summary();
+        RunSummary {
+            label: label.into(),
+            total: m.total_requests,
+            goodput: m.goodput,
+            goodput_rate: m.goodput_rate(),
+            satisfaction: m.satisfaction(),
+            p50_ms: t.p50.as_millis_f64(),
+            p99_ms: t.p99.as_millis_f64(),
+            p9999_ms: t.p9999.as_millis_f64(),
+            max_ms: t.max.as_millis_f64(),
+            cold_fraction: m.cold_start_fraction(),
+            mean_batch: m.mean_batch,
+        }
+    }
+
+    /// The CSV header matching [`RunSummary::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "label,total,goodput,goodput_rps,satisfaction,p50_ms,p99_ms,p9999_ms,max_ms,cold_fraction,mean_batch"
+    }
+
+    /// One CSV row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.1},{:.4},{:.2},{:.2},{:.2},{:.2},{:.4},{:.2}",
+            self.label,
+            self.total,
+            self.goodput,
+            self.goodput_rate,
+            self.satisfaction,
+            self.p50_ms,
+            self.p99_ms,
+            self.p9999_ms,
+            self.max_ms,
+            self.cold_fraction,
+            self.mean_batch
+        )
+    }
+}
+
+/// Builds a system with `copies` instances of ResNet50 and a given scheduler,
+/// the configuration of the Fig. 5 comparison.
+pub fn resnet_system(
+    kind: SchedulerKind,
+    workers: u32,
+    copies: usize,
+    seed: u64,
+) -> (ServingSystem, Vec<ModelId>) {
+    let zoo = ModelZoo::new();
+    let mut system = SystemBuilder::new()
+        .workers(workers)
+        .scheduler(kind)
+        .seed(seed)
+        .build();
+    let models = system.register_copies(zoo.resnet50(), copies);
+    (system, models)
+}
+
+/// Runs a closed-loop workload (the §6.1 setup: `concurrency` requests in
+/// flight per model) against a system for a virtual duration.
+pub fn run_closed_loop(
+    system: &mut ServingSystem,
+    models: &[ModelId],
+    concurrency: u32,
+    slo: Nanos,
+    duration: Nanos,
+) {
+    for (i, &model) in models.iter().enumerate() {
+        system.add_closed_loop_client(
+            ClosedLoopClient::new(model, concurrency, slo),
+            Timestamp::from_nanos(i as u64 * 1_000),
+        );
+    }
+    system.run_until(Timestamp::ZERO + duration);
+}
+
+/// Prints a section header so the output of an experiment binary reads like
+/// the corresponding figure.
+pub fn section(title: &str) {
+    println!();
+    println!("## {title}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_system_and_summary_round_trip() {
+        let (mut system, models) = resnet_system(SchedulerKind::default(), 1, 2, 1);
+        run_closed_loop(
+            &mut system,
+            &models,
+            4,
+            Nanos::from_millis(100),
+            Nanos::from_millis(500),
+        );
+        let summary = RunSummary::from_system("smoke", &system);
+        assert!(summary.total > 0);
+        assert!(summary.satisfaction > 0.5);
+        assert!(summary.csv_row().starts_with("smoke,"));
+        assert!(RunSummary::csv_header().starts_with("label,"));
+    }
+}

@@ -1,0 +1,504 @@
+//! A Clipper-like reactive serving discipline.
+//!
+//! Clipper [NSDI '17] sits in front of framework-managed model containers.
+//! Its distinctive mechanisms, reproduced here, are:
+//!
+//! * **per-model queues** with **adaptive batching**: the batch size grows
+//!   (additively) while observed latency stays under the SLO and shrinks
+//!   (multiplicatively) when it overshoots — the SLO is a long-term average
+//!   target, not a per-request bound;
+//! * **static model placement**: each model is pinned to a worker/GPU
+//!   (Clipper containers do not migrate), loaded on first use;
+//! * **no admission control** and **no execution windows**: every request is
+//!   eventually executed, however late; and
+//! * dispatch is eager and best-effort, leaving ordering and concurrency
+//!   decisions to the lower layers.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_controller::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
+use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
+use clockwork_controller::worker_state::{GpuRef, OutstandingAction, WorkerStateTracker};
+use clockwork_model::{ModelId, ModelSpec};
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, TimeWindow};
+
+/// Configuration of the Clipper-like discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClipperConfig {
+    /// Maximum batch size the adaptive controller may reach.
+    pub max_batch: u32,
+    /// Additive increase step applied when latency is under the SLO.
+    pub batch_increase: u32,
+    /// Multiplicative decrease factor applied when latency overshoots.
+    pub batch_decrease: f64,
+    /// Maximum INFER actions in flight per model (pipeline depth).
+    pub max_outstanding_per_model: usize,
+}
+
+impl Default for ClipperConfig {
+    fn default() -> Self {
+        ClipperConfig {
+            max_batch: 16,
+            batch_increase: 1,
+            batch_decrease: 0.5,
+            max_outstanding_per_model: 4,
+        }
+    }
+}
+
+struct ModelState {
+    spec: Arc<ModelSpec>,
+    queue: VecDeque<InferenceRequest>,
+    home: Option<GpuRef>,
+    loaded: bool,
+    load_requested: bool,
+    target_batch: u32,
+    outstanding: usize,
+    slo_hint: Nanos,
+}
+
+/// The Clipper-like scheduler.
+pub struct ClipperScheduler {
+    config: ClipperConfig,
+    models: HashMap<ModelId, ModelState>,
+    tracker: WorkerStateTracker,
+    in_flight: HashMap<clockwork_worker::ActionId, Vec<InferenceRequest>>,
+    next_home: usize,
+    load_estimates: HashMap<ModelId, Nanos>,
+}
+
+impl ClipperScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: ClipperConfig) -> Self {
+        ClipperScheduler {
+            config,
+            models: HashMap::new(),
+            tracker: WorkerStateTracker::new(),
+            in_flight: HashMap::new(),
+            next_home: 0,
+            load_estimates: HashMap::new(),
+        }
+    }
+
+    /// Creates a scheduler with default settings.
+    pub fn with_defaults() -> Self {
+        Self::new(ClipperConfig::default())
+    }
+
+    /// Registers a GPU.
+    pub fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        self.tracker.add_gpu(gpu_ref, total_pages, page_size);
+    }
+
+    /// Registers a model.
+    pub fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_estimate: Nanos) {
+        self.load_estimates.insert(id, load_estimate);
+        self.models.insert(
+            id,
+            ModelState {
+                spec,
+                queue: VecDeque::new(),
+                home: None,
+                loaded: false,
+                load_requested: false,
+                target_batch: 1,
+                outstanding: 0,
+                slo_hint: Nanos::from_millis(100),
+            },
+        );
+    }
+
+    /// The current adaptive batch size of a model (for tests).
+    pub fn target_batch(&self, model: ModelId) -> Option<u32> {
+        self.models.get(&model).map(|m| m.target_batch)
+    }
+
+    fn assign_home(&mut self, model: ModelId) -> Option<GpuRef> {
+        if self.tracker.is_empty() {
+            return None;
+        }
+        let state = self.models.get_mut(&model)?;
+        if state.home.is_none() {
+            let idx = self.next_home % self.tracker.len();
+            self.next_home = self.next_home.wrapping_add(1);
+            state.home = Some(self.tracker.gpus()[idx].gpu_ref);
+        }
+        state.home
+    }
+
+    fn dispatch(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        let model_ids: Vec<ModelId> = self.models.keys().copied().collect();
+        for model_id in model_ids {
+            let Some(home) = self.assign_home(model_id) else {
+                continue;
+            };
+            // Issue the one-time load if needed (eagerly, on first request).
+            let (needs_load, has_queue) = {
+                let state = self.models.get(&model_id).expect("model exists");
+                (
+                    !state.loaded && !state.load_requested && !state.queue.is_empty(),
+                    !state.queue.is_empty(),
+                )
+            };
+            if !has_queue {
+                continue;
+            }
+            if needs_load {
+                let load_est = self
+                    .load_estimates
+                    .get(&model_id)
+                    .copied()
+                    .unwrap_or(Nanos::from_millis(10));
+                let weights = self.models[&model_id].spec.weights_bytes();
+                let id = ctx.send_action(
+                    home.worker,
+                    home.gpu,
+                    ActionKind::Load { model: model_id },
+                    TimeWindow::always(),
+                    load_est,
+                );
+                if let Some(track) = self.tracker.get_mut(home) {
+                    let pages = track.pages_for(weights);
+                    track.note_load_sent(
+                        OutstandingAction {
+                            id,
+                            model: model_id,
+                            expected_completion: now + load_est,
+                            is_load: true,
+                        },
+                        pages,
+                        now,
+                        load_est,
+                    );
+                }
+                self.models.get_mut(&model_id).expect("model exists").load_requested = true;
+            }
+            // Dispatch batches up to the pipeline depth.
+            loop {
+                let state = self.models.get_mut(&model_id).expect("model exists");
+                if !state.loaded
+                    || state.queue.is_empty()
+                    || state.outstanding >= self.config.max_outstanding_per_model
+                {
+                    break;
+                }
+                let batch = state
+                    .spec
+                    .batch_for_count(state.target_batch.min(state.queue.len() as u32))
+                    .map(|p| p.batch)
+                    .unwrap_or(1)
+                    .min(state.queue.len() as u32)
+                    .max(1);
+                // Only exact compiled batch sizes can run; round down.
+                let batch = state
+                    .spec
+                    .supported_batches()
+                    .into_iter()
+                    .filter(|&b| b <= batch)
+                    .max()
+                    .unwrap_or(1);
+                let take = batch as usize;
+                let requests: Vec<InferenceRequest> = state.queue.drain(..take).collect();
+                let exec_est = state
+                    .spec
+                    .exec_latency(batch)
+                    .unwrap_or(Nanos::from_millis(10));
+                state.outstanding += 1;
+                let id = ctx.send_action(
+                    home.worker,
+                    home.gpu,
+                    ActionKind::Infer {
+                        model: model_id,
+                        batch,
+                        request_ids: requests.iter().map(|r| r.id.0).collect(),
+                    },
+                    TimeWindow::always(),
+                    exec_est,
+                );
+                if let Some(track) = self.tracker.get_mut(home) {
+                    track.note_infer_sent(
+                        OutstandingAction {
+                            id,
+                            model: model_id,
+                            expected_completion: now + exec_est,
+                            is_load: false,
+                        },
+                        now,
+                        exec_est,
+                    );
+                }
+                self.in_flight.insert(id, requests);
+            }
+        }
+    }
+
+    fn adapt_batch(&mut self, model: ModelId, observed_latency: Nanos) {
+        let Some(state) = self.models.get_mut(&model) else {
+            return;
+        };
+        if observed_latency <= state.slo_hint {
+            state.target_batch = (state.target_batch + self.config.batch_increase)
+                .min(self.config.max_batch)
+                .min(state.spec.max_batch());
+        } else {
+            let reduced = (state.target_batch as f64 * self.config.batch_decrease).floor() as u32;
+            state.target_batch = reduced.max(1);
+        }
+    }
+}
+
+impl Scheduler for ClipperScheduler {
+    fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx) {
+        let Some(state) = self.models.get_mut(&request.model) else {
+            ctx.send_response(Response {
+                request: request.id,
+                model: request.model,
+                arrival: request.arrival,
+                deadline: request.deadline(),
+                outcome: RequestOutcome::Rejected {
+                    at: now,
+                    reason: RejectReason::UnknownModel,
+                },
+            });
+            return;
+        };
+        if request.has_slo() {
+            state.slo_hint = request.slo;
+        }
+        state.queue.push_back(request);
+        self.dispatch(now, ctx);
+    }
+
+    fn on_result(&mut self, now: Timestamp, result: &ActionResult, ctx: &mut SchedulerCtx) {
+        let gpu_ref = GpuRef {
+            worker: result.worker,
+            gpu: result.gpu,
+        };
+        match result.action_type {
+            "LOAD" => {
+                if let Some(track) = self.tracker.get_mut(gpu_ref) {
+                    track.note_load_result(result.action_id, result.model, result.is_success());
+                }
+                if let Some(state) = self.models.get_mut(&result.model) {
+                    state.loaded = result.is_success();
+                    state.load_requested = result.is_success();
+                }
+            }
+            "INFER" => {
+                if let Some(track) = self.tracker.get_mut(gpu_ref) {
+                    track.note_infer_result(result.action_id);
+                }
+                if let Some(state) = self.models.get_mut(&result.model) {
+                    state.outstanding = state.outstanding.saturating_sub(1);
+                }
+                if let Some(requests) = self.in_flight.remove(&result.action_id) {
+                    match &result.outcome {
+                        ActionOutcome::Success(timing) => {
+                            for r in &requests {
+                                ctx.send_response(Response {
+                                    request: r.id,
+                                    model: r.model,
+                                    arrival: r.arrival,
+                                    deadline: r.deadline(),
+                                    outcome: RequestOutcome::Success {
+                                        completed: timing.end,
+                                        batch: result.batch,
+                                        worker: result.worker,
+                                        gpu: result.gpu,
+                                        cold_start: false,
+                                    },
+                                });
+                            }
+                            if let Some(first) = requests.first() {
+                                self.adapt_batch(first.model, timing.end - first.arrival);
+                            }
+                        }
+                        ActionOutcome::Error { .. } => {
+                            // Best effort: retry by putting requests back.
+                            if let Some(state) = self.models.get_mut(&result.model) {
+                                for r in requests.into_iter().rev() {
+                                    state.queue.push_front(r);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.dispatch(now, ctx);
+    }
+
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.dispatch(now, ctx);
+    }
+
+    fn next_tick(&self, now: Timestamp) -> Option<Timestamp> {
+        if self.models.values().any(|m| !m.queue.is_empty()) {
+            Some(now + Nanos::from_millis(1))
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "clipper"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_controller::request::RequestId;
+    use clockwork_model::zoo::ModelZoo;
+    use clockwork_worker::{ActionTiming, GpuId, WorkerId};
+
+    const PAGE: u64 = 16 * 1024 * 1024;
+
+    fn gref() -> GpuRef {
+        GpuRef {
+            worker: WorkerId(0),
+            gpu: GpuId(0),
+        }
+    }
+
+    fn resnet() -> Arc<ModelSpec> {
+        Arc::new(ModelZoo::new().resnet50().clone())
+    }
+
+    fn request(id: u64, arrival_ms: u64, slo_ms: u64) -> InferenceRequest {
+        InferenceRequest {
+            id: RequestId(id),
+            model: ModelId(1),
+            arrival: Timestamp::from_millis(arrival_ms),
+            slo: Nanos::from_millis(slo_ms),
+        }
+    }
+
+    fn scheduler() -> ClipperScheduler {
+        let mut s = ClipperScheduler::with_defaults();
+        s.add_gpu(gref(), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        s
+    }
+
+    fn success(action: &clockwork_worker::Action, end_ms: u64) -> ActionResult {
+        let (model, batch, request_ids) = match &action.kind {
+            ActionKind::Infer {
+                model,
+                batch,
+                request_ids,
+            } => (*model, *batch, request_ids.clone()),
+            ActionKind::Load { model } => (*model, 1, vec![]),
+            ActionKind::Unload { model } => (*model, 1, vec![]),
+        };
+        ActionResult {
+            action_id: action.id,
+            worker: WorkerId(0),
+            gpu: GpuId(0),
+            model,
+            action_type: action.kind.type_name(),
+            batch,
+            request_ids,
+            expected_duration: action.expected_duration,
+            outcome: ActionOutcome::Success(ActionTiming {
+                received: Timestamp::ZERO,
+                start: Timestamp::from_millis(end_ms.saturating_sub(3)),
+                end: Timestamp::from_millis(end_ms),
+                device_duration: Nanos::from_millis(3),
+            }),
+        }
+    }
+
+    #[test]
+    fn loads_on_first_request_then_serves() {
+        let mut s = scheduler();
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 0, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        // Only a LOAD: the model is not loaded yet so no INFER can go out.
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].1.kind.type_name(), "LOAD");
+        assert!(actions[0].1.window.latest == Timestamp::MAX, "no windows");
+        // LOAD completes: the queued request is dispatched.
+        s.on_result(Timestamp::from_millis(9), &success(&actions[0].1, 9), &mut ctx);
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].1.kind.type_name(), "INFER");
+        // INFER completes: response goes out.
+        s.on_result(Timestamp::from_millis(13), &success(&actions[0].1, 13), &mut ctx);
+        let responses = ctx.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].outcome.is_success());
+    }
+
+    #[test]
+    fn never_rejects_requests_up_front() {
+        let mut s = scheduler();
+        let mut ctx = SchedulerCtx::new();
+        // 1 ms SLO on a cold model: Clockwork would reject; Clipper accepts.
+        s.on_request(Timestamp::ZERO, request(1, 0, 1), &mut ctx);
+        assert!(ctx.take_responses().is_empty());
+    }
+
+    #[test]
+    fn batch_size_adapts_to_latency_feedback() {
+        let mut s = scheduler();
+        let mut ctx = SchedulerCtx::new();
+        assert_eq!(s.target_batch(ModelId(1)), Some(1));
+        // Warm up the model.
+        s.on_request(Timestamp::ZERO, request(1, 0, 100), &mut ctx);
+        let load = ctx.take_actions().remove(0);
+        s.on_result(Timestamp::from_millis(9), &success(&load.1, 9), &mut ctx);
+        let mut next_id = 2u64;
+        let mut t = 10u64;
+        // Fast responses (well under SLO) should grow the batch size.
+        for _ in 0..6 {
+            s.on_request(Timestamp::from_millis(t), request(next_id, t, 100), &mut ctx);
+            next_id += 1;
+            for (_, a) in ctx.take_actions() {
+                if a.kind.type_name() == "INFER" {
+                    s.on_result(Timestamp::from_millis(t + 3), &success(&a, t + 3), &mut ctx);
+                }
+            }
+            let _ = ctx.take_responses();
+            t += 5;
+        }
+        let grown = s.target_batch(ModelId(1)).unwrap();
+        assert!(grown > 1, "batch should have grown, is {grown}");
+        // A slow response (over SLO) shrinks it multiplicatively.
+        s.on_request(Timestamp::from_millis(t), request(next_id, t, 10), &mut ctx);
+        for (_, a) in ctx.take_actions() {
+            if a.kind.type_name() == "INFER" {
+                s.on_result(
+                    Timestamp::from_millis(t + 500),
+                    &success(&a, t + 500),
+                    &mut ctx,
+                );
+            }
+        }
+        let shrunk = s.target_batch(ModelId(1)).unwrap();
+        assert!(shrunk < grown, "batch should shrink after overshoot");
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let mut s = scheduler();
+        let mut ctx = SchedulerCtx::new();
+        let r = InferenceRequest {
+            id: RequestId(9),
+            model: ModelId(42),
+            arrival: Timestamp::ZERO,
+            slo: Nanos::from_millis(10),
+        };
+        s.on_request(Timestamp::ZERO, r, &mut ctx);
+        let responses = ctx.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(!responses[0].outcome.is_success());
+        assert_eq!(s.name(), "clipper");
+    }
+}

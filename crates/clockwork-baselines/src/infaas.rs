@@ -1,0 +1,513 @@
+//! An INFaaS-like reactive serving discipline.
+//!
+//! INFaaS [ATC '21 / arXiv '19] serves each request with a "model variant"
+//! chosen to navigate the cost/latency trade-off, and reacts to load by
+//! scaling variants up/down and replicating models across workers. Its
+//! distinguishing mechanisms, reproduced here:
+//!
+//! * **variant selection**: per dispatch, a batch size is picked based on the
+//!   queue length and the request SLO (larger, more efficient variants when
+//!   the SLO is loose and the queue deep);
+//! * **reactive replication**: when a model's queue stays above a threshold,
+//!   the model is replicated to the least-loaded GPU; and
+//! * like Clipper, **no admission control and no execution windows** — the
+//!   SLO steers policy but is never enforced per request.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_controller::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
+use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
+use clockwork_controller::worker_state::{GpuRef, OutstandingAction, WorkerStateTracker};
+use clockwork_model::{ModelId, ModelSpec};
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, TimeWindow};
+
+/// Configuration of the INFaaS-like discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InfaasConfig {
+    /// Queue length above which a model is replicated to another GPU.
+    pub replication_queue_threshold: usize,
+    /// Maximum replicas per model.
+    pub max_replicas: usize,
+    /// Maximum INFER actions in flight per replica.
+    pub max_outstanding_per_replica: usize,
+}
+
+impl Default for InfaasConfig {
+    fn default() -> Self {
+        InfaasConfig {
+            replication_queue_threshold: 32,
+            max_replicas: 4,
+            max_outstanding_per_replica: 4,
+        }
+    }
+}
+
+struct ModelState {
+    spec: Arc<ModelSpec>,
+    queue: VecDeque<InferenceRequest>,
+    replicas: Vec<GpuRef>,
+    loading: Vec<GpuRef>,
+    outstanding: usize,
+    next_replica: usize,
+}
+
+/// The INFaaS-like scheduler.
+pub struct InfaasScheduler {
+    config: InfaasConfig,
+    models: HashMap<ModelId, ModelState>,
+    tracker: WorkerStateTracker,
+    in_flight: HashMap<clockwork_worker::ActionId, Vec<InferenceRequest>>,
+    load_targets: HashMap<clockwork_worker::ActionId, GpuRef>,
+    load_estimates: HashMap<ModelId, Nanos>,
+    next_gpu: usize,
+}
+
+impl InfaasScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: InfaasConfig) -> Self {
+        InfaasScheduler {
+            config,
+            models: HashMap::new(),
+            tracker: WorkerStateTracker::new(),
+            in_flight: HashMap::new(),
+            load_targets: HashMap::new(),
+            load_estimates: HashMap::new(),
+            next_gpu: 0,
+        }
+    }
+
+    /// Creates a scheduler with default settings.
+    pub fn with_defaults() -> Self {
+        Self::new(InfaasConfig::default())
+    }
+
+    /// Registers a GPU.
+    pub fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        self.tracker.add_gpu(gpu_ref, total_pages, page_size);
+    }
+
+    /// Registers a model.
+    pub fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_estimate: Nanos) {
+        self.load_estimates.insert(id, load_estimate);
+        self.models.insert(
+            id,
+            ModelState {
+                spec,
+                queue: VecDeque::new(),
+                replicas: Vec::new(),
+                loading: Vec::new(),
+                outstanding: 0,
+                next_replica: 0,
+            },
+        );
+    }
+
+    /// Number of replicas (loaded GPUs) a model currently has.
+    pub fn replica_count(&self, model: ModelId) -> usize {
+        self.models.get(&model).map(|m| m.replicas.len()).unwrap_or(0)
+    }
+
+    /// Picks the batch-size variant for a dispatch: deeper queues and looser
+    /// SLOs choose larger (more efficient) variants.
+    fn select_variant(spec: &ModelSpec, queue_len: usize, slo: Nanos) -> u32 {
+        let by_queue = spec
+            .supported_batches()
+            .into_iter()
+            .filter(|&b| (b as usize) <= queue_len.max(1))
+            .max()
+            .unwrap_or(1);
+        let by_slo = spec
+            .largest_batch_within(slo.mul_f64(0.5))
+            .map(|p| p.batch)
+            .unwrap_or(1);
+        by_queue.min(by_slo).max(1)
+    }
+
+    fn issue_load(
+        &mut self,
+        now: Timestamp,
+        model_id: ModelId,
+        gpu_ref: GpuRef,
+        ctx: &mut SchedulerCtx,
+    ) {
+        let load_est = self
+            .load_estimates
+            .get(&model_id)
+            .copied()
+            .unwrap_or(Nanos::from_millis(10));
+        let weights = self.models[&model_id].spec.weights_bytes();
+        let id = ctx.send_action(
+            gpu_ref.worker,
+            gpu_ref.gpu,
+            ActionKind::Load { model: model_id },
+            TimeWindow::always(),
+            load_est,
+        );
+        if let Some(track) = self.tracker.get_mut(gpu_ref) {
+            let pages = track.pages_for(weights);
+            track.note_load_sent(
+                OutstandingAction {
+                    id,
+                    model: model_id,
+                    expected_completion: now + load_est,
+                    is_load: true,
+                },
+                pages,
+                now,
+                load_est,
+            );
+        }
+        self.load_targets.insert(id, gpu_ref);
+        self.models
+            .get_mut(&model_id)
+            .expect("model exists")
+            .loading
+            .push(gpu_ref);
+    }
+
+    fn maybe_replicate(&mut self, now: Timestamp, model_id: ModelId, ctx: &mut SchedulerCtx) {
+        let (queue_len, replicas, loading) = {
+            let state = &self.models[&model_id];
+            (state.queue.len(), state.replicas.len(), state.loading.len())
+        };
+        let total = replicas + loading;
+        let needs_first = total == 0 && queue_len > 0;
+        let needs_scale = queue_len >= self.config.replication_queue_threshold
+            && total < self.config.max_replicas;
+        if !(needs_first || needs_scale) {
+            return;
+        }
+        if self.tracker.is_empty() {
+            return;
+        }
+        // Replicate onto the least-loaded GPU not already hosting the model.
+        let existing: Vec<GpuRef> = {
+            let state = &self.models[&model_id];
+            state
+                .replicas
+                .iter()
+                .chain(state.loading.iter())
+                .copied()
+                .collect()
+        };
+        let target = self
+            .tracker
+            .gpus()
+            .iter()
+            .filter(|g| !existing.contains(&g.gpu_ref))
+            .min_by_key(|g| (g.next_exec_slot(now), g.gpu_ref))
+            .map(|g| g.gpu_ref)
+            .or_else(|| {
+                let idx = self.next_gpu % self.tracker.len();
+                Some(self.tracker.gpus()[idx].gpu_ref)
+            });
+        self.next_gpu = self.next_gpu.wrapping_add(1);
+        if let Some(target) = target {
+            if !existing.contains(&target) {
+                self.issue_load(now, model_id, target, ctx);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        let model_ids: Vec<ModelId> = self.models.keys().copied().collect();
+        for model_id in model_ids {
+            self.maybe_replicate(now, model_id, ctx);
+            loop {
+                let (ready, limit) = {
+                    let state = &self.models[&model_id];
+                    (
+                        !state.replicas.is_empty() && !state.queue.is_empty(),
+                        state.replicas.len() * self.config.max_outstanding_per_replica,
+                    )
+                };
+                if !ready || self.models[&model_id].outstanding >= limit.max(1) {
+                    break;
+                }
+                let state = self.models.get_mut(&model_id).expect("model exists");
+                let slo = state.queue.front().map(|r| r.slo).unwrap_or(Nanos::MAX);
+                let batch = Self::select_variant(&state.spec, state.queue.len(), slo);
+                let take = (batch as usize).min(state.queue.len());
+                let requests: Vec<InferenceRequest> = state.queue.drain(..take).collect();
+                let replica = state.replicas[state.next_replica % state.replicas.len()];
+                state.next_replica = state.next_replica.wrapping_add(1);
+                let exec_est = state
+                    .spec
+                    .exec_latency(batch)
+                    .unwrap_or(Nanos::from_millis(10));
+                state.outstanding += 1;
+                let id = ctx.send_action(
+                    replica.worker,
+                    replica.gpu,
+                    ActionKind::Infer {
+                        model: model_id,
+                        batch,
+                        request_ids: requests.iter().map(|r| r.id.0).collect(),
+                    },
+                    TimeWindow::always(),
+                    exec_est,
+                );
+                if let Some(track) = self.tracker.get_mut(replica) {
+                    track.note_infer_sent(
+                        OutstandingAction {
+                            id,
+                            model: model_id,
+                            expected_completion: now + exec_est,
+                            is_load: false,
+                        },
+                        now,
+                        exec_est,
+                    );
+                }
+                self.in_flight.insert(id, requests);
+            }
+        }
+    }
+}
+
+impl Scheduler for InfaasScheduler {
+    fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx) {
+        let Some(state) = self.models.get_mut(&request.model) else {
+            ctx.send_response(Response {
+                request: request.id,
+                model: request.model,
+                arrival: request.arrival,
+                deadline: request.deadline(),
+                outcome: RequestOutcome::Rejected {
+                    at: now,
+                    reason: RejectReason::UnknownModel,
+                },
+            });
+            return;
+        };
+        state.queue.push_back(request);
+        self.dispatch(now, ctx);
+    }
+
+    fn on_result(&mut self, now: Timestamp, result: &ActionResult, ctx: &mut SchedulerCtx) {
+        let gpu_ref = GpuRef {
+            worker: result.worker,
+            gpu: result.gpu,
+        };
+        match result.action_type {
+            "LOAD" => {
+                if let Some(track) = self.tracker.get_mut(gpu_ref) {
+                    track.note_load_result(result.action_id, result.model, result.is_success());
+                }
+                let target = self.load_targets.remove(&result.action_id).unwrap_or(gpu_ref);
+                if let Some(state) = self.models.get_mut(&result.model) {
+                    state.loading.retain(|g| *g != target);
+                    if result.is_success() && !state.replicas.contains(&target) {
+                        state.replicas.push(target);
+                    }
+                }
+            }
+            "INFER" => {
+                if let Some(track) = self.tracker.get_mut(gpu_ref) {
+                    track.note_infer_result(result.action_id);
+                }
+                if let Some(state) = self.models.get_mut(&result.model) {
+                    state.outstanding = state.outstanding.saturating_sub(1);
+                }
+                if let Some(requests) = self.in_flight.remove(&result.action_id) {
+                    match &result.outcome {
+                        ActionOutcome::Success(timing) => {
+                            for r in &requests {
+                                ctx.send_response(Response {
+                                    request: r.id,
+                                    model: r.model,
+                                    arrival: r.arrival,
+                                    deadline: r.deadline(),
+                                    outcome: RequestOutcome::Success {
+                                        completed: timing.end,
+                                        batch: result.batch,
+                                        worker: result.worker,
+                                        gpu: result.gpu,
+                                        cold_start: false,
+                                    },
+                                });
+                            }
+                        }
+                        ActionOutcome::Error { .. } => {
+                            if let Some(state) = self.models.get_mut(&result.model) {
+                                for r in requests.into_iter().rev() {
+                                    state.queue.push_front(r);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.dispatch(now, ctx);
+    }
+
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.dispatch(now, ctx);
+    }
+
+    fn next_tick(&self, now: Timestamp) -> Option<Timestamp> {
+        if self.models.values().any(|m| !m.queue.is_empty()) {
+            Some(now + Nanos::from_millis(1))
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "infaas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_controller::request::RequestId;
+    use clockwork_model::zoo::ModelZoo;
+    use clockwork_worker::{ActionTiming, GpuId, WorkerId};
+
+    const PAGE: u64 = 16 * 1024 * 1024;
+
+    fn gref(w: u32) -> GpuRef {
+        GpuRef {
+            worker: WorkerId(w),
+            gpu: GpuId(0),
+        }
+    }
+
+    fn resnet() -> Arc<ModelSpec> {
+        Arc::new(ModelZoo::new().resnet50().clone())
+    }
+
+    fn request(id: u64, slo_ms: u64) -> InferenceRequest {
+        InferenceRequest {
+            id: RequestId(id),
+            model: ModelId(1),
+            arrival: Timestamp::ZERO,
+            slo: Nanos::from_millis(slo_ms),
+        }
+    }
+
+    fn success(action: &clockwork_worker::Action, worker: WorkerId, end_ms: u64) -> ActionResult {
+        let (model, batch, request_ids) = match &action.kind {
+            ActionKind::Infer {
+                model,
+                batch,
+                request_ids,
+            } => (*model, *batch, request_ids.clone()),
+            ActionKind::Load { model } => (*model, 1, vec![]),
+            ActionKind::Unload { model } => (*model, 1, vec![]),
+        };
+        ActionResult {
+            action_id: action.id,
+            worker,
+            gpu: GpuId(0),
+            model,
+            action_type: action.kind.type_name(),
+            batch,
+            request_ids,
+            expected_duration: action.expected_duration,
+            outcome: ActionOutcome::Success(ActionTiming {
+                received: Timestamp::ZERO,
+                start: Timestamp::from_millis(end_ms.saturating_sub(3)),
+                end: Timestamp::from_millis(end_ms),
+                device_duration: Nanos::from_millis(3),
+            }),
+        }
+    }
+
+    #[test]
+    fn variant_selection_scales_with_queue_and_slo() {
+        let spec = resnet();
+        assert_eq!(InfaasScheduler::select_variant(&spec, 1, Nanos::from_millis(100)), 1);
+        assert!(InfaasScheduler::select_variant(&spec, 20, Nanos::from_millis(200)) >= 8);
+        // Tight SLO caps the variant even with a deep queue.
+        assert_eq!(
+            InfaasScheduler::select_variant(&spec, 20, Nanos::from_millis(6)),
+            1
+        );
+    }
+
+    #[test]
+    fn first_request_triggers_load_then_dispatch() {
+        let mut s = InfaasScheduler::with_defaults();
+        s.add_gpu(gref(0), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].1.kind.type_name(), "LOAD");
+        s.on_result(
+            Timestamp::from_millis(9),
+            &success(&actions[0].1, WorkerId(0), 9),
+            &mut ctx,
+        );
+        assert_eq!(s.replica_count(ModelId(1)), 1);
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].1.kind.type_name(), "INFER");
+        s.on_result(
+            Timestamp::from_millis(13),
+            &success(&actions[0].1, WorkerId(0), 13),
+            &mut ctx,
+        );
+        assert_eq!(ctx.take_responses().len(), 1);
+    }
+
+    #[test]
+    fn deep_queues_trigger_replication_to_other_gpus() {
+        let mut config = InfaasConfig::default();
+        config.replication_queue_threshold = 8;
+        let mut s = InfaasScheduler::new(config);
+        s.add_gpu(gref(0), 100, PAGE);
+        s.add_gpu(gref(1), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        // Flood with requests while the first replica is still loading.
+        for i in 0..40 {
+            s.on_request(Timestamp::ZERO, request(i, 1_000), &mut ctx);
+        }
+        let actions = ctx.take_actions();
+        let load_workers: std::collections::HashSet<WorkerId> = actions
+            .iter()
+            .filter(|(_, a)| a.kind.type_name() == "LOAD")
+            .map(|(w, _)| *w)
+            .collect();
+        assert!(
+            load_workers.len() >= 2,
+            "expected replication across GPUs, got {load_workers:?}"
+        );
+    }
+
+    #[test]
+    fn never_rejects_slo_violating_requests() {
+        let mut s = InfaasScheduler::with_defaults();
+        s.add_gpu(gref(0), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1), &mut ctx);
+        assert!(ctx.take_responses().is_empty());
+        assert_eq!(s.name(), "infaas");
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let mut s = InfaasScheduler::with_defaults();
+        s.add_gpu(gref(0), 100, PAGE);
+        let mut ctx = SchedulerCtx::new();
+        let r = InferenceRequest {
+            id: RequestId(7),
+            model: ModelId(9),
+            arrival: Timestamp::ZERO,
+            slo: Nanos::from_millis(50),
+        };
+        s.on_request(Timestamp::ZERO, r, &mut ctx);
+        assert_eq!(ctx.take_responses().len(), 1);
+    }
+}

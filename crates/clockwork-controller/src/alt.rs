@@ -1,0 +1,365 @@
+//! Ablation schedulers.
+//!
+//! The paper's argument is architectural: consolidating choice at the
+//! controller is what buys predictability. To quantify how much each piece of
+//! the design contributes, the benchmark harness runs the full system with
+//! deliberately weakened schedulers:
+//!
+//! * [`FifoScheduler`] — no batching, no admission control, no proactive
+//!   placement: requests are dispatched one at a time, round-robin across
+//!   GPUs, with a LOAD issued on demand whenever the target GPU does not hold
+//!   the model. This approximates the "ignore the problem" end of §3.
+//!
+//! Both the ablations and the full [`crate::ClockworkScheduler`] implement
+//! the same [`Scheduler`] trait, so they are interchangeable in the system
+//! harness and the comparison isolates policy, not plumbing.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use clockwork_model::{ModelId, ModelSpec};
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, TimeWindow};
+
+use crate::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
+use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::worker_state::{GpuRef, OutstandingAction, WorkerStateTracker};
+
+/// A deliberately naive scheduler: FIFO dispatch, batch size 1, round-robin
+/// GPU selection, on-demand loads, no admission control, unbounded windows.
+pub struct FifoScheduler {
+    models: HashMap<ModelId, Arc<ModelSpec>>,
+    tracker: WorkerStateTracker,
+    queue: VecDeque<InferenceRequest>,
+    in_flight: HashMap<clockwork_worker::ActionId, InferenceRequest>,
+    next_gpu: usize,
+    load_estimates: HashMap<ModelId, Nanos>,
+}
+
+impl Default for FifoScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FifoScheduler {
+    /// Creates an empty FIFO scheduler.
+    pub fn new() -> Self {
+        FifoScheduler {
+            models: HashMap::new(),
+            tracker: WorkerStateTracker::new(),
+            queue: VecDeque::new(),
+            in_flight: HashMap::new(),
+            next_gpu: 0,
+            load_estimates: HashMap::new(),
+        }
+    }
+
+    /// Registers a GPU.
+    pub fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        self.tracker.add_gpu(gpu_ref, total_pages, page_size);
+    }
+
+    /// Registers a model.
+    pub fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_estimate: Nanos) {
+        self.load_estimates.insert(id, load_estimate);
+        self.models.insert(id, spec);
+    }
+
+    /// Number of requests waiting to be dispatched.
+    pub fn queued_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn dispatch(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        if self.tracker.is_empty() {
+            return;
+        }
+        // Dispatch everything immediately, round-robin, one request per INFER.
+        while let Some(request) = self.queue.pop_front() {
+            let Some(spec) = self.models.get(&request.model).cloned() else {
+                ctx.send_response(Response {
+                    request: request.id,
+                    model: request.model,
+                    arrival: request.arrival,
+                    deadline: request.deadline(),
+                    outcome: RequestOutcome::Rejected {
+                        at: now,
+                        reason: RejectReason::UnknownModel,
+                    },
+                });
+                continue;
+            };
+            let gpu_index = self.next_gpu % self.tracker.len();
+            self.next_gpu = self.next_gpu.wrapping_add(1);
+            let gpu_ref = self.tracker.gpus()[gpu_index].gpu_ref;
+            let exec_est = spec.exec_latency(1).unwrap_or(Nanos::from_millis(10));
+            // Load on demand if the GPU does not already hold the model,
+            // evicting LRU models until the load fits.
+            let needs_load = !self
+                .tracker
+                .get(gpu_ref)
+                .map(|t| t.has_or_loading(request.model))
+                .unwrap_or(false);
+            if needs_load {
+                let load_est = self
+                    .load_estimates
+                    .get(&request.model)
+                    .copied()
+                    .unwrap_or(Nanos::from_millis(10));
+                loop {
+                    let track = self.tracker.get(gpu_ref).expect("gpu exists");
+                    let pages = track.pages_for(spec.weights_bytes());
+                    if pages <= track.free_pages {
+                        break;
+                    }
+                    let protect = std::collections::HashSet::new();
+                    let Some(victim) = track.lru_candidate(&protect) else {
+                        break;
+                    };
+                    self.tracker
+                        .get_mut(gpu_ref)
+                        .expect("gpu exists")
+                        .note_unload_sent(victim);
+                    ctx.send_action(
+                        gpu_ref.worker,
+                        gpu_ref.gpu,
+                        ActionKind::Unload { model: victim },
+                        TimeWindow::always(),
+                        Nanos::from_micros(5),
+                    );
+                }
+                let track = self.tracker.get_mut(gpu_ref).expect("gpu exists");
+                let pages = track.pages_for(spec.weights_bytes());
+                let load_id = ctx.send_action(
+                    gpu_ref.worker,
+                    gpu_ref.gpu,
+                    ActionKind::Load {
+                        model: request.model,
+                    },
+                    TimeWindow::always(),
+                    load_est,
+                );
+                track.note_load_sent(
+                    OutstandingAction {
+                        id: load_id,
+                        model: request.model,
+                        expected_completion: now + load_est,
+                        is_load: true,
+                    },
+                    pages,
+                    now,
+                    load_est,
+                );
+            }
+            let infer_id = ctx.send_action(
+                gpu_ref.worker,
+                gpu_ref.gpu,
+                ActionKind::Infer {
+                    model: request.model,
+                    batch: 1,
+                    request_ids: vec![request.id.0],
+                },
+                TimeWindow::always(),
+                exec_est,
+            );
+            let track = self.tracker.get_mut(gpu_ref).expect("gpu exists");
+            track.note_infer_sent(
+                OutstandingAction {
+                    id: infer_id,
+                    model: request.model,
+                    expected_completion: now + exec_est,
+                    is_load: false,
+                },
+                now,
+                exec_est,
+            );
+            self.in_flight.insert(infer_id, request);
+        }
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx) {
+        self.queue.push_back(request);
+        self.dispatch(now, ctx);
+    }
+
+    fn on_result(&mut self, now: Timestamp, result: &ActionResult, ctx: &mut SchedulerCtx) {
+        let gpu_ref = GpuRef {
+            worker: result.worker,
+            gpu: result.gpu,
+        };
+        match result.action_type {
+            "LOAD" => {
+                if let Some(track) = self.tracker.get_mut(gpu_ref) {
+                    track.note_load_result(result.action_id, result.model, result.is_success());
+                }
+            }
+            "INFER" => {
+                if let Some(track) = self.tracker.get_mut(gpu_ref) {
+                    track.note_infer_result(result.action_id);
+                }
+                if let Some(request) = self.in_flight.remove(&result.action_id) {
+                    let outcome = match &result.outcome {
+                        ActionOutcome::Success(timing) => RequestOutcome::Success {
+                            completed: timing.end,
+                            batch: result.batch,
+                            worker: result.worker,
+                            gpu: result.gpu,
+                            cold_start: false,
+                        },
+                        ActionOutcome::Error { at, .. } => RequestOutcome::Rejected {
+                            at: *at,
+                            reason: RejectReason::WorkerRejected,
+                        },
+                    };
+                    ctx.send_response(Response {
+                        request: request.id,
+                        model: request.model,
+                        arrival: request.arrival,
+                        deadline: request.deadline(),
+                        outcome,
+                    });
+                }
+            }
+            _ => {}
+        }
+        self.dispatch(now, ctx);
+    }
+
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.dispatch(now, ctx);
+    }
+
+    fn next_tick(&self, now: Timestamp) -> Option<Timestamp> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(now + Nanos::from_millis(1))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use clockwork_model::zoo::ModelZoo;
+    use clockwork_worker::{ActionTiming, GpuId, WorkerId};
+
+    const PAGE: u64 = 16 * 1024 * 1024;
+
+    fn gref(w: u32) -> GpuRef {
+        GpuRef {
+            worker: WorkerId(w),
+            gpu: GpuId(0),
+        }
+    }
+
+    fn resnet() -> Arc<ModelSpec> {
+        Arc::new(ModelZoo::new().resnet50().clone())
+    }
+
+    fn request(id: u64, model: u32) -> InferenceRequest {
+        InferenceRequest {
+            id: RequestId(id),
+            model: ModelId(model),
+            arrival: Timestamp::ZERO,
+            slo: Nanos::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn dispatches_immediately_without_batching() {
+        let mut s = FifoScheduler::new();
+        s.add_gpu(gref(0), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        for i in 0..4 {
+            s.on_request(Timestamp::ZERO, request(i, 1), &mut ctx);
+        }
+        let actions = ctx.take_actions();
+        let infers: Vec<_> = actions
+            .iter()
+            .filter_map(|(_, a)| match &a.kind {
+                ActionKind::Infer { batch, .. } => Some(*batch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(infers.len(), 4, "one INFER per request");
+        assert!(infers.iter().all(|&b| b == 1), "never batches");
+        assert_eq!(s.queued_requests(), 0);
+        assert_eq!(s.name(), "fifo");
+    }
+
+    #[test]
+    fn round_robins_across_gpus_and_loads_on_demand() {
+        let mut s = FifoScheduler::new();
+        s.add_gpu(gref(0), 100, PAGE);
+        s.add_gpu(gref(1), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1), &mut ctx);
+        s.on_request(Timestamp::ZERO, request(2, 1), &mut ctx);
+        let actions = ctx.take_actions();
+        let loads = actions
+            .iter()
+            .filter(|(_, a)| a.kind.type_name() == "LOAD")
+            .count();
+        assert_eq!(loads, 2, "each GPU loads the model on demand");
+        let workers: std::collections::HashSet<WorkerId> =
+            actions.iter().map(|(w, _)| *w).collect();
+        assert_eq!(workers.len(), 2);
+    }
+
+    #[test]
+    fn responses_are_sent_on_results() {
+        let mut s = FifoScheduler::new();
+        s.add_gpu(gref(0), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1), &mut ctx);
+        let actions = ctx.take_actions();
+        let (infer_id, infer_action) = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "INFER")
+            .map(|(_, a)| (a.id, a.clone()))
+            .unwrap();
+        let result = ActionResult {
+            action_id: infer_id,
+            worker: WorkerId(0),
+            gpu: GpuId(0),
+            model: ModelId(1),
+            action_type: "INFER",
+            batch: 1,
+            request_ids: vec![1],
+            expected_duration: infer_action.expected_duration,
+            outcome: ActionOutcome::Success(ActionTiming {
+                received: Timestamp::ZERO,
+                start: Timestamp::from_millis(9),
+                end: Timestamp::from_millis(12),
+                device_duration: Nanos::from_millis(3),
+            }),
+        };
+        s.on_result(Timestamp::from_millis(12), &result, &mut ctx);
+        let responses = ctx.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].outcome.is_success());
+    }
+
+    #[test]
+    fn unknown_models_are_rejected() {
+        let mut s = FifoScheduler::new();
+        s.add_gpu(gref(0), 100, PAGE);
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 42), &mut ctx);
+        let responses = ctx.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(!responses[0].outcome.is_success());
+    }
+}

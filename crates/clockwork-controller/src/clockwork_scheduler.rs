@@ -1,0 +1,1354 @@
+//! The Clockwork scheduler (§5.3 and Appendix B).
+//!
+//! All choice in the system is concentrated here. The scheduler keeps a
+//! per-model queue of pending requests and, for every (worker, GPU) pair,
+//! tops up a *minimal* schedule — by default only 5 ms of work is outstanding
+//! on any executor at a time. Keeping the outstanding window small is what
+//! lets the controller keep its options open (late binding improves batching
+//! opportunities), and it is only possible because worker executions are
+//! predictable.
+//!
+//! INFER scheduling follows the paper's strategy mechanism: for every model
+//! with queued requests the scheduler considers each compiled batch size,
+//! prefers the largest batch that still meets the earliest deadline of the
+//! requests it would serve, and orders candidates by their *required start
+//! time* (deadline minus estimated execution time). LOAD scheduling uses the
+//! demand/allocation model of Appendix B: a model's load priority is its
+//! outstanding work minus the share of GPU capacity already allocated to it
+//! on the GPUs where it is resident; UNLOAD victims are chosen
+//! least-recently-used. Admission control rejects requests whose SLO cannot
+//! be met even in the best case, before any work is wasted on them.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_model::{ModelId, ModelSpec};
+use clockwork_sim::pcie::PcieLink;
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, TimeWindow};
+
+use crate::profile::{ActionProfiler, ProfileKey};
+use crate::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
+use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::worker_state::{GpuRef, OutstandingAction, WorkerStateTracker};
+
+/// Configuration of the Clockwork scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClockworkSchedulerConfig {
+    /// How much work to keep outstanding per executor (§5.3: 5 ms).
+    pub lookahead: Nanos,
+    /// Interval between scheduler ticks when work is pending.
+    pub tick_interval: Nanos,
+    /// Time reserved for network transfers and output delivery when checking
+    /// deadlines.
+    pub network_allowance: Nanos,
+    /// Extra margin added after an outstanding LOAD before an INFER that
+    /// depends on it may start.
+    pub load_margin: Nanos,
+    /// Width of the execution window granted to LOAD actions.
+    pub load_window: Nanos,
+    /// Whether to reject requests that cannot meet their SLO (admission
+    /// control). Disabled in one of the ablations.
+    pub admission_control: bool,
+    /// Whether request batching is enabled. Disabled in one of the ablations.
+    pub batching: bool,
+    /// Horizon over which GPU capacity is compared against model demand when
+    /// computing load priorities (Appendix B).
+    pub load_priority_horizon: Nanos,
+    /// Rolling profile window size (§5.3: last 10 measurements).
+    pub profile_window: usize,
+    /// Percentile used for duration predictions.
+    pub profile_percentile: f64,
+    /// Record per-action prediction errors (needed for Fig. 9).
+    pub record_predictions: bool,
+}
+
+impl Default for ClockworkSchedulerConfig {
+    fn default() -> Self {
+        ClockworkSchedulerConfig {
+            lookahead: Nanos::from_millis(5),
+            tick_interval: Nanos::from_millis(1),
+            network_allowance: Nanos::from_micros(500),
+            load_margin: Nanos::from_micros(500),
+            load_window: Nanos::from_millis(20),
+            admission_control: true,
+            batching: true,
+            load_priority_horizon: Nanos::from_millis(100),
+            profile_window: 10,
+            profile_percentile: 99.0,
+            record_predictions: false,
+        }
+    }
+}
+
+/// One recorded prediction-vs-measurement pair (drives Fig. 9).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRecord {
+    /// Whether this was a LOAD (false: INFER).
+    pub is_load: bool,
+    /// The controller's predicted duration.
+    pub predicted: Nanos,
+    /// The measured on-device duration.
+    pub measured: Nanos,
+    /// The controller's predicted completion time.
+    pub predicted_completion: Timestamp,
+    /// The actual completion time.
+    pub actual_completion: Timestamp,
+}
+
+impl PredictionRecord {
+    /// Signed duration error in nanoseconds (positive = under-prediction,
+    /// i.e. the action ran longer than predicted).
+    pub fn duration_error_ns(&self) -> i64 {
+        self.measured.as_nanos() as i64 - self.predicted.as_nanos() as i64
+    }
+
+    /// Signed completion-time error in nanoseconds (positive = the action
+    /// completed later than predicted).
+    pub fn completion_error_ns(&self) -> i64 {
+        self.actual_completion.as_nanos() as i64 - self.predicted_completion.as_nanos() as i64
+    }
+}
+
+/// Aggregate counters exposed for tests and experiment output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Requests accepted into a queue.
+    pub admitted: u64,
+    /// Requests rejected up-front by admission control.
+    pub rejected_admission: u64,
+    /// Requests rejected after queueing because their deadline lapsed.
+    pub rejected_deadline: u64,
+    /// Requests rejected because a worker failed/rejected their action.
+    pub rejected_worker: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// INFER actions issued.
+    pub infer_actions: u64,
+    /// LOAD actions issued.
+    pub load_actions: u64,
+    /// UNLOAD actions issued.
+    pub unload_actions: u64,
+    /// Requests whose model was not resident anywhere at arrival.
+    pub cold_requests: u64,
+}
+
+#[derive(Clone, Debug)]
+struct PendingRequest {
+    request: InferenceRequest,
+    deadline: Timestamp,
+    cold: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ModelEntry {
+    spec: Arc<ModelSpec>,
+    queue: VecDeque<PendingRequest>,
+}
+
+#[derive(Clone, Debug)]
+struct InFlightBatch {
+    requests: Vec<PendingRequest>,
+    expected_completion: Timestamp,
+}
+
+/// The Clockwork scheduler.
+pub struct ClockworkScheduler {
+    config: ClockworkSchedulerConfig,
+    models: HashMap<ModelId, ModelEntry>,
+    queued_models: BTreeSet<ModelId>,
+    tracker: WorkerStateTracker,
+    profiler: ActionProfiler,
+    in_flight: HashMap<clockwork_worker::ActionId, InFlightBatch>,
+    in_flight_loads: HashMap<clockwork_worker::ActionId, Timestamp>,
+    /// Recent requests rejected up-front *only because their model was cold*
+    /// (they would have fit their SLO on a warm GPU). Appendix B drives LOAD
+    /// priorities from estimated SLO violations, so these rejections must
+    /// still register as demand — otherwise a model whose SLO is tighter than
+    /// its own cold-start time is never loaded and never becomes servable.
+    cold_rejections: HashMap<ModelId, VecDeque<Timestamp>>,
+    stats: SchedulerStats,
+    predictions: Vec<PredictionRecord>,
+}
+
+impl ClockworkScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: ClockworkSchedulerConfig) -> Self {
+        ClockworkScheduler {
+            profiler: ActionProfiler::with_params(config.profile_window, config.profile_percentile),
+            config,
+            models: HashMap::new(),
+            queued_models: BTreeSet::new(),
+            tracker: WorkerStateTracker::new(),
+            in_flight: HashMap::new(),
+            in_flight_loads: HashMap::new(),
+            cold_rejections: HashMap::new(),
+            stats: SchedulerStats::default(),
+            predictions: Vec::new(),
+        }
+    }
+
+    /// Creates a scheduler with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ClockworkSchedulerConfig::default())
+    }
+
+    /// Registers a GPU the scheduler may place work on.
+    pub fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        self.tracker.add_gpu(gpu_ref, total_pages, page_size);
+    }
+
+    /// Registers a model, seeding its execution profiles from the compiled
+    /// latency table and its LOAD profile from the given estimate.
+    pub fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_seed: Nanos) {
+        for profile in &spec.batch_profiles {
+            self.profiler
+                .seed(ProfileKey::exec(id, profile.batch), profile.latency);
+        }
+        self.profiler.seed(ProfileKey::load(id), load_seed);
+        self.models.insert(
+            id,
+            ModelEntry {
+                spec,
+                queue: VecDeque::new(),
+            },
+        );
+    }
+
+    /// Registers a model, deriving the LOAD seed from a PCIe link model.
+    pub fn add_model_with_link(&mut self, id: ModelId, spec: Arc<ModelSpec>, link: &PcieLink) {
+        let load_seed = spec.weights_transfer_duration(link);
+        self.add_model(id, spec, load_seed);
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// The recorded prediction errors (empty unless
+    /// [`ClockworkSchedulerConfig::record_predictions`] is set).
+    pub fn predictions(&self) -> &[PredictionRecord] {
+        &self.predictions
+    }
+
+    /// Number of requests currently queued (not yet dispatched).
+    pub fn queued_requests(&self) -> usize {
+        self.models.values().map(|m| m.queue.len()).sum()
+    }
+
+    /// Number of INFER batches currently in flight.
+    pub fn in_flight_batches(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The controller's view of the cluster (read-only, for tests and the
+    /// experiment harness).
+    pub fn tracker(&self) -> &WorkerStateTracker {
+        &self.tracker
+    }
+
+    fn exec_estimate(&self, model: ModelId, batch: u32) -> Nanos {
+        self.profiler
+            .estimate_or(ProfileKey::exec(model, batch), Nanos::from_millis(10))
+            .max(Nanos::from_micros(1))
+    }
+
+    fn load_estimate(&self, model: ModelId) -> Nanos {
+        self.profiler
+            .estimate_or(ProfileKey::load(model), Nanos::from_millis(10))
+            .max(Nanos::from_micros(1))
+    }
+
+    fn reject(
+        &mut self,
+        pending: &PendingRequest,
+        at: Timestamp,
+        reason: RejectReason,
+        ctx: &mut SchedulerCtx,
+    ) {
+        match reason {
+            RejectReason::CannotMeetSlo => self.stats.rejected_admission += 1,
+            RejectReason::DeadlineElapsed => self.stats.rejected_deadline += 1,
+            RejectReason::WorkerRejected => self.stats.rejected_worker += 1,
+            RejectReason::UnknownModel => {}
+        }
+        ctx.send_response(Response {
+            request: pending.request.id,
+            model: pending.request.model,
+            arrival: pending.request.arrival,
+            deadline: pending.deadline,
+            outcome: RequestOutcome::Rejected { at, reason },
+        });
+    }
+
+    /// Drops queued requests that can no longer meet their deadline.
+    fn expire_requests(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        // Forget cold-rejection demand that has aged out of the priority
+        // horizon, so long-idle models do not keep attracting LOADs.
+        let horizon = self.config.load_priority_horizon;
+        self.cold_rejections.retain(|_, history| {
+            while history
+                .front()
+                .is_some_and(|&t| t + horizon < now)
+            {
+                history.pop_front();
+            }
+            !history.is_empty()
+        });
+        let model_ids: Vec<ModelId> = self.queued_models.iter().copied().collect();
+        for model_id in model_ids {
+            let min_exec = self.exec_estimate(model_id, 1);
+            let allowance = self.config.network_allowance;
+            let Some(entry) = self.models.get_mut(&model_id) else {
+                continue;
+            };
+            let mut expired = Vec::new();
+            entry.queue.retain(|p| {
+                let doomed = p.deadline != Timestamp::MAX
+                    && now + min_exec + allowance > p.deadline;
+                if doomed {
+                    expired.push(p.clone());
+                }
+                !doomed
+            });
+            if entry.queue.is_empty() {
+                self.queued_models.remove(&model_id);
+            }
+            for p in expired {
+                self.reject(&p, now, RejectReason::DeadlineElapsed, ctx);
+            }
+        }
+    }
+
+    /// Estimated completion time of the LOAD currently in flight for a model
+    /// on a GPU, if any.
+    fn pending_load_completion(&self, gpu_ref: GpuRef, model: ModelId) -> Option<Timestamp> {
+        let track = self.tracker.get(gpu_ref)?;
+        track
+            .outstanding
+            .values()
+            .filter(|o| o.is_load && o.model == model)
+            .map(|o| o.expected_completion)
+            .max()
+    }
+
+    /// Chooses the best (batch, required-start) strategy for a model on a
+    /// GPU, mirroring the strategy-queue selection of Appendix B.
+    fn best_strategy(
+        &self,
+        model_id: ModelId,
+        entry: &ModelEntry,
+        exec_start: Timestamp,
+    ) -> Option<(u32, Timestamp)> {
+        let queued = entry.queue.len() as u32;
+        if queued == 0 {
+            return None;
+        }
+        let allowance = self.config.network_allowance;
+        let mut candidate: Option<(u32, Timestamp)> = None;
+        for profile in &entry.spec.batch_profiles {
+            let batch = profile.batch;
+            if !self.config.batching && batch > 1 {
+                break;
+            }
+            if batch > queued {
+                // Not enough requests for this batch size.
+                continue;
+            }
+            let serve = batch;
+            let est = self.exec_estimate(model_id, batch);
+            // The earliest deadline among the requests this batch would serve.
+            let min_deadline = entry
+                .queue
+                .iter()
+                .take(serve as usize)
+                .map(|p| p.deadline)
+                .min()
+                .unwrap_or(Timestamp::MAX);
+            let required_start = if min_deadline == Timestamp::MAX {
+                Timestamp::MAX
+            } else {
+                min_deadline - est - allowance
+            };
+            if exec_start > required_start {
+                // This batch size cannot meet the earliest deadline.
+                continue;
+            }
+            // Prefer the largest feasible batch (the paper drops strategies
+            // for batch sizes that are too small when larger ones fit).
+            candidate = Some((batch, required_start));
+        }
+        candidate
+    }
+
+    /// Tops up INFER schedules on every GPU.
+    fn schedule_infers(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        let horizon = now + self.config.lookahead;
+        let gpu_refs: Vec<GpuRef> = self.tracker.gpus().iter().map(|g| g.gpu_ref).collect();
+        for gpu_ref in gpu_refs {
+            loop {
+                let exec_slot = match self.tracker.get(gpu_ref) {
+                    Some(track) => track.next_exec_slot(now),
+                    None => break,
+                };
+                if exec_slot >= horizon {
+                    break;
+                }
+                // Candidate models: queued requests + weights available here.
+                let mut best: Option<(ModelId, u32, Timestamp, Timestamp)> = None;
+                for &model_id in &self.queued_models {
+                    let Some(entry) = self.models.get(&model_id) else {
+                        continue;
+                    };
+                    let track = self.tracker.get(gpu_ref).expect("gpu exists");
+                    let exec_start = if track.is_resident(model_id) {
+                        exec_slot
+                    } else if track.loading.contains(&model_id) {
+                        match self.pending_load_completion(gpu_ref, model_id) {
+                            Some(done) => exec_slot.max(done + self.config.load_margin),
+                            None => exec_slot.max(now + self.config.load_margin),
+                        }
+                    } else {
+                        continue;
+                    };
+                    if let Some((batch, required_start)) =
+                        self.best_strategy(model_id, entry, exec_start)
+                    {
+                        let better = match &best {
+                            None => true,
+                            Some((_, _, best_required, _)) => required_start < *best_required,
+                        };
+                        if better {
+                            best = Some((model_id, batch, required_start, exec_start));
+                        }
+                    }
+                }
+                let Some((model_id, batch, _required, exec_start)) = best else {
+                    break;
+                };
+                self.dispatch_infer(now, gpu_ref, model_id, batch, exec_start, ctx);
+            }
+        }
+    }
+
+    fn dispatch_infer(
+        &mut self,
+        now: Timestamp,
+        gpu_ref: GpuRef,
+        model_id: ModelId,
+        batch: u32,
+        exec_start: Timestamp,
+        ctx: &mut SchedulerCtx,
+    ) {
+        let est = self.exec_estimate(model_id, batch);
+        let allowance = self.config.network_allowance;
+        let entry = self.models.get_mut(&model_id).expect("model exists");
+        let serve = (batch as usize).min(entry.queue.len());
+        let requests: Vec<PendingRequest> = entry.queue.drain(..serve).collect();
+        if entry.queue.is_empty() {
+            self.queued_models.remove(&model_id);
+        }
+        let min_deadline = requests
+            .iter()
+            .map(|p| p.deadline)
+            .min()
+            .unwrap_or(Timestamp::MAX);
+        let latest = if min_deadline == Timestamp::MAX {
+            Timestamp::MAX
+        } else {
+            (min_deadline - est - allowance).max(exec_start)
+        };
+        let window = TimeWindow {
+            earliest: exec_start,
+            latest,
+        };
+        let request_ids: Vec<u64> = requests.iter().map(|p| p.request.id.0).collect();
+        let action_id = ctx.send_action(
+            gpu_ref.worker,
+            gpu_ref.gpu,
+            ActionKind::Infer {
+                model: model_id,
+                batch,
+                request_ids,
+            },
+            window,
+            est,
+        );
+        let expected_completion = exec_start + est;
+        let track = self.tracker.get_mut(gpu_ref).expect("gpu exists");
+        track.note_infer_sent(
+            OutstandingAction {
+                id: action_id,
+                model: model_id,
+                expected_completion,
+                is_load: false,
+            },
+            exec_start,
+            est,
+        );
+        self.in_flight.insert(
+            action_id,
+            InFlightBatch {
+                requests,
+                expected_completion,
+            },
+        );
+        self.stats.infer_actions += 1;
+        let _ = now;
+    }
+
+    /// Demand (outstanding estimated execution time) per queued model.
+    fn model_demands(&self, now: Timestamp) -> HashMap<ModelId, Nanos> {
+        let mut demands = HashMap::new();
+        for &model_id in &self.queued_models {
+            let Some(entry) = self.models.get(&model_id) else {
+                continue;
+            };
+            let count = entry.queue.len() as u32;
+            if count == 0 {
+                continue;
+            }
+            let batch = entry
+                .spec
+                .batch_for_count(count)
+                .map(|p| p.batch)
+                .unwrap_or(entry.spec.max_batch().max(1));
+            let per_request = self.exec_estimate(model_id, batch) / u64::from(batch.max(1));
+            demands.insert(model_id, per_request * u64::from(count));
+        }
+        // Recent cold-start rejections are unfulfilled demand too (Appendix
+        // B's "estimated SLO violations"): without them a model whose SLO is
+        // tighter than its cold-start time would never be prioritised for a
+        // LOAD even though clients keep asking for it.
+        for (&model_id, history) in &self.cold_rejections {
+            let recent = history
+                .iter()
+                .filter(|&&t| t + self.config.load_priority_horizon >= now)
+                .count() as u64;
+            if recent == 0 {
+                continue;
+            }
+            let per_request = self.exec_estimate(model_id, 1);
+            *demands.entry(model_id).or_insert(Nanos::ZERO) += per_request * recent;
+        }
+        demands
+    }
+
+    /// Load priority of each queued model with respect to one GPU
+    /// (Appendix B): demand minus the GPU capacity already allocated to it
+    /// elsewhere.
+    fn load_priorities(&self, demands: &HashMap<ModelId, Nanos>) -> Vec<(ModelId, f64)> {
+        let capacity = self.config.load_priority_horizon.as_secs_f64();
+        // Per-GPU total allocated demand.
+        let mut gpu_load: HashMap<GpuRef, f64> = HashMap::new();
+        let mut allocations: HashMap<(ModelId, GpuRef), f64> = HashMap::new();
+        for (&model_id, &demand) in demands {
+            let holders = self.tracker.gpus_with_model(model_id);
+            if holders.is_empty() {
+                continue;
+            }
+            let share = demand.as_secs_f64() / holders.len() as f64;
+            for gpu in holders {
+                *gpu_load.entry(gpu).or_insert(0.0) += share;
+                allocations.insert((model_id, gpu), share);
+            }
+        }
+        let mut priorities: Vec<(ModelId, f64)> = demands
+            .iter()
+            .map(|(&model_id, &demand)| {
+                let mut served = 0.0;
+                for (&(m, gpu), &share) in &allocations {
+                    if m != model_id {
+                        continue;
+                    }
+                    let load = gpu_load.get(&gpu).copied().unwrap_or(share).max(1e-12);
+                    served += share * (capacity / load);
+                }
+                (model_id, demand.as_secs_f64() - served)
+            })
+            .collect();
+        priorities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        priorities
+    }
+
+    /// Tops up LOAD schedules on every GPU, evicting LRU models when needed.
+    fn schedule_loads(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        if self.queued_models.is_empty() && self.cold_rejections.is_empty() {
+            return;
+        }
+        let horizon = now + self.config.lookahead;
+        let demands = self.model_demands(now);
+        let gpu_refs: Vec<GpuRef> = self.tracker.gpus().iter().map(|g| g.gpu_ref).collect();
+        for gpu_ref in gpu_refs {
+            loop {
+                let load_slot = match self.tracker.get(gpu_ref) {
+                    Some(t) => t.next_load_slot(now),
+                    None => break,
+                };
+                if load_slot >= horizon {
+                    break;
+                }
+                let priorities = self.load_priorities(&demands);
+                // Highest-priority model with positive unfulfilled demand that
+                // is not already available on this GPU.
+                let candidate = priorities.into_iter().find(|(model_id, priority)| {
+                    *priority > 0.0
+                        && self
+                            .tracker
+                            .get(gpu_ref)
+                            .map(|t| !t.has_or_loading(*model_id))
+                            .unwrap_or(false)
+                });
+                let Some((model_id, _priority)) = candidate else {
+                    break;
+                };
+                if !self.dispatch_load(now, gpu_ref, model_id, load_slot, ctx) {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn dispatch_load(
+        &mut self,
+        now: Timestamp,
+        gpu_ref: GpuRef,
+        model_id: ModelId,
+        load_slot: Timestamp,
+        ctx: &mut SchedulerCtx,
+    ) -> bool {
+        let Some(entry) = self.models.get(&model_id) else {
+            return false;
+        };
+        let weights_bytes = entry.spec.weights_bytes();
+        let est = self.load_estimate(model_id);
+        // Make room first: evict least-recently-used models that have no
+        // queued requests and no outstanding work.
+        let protect: std::collections::HashSet<ModelId> = self
+            .queued_models
+            .iter()
+            .copied()
+            .chain(
+                self.tracker
+                    .get(gpu_ref)
+                    .map(|t| t.outstanding.values().map(|o| o.model).collect::<Vec<_>>())
+                    .unwrap_or_default(),
+            )
+            .collect();
+        loop {
+            let track = self.tracker.get(gpu_ref).expect("gpu exists");
+            let pages = track.pages_for(weights_bytes);
+            if pages <= track.free_pages {
+                break;
+            }
+            let Some(victim) = track.lru_candidate(&protect) else {
+                return false;
+            };
+            let track = self.tracker.get_mut(gpu_ref).expect("gpu exists");
+            track.note_unload_sent(victim);
+            ctx.send_action(
+                gpu_ref.worker,
+                gpu_ref.gpu,
+                ActionKind::Unload { model: victim },
+                TimeWindow::always(),
+                Nanos::from_micros(5),
+            );
+            self.stats.unload_actions += 1;
+        }
+        let window = TimeWindow {
+            earliest: load_slot,
+            latest: load_slot + self.config.load_window,
+        };
+        let action_id = ctx.send_action(
+            gpu_ref.worker,
+            gpu_ref.gpu,
+            ActionKind::Load { model: model_id },
+            window,
+            est,
+        );
+        let expected_completion = load_slot + est;
+        let track = self.tracker.get_mut(gpu_ref).expect("gpu exists");
+        let pages = track.pages_for(weights_bytes);
+        track.note_load_sent(
+            OutstandingAction {
+                id: action_id,
+                model: model_id,
+                expected_completion,
+                is_load: true,
+            },
+            pages,
+            load_slot,
+            est,
+        );
+        self.in_flight_loads.insert(action_id, expected_completion);
+        self.stats.load_actions += 1;
+        // The cold-start demand that motivated this LOAD is now being acted
+        // upon; future cold rejections will re-register if the model is ever
+        // evicted again.
+        self.cold_rejections.remove(&model_id);
+        let _ = now;
+        true
+    }
+
+    fn schedule(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.expire_requests(now, ctx);
+        self.schedule_infers(now, ctx);
+        self.schedule_loads(now, ctx);
+        // Loading decisions may enable further INFERs (cold models).
+        self.schedule_infers(now, ctx);
+    }
+
+    fn handle_infer_result(
+        &mut self,
+        now: Timestamp,
+        result: &ActionResult,
+        ctx: &mut SchedulerCtx,
+    ) {
+        let gpu_ref = GpuRef {
+            worker: result.worker,
+            gpu: result.gpu,
+        };
+        if let Some(track) = self.tracker.get_mut(gpu_ref) {
+            track.note_infer_result(result.action_id);
+        }
+        let Some(batch) = self.in_flight.remove(&result.action_id) else {
+            return;
+        };
+        match &result.outcome {
+            ActionOutcome::Success(timing) => {
+                self.profiler.record(
+                    ProfileKey::exec(result.model, result.batch),
+                    timing.device_duration,
+                );
+                if self.config.record_predictions {
+                    self.predictions.push(PredictionRecord {
+                        is_load: false,
+                        predicted: result.expected_duration,
+                        measured: timing.device_duration,
+                        predicted_completion: batch.expected_completion,
+                        actual_completion: timing.end,
+                    });
+                }
+                for pending in &batch.requests {
+                    self.stats.completed += 1;
+                    ctx.send_response(Response {
+                        request: pending.request.id,
+                        model: pending.request.model,
+                        arrival: pending.request.arrival,
+                        deadline: pending.deadline,
+                        outcome: RequestOutcome::Success {
+                            completed: timing.end,
+                            batch: result.batch,
+                            worker: result.worker,
+                            gpu: result.gpu,
+                            cold_start: pending.cold,
+                        },
+                    });
+                }
+            }
+            ActionOutcome::Error { at, .. } => {
+                // Re-queue requests that still have a chance; reject the rest.
+                for pending in batch.requests {
+                    let min_exec = self.exec_estimate(pending.request.model, 1);
+                    let still_possible = pending.deadline == Timestamp::MAX
+                        || now + min_exec + self.config.network_allowance < pending.deadline;
+                    if still_possible {
+                        let entry = self
+                            .models
+                            .get_mut(&pending.request.model)
+                            .expect("model exists");
+                        entry.queue.push_front(pending.clone());
+                        self.queued_models.insert(pending.request.model);
+                    } else {
+                        self.reject(&pending, *at, RejectReason::WorkerRejected, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_load_result(&mut self, result: &ActionResult) {
+        let gpu_ref = GpuRef {
+            worker: result.worker,
+            gpu: result.gpu,
+        };
+        let success = result.is_success();
+        if let Some(track) = self.tracker.get_mut(gpu_ref) {
+            track.note_load_result(result.action_id, result.model, success);
+        }
+        let expected_completion = self.in_flight_loads.remove(&result.action_id);
+        if let ActionOutcome::Success(timing) = &result.outcome {
+            self.profiler
+                .record(ProfileKey::load(result.model), timing.device_duration);
+            if self.config.record_predictions {
+                self.predictions.push(PredictionRecord {
+                    is_load: true,
+                    predicted: result.expected_duration,
+                    measured: timing.device_duration,
+                    predicted_completion: expected_completion.unwrap_or(timing.end),
+                    actual_completion: timing.end,
+                });
+            }
+        }
+    }
+}
+
+impl Scheduler for ClockworkScheduler {
+    fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx) {
+        if !self.models.contains_key(&request.model) {
+            ctx.send_response(Response {
+                request: request.id,
+                model: request.model,
+                arrival: request.arrival,
+                deadline: request.deadline(),
+                outcome: RequestOutcome::Rejected {
+                    at: now,
+                    reason: RejectReason::UnknownModel,
+                },
+            });
+            return;
+        }
+        let cold = !self.tracker.model_available_somewhere(request.model);
+        if cold {
+            self.stats.cold_requests += 1;
+        }
+        let deadline = request.deadline();
+        let pending = PendingRequest {
+            request,
+            deadline,
+            cold,
+        };
+        // Admission control: can this request possibly meet its SLO?
+        if self.config.admission_control && deadline != Timestamp::MAX {
+            let exec = self.exec_estimate(request.model, 1);
+            let load = if cold {
+                self.load_estimate(request.model)
+            } else {
+                Nanos::ZERO
+            };
+            let best_case = exec + load + self.config.network_allowance;
+            if now + best_case > deadline {
+                let warm_case = exec + self.config.network_allowance;
+                let doomed_only_by_cold_start = cold && now + warm_case <= deadline;
+                self.reject(&pending, now, RejectReason::CannotMeetSlo, ctx);
+                if doomed_only_by_cold_start {
+                    // The rejection is an SLO violation caused purely by the
+                    // model not being resident; record it so the LOAD
+                    // scheduler sees the demand (Appendix B) and future
+                    // requests for this model can be served.
+                    let history = self.cold_rejections.entry(request.model).or_default();
+                    history.push_back(now);
+                    if history.len() > 4096 {
+                        history.pop_front();
+                    }
+                    self.schedule(now, ctx);
+                }
+                return;
+            }
+        }
+        self.stats.admitted += 1;
+        let entry = self.models.get_mut(&request.model).expect("checked above");
+        entry.queue.push_back(pending);
+        self.queued_models.insert(request.model);
+        self.schedule(now, ctx);
+    }
+
+    fn on_result(&mut self, now: Timestamp, result: &ActionResult, ctx: &mut SchedulerCtx) {
+        match result.action_type {
+            "INFER" => self.handle_infer_result(now, result, ctx),
+            "LOAD" => self.handle_load_result(result),
+            _ => {}
+        }
+        self.schedule(now, ctx);
+    }
+
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.schedule(now, ctx);
+    }
+
+    fn next_tick(&self, now: Timestamp) -> Option<Timestamp> {
+        if self.queued_models.is_empty() && self.in_flight.is_empty() && self.in_flight_loads.is_empty()
+        {
+            None
+        } else {
+            Some(now + self.config.tick_interval)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "clockwork"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use clockwork_model::zoo::ModelZoo;
+    use clockwork_worker::{ActionId, ActionTiming, GpuId, WorkerId};
+
+    const PAGE: u64 = 16 * 1024 * 1024;
+
+    fn gref() -> GpuRef {
+        GpuRef {
+            worker: WorkerId(0),
+            gpu: GpuId(0),
+        }
+    }
+
+    fn resnet() -> Arc<ModelSpec> {
+        Arc::new(ModelZoo::new().resnet50().clone())
+    }
+
+    fn scheduler_with_one_gpu(pages: u64) -> ClockworkScheduler {
+        let mut s = ClockworkScheduler::with_defaults();
+        s.add_gpu(gref(), pages, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis_f64(8.33));
+        s
+    }
+
+    fn request(id: u64, model: u32, arrival_ms: u64, slo_ms: u64) -> InferenceRequest {
+        InferenceRequest {
+            id: RequestId(id),
+            model: ModelId(model),
+            arrival: Timestamp::from_millis(arrival_ms),
+            slo: Nanos::from_millis(slo_ms),
+        }
+    }
+
+    fn success_result(
+        action_id: ActionId,
+        action: &clockwork_worker::Action,
+        start_ms: u64,
+        dur_us: u64,
+    ) -> ActionResult {
+        let (model, batch, request_ids) = match &action.kind {
+            ActionKind::Infer {
+                model,
+                batch,
+                request_ids,
+            } => (*model, *batch, request_ids.clone()),
+            ActionKind::Load { model } => (*model, 1, vec![]),
+            ActionKind::Unload { model } => (*model, 1, vec![]),
+        };
+        let start = Timestamp::from_millis(start_ms);
+        let dur = Nanos::from_micros(dur_us);
+        ActionResult {
+            action_id,
+            worker: WorkerId(0),
+            gpu: GpuId(0),
+            model,
+            action_type: action.kind.type_name(),
+            batch,
+            request_ids,
+            expected_duration: action.expected_duration,
+            outcome: ActionOutcome::Success(ActionTiming {
+                received: start,
+                start,
+                end: start + dur,
+                device_duration: dur,
+            }),
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_immediately() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 99, 0, 100), &mut ctx);
+        let responses = ctx.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(
+            responses[0].outcome,
+            RequestOutcome::Rejected {
+                reason: RejectReason::UnknownModel,
+                ..
+            }
+        ));
+        assert!(ctx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn cold_request_triggers_load_then_infer() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        // The model is cold: a LOAD must be issued, plus an INFER that waits
+        // for the load to complete.
+        let kinds: Vec<&str> = actions.iter().map(|(_, a)| a.kind.type_name()).collect();
+        assert!(kinds.contains(&"LOAD"), "actions: {kinds:?}");
+        assert!(kinds.contains(&"INFER"), "actions: {kinds:?}");
+        assert_eq!(s.stats().cold_requests, 1);
+        assert_eq!(s.stats().admitted, 1);
+        // The INFER must not be scheduled to start before the LOAD finishes.
+        let load = actions.iter().find(|(_, a)| a.kind.type_name() == "LOAD").unwrap();
+        let infer = actions.iter().find(|(_, a)| a.kind.type_name() == "INFER").unwrap();
+        assert!(infer.1.window.earliest >= load.1.window.earliest + load.1.expected_duration);
+    }
+
+    #[test]
+    fn admission_control_rejects_impossible_slos() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        // 1 ms SLO on a cold model that needs ~8 ms of loading + ~2.6 ms exec.
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 1), &mut ctx);
+        let responses = ctx.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(
+            responses[0].outcome,
+            RequestOutcome::Rejected {
+                reason: RejectReason::CannotMeetSlo,
+                ..
+            }
+        ));
+        assert_eq!(s.stats().rejected_admission, 1);
+        assert!(ctx.take_actions().is_empty(), "no fruitless work");
+    }
+
+    #[test]
+    fn warm_request_is_batched_and_completed() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        // Warm the model up with one request.
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        let (load_id, load_action) = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "LOAD")
+            .map(|(_, a)| (a.id, a.clone()))
+            .unwrap();
+        // Report LOAD completion.
+        s.on_result(
+            Timestamp::from_millis(9),
+            &success_result(load_id, &load_action, 0, 8_330),
+            &mut ctx,
+        );
+        // The first request's own INFER (issued together with the LOAD) is
+        // still outstanding; keep it so it can be completed below.
+        let mut pending_infers: Vec<(ActionId, clockwork_worker::Action)> = actions
+            .iter()
+            .filter(|(_, a)| a.kind.type_name() == "INFER")
+            .map(|(_, a)| (a.id, a.clone()))
+            .collect();
+        // Now send 4 more requests at once; they should be batched together.
+        for i in 2..=5 {
+            s.on_request(Timestamp::from_millis(10), request(i, 1, 10, 100), &mut ctx);
+        }
+        let actions = ctx.take_actions();
+        pending_infers.extend(
+            actions
+                .iter()
+                .filter(|(_, a)| a.kind.type_name() == "INFER")
+                .map(|(_, a)| (a.id, a.clone())),
+        );
+        assert!(!pending_infers.is_empty());
+        let mut responses = ctx.take_responses();
+        let mut t_ms = 20;
+        while let Some((id, action)) = pending_infers.pop() {
+            s.on_result(
+                Timestamp::from_millis(t_ms),
+                &success_result(id, &action, t_ms, 3_000),
+                &mut ctx,
+            );
+            t_ms += 5;
+            for (_, a) in ctx.take_actions() {
+                if a.kind.type_name() == "INFER" {
+                    pending_infers.push((a.id, a));
+                }
+            }
+            responses.extend(ctx.take_responses());
+        }
+        let successes = responses
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .count();
+        assert_eq!(successes, 5, "all requests served: {responses:?}");
+        assert_eq!(s.stats().completed, 5);
+        assert_eq!(s.queued_requests(), 0);
+        assert_eq!(s.in_flight_batches(), 0);
+    }
+
+    #[test]
+    fn batching_prefers_larger_batches() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        // Warm model.
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 1_000), &mut ctx);
+        let actions = ctx.take_actions();
+        let (load_id, load_action) = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "LOAD")
+            .map(|(_, a)| (a.id, a.clone()))
+            .unwrap();
+        // Finish the first INFER too so the executor is free.
+        let first_infers: Vec<_> = actions
+            .iter()
+            .filter(|(_, a)| a.kind.type_name() == "INFER")
+            .map(|(_, a)| (a.id, a.clone()))
+            .collect();
+        s.on_result(
+            Timestamp::from_millis(9),
+            &success_result(load_id, &load_action, 0, 8_330),
+            &mut ctx,
+        );
+        for (id, a) in first_infers {
+            s.on_result(
+                Timestamp::from_millis(13),
+                &success_result(id, &a, 9, 2_610),
+                &mut ctx,
+            );
+        }
+        let _ = ctx.take_actions();
+        let _ = ctx.take_responses();
+        // 16 simultaneous requests for a warm model. The first couple are
+        // dispatched at batch 1 (the executor was idle); once those complete,
+        // the backlog should be served with a large batch.
+        for i in 10..26 {
+            s.on_request(Timestamp::from_millis(20), request(i, 1, 20, 200), &mut ctx);
+        }
+        let mut max_batch = 0u32;
+        let mut pending: Vec<(ActionId, clockwork_worker::Action)> = ctx
+            .take_actions()
+            .iter()
+            .filter(|(_, a)| a.kind.type_name() == "INFER")
+            .map(|(_, a)| (a.id, a.clone()))
+            .collect();
+        let mut t_ms = 26;
+        while let Some((id, action)) = pending.pop() {
+            if let ActionKind::Infer { batch, .. } = &action.kind {
+                max_batch = max_batch.max(*batch);
+            }
+            s.on_result(
+                Timestamp::from_millis(t_ms),
+                &success_result(id, &action, t_ms, 3_000),
+                &mut ctx,
+            );
+            t_ms += 5;
+            pending.extend(
+                ctx.take_actions()
+                    .iter()
+                    .filter(|(_, a)| a.kind.type_name() == "INFER")
+                    .map(|(_, a)| (a.id, a.clone())),
+            );
+            let _ = ctx.take_responses();
+        }
+        assert!(max_batch >= 8, "expected large batch, got {max_batch}");
+    }
+
+    #[test]
+    fn infer_windows_respect_deadlines() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 50), &mut ctx);
+        let actions = ctx.take_actions();
+        for (_, a) in &actions {
+            if let ActionKind::Infer { .. } = a.kind {
+                // latest + exec estimate must not exceed the deadline.
+                let est = a.expected_duration;
+                assert!(a.window.latest + est <= Timestamp::from_millis(50));
+                assert!(a.window.earliest <= a.window.latest);
+            }
+        }
+    }
+
+    #[test]
+    fn load_failure_releases_reserved_pages() {
+        // Give the GPU so few pages that the load reservation matters.
+        let mut s = scheduler_with_one_gpu(7);
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        let (load_id, load_action) = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "LOAD")
+            .map(|(_, a)| (a.id, a.clone()))
+            .unwrap();
+        let free_before = s.tracker().get(gref()).unwrap().free_pages;
+        assert_eq!(free_before, 0, "all 7 pages reserved for the load");
+        // The worker reports failure.
+        let result = ActionResult {
+            outcome: ActionOutcome::Error {
+                error: clockwork_worker::ActionError::InsufficientPages {
+                    needed: 7,
+                    available: 0,
+                },
+                at: Timestamp::from_millis(1),
+            },
+            ..success_result(load_id, &load_action, 0, 8_330)
+        };
+        s.on_result(Timestamp::from_millis(1), &result, &mut ctx);
+        assert_eq!(s.tracker().get(gref()).unwrap().free_pages, 7);
+    }
+
+    #[test]
+    fn worker_rejection_requeues_if_time_allows() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 500), &mut ctx);
+        let actions = ctx.take_actions();
+        let (infer_id, infer_action) = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "INFER")
+            .map(|(_, a)| (a.id, a.clone()))
+            .unwrap();
+        let result = ActionResult {
+            outcome: ActionOutcome::Error {
+                error: clockwork_worker::ActionError::WindowElapsed,
+                at: Timestamp::from_millis(12),
+            },
+            ..success_result(infer_id, &infer_action, 12, 0)
+        };
+        s.on_result(Timestamp::from_millis(12), &result, &mut ctx);
+        // Deadline is 500 ms away, so the request goes back into the queue
+        // and a new INFER is eventually issued rather than a rejection.
+        let responses = ctx.take_responses();
+        assert!(responses.iter().all(|r| !matches!(
+            r.outcome,
+            RequestOutcome::Rejected {
+                reason: RejectReason::WorkerRejected,
+                ..
+            }
+        )));
+        assert!(s.queued_requests() + s.in_flight_batches() >= 1);
+    }
+
+    #[test]
+    fn queued_requests_expire_when_deadline_passes() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 30), &mut ctx);
+        let _ = ctx.take_actions();
+        // Pretend nothing happened for 40 ms (the worker never answered).
+        s.on_tick(Timestamp::from_millis(40), &mut ctx);
+        // The queued copy of the request (if any) must be expired; at minimum
+        // no INFER may be scheduled that would start after the deadline.
+        for (_, a) in ctx.take_actions() {
+            assert!(a.window.earliest <= Timestamp::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn next_tick_only_fires_when_work_is_pending() {
+        let s = scheduler_with_one_gpu(100);
+        assert_eq!(s.next_tick(Timestamp::ZERO), None);
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
+        assert!(s.next_tick(Timestamp::ZERO).is_some());
+        assert_eq!(s.name(), "clockwork");
+    }
+
+    #[test]
+    fn lru_unload_makes_room_when_cache_is_full() {
+        // 8 pages: exactly one ResNet50 (7 pages) fits at a time.
+        let mut s = ClockworkScheduler::with_defaults();
+        s.add_gpu(gref(), 8, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis_f64(8.33));
+        s.add_model(ModelId(2), resnet(), Nanos::from_millis_f64(8.33));
+        let mut ctx = SchedulerCtx::new();
+        // Load and finish model 1.
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        for (id, a) in actions.iter().map(|(_, a)| (a.id, a.clone())) {
+            let dur = if a.kind.type_name() == "LOAD" { 8_330 } else { 2_610 };
+            s.on_result(
+                Timestamp::from_millis(15),
+                &success_result(id, &a, 10, dur),
+                &mut ctx,
+            );
+        }
+        let _ = ctx.take_actions();
+        let _ = ctx.take_responses();
+        // A request for model 2 must evict model 1 first.
+        s.on_request(Timestamp::from_millis(50), request(2, 2, 50, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        let kinds: Vec<&str> = actions.iter().map(|(_, a)| a.kind.type_name()).collect();
+        assert!(kinds.contains(&"UNLOAD"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"LOAD"), "kinds: {kinds:?}");
+        assert_eq!(s.stats().unload_actions, 1);
+    }
+
+    #[test]
+    fn no_slo_requests_are_never_rejected_by_admission() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        let r = InferenceRequest {
+            id: RequestId(1),
+            model: ModelId(1),
+            arrival: Timestamp::ZERO,
+            slo: Nanos::MAX,
+        };
+        s.on_request(Timestamp::ZERO, r, &mut ctx);
+        assert_eq!(s.stats().admitted, 1);
+        assert_eq!(ctx.take_responses().len(), 0);
+    }
+
+    #[test]
+    fn prediction_records_are_collected_when_enabled() {
+        let mut config = ClockworkSchedulerConfig::default();
+        config.record_predictions = true;
+        let mut s = ClockworkScheduler::new(config);
+        s.add_gpu(gref(), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis_f64(8.33));
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
+        for (id, a) in ctx.take_actions().iter().map(|(_, a)| (a.id, a.clone())) {
+            let dur = if a.kind.type_name() == "LOAD" { 8_400 } else { 2_650 };
+            s.on_result(
+                Timestamp::from_millis(15),
+                &success_result(id, &a, 10, dur),
+                &mut ctx,
+            );
+        }
+        assert!(s.predictions().len() >= 2);
+        for p in s.predictions() {
+            assert!(p.duration_error_ns().abs() < 1_000_000, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn cold_rejections_still_drive_load_scheduling() {
+        // A model whose SLO is tighter than its own cold-start time: every
+        // request is rejected up-front while the model is cold, but those
+        // rejections are SLO violations and must still cause the model to be
+        // loaded (Appendix B), so that later requests can be served.
+        let mut s = scheduler_with_one_gpu(200);
+        let mut ctx = SchedulerCtx::new();
+
+        // 5 ms SLO: warm execution (~2.6 ms) fits, cold start (~11 ms) does not.
+        s.on_request(Timestamp::from_millis(1), request(1, 1, 1, 5), &mut ctx);
+        let responses = ctx.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(!responses[0].outcome.is_success());
+
+        // The rejection must have triggered a LOAD for the model anyway.
+        let actions = ctx.take_actions();
+        let load = actions
+            .iter()
+            .find(|(_, a)| matches!(a.kind, ActionKind::Load { model } if model == ModelId(1)))
+            .expect("cold rejection should schedule a LOAD");
+        let (_, load_action) = load;
+
+        // Complete the LOAD; a later request with the same tight SLO is now
+        // admitted and scheduled.
+        s.on_result(
+            Timestamp::from_millis(10),
+            &success_result(load_action.id, load_action, 2, 8_330),
+            &mut ctx,
+        );
+        ctx.take_actions();
+        ctx.take_responses();
+        s.on_request(Timestamp::from_millis(12), request(2, 1, 12, 5), &mut ctx);
+        s.on_tick(Timestamp::from_millis(12), &mut ctx);
+        let actions = ctx.take_actions();
+        assert!(
+            actions.iter().any(|(_, a)| a.kind.is_infer()),
+            "warm model with a feasible SLO must be scheduled, got {actions:?}"
+        );
+        assert_eq!(s.stats().rejected_admission, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! The Clockwork central controller (§4.5, §5.3, Appendix B).
+//!
+//! All decision making in Clockwork happens here. The controller receives
+//! inference requests from clients, tracks the state and performance profile
+//! of every worker, and translates requests into `LOAD` / `UNLOAD` / `INFER`
+//! actions with explicit execution windows, such that admitted requests meet
+//! their SLOs and doomed requests are cancelled before wasting work.
+//!
+//! * [`request`] — the client-facing request/response vocabulary.
+//! * [`profile`] — rolling per-(model, action, batch) duration estimates
+//!   (the last-10-measurements window of §5.3).
+//! * [`worker_state`] — the controller's mirror of each worker's memory
+//!   state, outstanding actions, and executor availability.
+//! * [`scheduler`] — the `Scheduler` trait and the context through which
+//!   schedulers emit actions and responses.
+//! * [`clockwork_scheduler`] — the paper's scheduler: global strategy queue
+//!   with batching, 5 ms lookahead, demand-driven LOAD priorities, LRU
+//!   UNLOAD, and SLO admission control.
+//! * [`alt`] — deliberately simpler schedulers used for ablation studies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alt;
+pub mod clockwork_scheduler;
+pub mod profile;
+pub mod request;
+pub mod scheduler;
+pub mod worker_state;
+
+pub use clockwork_scheduler::{ClockworkScheduler, ClockworkSchedulerConfig};
+pub use profile::{ActionProfiler, ProfileKey, ProfileKind};
+pub use request::{InferenceRequest, RejectReason, RequestId, RequestOutcome, Response};
+pub use scheduler::{Scheduler, SchedulerCtx};
+pub use worker_state::{GpuTrack, WorkerStateTracker};

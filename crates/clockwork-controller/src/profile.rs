@@ -1,0 +1,219 @@
+//! Rolling action-duration profiles (§5.3 "action profiles").
+//!
+//! The controller predicts how long every action will take before sending it.
+//! Predictions come from two sources: a *seed* estimate produced by the
+//! offline profiling step (or derived from the model's compiled latency
+//! table), and a rolling window of the most recent measurements reported by
+//! workers — the paper uses the last 10 measurements, stratified by action
+//! type, model and batch size, and predicts with a rolling 99th percentile so
+//! it errs on the side of slight over-prediction (Fig. 9 shows the resulting
+//! asymmetry).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_metrics::percentile::SlidingWindow;
+use clockwork_model::ModelId;
+use clockwork_sim::time::Nanos;
+
+/// Which kind of action a profile describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProfileKind {
+    /// Weights transfer host → device.
+    Load,
+    /// Kernel execution at a specific batch size.
+    Exec,
+}
+
+/// Key identifying one profile: action type, model, and batch size (0 for
+/// LOAD).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProfileKey {
+    /// The model.
+    pub model: ModelId,
+    /// The action type.
+    pub kind: ProfileKind,
+    /// Batch size (0 for LOAD).
+    pub batch: u32,
+}
+
+impl ProfileKey {
+    /// Profile key for loading a model's weights.
+    pub fn load(model: ModelId) -> Self {
+        ProfileKey {
+            model,
+            kind: ProfileKind::Load,
+            batch: 0,
+        }
+    }
+
+    /// Profile key for executing a model at a batch size.
+    pub fn exec(model: ModelId, batch: u32) -> Self {
+        ProfileKey {
+            model,
+            kind: ProfileKind::Exec,
+            batch,
+        }
+    }
+}
+
+/// Rolling per-key duration estimator.
+#[derive(Clone, Debug)]
+pub struct ActionProfiler {
+    window_size: usize,
+    percentile: f64,
+    seeds: HashMap<ProfileKey, Nanos>,
+    windows: HashMap<ProfileKey, SlidingWindow>,
+    measurements: u64,
+}
+
+impl Default for ActionProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ActionProfiler {
+    /// Creates a profiler with the paper's defaults: 10-measurement window,
+    /// 99th percentile estimates.
+    pub fn new() -> Self {
+        Self::with_params(10, 99.0)
+    }
+
+    /// Creates a profiler with an explicit window size and percentile.
+    ///
+    /// # Panics
+    /// Panics if `window_size` is zero.
+    pub fn with_params(window_size: usize, percentile: f64) -> Self {
+        assert!(window_size > 0, "profile window must be non-empty");
+        ActionProfiler {
+            window_size,
+            percentile,
+            seeds: HashMap::new(),
+            windows: HashMap::new(),
+            measurements: 0,
+        }
+    }
+
+    /// Installs a seed estimate for a key (from offline profiling or the
+    /// compiled latency table). Overwrites any previous seed.
+    pub fn seed(&mut self, key: ProfileKey, estimate: Nanos) {
+        self.seeds.insert(key, estimate);
+    }
+
+    /// Records a measured duration reported by a worker.
+    pub fn record(&mut self, key: ProfileKey, measured: Nanos) {
+        self.measurements += 1;
+        self.windows
+            .entry(key)
+            .or_insert_with(|| SlidingWindow::new(self.window_size))
+            .push(measured);
+    }
+
+    /// The current estimate for a key: the rolling percentile if measurements
+    /// exist, otherwise the seed, otherwise `None`.
+    pub fn estimate(&self, key: ProfileKey) -> Option<Nanos> {
+        if let Some(w) = self.windows.get(&key) {
+            if let Some(p) = w.percentile(self.percentile) {
+                return Some(p);
+            }
+        }
+        self.seeds.get(&key).copied()
+    }
+
+    /// Like [`estimate`](Self::estimate) but falls back to a caller-provided
+    /// default.
+    pub fn estimate_or(&self, key: ProfileKey, default: Nanos) -> Nanos {
+        self.estimate(key).unwrap_or(default)
+    }
+
+    /// Total number of measurements recorded.
+    pub fn measurement_count(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Number of keys with at least a seed or a measurement.
+    pub fn key_count(&self) -> usize {
+        let mut keys: Vec<&ProfileKey> = self.seeds.keys().chain(self.windows.keys()).collect();
+        keys.sort_unstable_by_key(|k| (k.model, k.batch, matches!(k.kind, ProfileKind::Load)));
+        keys.dedup();
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_prefers_measurements_over_seed() {
+        let mut p = ActionProfiler::new();
+        let key = ProfileKey::exec(ModelId(1), 4);
+        assert_eq!(p.estimate(key), None);
+        p.seed(key, Nanos::from_millis(5));
+        assert_eq!(p.estimate(key), Some(Nanos::from_millis(5)));
+        p.record(key, Nanos::from_millis(6));
+        assert_eq!(p.estimate(key), Some(Nanos::from_millis(6)));
+        assert_eq!(p.measurement_count(), 1);
+    }
+
+    #[test]
+    fn rolling_window_forgets_old_measurements() {
+        let mut p = ActionProfiler::with_params(3, 99.0);
+        let key = ProfileKey::load(ModelId(2));
+        p.record(key, Nanos::from_millis(100));
+        for _ in 0..3 {
+            p.record(key, Nanos::from_millis(8));
+        }
+        // The 100 ms outlier has been pushed out of the window.
+        assert_eq!(p.estimate(key), Some(Nanos::from_millis(8)));
+    }
+
+    #[test]
+    fn high_percentile_tracks_the_slowest_recent_sample() {
+        let mut p = ActionProfiler::new();
+        let key = ProfileKey::exec(ModelId(3), 1);
+        for us in [2_890u64, 2_900, 2_895, 2_910, 2_893] {
+            p.record(key, Nanos::from_micros(us));
+        }
+        assert_eq!(p.estimate(key), Some(Nanos::from_micros(2_910)));
+    }
+
+    #[test]
+    fn keys_are_stratified_by_model_kind_and_batch() {
+        let mut p = ActionProfiler::new();
+        p.record(ProfileKey::exec(ModelId(1), 1), Nanos::from_millis(3));
+        p.record(ProfileKey::exec(ModelId(1), 16), Nanos::from_millis(16));
+        p.record(ProfileKey::load(ModelId(1)), Nanos::from_millis(8));
+        assert_eq!(
+            p.estimate(ProfileKey::exec(ModelId(1), 1)),
+            Some(Nanos::from_millis(3))
+        );
+        assert_eq!(
+            p.estimate(ProfileKey::exec(ModelId(1), 16)),
+            Some(Nanos::from_millis(16))
+        );
+        assert_eq!(
+            p.estimate(ProfileKey::load(ModelId(1))),
+            Some(Nanos::from_millis(8))
+        );
+        assert_eq!(p.estimate(ProfileKey::exec(ModelId(2), 1)), None);
+        assert_eq!(p.key_count(), 3);
+    }
+
+    #[test]
+    fn estimate_or_falls_back() {
+        let p = ActionProfiler::new();
+        assert_eq!(
+            p.estimate_or(ProfileKey::load(ModelId(9)), Nanos::from_millis(10)),
+            Nanos::from_millis(10)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_window_panics() {
+        let _ = ActionProfiler::with_params(0, 99.0);
+    }
+}

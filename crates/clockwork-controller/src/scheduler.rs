@@ -1,0 +1,164 @@
+//! The `Scheduler` interface (§5.3).
+//!
+//! The controller separates mechanism from policy: a thin layer handles
+//! networking, forwarding inputs, timestamping and timeouts, while all choice
+//! is concentrated behind the [`Scheduler`] trait — `onRequest` and
+//! `onResult` callbacks that may emit actions to workers and responses to
+//! clients through a [`SchedulerCtx`]. Different scheduler implementations
+//! (the Clockwork scheduler, the ablation schedulers, the baseline
+//! disciplines) drop into the same harness.
+
+use clockwork_sim::time::Timestamp;
+use clockwork_worker::{Action, ActionId, ActionKind, GpuId, TimeWindow, WorkerId};
+
+use clockwork_sim::time::Nanos;
+
+use crate::request::{InferenceRequest, Response};
+
+/// The outbound channel a scheduler writes into during a callback.
+#[derive(Debug, Default)]
+pub struct SchedulerCtx {
+    actions: Vec<(WorkerId, Action)>,
+    responses: Vec<Response>,
+    next_action_id: u64,
+}
+
+impl SchedulerCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        SchedulerCtx::default()
+    }
+
+    /// Mints a fresh action id.
+    pub fn new_action_id(&mut self) -> ActionId {
+        let id = ActionId(self.next_action_id);
+        self.next_action_id += 1;
+        id
+    }
+
+    /// Builds and queues an action for a worker, returning its id.
+    pub fn send_action(
+        &mut self,
+        worker: WorkerId,
+        gpu: GpuId,
+        kind: ActionKind,
+        window: TimeWindow,
+        expected_duration: Nanos,
+    ) -> ActionId {
+        let id = self.new_action_id();
+        self.actions.push((
+            worker,
+            Action {
+                id,
+                gpu,
+                kind,
+                window,
+                expected_duration,
+            },
+        ));
+        id
+    }
+
+    /// Queues an already-built action.
+    pub fn send_prebuilt(&mut self, worker: WorkerId, action: Action) {
+        self.actions.push((worker, action));
+    }
+
+    /// Queues a response to a client.
+    pub fn send_response(&mut self, response: Response) {
+        self.responses.push(response);
+    }
+
+    /// Number of queued actions.
+    pub fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Number of queued responses.
+    pub fn response_count(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Drains the queued actions (called by the controller harness).
+    pub fn take_actions(&mut self) -> Vec<(WorkerId, Action)> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Drains the queued responses (called by the controller harness).
+    pub fn take_responses(&mut self) -> Vec<Response> {
+        std::mem::take(&mut self.responses)
+    }
+}
+
+/// A scheduling policy plugged into the controller.
+pub trait Scheduler {
+    /// A client request arrived.
+    fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx);
+
+    /// A worker reported the result of an action.
+    fn on_result(
+        &mut self,
+        now: Timestamp,
+        result: &clockwork_worker::ActionResult,
+        ctx: &mut SchedulerCtx,
+    );
+
+    /// Periodic opportunity to top up worker schedules and expire requests.
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx);
+
+    /// When the scheduler next wants `on_tick` to run, if at all.
+    fn next_tick(&self, now: Timestamp) -> Option<Timestamp>;
+
+    /// A short human-readable name (used in experiment output).
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_model::ModelId;
+
+    #[test]
+    fn context_mints_unique_ids_and_drains() {
+        let mut ctx = SchedulerCtx::new();
+        let a = ctx.new_action_id();
+        let b = ctx.new_action_id();
+        assert_ne!(a, b);
+        let id = ctx.send_action(
+            WorkerId(1),
+            GpuId(0),
+            ActionKind::Load { model: ModelId(3) },
+            TimeWindow::always(),
+            Nanos::from_millis(8),
+        );
+        assert_ne!(id, b);
+        assert_eq!(ctx.action_count(), 1);
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].0, WorkerId(1));
+        assert_eq!(actions[0].1.id, id);
+        assert_eq!(ctx.action_count(), 0);
+        assert!(ctx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn responses_queue_and_drain() {
+        use crate::request::{RequestId, RequestOutcome};
+        let mut ctx = SchedulerCtx::new();
+        ctx.send_response(Response {
+            request: RequestId(1),
+            model: ModelId(1),
+            arrival: Timestamp::ZERO,
+            deadline: Timestamp::from_millis(100),
+            outcome: RequestOutcome::Rejected {
+                at: Timestamp::ZERO,
+                reason: crate::request::RejectReason::UnknownModel,
+            },
+        });
+        assert_eq!(ctx.response_count(), 1);
+        assert_eq!(ctx.take_responses().len(), 1);
+        assert_eq!(ctx.response_count(), 0);
+    }
+}

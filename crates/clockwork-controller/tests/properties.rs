@@ -1,0 +1,538 @@
+//! Property-based tests for the controller's pure state-tracking components.
+//!
+//! The scheduler's correctness rests on the controller's shadow copy of each
+//! worker (pages, residency, executor availability) never drifting from what
+//! the worker would compute itself, and on the rolling action profiler always
+//! producing estimates bracketed by what was actually observed. These
+//! invariants are checked over arbitrary operation sequences here; the
+//! end-to-end behaviour of the full scheduler is covered by the system-level
+//! tests in `tests/`.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use clockwork_controller::clockwork_scheduler::{ClockworkScheduler, ClockworkSchedulerConfig};
+use clockwork_controller::profile::{ActionProfiler, ProfileKey};
+use clockwork_controller::request::{InferenceRequest, RejectReason, RequestId, RequestOutcome};
+use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
+use clockwork_controller::worker_state::{GpuRef, GpuTrack, OutstandingAction, WorkerStateTracker};
+use clockwork_model::zoo::ModelZoo;
+use clockwork_model::ModelId;
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_worker::{ActionId, ActionKind, GpuId, WorkerId};
+
+const PAGE: u64 = 16 * 1024 * 1024;
+
+fn gref(worker: u32, gpu: u32) -> GpuRef {
+    GpuRef {
+        worker: WorkerId(worker),
+        gpu: GpuId(gpu),
+    }
+}
+
+// ----------------------------------------------------------------------
+// ActionProfiler
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn profiler_estimate_is_bracketed_by_recent_observations(
+        window in 1usize..20,
+        percentile in 1.0f64..100.0,
+        measurements in proptest::collection::vec(1u64..1_000_000_000, 1..100),
+    ) {
+        let mut profiler = ActionProfiler::with_params(window, percentile);
+        let key = ProfileKey::exec(ModelId(1), 4);
+        for &m in &measurements {
+            profiler.record(key, Nanos::from_nanos(m));
+        }
+        let recent: Vec<u64> = measurements
+            .iter()
+            .rev()
+            .take(window)
+            .copied()
+            .collect();
+        let est = profiler.estimate(key).expect("measurements recorded");
+        prop_assert!(est.as_nanos() >= *recent.iter().min().unwrap());
+        prop_assert!(est.as_nanos() <= *recent.iter().max().unwrap());
+        prop_assert_eq!(profiler.measurement_count(), measurements.len() as u64);
+    }
+
+    #[test]
+    fn profiler_measurements_override_seeds_and_keys_are_independent(
+        seed_ns in 1u64..1_000_000_000,
+        measured_ns in 1u64..1_000_000_000,
+    ) {
+        let mut profiler = ActionProfiler::new();
+        let infer_key = ProfileKey::exec(ModelId(7), 1);
+        let load_key = ProfileKey::load(ModelId(7));
+        prop_assert_eq!(profiler.estimate(infer_key), None);
+
+        profiler.seed(infer_key, Nanos::from_nanos(seed_ns));
+        prop_assert_eq!(profiler.estimate(infer_key), Some(Nanos::from_nanos(seed_ns)));
+        // Seeding one key says nothing about the other.
+        prop_assert_eq!(profiler.estimate(load_key), None);
+        prop_assert_eq!(
+            profiler.estimate_or(load_key, Nanos::from_millis(8)),
+            Nanos::from_millis(8)
+        );
+
+        profiler.record(infer_key, Nanos::from_nanos(measured_ns));
+        // A real measurement displaces the seed entirely.
+        prop_assert_eq!(profiler.estimate(infer_key), Some(Nanos::from_nanos(measured_ns)));
+    }
+
+    #[test]
+    fn profiler_p99_with_paper_window_is_close_to_worst_recent_case(
+        measurements in proptest::collection::vec(1u64..1_000_000_000, 10..200),
+    ) {
+        // The paper's configuration: window of 10, 99th percentile. With only
+        // ten samples the 99th percentile is the window maximum, which is why
+        // Clockwork tends to over-predict slightly (§6.5).
+        let mut profiler = ActionProfiler::new();
+        let key = ProfileKey::exec(ModelId(3), 8);
+        for &m in &measurements {
+            profiler.record(key, Nanos::from_nanos(m));
+        }
+        let window_max = measurements.iter().rev().take(10).max().copied().unwrap();
+        prop_assert_eq!(profiler.estimate(key), Some(Nanos::from_nanos(window_max)));
+    }
+}
+
+// ----------------------------------------------------------------------
+// GpuTrack / WorkerStateTracker
+// ----------------------------------------------------------------------
+
+/// One controller-side bookkeeping operation on a GPU track.
+#[derive(Clone, Debug)]
+enum TrackOp {
+    LoadSent { model: u32, pages: u64 },
+    LoadResult { model: u32, success: bool },
+    InferSent { model: u32 },
+    UnloadSent { model: u32 },
+}
+
+fn track_op() -> impl Strategy<Value = TrackOp> {
+    prop_oneof![
+        (0u32..16, 1u64..40).prop_map(|(model, pages)| TrackOp::LoadSent { model, pages }),
+        (0u32..16, any::<bool>()).prop_map(|(model, success)| TrackOp::LoadResult { model, success }),
+        (0u32..16).prop_map(|model| TrackOp::InferSent { model }),
+        (0u32..16).prop_map(|model| TrackOp::UnloadSent { model }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn gpu_track_conserves_pages_and_keeps_sets_disjoint(
+        ops in proptest::collection::vec(track_op(), 0..200),
+        total_pages in 16u64..512,
+    ) {
+        let mut track = GpuTrack::new(gref(0, 0), total_pages, PAGE);
+        let mut now = Timestamp::ZERO;
+        let mut next_action = 0u64;
+        // Maps model -> the LOAD action id we last sent for it, so results
+        // reference real outstanding actions the way the scheduler does.
+        let mut pending_load: std::collections::HashMap<u32, ActionId> = Default::default();
+
+        for op in ops {
+            now = now + Nanos::from_micros(100);
+            match op {
+                TrackOp::LoadSent { model, pages } => {
+                    // The scheduler only sends a LOAD when the model is not
+                    // already resident or loading and enough pages are free.
+                    let m = ModelId(model);
+                    if track.has_or_loading(m) || pages > track.free_pages {
+                        continue;
+                    }
+                    let id = ActionId(next_action);
+                    next_action += 1;
+                    track.note_load_sent(
+                        OutstandingAction {
+                            id,
+                            model: m,
+                            expected_completion: now + Nanos::from_millis(8),
+                            is_load: true,
+                        },
+                        pages,
+                        now,
+                        Nanos::from_millis(8),
+                    );
+                    pending_load.insert(model, id);
+                }
+                TrackOp::LoadResult { model, success } => {
+                    let m = ModelId(model);
+                    let Some(id) = pending_load.remove(&model) else { continue };
+                    track.note_load_result(id, m, success);
+                    prop_assert_eq!(track.is_resident(m), success);
+                }
+                TrackOp::InferSent { model } => {
+                    let m = ModelId(model);
+                    if !track.is_resident(m) {
+                        continue;
+                    }
+                    let id = ActionId(next_action);
+                    next_action += 1;
+                    let start = track.next_exec_slot(now);
+                    prop_assert!(start >= now);
+                    track.note_infer_sent(
+                        OutstandingAction {
+                            id,
+                            model: m,
+                            expected_completion: start + Nanos::from_millis(3),
+                            is_load: false,
+                        },
+                        start,
+                        Nanos::from_millis(3),
+                    );
+                    prop_assert!(track.next_exec_slot(now) >= start + Nanos::from_millis(3));
+                }
+                TrackOp::UnloadSent { model } => {
+                    let m = ModelId(model);
+                    // The scheduler never unloads a model that is still loading.
+                    if track.loading.contains(&m) {
+                        continue;
+                    }
+                    track.note_unload_sent(m);
+                    pending_load.remove(&model);
+                    prop_assert!(!track.is_resident(m));
+                    prop_assert!(!track.has_or_loading(m));
+                }
+            }
+
+            // Invariants that must hold after every operation.
+            let held: u64 = track.pages_held.values().sum();
+            prop_assert_eq!(track.free_pages + held, total_pages,
+                "pages leaked or double-counted");
+            prop_assert!(track.free_pages <= total_pages);
+            prop_assert!(track.resident.is_disjoint(&track.loading),
+                "a model cannot be both resident and loading");
+            for m in track.resident.iter().chain(track.loading.iter()) {
+                prop_assert!(track.pages_held.contains_key(m),
+                    "resident/loading model {} holds no pages", m);
+            }
+            prop_assert!((0.0..=1.0).contains(&track.occupancy()));
+        }
+    }
+
+    #[test]
+    fn gpu_track_lru_candidate_is_least_recently_used_resident(
+        touches in proptest::collection::vec((0u32..8, 0u64..1_000_000u64), 1..60),
+        protect_model in 0u32..8,
+    ) {
+        let mut track = GpuTrack::new(gref(0, 0), 1024, PAGE);
+        // Make all eight models resident.
+        for m in 0..8u32 {
+            let id = ActionId(m as u64);
+            track.note_load_sent(
+                OutstandingAction {
+                    id,
+                    model: ModelId(m),
+                    expected_completion: Timestamp::from_millis(1),
+                    is_load: true,
+                },
+                4,
+                Timestamp::ZERO,
+                Nanos::from_millis(1),
+            );
+            track.note_load_result(id, ModelId(m), true);
+        }
+        let mut last_used = vec![Timestamp::ZERO; 8];
+        for (i, &(m, at)) in touches.iter().enumerate() {
+            let start = Timestamp::from_nanos(at);
+            track.note_infer_sent(
+                OutstandingAction {
+                    id: ActionId(100 + i as u64),
+                    model: ModelId(m),
+                    expected_completion: start + Nanos::from_millis(3),
+                    is_load: false,
+                },
+                start,
+                Nanos::from_millis(3),
+            );
+            // The track records the start time of the most recently
+            // *scheduled* INFER, mirroring §5.3's "last used" bookkeeping.
+            last_used[m as usize] = start;
+        }
+        let mut protect = HashSet::new();
+        protect.insert(ModelId(protect_model));
+        let candidate = track.lru_candidate(&protect).expect("seven unprotected residents");
+        prop_assert_ne!(candidate, ModelId(protect_model));
+        let expected = (0..8u32)
+            .filter(|&m| m != protect_model)
+            .min_by_key(|&m| (last_used[m as usize], ModelId(m)))
+            .map(ModelId)
+            .unwrap();
+        prop_assert_eq!(candidate, expected);
+    }
+
+    #[test]
+    fn tracker_routing_queries_are_consistent(
+        loads in proptest::collection::vec((0u32..4, 0u32..2, 0u32..12), 0..60),
+        probe_model in 0u32..12,
+    ) {
+        let mut tracker = WorkerStateTracker::new();
+        for w in 0..4u32 {
+            for g in 0..2u32 {
+                tracker.add_gpu(gref(w, g), 256, PAGE);
+            }
+        }
+        prop_assert_eq!(tracker.len(), 8);
+        let mut next_id = 0u64;
+        for &(w, g, m) in &loads {
+            let r = gref(w, g);
+            let track = tracker.get_mut(r).expect("gpu registered");
+            if track.has_or_loading(ModelId(m)) || track.free_pages < 4 {
+                continue;
+            }
+            let id = ActionId(next_id);
+            next_id += 1;
+            track.note_load_sent(
+                OutstandingAction {
+                    id,
+                    model: ModelId(m),
+                    expected_completion: Timestamp::from_millis(1),
+                    is_load: true,
+                },
+                4,
+                Timestamp::ZERO,
+                Nanos::from_millis(1),
+            );
+            track.note_load_result(id, ModelId(m), true);
+        }
+        let probe = ModelId(probe_model);
+        let holders = tracker.gpus_with_model(probe);
+        prop_assert_eq!(tracker.model_available_somewhere(probe), !holders.is_empty());
+        for r in &holders {
+            prop_assert!(tracker.get(*r).unwrap().is_resident(probe));
+        }
+        for track in tracker.gpus() {
+            if track.is_resident(probe) {
+                prop_assert!(holders.contains(&track.gpu_ref));
+            }
+        }
+        // The least-loaded GPU is one of the registered GPUs and has the
+        // minimal next exec slot.
+        let now = Timestamp::from_millis(5);
+        let least = tracker.least_loaded_gpu(now).expect("gpus registered");
+        let min_slot = tracker
+            .gpus()
+            .iter()
+            .map(|t| t.next_exec_slot(now))
+            .min()
+            .unwrap();
+        prop_assert_eq!(tracker.get(least).unwrap().next_exec_slot(now), min_slot);
+    }
+}
+
+// ----------------------------------------------------------------------
+// ClockworkScheduler black-box admission behaviour
+// ----------------------------------------------------------------------
+
+/// Drives the scheduler with `requests` (model, slo) pairs arriving together
+/// at t = 1 ms and collects everything it emits over a handful of ticks,
+/// without simulating any worker: LOADs are acknowledged as instantly
+/// successful so INFER scheduling can proceed.
+fn drive_scheduler(
+    config: ClockworkSchedulerConfig,
+    registered_models: u32,
+    requests: &[(u32, Nanos)],
+) -> (Vec<clockwork_worker::Action>, Vec<clockwork_controller::request::Response>) {
+    let zoo = ModelZoo::new();
+    let spec = Arc::new(zoo.resnet50().clone());
+    let mut sched = ClockworkScheduler::new(config);
+    sched.add_gpu(gref(0, 0), 1620, PAGE);
+    for m in 0..registered_models {
+        sched.add_model(m.into_model_id(), Arc::clone(&spec), Nanos::from_millis(8));
+    }
+
+    let mut ctx = SchedulerCtx::new();
+    let mut actions = Vec::new();
+    let mut responses = Vec::new();
+    let arrival = Timestamp::from_millis(1);
+    for (i, &(model, slo)) in requests.iter().enumerate() {
+        sched.on_request(
+            arrival,
+            InferenceRequest {
+                id: RequestId(i as u64),
+                model: ModelId(model),
+                arrival,
+                slo,
+            },
+            &mut ctx,
+        );
+    }
+    let mut now = arrival;
+    for _ in 0..50 {
+        sched.on_tick(now, &mut ctx);
+        let new_actions = ctx.take_actions();
+        responses.extend(ctx.take_responses());
+        for (worker, action) in new_actions {
+            // Acknowledge LOADs immediately and successfully so the scheduler
+            // can make progress; leave INFERs unanswered (we only inspect
+            // what was scheduled, not completions).
+            if let ActionKind::Load { model } = action.kind {
+                let result = clockwork_worker::ActionResult {
+                    action_id: action.id,
+                    worker,
+                    gpu: action.gpu,
+                    model,
+                    action_type: "LOAD",
+                    batch: 1,
+                    request_ids: Vec::new(),
+                    expected_duration: action.expected_duration,
+                    outcome: clockwork_worker::ActionOutcome::Success(
+                        clockwork_worker::ActionTiming {
+                            received: now,
+                            start: action.window.earliest,
+                            end: action.window.earliest + action.expected_duration,
+                            device_duration: action.expected_duration,
+                        },
+                    ),
+                };
+                sched.on_result(now, &result, &mut ctx);
+            }
+            actions.push(action);
+        }
+        now = now + Nanos::from_millis(1);
+    }
+    responses.extend(ctx.take_responses());
+    (actions, responses)
+}
+
+/// Helper so the proptest closure can name `ModelId` tersely.
+trait IntoModelId {
+    fn into_model_id(self) -> ModelId;
+}
+
+impl IntoModelId for u32 {
+    fn into_model_id(self) -> ModelId {
+        ModelId(self)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scheduler_rejects_unknown_models_and_emits_no_actions_for_them(
+        unknown in 5u32..50,
+        slo_ms in 1u64..1000,
+    ) {
+        let (actions, responses) = drive_scheduler(
+            ClockworkSchedulerConfig::default(),
+            4,
+            &[(unknown, Nanos::from_millis(slo_ms))],
+        );
+        prop_assert!(actions.iter().all(|a| a.kind.model() != ModelId(unknown)));
+        prop_assert_eq!(responses.len(), 1);
+        match responses[0].outcome {
+            RequestOutcome::Rejected { reason, .. } => {
+                prop_assert_eq!(reason, RejectReason::UnknownModel);
+            }
+            RequestOutcome::Success { .. } => prop_assert!(false, "unknown model cannot succeed"),
+        }
+    }
+
+    #[test]
+    fn scheduler_admission_control_rejects_impossible_slos_without_wasting_work(
+        slo_us in 1u64..2000,
+        copies in 1usize..8,
+    ) {
+        // ResNet50 batch-1 execution alone is ~2.61 ms; an SLO well below
+        // that can never be met, and Clockwork rejects it up-front (§4.1).
+        let requests: Vec<(u32, Nanos)> = (0..copies).map(|_| (0, Nanos::from_micros(slo_us))).collect();
+        let (actions, responses) = drive_scheduler(ClockworkSchedulerConfig::default(), 1, &requests);
+        prop_assert!(actions.iter().all(|a| !a.kind.is_infer()),
+            "scheduled an INFER that could never meet its SLO");
+        prop_assert_eq!(responses.len(), copies);
+        for r in &responses {
+            match r.outcome {
+                RequestOutcome::Rejected { reason, .. } => {
+                    prop_assert!(
+                        reason == RejectReason::CannotMeetSlo
+                            || reason == RejectReason::DeadlineElapsed
+                    );
+                }
+                RequestOutcome::Success { .. } => prop_assert!(false, "impossible SLO reported as met"),
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_serves_each_request_at_most_once_with_supported_batches(
+        per_model in proptest::collection::vec(1usize..12, 1..4),
+        slo_ms in 50u64..500,
+    ) {
+        let zoo = ModelZoo::new();
+        let max_batch = zoo.resnet50().max_batch();
+        let mut requests = Vec::new();
+        for (model, &count) in per_model.iter().enumerate() {
+            for _ in 0..count {
+                requests.push((model as u32, Nanos::from_millis(slo_ms)));
+            }
+        }
+        let (actions, responses) =
+            drive_scheduler(ClockworkSchedulerConfig::default(), per_model.len() as u32, &requests);
+
+        let mut seen = HashSet::new();
+        for a in &actions {
+            prop_assert!(a.window.earliest <= a.window.latest);
+            prop_assert!(a.expected_duration > Nanos::ZERO);
+            if let ActionKind::Infer { model, batch, request_ids } = &a.kind {
+                prop_assert!((model.0 as usize) < per_model.len(), "INFER for unregistered model");
+                prop_assert!(*batch >= 1 && *batch <= max_batch);
+                prop_assert!(zoo.resnet50().exec_latency(*batch).is_some(),
+                    "batch size {} has no compiled kernel", batch);
+                prop_assert!(!request_ids.is_empty());
+                prop_assert!(request_ids.len() <= *batch as usize,
+                    "batch {} smaller than its {} bundled requests", batch, request_ids.len());
+                for r in request_ids {
+                    prop_assert!(seen.insert(*r), "request {} scheduled twice", r);
+                }
+            }
+        }
+        // No request is answered more than once either.
+        let mut answered = HashSet::new();
+        for r in &responses {
+            prop_assert!(answered.insert(r.request), "request {} answered twice", r.request);
+        }
+    }
+
+    #[test]
+    fn scheduler_without_batching_schedules_singleton_batches(
+        count in 2usize..16,
+        slo_ms in 50u64..200,
+    ) {
+        let config = ClockworkSchedulerConfig {
+            batching: false,
+            ..ClockworkSchedulerConfig::default()
+        };
+        let requests: Vec<(u32, Nanos)> = (0..count).map(|_| (0, Nanos::from_millis(slo_ms))).collect();
+        let (actions, _) = drive_scheduler(config, 1, &requests);
+        for a in &actions {
+            if let ActionKind::Infer { request_ids, .. } = &a.kind {
+                prop_assert_eq!(request_ids.len(), 1, "batching disabled but requests were bundled");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_only_infers_after_load_on_a_cold_gpu(
+        count in 1usize..8,
+        slo_ms in 50u64..200,
+    ) {
+        let requests: Vec<(u32, Nanos)> = (0..count).map(|_| (0, Nanos::from_millis(slo_ms))).collect();
+        let (actions, _) = drive_scheduler(ClockworkSchedulerConfig::default(), 1, &requests);
+        let first_infer = actions.iter().position(|a| a.kind.is_infer());
+        let first_load = actions
+            .iter()
+            .position(|a| matches!(a.kind, ActionKind::Load { .. }));
+        if let Some(infer_idx) = first_infer {
+            let load_idx = first_load.expect("an INFER on a cold GPU requires a prior LOAD");
+            prop_assert!(load_idx < infer_idx,
+                "INFER was scheduled before any LOAD on a cold GPU");
+        }
+    }
+}

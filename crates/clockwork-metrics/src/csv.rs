@@ -1,0 +1,131 @@
+//! Minimal CSV output for experiment results.
+//!
+//! The benchmark binaries print the rows and series that the paper's tables
+//! and figures report. To keep the dependency footprint at the sanctioned
+//! set, this module implements the very small subset of CSV we need: quoting
+//! of fields containing separators, a header row, and writing to any
+//! `io::Write` sink (stdout or a results file).
+
+use std::io::{self, Write};
+
+/// A CSV table writer.
+pub struct CsvWriter<W: Write> {
+    sink: W,
+    columns: usize,
+    rows_written: usize,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Creates a writer and emits the header row.
+    pub fn new(mut sink: W, header: &[&str]) -> io::Result<Self> {
+        write_row(&mut sink, header.iter().map(|s| s.to_string()))?;
+        Ok(CsvWriter {
+            sink,
+            columns: header.len(),
+            rows_written: 0,
+        })
+    }
+
+    /// Writes one data row.
+    ///
+    /// Returns an error if the number of fields does not match the header.
+    pub fn row<I, S>(&mut self, fields: I) -> io::Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        let fields: Vec<String> = fields.into_iter().map(|f| f.to_string()).collect();
+        if fields.len() != self.columns {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "row has {} fields but header has {}",
+                    fields.len(),
+                    self.columns
+                ),
+            ));
+        }
+        write_row(&mut self.sink, fields.into_iter())?;
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    /// Number of data rows written so far.
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+fn write_row<W: Write>(sink: &mut W, fields: impl Iterator<Item = String>) -> io::Result<()> {
+    let mut first = true;
+    for field in fields {
+        if !first {
+            write!(sink, ",")?;
+        }
+        first = false;
+        write!(sink, "{}", escape(&field))?;
+    }
+    writeln!(sink)
+}
+
+/// Escapes a field per RFC 4180: quote if it contains a comma, quote, or
+/// newline; double any embedded quotes.
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Formats a float with a fixed number of decimal places, the style used by
+/// the result tables.
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let mut out = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut out, &["a", "b"]).unwrap();
+            w.row(["1", "2"]).unwrap();
+            w.row([3.5.to_string(), "x".to_string()]).unwrap();
+            assert_eq!(w.rows_written(), 2);
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3.5,x\n");
+    }
+
+    #[test]
+    fn rejects_mismatched_rows() {
+        let mut out = Vec::new();
+        let mut w = CsvWriter::new(&mut out, &["a", "b"]).unwrap();
+        assert!(w.row(["only one"]).is_err());
+    }
+
+    #[test]
+    fn escaping_follows_rfc4180() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("has,comma"), "\"has,comma\"");
+        assert_eq!(escape("has\"quote"), "\"has\"\"quote\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+        assert_eq!(fmt_f64(0.5, 0), "0");
+    }
+}

@@ -1,0 +1,398 @@
+//! Log-bucketed latency histogram.
+//!
+//! The paper's latency plots (Figs. 2a, 5, 9) span five orders of magnitude
+//! and are read at extreme percentiles (p99.999 and beyond), so the histogram
+//! needs wide dynamic range, bounded relative error, and cheap recording.
+//! [`LatencyHistogram`] uses base-2 log buckets with linear sub-buckets
+//! (HDR-histogram style), giving a worst-case relative error of
+//! `1 / sub_buckets` while using a few kilobytes of memory.
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_sim::time::Nanos;
+
+/// Number of linear sub-buckets per power-of-two bucket.
+///
+/// 64 sub-buckets bound the relative quantile error at ~1.6 %.
+const SUB_BUCKETS: usize = 64;
+/// Number of power-of-two buckets; covers 1 ns to ~2^40 ns (~18 minutes).
+const LOG_BUCKETS: usize = 41;
+
+/// A log-bucketed histogram of durations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_nanos: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; SUB_BUCKETS * LOG_BUCKETS],
+            total: 0,
+            sum_nanos: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Maps a value to its bucket index.
+    ///
+    /// Layout: indices `0..64` cover values `0..64` exactly; after that, each
+    /// group of 32 indices covers one power-of-two range `[2^k, 2^(k+1))` for
+    /// `k = 6, 7, ...`, split into 32 equal-width sub-buckets.
+    fn bucket_index(nanos: u64) -> usize {
+        const HALF: usize = SUB_BUCKETS / 2;
+        if nanos < SUB_BUCKETS as u64 {
+            return nanos as usize;
+        }
+        let k = 63 - nanos.leading_zeros() as usize; // floor(log2(nanos)), >= 6
+        let group = k - 6;
+        let sub = (nanos >> (k - 5)) as usize - HALF; // in [0, 32)
+        let bucket = SUB_BUCKETS + group * HALF + sub;
+        bucket.min(SUB_BUCKETS * LOG_BUCKETS - 1)
+    }
+
+    /// The lower bound of the value range covered by a bucket index.
+    fn bucket_value(index: usize) -> u64 {
+        const HALF: usize = SUB_BUCKETS / 2;
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let group = (index - SUB_BUCKETS) / HALF;
+        let sub = (index - SUB_BUCKETS) % HALF;
+        ((HALF + sub) as u64) << (group + 1)
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Nanos) {
+        let ns = d.as_nanos();
+        self.counts[Self::bucket_index(ns)] += 1;
+        self.total += 1;
+        self.sum_nanos += ns as u128;
+        if ns < self.min {
+            self.min = ns;
+        }
+        if ns > self.max {
+            self.max = ns;
+        }
+    }
+
+    /// Records `n` occurrences of the same duration.
+    pub fn record_n(&mut self, d: Nanos, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let ns = d.as_nanos();
+        self.counts[Self::bucket_index(ns)] += n;
+        self.total += n;
+        self.sum_nanos += ns as u128 * n as u128;
+        if ns < self.min {
+            self.min = ns;
+        }
+        if ns > self.max {
+            self.max = ns;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The smallest recorded duration, or zero if empty.
+    pub fn min(&self) -> Nanos {
+        if self.total == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos(self.min)
+        }
+    }
+
+    /// The largest recorded duration, or zero if empty.
+    pub fn max(&self) -> Nanos {
+        Nanos::from_nanos(self.max)
+    }
+
+    /// The mean of all recorded durations, or zero if empty.
+    pub fn mean(&self) -> Nanos {
+        if self.total == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos((self.sum_nanos / self.total as u128) as u64)
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, or zero if empty.
+    ///
+    /// The returned value is a bucket lower bound, so it is within one bucket
+    /// width (~1.6 % relative) of the true quantile, and exact for the min
+    /// and max.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max();
+        }
+        let target = (q * self.total as f64).floor() as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative > target {
+                let v = Self::bucket_value(i);
+                return Nanos::from_nanos(v.clamp(self.min, self.max));
+            }
+        }
+        self.max()
+    }
+
+    /// Convenience wrapper: percentile `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Nanos {
+        self.quantile(p / 100.0)
+    }
+
+    /// The fraction of samples at or below `threshold`.
+    pub fn fraction_below(&self, threshold: Nanos) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let idx = Self::bucket_index(threshold.as_nanos());
+        let below: u64 = self.counts[..=idx].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_nanos += other.sum_nanos;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Exports `(latency, cumulative fraction)` points for plotting a CDF.
+    ///
+    /// Only non-empty buckets are emitted, so the output is compact enough to
+    /// print directly from the benchmark binaries.
+    pub fn cdf_points(&self) -> Vec<(Nanos, f64)> {
+        let mut points = Vec::new();
+        if self.total == 0 {
+            return points;
+        }
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let v = Self::bucket_value(i).clamp(self.min, self.max);
+            points.push((Nanos::from_nanos(v), cumulative as f64 / self.total as f64));
+        }
+        points
+    }
+
+    /// The standard tail-latency row used throughout the evaluation:
+    /// (p50, p99, p99.9, p99.99, max).
+    pub fn tail_summary(&self) -> TailSummary {
+        TailSummary {
+            p50: self.percentile(50.0),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+            p9999: self.percentile(99.99),
+            max: self.max(),
+            mean: self.mean(),
+            count: self.count(),
+        }
+    }
+}
+
+/// The tail-latency summary reported by the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TailSummary {
+    /// Median latency.
+    pub p50: Nanos,
+    /// 99th percentile latency.
+    pub p99: Nanos,
+    /// 99.9th percentile latency.
+    pub p999: Nanos,
+    /// 99.99th percentile latency.
+    pub p9999: Nanos,
+    /// Maximum latency.
+    pub max: Nanos,
+    /// Mean latency.
+    pub mean: Nanos,
+    /// Number of samples.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), Nanos::ZERO);
+        assert_eq!(h.mean(), Nanos::ZERO);
+        assert_eq!(h.min(), Nanos::ZERO);
+        assert!(h.cdf_points().is_empty());
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos::from_millis(3));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Nanos::from_millis(3));
+        assert_eq!(h.max(), Nanos::from_millis(3));
+        assert_eq!(h.mean(), Nanos::from_millis(3));
+        let q = h.quantile(0.5);
+        assert!(relative_error(q, Nanos::from_millis(3)) < 0.02);
+    }
+
+    fn relative_error(a: Nanos, b: Nanos) -> f64 {
+        let a = a.as_nanos() as f64;
+        let b = b.as_nanos() as f64;
+        (a - b).abs() / b.max(1.0)
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=10_000u64 {
+            h.record(Nanos::from_micros(us));
+        }
+        assert_eq!(h.count(), 10_000);
+        for (q, expected_us) in [(0.1, 1_000.0), (0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q).as_micros_f64();
+            let rel = (got - expected_us).abs() / expected_us;
+            assert!(rel < 0.03, "q{q}: expected ~{expected_us}us got {got}us");
+        }
+        assert_eq!(h.quantile(1.0), Nanos::from_micros(10_000));
+        assert_eq!(h.min(), Nanos::from_micros(1));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in 0..SUB_BUCKETS as u64 {
+            h.record(Nanos::from_nanos(ns));
+        }
+        assert_eq!(h.quantile(0.0), Nanos::from_nanos(0));
+        assert_eq!(h.max(), Nanos::from_nanos(63));
+    }
+
+    #[test]
+    fn record_n_equivalent_to_repeated_record() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..10 {
+            a.record(Nanos::from_micros(250));
+        }
+        b.record_n(Nanos::from_micros(250), 10);
+        b.record_n(Nanos::from_micros(999), 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Nanos::from_millis(ms));
+        }
+        let f = h.fraction_below(Nanos::from_millis(50));
+        assert!((f - 0.5).abs() < 0.05, "fraction {f}");
+        assert!(h.fraction_below(Nanos::from_millis(1000)) > 0.999);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Nanos::from_millis(1));
+        b.record(Nanos::from_millis(100));
+        b.record(Nanos::from_millis(200));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Nanos::from_millis(1));
+        assert_eq!(a.max(), Nanos::from_millis(200));
+        let empty = LatencyHistogram::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn cdf_points_are_monotonic() {
+        let mut h = LatencyHistogram::new();
+        for us in (1..5_000u64).step_by(7) {
+            h.record(Nanos::from_micros(us));
+        }
+        let pts = h.cdf_points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0, "latencies must be non-decreasing");
+            assert!(w[1].1 >= w[0].1, "cumulative fraction must be non-decreasing");
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_summary_reports_consistent_ordering() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=100_000u64 {
+            h.record(Nanos::from_micros(us % 10_000 + 1));
+        }
+        let s = h.tail_summary();
+        assert!(s.p50 <= s.p99);
+        assert!(s.p99 <= s.p999);
+        assert!(s.p999 <= s.p9999);
+        assert!(s.p9999 <= s.max);
+        assert_eq!(s.count, 100_000);
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos::from_nanos(10));
+        h.record(Nanos::from_secs(100));
+        assert_eq!(h.min(), Nanos::from_nanos(10));
+        assert!(relative_error(h.quantile(1.0), Nanos::from_secs(100)) < 0.02);
+    }
+
+    #[test]
+    fn bucket_value_is_inverse_lower_bound_of_bucket_index() {
+        // For any value, bucket_value(bucket_index(v)) <= v and within ~2 %.
+        for v in [1u64, 63, 64, 65, 100, 1_000, 4_096, 1_000_000, 123_456_789, 10_000_000_000] {
+            let idx = LatencyHistogram::bucket_index(v);
+            let lower = LatencyHistogram::bucket_value(idx);
+            assert!(lower <= v, "lower {lower} > v {v}");
+            assert!(
+                (v - lower) as f64 / v as f64 <= 2.0 / SUB_BUCKETS as f64 + 1e-9,
+                "v {v} lower {lower}"
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Telemetry primitives for Clockwork-RS.
+//!
+//! Every figure in the paper's evaluation is built from the same handful of
+//! statistics: latency percentiles and CDFs scaled to emphasise the tail
+//! (Figs. 2a, 5, 9), goodput/throughput time series (Figs. 6, 8), resource
+//! utilization over time (Fig. 6 d–e), and batch-size / cold-start counters
+//! (Fig. 8 c–e). This crate provides those building blocks:
+//!
+//! * [`LatencyHistogram`] — a log-bucketed histogram with accurate tail
+//!   percentiles and CDF export, cheap enough to record every request.
+//! * [`Summary`] — streaming count/mean/min/max.
+//! * [`TimeSeries`] — fixed-interval bucketed counters and gauges.
+//! * [`UtilizationTracker`] — busy-interval accounting per time bucket.
+//! * [`percentile`] — exact percentiles over small sample vectors.
+//! * [`csv`] — a tiny CSV writer used by the benchmark harness so results can
+//!   be plotted without extra dependencies.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod histogram;
+pub mod percentile;
+pub mod summary;
+pub mod timeseries;
+pub mod utilization;
+
+pub use histogram::LatencyHistogram;
+pub use summary::Summary;
+pub use timeseries::TimeSeries;
+pub use utilization::UtilizationTracker;

@@ -1,0 +1,198 @@
+//! Fixed-interval time series.
+//!
+//! The time-series plots of the evaluation (Fig. 6 and Fig. 8) report
+//! per-interval aggregates: goodput per second, mean batch size per minute,
+//! number of unique cold models per minute, and so on. [`TimeSeries`] buckets
+//! observations by virtual time into fixed-width intervals and exposes both
+//! counts (for rates) and means (for gauges).
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// A bucketed time series of scalar observations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    interval: Nanos,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a time series with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Nanos) -> Self {
+        assert!(!interval.is_zero(), "time series interval must be non-zero");
+        TimeSeries {
+            interval,
+            counts: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+
+    /// Creates a per-second time series, the granularity used for the
+    /// goodput plots.
+    pub fn per_second() -> Self {
+        TimeSeries::new(Nanos::from_secs(1))
+    }
+
+    /// Creates a per-minute time series, the granularity used for the
+    /// cold-start plots.
+    pub fn per_minute() -> Self {
+        TimeSeries::new(Nanos::from_secs(60))
+    }
+
+    /// The bucket width.
+    pub fn interval(&self) -> Nanos {
+        self.interval
+    }
+
+    fn bucket(&self, at: Timestamp) -> usize {
+        (at.as_nanos() / self.interval.as_nanos()) as usize
+    }
+
+    fn ensure(&mut self, bucket: usize) {
+        if bucket >= self.counts.len() {
+            self.counts.resize(bucket + 1, 0);
+            self.sums.resize(bucket + 1, 0.0);
+        }
+    }
+
+    /// Records an event at `at` (counted, with value 1.0).
+    pub fn record_event(&mut self, at: Timestamp) {
+        self.record_value(at, 1.0);
+    }
+
+    /// Records a value at `at`.
+    pub fn record_value(&mut self, at: Timestamp, value: f64) {
+        let b = self.bucket(at);
+        self.ensure(b);
+        self.counts[b] += 1;
+        self.sums[b] += value;
+    }
+
+    /// Number of buckets that have been touched (the series length).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the series has no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Count of observations in the bucket starting at `index * interval`.
+    pub fn count_at(&self, index: usize) -> u64 {
+        self.counts.get(index).copied().unwrap_or(0)
+    }
+
+    /// Sum of values in the given bucket.
+    pub fn sum_at(&self, index: usize) -> f64 {
+        self.sums.get(index).copied().unwrap_or(0.0)
+    }
+
+    /// Mean value in the given bucket, or 0 if the bucket is empty.
+    pub fn mean_at(&self, index: usize) -> f64 {
+        let c = self.count_at(index);
+        if c == 0 {
+            0.0
+        } else {
+            self.sum_at(index) / c as f64
+        }
+    }
+
+    /// Rate of events per second in the given bucket.
+    pub fn rate_at(&self, index: usize) -> f64 {
+        self.count_at(index) as f64 / self.interval.as_secs_f64()
+    }
+
+    /// Total count of observations across all buckets.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total sum across all buckets.
+    pub fn total_sum(&self) -> f64 {
+        self.sums.iter().sum()
+    }
+
+    /// Iterates over `(bucket start time, count, sum)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (Timestamp, u64, f64)> + '_ {
+        self.counts.iter().zip(&self.sums).enumerate().map(move |(i, (&c, &s))| {
+            (
+                Timestamp::from_nanos(i as u64 * self.interval.as_nanos()),
+                c,
+                s,
+            )
+        })
+    }
+
+    /// Mean event rate over the whole series, in events per second.
+    pub fn overall_rate(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.total_count() as f64 / (self.counts.len() as f64 * self.interval.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        let _ = TimeSeries::new(Nanos::ZERO);
+    }
+
+    #[test]
+    fn events_bucket_by_time() {
+        let mut ts = TimeSeries::per_second();
+        ts.record_event(Timestamp::from_millis(100));
+        ts.record_event(Timestamp::from_millis(900));
+        ts.record_event(Timestamp::from_millis(1_100));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.count_at(0), 2);
+        assert_eq!(ts.count_at(1), 1);
+        assert_eq!(ts.count_at(7), 0);
+        assert_eq!(ts.total_count(), 3);
+        assert_eq!(ts.rate_at(0), 2.0);
+    }
+
+    #[test]
+    fn values_track_sums_and_means() {
+        let mut ts = TimeSeries::per_minute();
+        ts.record_value(Timestamp::from_secs(10), 4.0);
+        ts.record_value(Timestamp::from_secs(50), 8.0);
+        ts.record_value(Timestamp::from_secs(70), 2.0);
+        assert_eq!(ts.sum_at(0), 12.0);
+        assert_eq!(ts.mean_at(0), 6.0);
+        assert_eq!(ts.mean_at(1), 2.0);
+        assert_eq!(ts.mean_at(9), 0.0);
+        assert_eq!(ts.total_sum(), 14.0);
+    }
+
+    #[test]
+    fn rows_iterate_in_order() {
+        let mut ts = TimeSeries::per_second();
+        ts.record_event(Timestamp::from_secs(2));
+        let rows: Vec<_> = ts.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], (Timestamp::ZERO, 0, 0.0));
+        assert_eq!(rows[2], (Timestamp::from_secs(2), 1, 1.0));
+    }
+
+    #[test]
+    fn overall_rate() {
+        let mut ts = TimeSeries::per_second();
+        for i in 0..100 {
+            ts.record_event(Timestamp::from_millis(i * 100));
+        }
+        // 100 events over 10 seconds.
+        assert!((ts.overall_rate() - 10.0).abs() < 1e-9);
+        assert_eq!(TimeSeries::per_second().overall_rate(), 0.0);
+    }
+}

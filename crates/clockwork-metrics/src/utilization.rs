@@ -1,0 +1,178 @@
+//! Busy-interval utilization tracking.
+//!
+//! Fig. 6 (d) and (e) plot PCIe and GPU utilization over time and show that
+//! Clockwork's goodput tracks whichever resource is the current bottleneck.
+//! [`UtilizationTracker`] accumulates busy intervals into fixed-width time
+//! buckets so utilization can be reported per interval, even when a single
+//! busy interval spans several buckets.
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// Tracks the fraction of each time bucket during which a resource was busy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationTracker {
+    interval: Nanos,
+    busy: Vec<Nanos>,
+    total_busy: Nanos,
+}
+
+impl UtilizationTracker {
+    /// Creates a tracker with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Nanos) -> Self {
+        assert!(!interval.is_zero(), "utilization interval must be non-zero");
+        UtilizationTracker {
+            interval,
+            busy: Vec::new(),
+            total_busy: Nanos::ZERO,
+        }
+    }
+
+    /// Creates a per-second tracker.
+    pub fn per_second() -> Self {
+        UtilizationTracker::new(Nanos::from_secs(1))
+    }
+
+    /// The bucket width.
+    pub fn interval(&self) -> Nanos {
+        self.interval
+    }
+
+    /// Records that the resource was busy during `[start, end)`.
+    ///
+    /// Intervals may span bucket boundaries; empty or inverted intervals are
+    /// ignored.
+    pub fn record_busy(&mut self, start: Timestamp, end: Timestamp) {
+        if end <= start {
+            return;
+        }
+        self.total_busy += end - start;
+        let width = self.interval.as_nanos();
+        let mut cursor = start.as_nanos();
+        let end_ns = end.as_nanos();
+        while cursor < end_ns {
+            let bucket = (cursor / width) as usize;
+            let bucket_end = (bucket as u64 + 1) * width;
+            let slice_end = bucket_end.min(end_ns);
+            if bucket >= self.busy.len() {
+                self.busy.resize(bucket + 1, Nanos::ZERO);
+            }
+            self.busy[bucket] += Nanos::from_nanos(slice_end - cursor);
+            cursor = slice_end;
+        }
+    }
+
+    /// Utilization (0..=1) in the given bucket.
+    pub fn utilization_at(&self, index: usize) -> f64 {
+        match self.busy.get(index) {
+            Some(b) => (b.as_nanos() as f64 / self.interval.as_nanos() as f64).min(1.0),
+            None => 0.0,
+        }
+    }
+
+    /// Number of buckets touched so far.
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Whether no busy time has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// Total busy time across all buckets.
+    pub fn total_busy(&self) -> Nanos {
+        self.total_busy
+    }
+
+    /// Mean utilization over `[0, horizon]`.
+    pub fn mean_utilization(&self, horizon: Timestamp) -> f64 {
+        if horizon == Timestamp::ZERO {
+            return 0.0;
+        }
+        (self.total_busy.as_nanos() as f64 / horizon.as_nanos() as f64).min(1.0)
+    }
+
+    /// Iterates `(bucket start time, utilization)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
+        (0..self.busy.len()).map(move |i| {
+            (
+                Timestamp::from_nanos(i as u64 * self.interval.as_nanos()),
+                self.utilization_at(i),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        let _ = UtilizationTracker::new(Nanos::ZERO);
+    }
+
+    #[test]
+    fn busy_within_one_bucket() {
+        let mut u = UtilizationTracker::per_second();
+        u.record_busy(Timestamp::from_millis(100), Timestamp::from_millis(600));
+        assert_eq!(u.len(), 1);
+        assert!((u.utilization_at(0) - 0.5).abs() < 1e-9);
+        assert_eq!(u.utilization_at(5), 0.0);
+    }
+
+    #[test]
+    fn busy_spanning_buckets_is_split() {
+        let mut u = UtilizationTracker::per_second();
+        u.record_busy(Timestamp::from_millis(500), Timestamp::from_millis(2_500));
+        assert_eq!(u.len(), 3);
+        assert!((u.utilization_at(0) - 0.5).abs() < 1e-9);
+        assert!((u.utilization_at(1) - 1.0).abs() < 1e-9);
+        assert!((u.utilization_at(2) - 0.5).abs() < 1e-9);
+        assert_eq!(u.total_busy(), Nanos::from_millis(2_000));
+    }
+
+    #[test]
+    fn inverted_or_empty_intervals_are_ignored() {
+        let mut u = UtilizationTracker::per_second();
+        u.record_busy(Timestamp::from_millis(100), Timestamp::from_millis(100));
+        u.record_busy(Timestamp::from_millis(200), Timestamp::from_millis(100));
+        assert!(u.is_empty());
+        assert_eq!(u.total_busy(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn mean_utilization_over_horizon() {
+        let mut u = UtilizationTracker::per_second();
+        u.record_busy(Timestamp::ZERO, Timestamp::from_secs(2));
+        assert!((u.mean_utilization(Timestamp::from_secs(4)) - 0.5).abs() < 1e-9);
+        assert_eq!(u.mean_utilization(Timestamp::ZERO), 0.0);
+    }
+
+    #[test]
+    fn rows_report_each_bucket() {
+        let mut u = UtilizationTracker::per_second();
+        u.record_busy(Timestamp::from_secs(1), Timestamp::from_secs(2));
+        let rows: Vec<_> = u.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1, 0.0);
+        assert!((rows[1].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_small_intervals_accumulate() {
+        let mut u = UtilizationTracker::per_second();
+        for i in 0..100u64 {
+            let start = Timestamp::from_millis(i * 10);
+            u.record_busy(start, start + Nanos::from_millis(5));
+        }
+        // 100 * 5 ms of busy time in the first second.
+        assert!((u.utilization_at(0) - 0.5).abs() < 1e-9);
+    }
+}

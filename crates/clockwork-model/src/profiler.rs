@@ -1,0 +1,180 @@
+//! Model profiling: seed estimates of execution time.
+//!
+//! §5.1: "Clockwork runs a brief profiling step to produce a seed estimate
+//! for model execution times." The controller later refines these seeds with
+//! a rolling window of measurements (§5.3), but it needs *something* before
+//! the first request of a model arrives, otherwise it could not make an
+//! admission decision for it.
+//!
+//! [`profile_model`] executes a configurable number of warm-up and measured
+//! iterations of every compiled batch size against a [`GpuTimingModel`] and
+//! reports a per-batch seed estimate, taken as a high percentile of the
+//! measurements — the same "assume slightly worse than typical" stance the
+//! controller adopts online.
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_metrics::percentile::percentile_nanos;
+use clockwork_sim::gpu::GpuTimingModel;
+use clockwork_sim::time::Nanos;
+
+use crate::spec::ModelSpec;
+
+/// Configuration of the profiling step.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// Warm-up iterations per batch size (discarded).
+    pub warmup_iterations: u32,
+    /// Measured iterations per batch size.
+    pub measured_iterations: u32,
+    /// Percentile of the measurements reported as the seed estimate.
+    pub estimate_percentile: f64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            warmup_iterations: 3,
+            measured_iterations: 20,
+            estimate_percentile: 99.0,
+        }
+    }
+}
+
+/// The seed profile of one batch size.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchSeed {
+    /// Batch size.
+    pub batch: u32,
+    /// Seed estimate of the execution latency (high percentile).
+    pub estimate: Nanos,
+    /// Mean of the measured iterations.
+    pub mean: Nanos,
+    /// All measured samples (for inspection / tests).
+    pub samples: Vec<Nanos>,
+}
+
+/// The result of profiling a model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// The model name.
+    pub model: String,
+    /// Per-batch seed estimates, in ascending batch order.
+    pub seeds: Vec<BatchSeed>,
+}
+
+impl ModelProfile {
+    /// The seed estimate for an exact batch size.
+    pub fn estimate(&self, batch: u32) -> Option<Nanos> {
+        self.seeds.iter().find(|s| s.batch == batch).map(|s| s.estimate)
+    }
+}
+
+/// Profiles every compiled batch size of a model against a GPU timing model.
+pub fn profile_model(
+    spec: &ModelSpec,
+    gpu: &mut GpuTimingModel,
+    config: &ProfilerConfig,
+) -> ModelProfile {
+    let mut seeds = Vec::with_capacity(spec.batch_profiles.len());
+    for profile in &spec.batch_profiles {
+        for _ in 0..config.warmup_iterations {
+            let _ = gpu.exec_duration(profile.latency);
+        }
+        let samples: Vec<Nanos> = (0..config.measured_iterations.max(1))
+            .map(|_| gpu.exec_duration(profile.latency))
+            .collect();
+        let estimate = percentile_nanos(&samples, config.estimate_percentile)
+            .expect("at least one measured iteration");
+        let mean_ns: u128 = samples.iter().map(|n| n.as_nanos() as u128).sum();
+        let mean = Nanos::from_nanos((mean_ns / samples.len() as u128) as u64);
+        seeds.push(BatchSeed {
+            batch: profile.batch,
+            estimate,
+            mean,
+            samples,
+        });
+    }
+    ModelProfile {
+        model: spec.name.clone(),
+        seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_sim::gpu::{ExecNoise, GpuSpec};
+    use clockwork_sim::rng::SimRng;
+
+    fn quiet_gpu() -> GpuTimingModel {
+        let spec = GpuSpec {
+            exec_noise: ExecNoise::none(),
+            ..GpuSpec::tesla_v100()
+        };
+        GpuTimingModel::new(spec, SimRng::seeded(1))
+    }
+
+    fn resnet50() -> ModelSpec {
+        ModelSpec::from_millis(
+            "resnet50_v1",
+            "ResNet",
+            602.0,
+            4.0,
+            102.3,
+            &[(1, 2.61), (2, 3.78), (4, 5.61), (8, 9.13), (16, 15.67)],
+        )
+    }
+
+    #[test]
+    fn noiseless_profile_equals_base_latency() {
+        let spec = resnet50();
+        let mut gpu = quiet_gpu();
+        let profile = profile_model(&spec, &mut gpu, &ProfilerConfig::default());
+        assert_eq!(profile.seeds.len(), 5);
+        for p in &spec.batch_profiles {
+            assert_eq!(profile.estimate(p.batch), Some(p.latency));
+        }
+        assert_eq!(profile.estimate(3), None);
+        assert_eq!(profile.model, "resnet50_v1");
+    }
+
+    #[test]
+    fn noisy_profile_is_close_to_base_latency() {
+        let spec = resnet50();
+        let mut gpu = GpuTimingModel::new(GpuSpec::tesla_v100(), SimRng::seeded(2));
+        let profile = profile_model(&spec, &mut gpu, &ProfilerConfig::default());
+        for p in &spec.batch_profiles {
+            let est = profile.estimate(p.batch).unwrap();
+            let rel =
+                (est.as_nanos() as f64 - p.latency.as_nanos() as f64).abs() / p.latency.as_nanos() as f64;
+            assert!(rel < 0.05, "batch {} estimate off by {rel}", p.batch);
+        }
+    }
+
+    #[test]
+    fn estimate_is_at_least_the_mean() {
+        // The seed estimate is a high percentile, so with noise it should be
+        // greater than or equal to the mean of the samples.
+        let spec = resnet50();
+        let mut gpu = GpuTimingModel::new(GpuSpec::tesla_v100(), SimRng::seeded(3));
+        let profile = profile_model(&spec, &mut gpu, &ProfilerConfig::default());
+        for seed in &profile.seeds {
+            assert!(seed.estimate >= seed.mean, "batch {}", seed.batch);
+            assert_eq!(seed.samples.len(), 20);
+        }
+    }
+
+    #[test]
+    fn config_controls_sample_count() {
+        let spec = resnet50();
+        let mut gpu = quiet_gpu();
+        let cfg = ProfilerConfig {
+            warmup_iterations: 0,
+            measured_iterations: 5,
+            estimate_percentile: 50.0,
+        };
+        let profile = profile_model(&spec, &mut gpu, &cfg);
+        assert!(profile.seeds.iter().all(|s| s.samples.len() == 5));
+    }
+}

@@ -1,0 +1,345 @@
+//! Abstract model descriptions (the "ONNX/NNEF" of the reproduction).
+//!
+//! Clockwork's users never ship executable code; they upload a model in an
+//! abstract exchange format which the operator compiles (§5.1, §7 Security).
+//! [`ModelSource`] plays that role here: a declarative list of layers with
+//! shapes, from which the [`crate::compiler`] derives weights sizes, FLOP
+//! counts, workspace requirements and estimated execution latencies.
+
+use serde::{Deserialize, Serialize};
+
+/// A layer of a [`ModelSource`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution over `input_hw` spatial dims.
+    Conv2d {
+        /// Input channel count.
+        in_channels: u32,
+        /// Output channel count.
+        out_channels: u32,
+        /// Square kernel size.
+        kernel: u32,
+        /// Stride (same in both dimensions).
+        stride: u32,
+        /// Input spatial size (height = width).
+        input_hw: u32,
+    },
+    /// Fully connected layer.
+    Dense {
+        /// Input feature count.
+        in_features: u32,
+        /// Output feature count.
+        out_features: u32,
+    },
+    /// Pooling layer (no weights); reduces spatial dims by `factor`.
+    Pool {
+        /// Channel count.
+        channels: u32,
+        /// Input spatial size.
+        input_hw: u32,
+        /// Downscaling factor.
+        factor: u32,
+    },
+    /// Batch normalisation over `channels` feature maps of size `input_hw`².
+    BatchNorm {
+        /// Channel count.
+        channels: u32,
+        /// Spatial size.
+        input_hw: u32,
+    },
+    /// Elementwise activation over `elements` values (no weights).
+    Activation {
+        /// Number of elements transformed.
+        elements: u64,
+    },
+}
+
+impl Layer {
+    /// Number of trainable parameters in this layer.
+    pub fn parameter_count(&self) -> u64 {
+        match *self {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => u64::from(in_channels) * u64::from(out_channels) * u64::from(kernel * kernel)
+                + u64::from(out_channels),
+            Layer::Dense {
+                in_features,
+                out_features,
+            } => u64::from(in_features) * u64::from(out_features) + u64::from(out_features),
+            Layer::BatchNorm { channels, .. } => 2 * u64::from(channels),
+            Layer::Pool { .. } | Layer::Activation { .. } => 0,
+        }
+    }
+
+    /// Floating point operations for a single input (batch size 1).
+    pub fn flops(&self) -> u64 {
+        match *self {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                input_hw,
+            } => {
+                let out_hw = (input_hw / stride.max(1)).max(1) as u64;
+                2 * u64::from(in_channels)
+                    * u64::from(out_channels)
+                    * u64::from(kernel * kernel)
+                    * out_hw
+                    * out_hw
+            }
+            Layer::Dense {
+                in_features,
+                out_features,
+            } => 2 * u64::from(in_features) * u64::from(out_features),
+            Layer::Pool {
+                channels,
+                input_hw,
+                factor,
+            } => u64::from(channels) * u64::from(input_hw) * u64::from(input_hw)
+                * u64::from(factor.max(1)),
+            Layer::BatchNorm { channels, input_hw } => {
+                4 * u64::from(channels) * u64::from(input_hw) * u64::from(input_hw)
+            }
+            Layer::Activation { elements } => elements,
+        }
+    }
+
+    /// Bytes of intermediate activation produced by this layer for batch 1
+    /// (used to size the workspace).
+    pub fn activation_bytes(&self) -> u64 {
+        let elements: u64 = match *self {
+            Layer::Conv2d {
+                out_channels,
+                stride,
+                input_hw,
+                ..
+            } => {
+                let out_hw = (input_hw / stride.max(1)).max(1) as u64;
+                u64::from(out_channels) * out_hw * out_hw
+            }
+            Layer::Dense { out_features, .. } => u64::from(out_features),
+            Layer::Pool {
+                channels,
+                input_hw,
+                factor,
+            } => {
+                let out_hw = (input_hw / factor.max(1)).max(1) as u64;
+                u64::from(channels) * out_hw * out_hw
+            }
+            Layer::BatchNorm { channels, input_hw } => {
+                u64::from(channels) * u64::from(input_hw) * u64::from(input_hw)
+            }
+            Layer::Activation { elements } => elements,
+        };
+        elements * 4 // f32 activations
+    }
+}
+
+/// An abstract model uploaded by a user.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelSource {
+    /// Model name.
+    pub name: String,
+    /// Input tensor element count (per request).
+    pub input_elements: u64,
+    /// Output tensor element count (per request).
+    pub output_elements: u64,
+    /// The layers, in execution order.
+    pub layers: Vec<Layer>,
+}
+
+impl ModelSource {
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> u64 {
+        self.layers.iter().map(Layer::parameter_count).sum()
+    }
+
+    /// Weights blob size in bytes (f32 parameters).
+    pub fn weights_bytes(&self) -> u64 {
+        self.parameter_count() * 4
+    }
+
+    /// FLOPs per inference at batch size 1.
+    pub fn flops(&self) -> u64 {
+        self.layers.iter().map(Layer::flops).sum()
+    }
+
+    /// Input tensor size in bytes (f32).
+    pub fn input_bytes(&self) -> u64 {
+        self.input_elements * 4
+    }
+
+    /// Output tensor size in bytes (f32).
+    pub fn output_bytes(&self) -> u64 {
+        self.output_elements * 4
+    }
+
+    /// Largest intermediate activation, in bytes, for batch 1.
+    pub fn peak_activation_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(Layer::activation_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A small synthetic convolutional classifier roughly the shape of an
+    /// ImageNet ResNet with the given number of residual-style stages.
+    pub fn resnet_like(name: &str, stages: u32) -> Self {
+        let mut layers = vec![Layer::Conv2d {
+            in_channels: 3,
+            out_channels: 64,
+            kernel: 7,
+            stride: 2,
+            input_hw: 224,
+        }];
+        let mut channels = 64u32;
+        let mut hw = 56u32;
+        for stage in 0..stages {
+            let out = (channels * 2).min(2048);
+            for _ in 0..2 {
+                layers.push(Layer::Conv2d {
+                    in_channels: channels,
+                    out_channels: out,
+                    kernel: 3,
+                    stride: 1,
+                    input_hw: hw,
+                });
+                layers.push(Layer::BatchNorm {
+                    channels: out,
+                    input_hw: hw,
+                });
+                layers.push(Layer::Activation {
+                    elements: u64::from(out) * u64::from(hw) * u64::from(hw),
+                });
+                channels = out;
+            }
+            if stage + 1 < stages && hw > 7 {
+                layers.push(Layer::Pool {
+                    channels,
+                    input_hw: hw,
+                    factor: 2,
+                });
+                hw /= 2;
+            }
+        }
+        layers.push(Layer::Pool {
+            channels,
+            input_hw: hw,
+            factor: hw.max(1),
+        });
+        layers.push(Layer::Dense {
+            in_features: channels,
+            out_features: 1000,
+        });
+        ModelSource {
+            name: name.to_string(),
+            input_elements: 3 * 224 * 224,
+            output_elements: 1000,
+            layers,
+        }
+    }
+
+    /// A small multi-layer perceptron, the kind of cheap model used for
+    /// recommendation or fraud-detection workloads.
+    pub fn mlp(name: &str, input: u32, hidden: &[u32], output: u32) -> Self {
+        let mut layers = Vec::new();
+        let mut prev = input;
+        for &h in hidden {
+            layers.push(Layer::Dense {
+                in_features: prev,
+                out_features: h,
+            });
+            layers.push(Layer::Activation {
+                elements: u64::from(h),
+            });
+            prev = h;
+        }
+        layers.push(Layer::Dense {
+            in_features: prev,
+            out_features: output,
+        });
+        ModelSource {
+            name: name.to_string(),
+            input_elements: u64::from(input),
+            output_elements: u64::from(output),
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_parameters_and_flops() {
+        let l = Layer::Conv2d {
+            in_channels: 3,
+            out_channels: 64,
+            kernel: 7,
+            stride: 2,
+            input_hw: 224,
+        };
+        assert_eq!(l.parameter_count(), 3 * 64 * 49 + 64);
+        assert_eq!(l.flops(), 2 * 3 * 64 * 49 * 112 * 112);
+        assert_eq!(l.activation_bytes(), 64 * 112 * 112 * 4);
+    }
+
+    #[test]
+    fn dense_layer_parameters_and_flops() {
+        let l = Layer::Dense {
+            in_features: 2048,
+            out_features: 1000,
+        };
+        assert_eq!(l.parameter_count(), 2048 * 1000 + 1000);
+        assert_eq!(l.flops(), 2 * 2048 * 1000);
+    }
+
+    #[test]
+    fn parameterless_layers() {
+        let pool = Layer::Pool {
+            channels: 64,
+            input_hw: 56,
+            factor: 2,
+        };
+        let act = Layer::Activation { elements: 1000 };
+        assert_eq!(pool.parameter_count(), 0);
+        assert_eq!(act.parameter_count(), 0);
+        assert!(pool.flops() > 0);
+        assert_eq!(act.flops(), 1000);
+    }
+
+    #[test]
+    fn resnet_like_has_realistic_scale() {
+        let m = ModelSource::resnet_like("synthetic_resnet", 4);
+        // Tens of millions of parameters and a few GFLOPs, like real ResNets.
+        assert!(m.parameter_count() > 10_000_000, "{}", m.parameter_count());
+        assert!(m.parameter_count() < 500_000_000);
+        assert!(m.flops() > 1_000_000_000, "{}", m.flops());
+        assert_eq!(m.output_elements, 1000);
+        assert!(m.weights_bytes() > 40_000_000);
+        assert!(m.peak_activation_bytes() > 0);
+    }
+
+    #[test]
+    fn mlp_scales_with_hidden_layers() {
+        let small = ModelSource::mlp("small", 128, &[256], 10);
+        let large = ModelSource::mlp("large", 128, &[1024, 1024, 1024], 10);
+        assert!(large.parameter_count() > small.parameter_count() * 5);
+        assert_eq!(small.input_bytes(), 128 * 4);
+        assert_eq!(small.output_bytes(), 40);
+    }
+
+    #[test]
+    fn deeper_resnets_cost_more() {
+        let shallow = ModelSource::resnet_like("a", 2);
+        let deep = ModelSource::resnet_like("b", 5);
+        assert!(deep.flops() > shallow.flops());
+        assert!(deep.parameter_count() > shallow.parameter_count());
+    }
+}

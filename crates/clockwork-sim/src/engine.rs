@@ -1,0 +1,361 @@
+//! Discrete-event simulation core.
+//!
+//! The experiments in the paper run for minutes to hours of wall-clock time;
+//! we replay them in virtual time instead. [`EventQueue`] is a priority queue
+//! of timestamped events with deterministic FIFO tie-breaking, and
+//! [`SimClock`] tracks the current virtual instant.
+//!
+//! Higher layers (the system assembly in the `clockwork` crate) define their
+//! own event payload type and drive the loop:
+//!
+//! ```
+//! use clockwork_sim::engine::EventQueue;
+//! use clockwork_sim::time::{Nanos, Timestamp};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Tick(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Timestamp::from_millis(5), Ev::Tick(2));
+//! q.push(Timestamp::from_millis(1), Ev::Tick(1));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(t, Timestamp::from_millis(1));
+//! assert_eq!(ev, Ev::Tick(1));
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Nanos, Timestamp};
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: Timestamp,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break by insertion order (seq) for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, cancellable priority queue of timestamped events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    next_id: u64,
+    /// Identifiers of events that are scheduled and neither delivered nor
+    /// cancelled. Cancellation is lazy: cancelled entries stay in the heap and
+    /// are skipped when they surface.
+    pending: std::collections::HashSet<EventId>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty event queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_id: 0,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules an event at an absolute virtual time.
+    pub fn push(&mut self, at: Timestamp, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Schedules an event `delay` after `now`.
+    pub fn push_after(&mut self, now: Timestamp, delay: Nanos, payload: E) -> EventId {
+        self.push(now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet been delivered or cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Removes and returns the earliest live event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.pending.remove(&ev.id) {
+                return Some((ev.at, ev.payload));
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the earliest event if it is scheduled at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Timestamp) -> Option<(Timestamp, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The timestamp of the earliest live event, without removing it.
+    pub fn peek_time(&mut self) -> Option<Timestamp> {
+        while let Some(ev) = self.heap.peek() {
+            if !self.pending.contains(&ev.id) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+
+    /// Number of live (not yet delivered, not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// The virtual clock of a simulation.
+///
+/// The clock only moves forward; [`SimClock::advance_to`] with an earlier
+/// timestamp is a no-op, which makes it safe to advance from out-of-order
+/// notification sources.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: Timestamp,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock {
+            now: Timestamp::ZERO,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances the clock to `t` if `t` is in the future.
+    pub fn advance_to(&mut self, t: Timestamp) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Advances the clock by a duration and returns the new time.
+    pub fn advance_by(&mut self, d: Nanos) -> Timestamp {
+        self.now = self.now + d;
+        self.now
+    }
+}
+
+/// A simple driver that pops events in time order and hands them to a handler
+/// together with the advancing clock.
+///
+/// This is sufficient for self-contained simulations (unit tests, workload
+/// generators); the full system in the `clockwork` crate implements its own
+/// loop because it interleaves several event sources.
+pub struct SimDriver<E> {
+    /// The event queue that drives the simulation.
+    pub queue: EventQueue<E>,
+    /// The simulation clock, advanced as events are delivered.
+    pub clock: SimClock,
+}
+
+impl<E> Default for SimDriver<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> SimDriver<E> {
+    /// Creates an empty driver at time zero.
+    pub fn new() -> Self {
+        SimDriver {
+            queue: EventQueue::new(),
+            clock: SimClock::new(),
+        }
+    }
+
+    /// Runs until the queue is empty or `until` is reached, delivering each
+    /// event to `handler`. The handler may push further events.
+    pub fn run_until<F>(&mut self, until: Timestamp, mut handler: F) -> usize
+    where
+        F: FnMut(Timestamp, E, &mut EventQueue<E>),
+    {
+        let mut delivered = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            self.clock.advance_to(t);
+            handler(t, ev, &mut self.queue);
+            delivered += 1;
+        }
+        self.clock.advance_to(until.min(Timestamp::MAX));
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Timestamp::from_millis(30), "c");
+        q.push(Timestamp::from_millis(10), "a");
+        q.push(Timestamp::from_millis(20), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Timestamp::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(Timestamp::from_millis(1), "a");
+        let b = q.push(Timestamp::from_millis(2), "b");
+        q.push(Timestamp::from_millis(3), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(!q.cancel(a), "cancelling a delivered event is a no-op");
+        assert!(!q.cancel(EventId(999)), "unknown ids are rejected");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(Timestamp::from_millis(1), 1);
+        q.push(Timestamp::from_millis(2), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Timestamp::from_millis(2)));
+    }
+
+    #[test]
+    fn pop_due_only_returns_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Timestamp::from_millis(10), 1);
+        assert!(q.pop_due(Timestamp::from_millis(5)).is_none());
+        assert!(q.pop_due(Timestamp::from_millis(10)).is_some());
+    }
+
+    #[test]
+    fn push_after_offsets_from_now() {
+        let mut q = EventQueue::new();
+        q.push_after(Timestamp::from_millis(10), Nanos::from_millis(5), ());
+        assert_eq!(q.peek_time(), Some(Timestamp::from_millis(15)));
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = SimClock::new();
+        c.advance_to(Timestamp::from_millis(10));
+        c.advance_to(Timestamp::from_millis(5));
+        assert_eq!(c.now(), Timestamp::from_millis(10));
+        assert_eq!(c.advance_by(Nanos::from_millis(3)), Timestamp::from_millis(13));
+    }
+
+    #[test]
+    fn driver_delivers_in_order_and_supports_cascade() {
+        let mut d: SimDriver<u32> = SimDriver::new();
+        d.queue.push(Timestamp::from_millis(1), 1);
+        d.queue.push(Timestamp::from_millis(3), 3);
+        let mut seen = Vec::new();
+        let n = d.run_until(Timestamp::from_secs(1), |t, ev, q| {
+            seen.push((t, ev));
+            if ev == 1 {
+                q.push(t + Nanos::from_millis(1), 2);
+            }
+        });
+        assert_eq!(n, 3);
+        assert_eq!(
+            seen,
+            vec![
+                (Timestamp::from_millis(1), 1),
+                (Timestamp::from_millis(2), 2),
+                (Timestamp::from_millis(3), 3),
+            ]
+        );
+        assert_eq!(d.clock.now(), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn driver_stops_at_until() {
+        let mut d: SimDriver<u32> = SimDriver::new();
+        d.queue.push(Timestamp::from_millis(1), 1);
+        d.queue.push(Timestamp::from_millis(100), 2);
+        let n = d.run_until(Timestamp::from_millis(50), |_, _, _| {});
+        assert_eq!(n, 1);
+        assert_eq!(d.queue.len(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Simulated datacenter network between clients, controller and workers.
+//!
+//! The paper's testbed connects its 12 servers with 2×10 Gbps Ethernet on a
+//! shared network and notes (§7) that occasional network latency spikes of
+//! dozens of milliseconds had negligible impact because the system has
+//! latency headroom. The model here is intentionally simple: a fixed one-way
+//! base latency, a serialisation term from message size and link bandwidth,
+//! small lognormal jitter, and rare configurable spikes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+use crate::time::Nanos;
+
+/// Configuration of the network delay model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// One-way base latency between any two machines.
+    pub base_latency: Nanos,
+    /// Link bandwidth in bytes per second (10 Gbps ≈ 1.25e9 B/s).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Lognormal sigma applied to the base latency.
+    pub jitter_sigma: f64,
+    /// Probability that a message experiences a latency spike.
+    pub spike_probability: f64,
+    /// Maximum additional delay of a spike.
+    pub max_spike: Nanos,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            base_latency: Nanos::from_micros(100),
+            bandwidth_bytes_per_sec: 1.25e9,
+            jitter_sigma: 0.05,
+            spike_probability: 1e-5,
+            max_spike: Nanos::from_millis(30),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// An idealised network with a fixed latency and no jitter or spikes,
+    /// useful for tests that need exact timings.
+    pub fn ideal(latency: Nanos) -> Self {
+        NetworkConfig {
+            base_latency: latency,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            jitter_sigma: 0.0,
+            spike_probability: 0.0,
+            max_spike: Nanos::ZERO,
+        }
+    }
+
+    /// A zero-latency network, useful when network time should not factor
+    /// into an experiment at all.
+    pub fn zero() -> Self {
+        Self::ideal(Nanos::ZERO)
+    }
+}
+
+/// Samples message delivery delays according to a [`NetworkConfig`].
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    config: NetworkConfig,
+    rng: SimRng,
+    messages: u64,
+    bytes: u64,
+}
+
+impl NetworkModel {
+    /// Creates a network model with the given configuration and RNG.
+    pub fn new(config: NetworkConfig, rng: SimRng) -> Self {
+        NetworkModel {
+            config,
+            rng,
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Samples the one-way delay of a message of `bytes` bytes.
+    pub fn delay(&mut self, bytes: u64) -> Nanos {
+        self.messages += 1;
+        self.bytes += bytes;
+        let cfg = &self.config;
+        let mut d = if cfg.jitter_sigma > 0.0 {
+            cfg.base_latency
+                .mul_f64(self.rng.lognormal_factor(cfg.jitter_sigma))
+        } else {
+            cfg.base_latency
+        };
+        if cfg.bandwidth_bytes_per_sec.is_finite() && cfg.bandwidth_bytes_per_sec > 0.0 {
+            d = d + Nanos::from_secs_f64(bytes as f64 / cfg.bandwidth_bytes_per_sec);
+        }
+        if cfg.spike_probability > 0.0 && self.rng.chance(cfg.spike_probability) {
+            d = d + cfg.max_spike.mul_f64(self.rng.uniform());
+        }
+        d
+    }
+
+    /// Number of messages delays have been sampled for.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total bytes carried so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_network_is_exact() {
+        let mut net = NetworkModel::new(
+            NetworkConfig::ideal(Nanos::from_micros(100)),
+            SimRng::seeded(1),
+        );
+        for _ in 0..100 {
+            assert_eq!(net.delay(1_000_000), Nanos::from_micros(100));
+        }
+        assert_eq!(net.message_count(), 100);
+        assert_eq!(net.bytes_carried(), 100_000_000);
+    }
+
+    #[test]
+    fn zero_network_has_no_delay() {
+        let mut net = NetworkModel::new(NetworkConfig::zero(), SimRng::seeded(1));
+        assert_eq!(net.delay(10_000), Nanos::ZERO);
+    }
+
+    #[test]
+    fn size_contributes_serialisation_delay() {
+        let cfg = NetworkConfig {
+            jitter_sigma: 0.0,
+            spike_probability: 0.0,
+            ..NetworkConfig::default()
+        };
+        let mut net = NetworkModel::new(cfg, SimRng::seeded(2));
+        let small = net.delay(1_000);
+        let large = net.delay(12_500_000); // 10 ms at 1.25 GB/s.
+        assert!(large > small + Nanos::from_millis(9));
+    }
+
+    #[test]
+    fn jitter_stays_near_base_latency() {
+        let mut net = NetworkModel::new(NetworkConfig::default(), SimRng::seeded(3));
+        let base = NetworkConfig::default().base_latency.as_micros_f64();
+        for _ in 0..10_000 {
+            let d = net.delay(100).as_micros_f64();
+            assert!(d > base * 0.5 && d < base * 3.0 + 30_000.0, "delay {d}us");
+        }
+    }
+
+    #[test]
+    fn spikes_occur_at_configured_rate() {
+        let cfg = NetworkConfig {
+            jitter_sigma: 0.0,
+            spike_probability: 0.02,
+            max_spike: Nanos::from_millis(30),
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            base_latency: Nanos::from_micros(100),
+        };
+        let mut net = NetworkModel::new(cfg, SimRng::seeded(4));
+        let n = 50_000;
+        let spikes = (0..n)
+            .filter(|_| net.delay(10) > Nanos::from_micros(200))
+            .count();
+        let rate = spikes as f64 / n as f64;
+        assert!(rate > 0.01 && rate < 0.03, "spike rate {rate}");
+    }
+}

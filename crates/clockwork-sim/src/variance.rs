@@ -1,0 +1,254 @@
+//! External interference injection (challenge C3 of the paper).
+//!
+//! Even after consolidating every internal choice, external factors remain
+//! outside the controller's purview: thermal throttling, shared-network
+//! contention, background daemons on the worker host. The paper's answer is
+//! to build tolerance into the system — narrow-but-not-too-narrow action
+//! windows, immediate rejection of late actions, and continually refreshed
+//! latency profiles.
+//!
+//! [`ExternalVariance`] is the single knob through which this kind of
+//! unpredictability enters the simulation. Experiments that stress
+//! mis-prediction handling (Fig. 9) enable it explicitly; everything else
+//! keeps the default, almost-quiet profile.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+use crate::time::{Nanos, Timestamp};
+
+/// Configuration for external interference.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VarianceConfig {
+    /// Probability that any individual operation is hit by a transient delay
+    /// spike (e.g. an OS scheduling hiccup on the worker host).
+    pub spike_probability: f64,
+    /// Maximum duration of a transient spike.
+    pub max_spike: Nanos,
+    /// Mean interval between thermal-throttle windows. `None` disables
+    /// throttling entirely.
+    pub throttle_mean_interval: Option<Nanos>,
+    /// Duration of each throttle window.
+    pub throttle_duration: Nanos,
+    /// Multiplicative slow-down applied to operations inside a throttle
+    /// window (1.0 means no slow-down).
+    pub throttle_factor: f64,
+}
+
+impl Default for VarianceConfig {
+    fn default() -> Self {
+        VarianceConfig {
+            spike_probability: 1e-5,
+            max_spike: Nanos::from_millis(15),
+            throttle_mean_interval: None,
+            throttle_duration: Nanos::from_secs(2),
+            throttle_factor: 1.10,
+        }
+    }
+}
+
+impl VarianceConfig {
+    /// No external interference at all: fully deterministic workers.
+    pub fn none() -> Self {
+        VarianceConfig {
+            spike_probability: 0.0,
+            max_spike: Nanos::ZERO,
+            throttle_mean_interval: None,
+            throttle_duration: Nanos::ZERO,
+            throttle_factor: 1.0,
+        }
+    }
+
+    /// A deliberately hostile environment, used by robustness tests and the
+    /// prediction-error experiment (Fig. 9).
+    pub fn hostile() -> Self {
+        VarianceConfig {
+            spike_probability: 5e-4,
+            max_spike: Nanos::from_millis(20),
+            throttle_mean_interval: Some(Nanos::from_secs(60)),
+            throttle_duration: Nanos::from_secs(3),
+            throttle_factor: 1.15,
+        }
+    }
+}
+
+/// Stateful sampler of external interference for one worker host.
+#[derive(Clone, Debug)]
+pub struct ExternalVariance {
+    config: VarianceConfig,
+    rng: SimRng,
+    throttle_until: Timestamp,
+    next_throttle: Timestamp,
+    spikes_injected: u64,
+    throttle_windows: u64,
+}
+
+impl ExternalVariance {
+    /// Creates a sampler with the given configuration.
+    pub fn new(config: VarianceConfig, mut rng: SimRng) -> Self {
+        let next_throttle = match config.throttle_mean_interval {
+            Some(mean) => Timestamp::ZERO + Nanos::from_secs_f64(rng.exponential(mean.as_secs_f64())),
+            None => Timestamp::MAX,
+        };
+        ExternalVariance {
+            config,
+            rng,
+            throttle_until: Timestamp::ZERO,
+            next_throttle,
+            spikes_injected: 0,
+            throttle_windows: 0,
+        }
+    }
+
+    /// Creates a sampler that never perturbs anything.
+    pub fn disabled() -> Self {
+        ExternalVariance::new(VarianceConfig::none(), SimRng::seeded(0))
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VarianceConfig {
+        &self.config
+    }
+
+    /// Applies external interference to an operation of nominal duration
+    /// `base` starting at `now`, returning the perturbed duration.
+    pub fn perturb(&mut self, now: Timestamp, base: Nanos) -> Nanos {
+        self.advance_throttle_state(now);
+        let mut d = base;
+        if now < self.throttle_until && self.config.throttle_factor > 1.0 {
+            d = d.mul_f64(self.config.throttle_factor);
+        }
+        if self.config.spike_probability > 0.0 && self.rng.chance(self.config.spike_probability) {
+            d = d + self.config.max_spike.mul_f64(self.rng.uniform());
+            self.spikes_injected += 1;
+        }
+        d
+    }
+
+    /// Whether the host is currently inside a thermal-throttle window.
+    pub fn is_throttled(&mut self, now: Timestamp) -> bool {
+        self.advance_throttle_state(now);
+        now < self.throttle_until
+    }
+
+    /// Number of spikes injected so far.
+    pub fn spikes_injected(&self) -> u64 {
+        self.spikes_injected
+    }
+
+    /// Number of throttle windows entered so far.
+    pub fn throttle_windows(&self) -> u64 {
+        self.throttle_windows
+    }
+
+    fn advance_throttle_state(&mut self, now: Timestamp) {
+        let Some(mean) = self.config.throttle_mean_interval else {
+            return;
+        };
+        while now >= self.next_throttle {
+            self.throttle_until = self.next_throttle + self.config.throttle_duration;
+            self.throttle_windows += 1;
+            let gap = Nanos::from_secs_f64(self.rng.exponential(mean.as_secs_f64()))
+                .max(Nanos::from_millis(1));
+            self.next_throttle = self.throttle_until + gap;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_variance_never_perturbs() {
+        let mut v = ExternalVariance::disabled();
+        let base = Nanos::from_millis(5);
+        for i in 0..1000 {
+            assert_eq!(v.perturb(Timestamp::from_millis(i), base), base);
+        }
+        assert_eq!(v.spikes_injected(), 0);
+        assert_eq!(v.throttle_windows(), 0);
+    }
+
+    #[test]
+    fn spikes_occur_at_roughly_configured_rate() {
+        let cfg = VarianceConfig {
+            spike_probability: 0.01,
+            max_spike: Nanos::from_millis(10),
+            throttle_mean_interval: None,
+            ..VarianceConfig::none()
+        };
+        let mut v = ExternalVariance::new(cfg, SimRng::seeded(7));
+        let base = Nanos::from_millis(3);
+        let n = 50_000;
+        let mut spiked = 0;
+        for i in 0..n {
+            if v.perturb(Timestamp::from_millis(i), base) > base {
+                spiked += 1;
+            }
+        }
+        let rate = spiked as f64 / n as f64;
+        assert!(rate > 0.005 && rate < 0.02, "spike rate {rate}");
+        assert_eq!(v.spikes_injected(), spiked);
+    }
+
+    #[test]
+    fn throttle_windows_slow_operations_down() {
+        let cfg = VarianceConfig {
+            spike_probability: 0.0,
+            max_spike: Nanos::ZERO,
+            throttle_mean_interval: Some(Nanos::from_secs(10)),
+            throttle_duration: Nanos::from_secs(2),
+            throttle_factor: 1.5,
+        };
+        let mut v = ExternalVariance::new(cfg, SimRng::seeded(11));
+        let base = Nanos::from_millis(10);
+        let mut slowed = 0u64;
+        let mut total = 0u64;
+        // Walk an hour of virtual time in 100 ms steps.
+        for step in 0..36_000u64 {
+            let now = Timestamp::from_millis(step * 100);
+            let d = v.perturb(now, base);
+            total += 1;
+            if d > base {
+                slowed += 1;
+                assert_eq!(d, base.mul_f64(1.5));
+            }
+        }
+        assert!(v.throttle_windows() > 100, "windows {}", v.throttle_windows());
+        let frac = slowed as f64 / total as f64;
+        // Roughly duration / (duration + mean interval) ≈ 2/12 of time throttled.
+        assert!(frac > 0.08 && frac < 0.30, "throttled fraction {frac}");
+    }
+
+    #[test]
+    fn is_throttled_tracks_windows() {
+        let cfg = VarianceConfig {
+            throttle_mean_interval: Some(Nanos::from_secs(5)),
+            throttle_duration: Nanos::from_secs(1),
+            throttle_factor: 1.2,
+            spike_probability: 0.0,
+            max_spike: Nanos::ZERO,
+        };
+        let mut v = ExternalVariance::new(cfg, SimRng::seeded(13));
+        let mut saw_throttled = false;
+        let mut saw_clear = false;
+        for s in 0..600 {
+            let now = Timestamp::from_millis(s * 100);
+            if v.is_throttled(now) {
+                saw_throttled = true;
+            } else {
+                saw_clear = true;
+            }
+        }
+        assert!(saw_throttled && saw_clear);
+    }
+
+    #[test]
+    fn hostile_profile_is_noisier_than_default() {
+        let hostile = VarianceConfig::hostile();
+        let default = VarianceConfig::default();
+        assert!(hostile.spike_probability > default.spike_probability);
+        assert!(hostile.throttle_mean_interval.is_some());
+    }
+}

@@ -1,0 +1,378 @@
+//! The action vocabulary between controller and workers.
+//!
+//! §4.2: Clockwork replaces traditional RPC with an *action* abstraction.
+//! Each action either communicates a change in worker state (`LOAD`,
+//! `UNLOAD`) or a task to execute (`INFER`), and carries two timestamps,
+//! `earliest` and `latest`, bounding when the worker may begin executing it.
+//! Actions that cannot start within their window are cancelled, never
+//! executed late — that is how a worker gets back on schedule after a
+//! mis-prediction instead of cascading the delay.
+//!
+//! Every action produces exactly one [`ActionResult`] carrying either the
+//! measured timings (which the controller feeds back into its profiles) or an
+//! error code.
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_model::ModelId;
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// Identifier of a worker machine.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct WorkerId(pub u32);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Identifier of a GPU within a worker.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GpuId(pub u32);
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of an action, unique per controller.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ActionId(pub u64);
+
+impl std::fmt::Display for ActionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// The `[earliest, latest]` execution window of an action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// The action may not start before this time.
+    pub earliest: Timestamp,
+    /// The action is rejected if it has not started by this time.
+    pub latest: Timestamp,
+}
+
+impl TimeWindow {
+    /// A window that is always open (used by best-effort baselines).
+    pub fn always() -> Self {
+        TimeWindow {
+            earliest: Timestamp::ZERO,
+            latest: Timestamp::MAX,
+        }
+    }
+
+    /// A window starting at `earliest` and staying open for `width`.
+    pub fn starting_at(earliest: Timestamp, width: Nanos) -> Self {
+        TimeWindow {
+            earliest,
+            latest: earliest + width,
+        }
+    }
+
+    /// Whether an action may start at time `t`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.earliest && t <= self.latest
+    }
+
+    /// Whether the window has closed by time `t`.
+    pub fn expired(&self, t: Timestamp) -> bool {
+        t > self.latest
+    }
+
+    /// The width of the window.
+    pub fn width(&self) -> Nanos {
+        self.latest - self.earliest
+    }
+}
+
+/// What the worker is being asked to do.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Copy a model's weights from host memory into the device weights cache.
+    Load {
+        /// The model to load.
+        model: ModelId,
+    },
+    /// Release a model's pages from the device weights cache.
+    Unload {
+        /// The model to unload.
+        model: ModelId,
+    },
+    /// Execute one inference batch for a model.
+    Infer {
+        /// The model to execute.
+        model: ModelId,
+        /// The compiled batch size to use.
+        batch: u32,
+        /// The client requests bundled into this batch.
+        request_ids: Vec<u64>,
+    },
+}
+
+impl ActionKind {
+    /// The model this action concerns.
+    pub fn model(&self) -> ModelId {
+        match self {
+            ActionKind::Load { model }
+            | ActionKind::Unload { model }
+            | ActionKind::Infer { model, .. } => *model,
+        }
+    }
+
+    /// A short label for the action type, used in telemetry.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ActionKind::Load { .. } => "LOAD",
+            ActionKind::Unload { .. } => "UNLOAD",
+            ActionKind::Infer { .. } => "INFER",
+        }
+    }
+
+    /// Whether this is an `INFER` action.
+    pub fn is_infer(&self) -> bool {
+        matches!(self, ActionKind::Infer { .. })
+    }
+}
+
+/// An action issued by the controller to a worker.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    /// Unique action id.
+    pub id: ActionId,
+    /// The GPU this action targets.
+    pub gpu: GpuId,
+    /// What to do.
+    pub kind: ActionKind,
+    /// When the worker may begin.
+    pub window: TimeWindow,
+    /// The controller's prediction of how long the action will take; echoed
+    /// back in telemetry so prediction error (Fig. 9) can be computed.
+    pub expected_duration: Nanos,
+}
+
+/// Why an action failed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionError {
+    /// The action could not start before its `latest` timestamp.
+    WindowElapsed,
+    /// An `INFER` arrived for a model whose weights are not in device memory.
+    ModelNotLoaded,
+    /// A `LOAD` could not acquire enough free pages.
+    InsufficientPages {
+        /// Pages the model needs.
+        needed: u64,
+        /// Pages that were free.
+        available: u64,
+    },
+    /// The model id has never been registered with this worker.
+    UnknownModel,
+    /// The model has no kernel compiled for the requested batch size.
+    UnsupportedBatch {
+        /// The requested batch size.
+        batch: u32,
+    },
+    /// A `LOAD` arrived for a model that is already resident.
+    AlreadyLoaded,
+    /// The input/output staging area is exhausted.
+    IoCacheFull,
+}
+
+impl std::fmt::Display for ActionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActionError::WindowElapsed => write!(f, "execution window elapsed"),
+            ActionError::ModelNotLoaded => write!(f, "model weights not in device memory"),
+            ActionError::InsufficientPages { needed, available } => {
+                write!(f, "insufficient pages: need {needed}, have {available}")
+            }
+            ActionError::UnknownModel => write!(f, "unknown model"),
+            ActionError::UnsupportedBatch { batch } => {
+                write!(f, "no kernel compiled for batch size {batch}")
+            }
+            ActionError::AlreadyLoaded => write!(f, "model already loaded"),
+            ActionError::IoCacheFull => write!(f, "IO cache exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+/// Measured timings of a successful action (§4.4 "Results").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionTiming {
+    /// When the action was received by the worker.
+    pub received: Timestamp,
+    /// When execution actually began.
+    pub start: Timestamp,
+    /// When the action finished (outputs available / weights resident).
+    pub end: Timestamp,
+    /// Duration of the asynchronous on-device work (EXEC or DMA), excluding
+    /// queueing.
+    pub device_duration: Nanos,
+}
+
+impl ActionTiming {
+    /// Total latency from start to completion.
+    pub fn total(&self) -> Nanos {
+        self.end - self.start
+    }
+}
+
+/// The outcome of an action.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ActionOutcome {
+    /// The action executed; timings attached.
+    Success(ActionTiming),
+    /// The action was rejected or failed.
+    Error {
+        /// Why it failed.
+        error: ActionError,
+        /// When the worker decided it had failed.
+        at: Timestamp,
+    },
+}
+
+impl ActionOutcome {
+    /// Whether the action succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ActionOutcome::Success(_))
+    }
+
+    /// The timing of a successful action, if any.
+    pub fn timing(&self) -> Option<&ActionTiming> {
+        match self {
+            ActionOutcome::Success(t) => Some(t),
+            ActionOutcome::Error { .. } => None,
+        }
+    }
+}
+
+/// The result message a worker sends back to the controller for every action.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ActionResult {
+    /// The action this result answers.
+    pub action_id: ActionId,
+    /// The worker that executed (or rejected) it.
+    pub worker: WorkerId,
+    /// The GPU involved.
+    pub gpu: GpuId,
+    /// The model involved.
+    pub model: ModelId,
+    /// The action type label ("LOAD"/"UNLOAD"/"INFER").
+    pub action_type: &'static str,
+    /// Batch size for INFER actions (1 otherwise).
+    pub batch: u32,
+    /// The request ids carried by an INFER action.
+    pub request_ids: Vec<u64>,
+    /// The controller's predicted duration, echoed back.
+    pub expected_duration: Nanos,
+    /// What happened.
+    pub outcome: ActionOutcome,
+}
+
+impl ActionResult {
+    /// Whether the underlying action succeeded.
+    pub fn is_success(&self) -> bool {
+        self.outcome.is_success()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_contains_and_expiry() {
+        let w = TimeWindow::starting_at(Timestamp::from_millis(10), Nanos::from_millis(5));
+        assert!(!w.contains(Timestamp::from_millis(9)));
+        assert!(w.contains(Timestamp::from_millis(10)));
+        assert!(w.contains(Timestamp::from_millis(15)));
+        assert!(!w.contains(Timestamp::from_millis(16)));
+        assert!(w.expired(Timestamp::from_millis(16)));
+        assert!(!w.expired(Timestamp::from_millis(15)));
+        assert_eq!(w.width(), Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn always_window_never_expires() {
+        let w = TimeWindow::always();
+        assert!(w.contains(Timestamp::ZERO));
+        assert!(w.contains(Timestamp::from_secs(1_000_000)));
+        assert!(!w.expired(Timestamp::MAX));
+    }
+
+    #[test]
+    fn action_kind_accessors() {
+        let load = ActionKind::Load { model: ModelId(3) };
+        let infer = ActionKind::Infer {
+            model: ModelId(4),
+            batch: 8,
+            request_ids: vec![1, 2, 3],
+        };
+        assert_eq!(load.model(), ModelId(3));
+        assert_eq!(infer.model(), ModelId(4));
+        assert_eq!(load.type_name(), "LOAD");
+        assert_eq!(infer.type_name(), "INFER");
+        assert!(infer.is_infer());
+        assert!(!load.is_infer());
+    }
+
+    #[test]
+    fn timing_total() {
+        let t = ActionTiming {
+            received: Timestamp::from_millis(1),
+            start: Timestamp::from_millis(2),
+            end: Timestamp::from_millis(10),
+            device_duration: Nanos::from_millis(7),
+        };
+        assert_eq!(t.total(), Nanos::from_millis(8));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let ok = ActionOutcome::Success(ActionTiming {
+            received: Timestamp::ZERO,
+            start: Timestamp::ZERO,
+            end: Timestamp::from_millis(1),
+            device_duration: Nanos::from_millis(1),
+        });
+        let err = ActionOutcome::Error {
+            error: ActionError::ModelNotLoaded,
+            at: Timestamp::ZERO,
+        };
+        assert!(ok.is_success());
+        assert!(ok.timing().is_some());
+        assert!(!err.is_success());
+        assert!(err.timing().is_none());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ActionError::InsufficientPages {
+            needed: 7,
+            available: 2,
+        };
+        assert!(e.to_string().contains("need 7"));
+        assert!(ActionError::WindowElapsed.to_string().contains("window"));
+        assert!(ActionError::UnsupportedBatch { batch: 3 }
+            .to_string()
+            .contains('3'));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(WorkerId(1).to_string(), "w1");
+        assert_eq!(GpuId(0).to_string(), "g0");
+        assert_eq!(ActionId(9).to_string(), "a9");
+    }
+}

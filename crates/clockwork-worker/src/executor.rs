@@ -1,0 +1,228 @@
+//! Per-action-type executors (§5.2 "Actions").
+//!
+//! Each worker runs a dedicated executor per action type and per GPU. An
+//! executor dequeues actions chronologically by their `earliest` timestamp,
+//! waits until `earliest` before starting one, and rejects actions whose
+//! `latest` has already passed when their turn comes. Executors never
+//! reorder work to "help" — that would be a choice, and choices belong to the
+//! controller.
+//!
+//! [`Executor`] models exactly that discipline as a priority queue plus a
+//! busy-until horizon; the [`crate::worker::Worker`] drives it in virtual
+//! time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use clockwork_sim::time::Timestamp;
+
+use crate::action::Action;
+
+/// An action queued on an executor, tagged with its arrival time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueuedAction {
+    /// The action itself.
+    pub action: Action,
+    /// When the worker received it.
+    pub received: Timestamp,
+    seq: u64,
+}
+
+impl Eq for QueuedAction {}
+
+impl PartialOrd for QueuedAction {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedAction {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inverted: earliest `earliest` first, FIFO tie-break.
+        other
+            .action
+            .window
+            .earliest
+            .cmp(&self.action.window.earliest)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A single-threaded executor for one action type on one GPU.
+#[derive(Clone, Debug, Default)]
+pub struct Executor {
+    queue: BinaryHeap<QueuedAction>,
+    busy_until: Timestamp,
+    next_seq: u64,
+    started: u64,
+}
+
+impl Executor {
+    /// Creates an idle executor.
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// Enqueues an action received at `received`.
+    pub fn push(&mut self, action: Action, received: Timestamp) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(QueuedAction {
+            action,
+            received,
+            seq,
+        });
+    }
+
+    /// Number of queued (not yet started) actions.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The time until which the executor is occupied by the action it most
+    /// recently started.
+    pub fn busy_until(&self) -> Timestamp {
+        self.busy_until
+    }
+
+    /// Marks the executor busy until `t` (monotonically increasing).
+    pub fn occupy_until(&mut self, t: Timestamp) {
+        if t > self.busy_until {
+            self.busy_until = t;
+        }
+    }
+
+    /// The earliest virtual time at which the next queued action could start:
+    /// the latest of the executor becoming free, the head action's
+    /// `earliest`, and the head action's arrival at the worker. `None` if
+    /// nothing is queued.
+    pub fn next_start_time(&self) -> Option<Timestamp> {
+        self.queue.peek().map(|qa| {
+            self.busy_until
+                .max(qa.action.window.earliest)
+                .max(qa.received)
+        })
+    }
+
+    /// Pops the head action if it could start at or before `now`.
+    ///
+    /// The caller is responsible for checking the action's `latest` bound and
+    /// rejecting it if the window has closed — the executor only guarantees
+    /// chronological dequeue order.
+    pub fn pop_ready(&mut self, now: Timestamp) -> Option<QueuedAction> {
+        match self.next_start_time() {
+            Some(t) if t <= now => {
+                self.started += 1;
+                self.queue.pop()
+            }
+            _ => None,
+        }
+    }
+
+    /// Total number of actions popped for execution so far.
+    pub fn started(&self) -> u64 {
+        self.started
+    }
+
+    /// Drains every queued action regardless of timing (used on shutdown and
+    /// by tests).
+    pub fn drain(&mut self) -> Vec<QueuedAction> {
+        let mut all: Vec<QueuedAction> = std::mem::take(&mut self.queue).into_vec();
+        all.sort_by_key(|qa| (qa.action.window.earliest, qa.seq));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionId, ActionKind, GpuId, TimeWindow};
+    use clockwork_model::ModelId;
+    use clockwork_sim::time::Nanos;
+
+    fn action(id: u64, earliest_ms: u64, width_ms: u64) -> Action {
+        Action {
+            id: ActionId(id),
+            gpu: GpuId(0),
+            kind: ActionKind::Load { model: ModelId(1) },
+            window: TimeWindow::starting_at(
+                Timestamp::from_millis(earliest_ms),
+                Nanos::from_millis(width_ms),
+            ),
+            expected_duration: Nanos::from_millis(8),
+        }
+    }
+
+    #[test]
+    fn dequeues_in_earliest_order() {
+        let mut ex = Executor::new();
+        ex.push(action(1, 30, 10), Timestamp::ZERO);
+        ex.push(action(2, 10, 10), Timestamp::ZERO);
+        ex.push(action(3, 20, 10), Timestamp::ZERO);
+        assert_eq!(ex.queue_len(), 3);
+        let a = ex.pop_ready(Timestamp::from_millis(100)).unwrap();
+        assert_eq!(a.action.id, ActionId(2));
+        let b = ex.pop_ready(Timestamp::from_millis(100)).unwrap();
+        assert_eq!(b.action.id, ActionId(3));
+        assert_eq!(ex.started(), 2);
+    }
+
+    #[test]
+    fn ties_dequeue_fifo() {
+        let mut ex = Executor::new();
+        for id in 0..10 {
+            ex.push(action(id, 5, 10), Timestamp::ZERO);
+        }
+        for id in 0..10 {
+            let a = ex.pop_ready(Timestamp::from_millis(50)).unwrap();
+            assert_eq!(a.action.id, ActionId(id));
+        }
+    }
+
+    #[test]
+    fn does_not_start_before_earliest() {
+        let mut ex = Executor::new();
+        ex.push(action(1, 10, 5), Timestamp::ZERO);
+        assert!(ex.pop_ready(Timestamp::from_millis(9)).is_none());
+        assert_eq!(ex.next_start_time(), Some(Timestamp::from_millis(10)));
+        assert!(ex.pop_ready(Timestamp::from_millis(10)).is_some());
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn waits_for_busy_executor() {
+        let mut ex = Executor::new();
+        ex.push(action(1, 0, 100), Timestamp::ZERO);
+        ex.occupy_until(Timestamp::from_millis(50));
+        assert_eq!(ex.busy_until(), Timestamp::from_millis(50));
+        assert!(ex.pop_ready(Timestamp::from_millis(40)).is_none());
+        assert_eq!(ex.next_start_time(), Some(Timestamp::from_millis(50)));
+        assert!(ex.pop_ready(Timestamp::from_millis(50)).is_some());
+        // occupy_until never moves backwards.
+        ex.occupy_until(Timestamp::from_millis(10));
+        assert_eq!(ex.busy_until(), Timestamp::from_millis(50));
+    }
+
+    #[test]
+    fn empty_executor_has_no_start_time() {
+        let ex = Executor::new();
+        assert_eq!(ex.next_start_time(), None);
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_everything_in_earliest_order() {
+        let mut ex = Executor::new();
+        ex.push(action(1, 30, 10), Timestamp::ZERO);
+        ex.push(action(2, 10, 10), Timestamp::ZERO);
+        let drained = ex.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].action.id, ActionId(2));
+        assert!(ex.is_empty());
+    }
+}

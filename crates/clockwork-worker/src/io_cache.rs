@@ -1,0 +1,163 @@
+//! The input/output staging cache (§5.2 "IOCache").
+//!
+//! Although Clockwork executes models one at a time, it copies inputs to the
+//! GPU *before* execution and outputs back *after* execution asynchronously,
+//! overlapping them with the current EXEC. The worker reserves a fixed
+//! 512 MB region for that staging. The cache is deliberately dumb: fixed
+//! capacity, byte accounting, explicit acquire/release, and a high-water mark
+//! so tests can confirm the reservation is actually sufficient for the
+//! workloads we replay.
+
+use serde::{Deserialize, Serialize};
+
+/// Default IO cache capacity: 512 MB (§5.2).
+pub const DEFAULT_IO_CACHE_BYTES: u64 = 512 * 1024 * 1024;
+
+/// Error returned when the staging area cannot hold another tensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoCacheFull {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes available.
+    pub available: u64,
+}
+
+impl std::fmt::Display for IoCacheFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IO cache full: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for IoCacheFull {}
+
+/// A bounded staging area for inference inputs and outputs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoCache {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    acquires: u64,
+    rejections: u64,
+}
+
+impl Default for IoCache {
+    fn default() -> Self {
+        IoCache::new(DEFAULT_IO_CACHE_BYTES)
+    }
+}
+
+impl IoCache {
+    /// Creates an IO cache with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        IoCache {
+            capacity,
+            used: 0,
+            peak: 0,
+            acquires: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently staged.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of staged bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of successful acquisitions.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// Number of rejected acquisitions.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Acquires staging space for `bytes` bytes.
+    pub fn acquire(&mut self, bytes: u64) -> Result<(), IoCacheFull> {
+        if bytes > self.available() {
+            self.rejections += 1;
+            return Err(IoCacheFull {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.used += bytes;
+        self.acquires += 1;
+        if self.used > self.peak {
+            self.peak = self.used;
+        }
+        Ok(())
+    }
+
+    /// Releases previously acquired staging space. Clamps at zero.
+    pub fn release(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_capacity_is_512mb() {
+        let c = IoCache::default();
+        assert_eq!(c.capacity(), 512 * 1024 * 1024);
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut c = IoCache::new(1000);
+        c.acquire(400).unwrap();
+        c.acquire(600).unwrap();
+        assert_eq!(c.available(), 0);
+        assert_eq!(c.peak(), 1000);
+        assert_eq!(c.acquires(), 2);
+        let err = c.acquire(1).unwrap_err();
+        assert_eq!(err.requested, 1);
+        assert_eq!(c.rejections(), 1);
+        c.release(500);
+        assert_eq!(c.used(), 500);
+        c.release(10_000);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn typical_inference_io_fits_easily() {
+        // Largest Appendix A IO: ~1 MB input at batch 16 ≈ 17 MB staged.
+        let mut c = IoCache::default();
+        for _ in 0..16 {
+            c.acquire(1_073 * 1024).unwrap();
+        }
+        assert!(c.peak() < c.capacity() / 10);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IoCacheFull {
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("requested 10"));
+    }
+}

@@ -1,0 +1,44 @@
+//! The predictable Clockwork worker (§4.4, §5.2 of the paper).
+//!
+//! A worker owns one or more GPUs, keeps every registered model's weights in
+//! host memory, and executes exactly three kinds of actions on behalf of the
+//! central controller:
+//!
+//! * `LOAD` — copy a model's weights from host memory into the paged device
+//!   weights cache,
+//! * `UNLOAD` — release the pages again (metadata only, always succeeds),
+//! * `INFER` — copy inputs to the device, execute the kernel for a specific
+//!   batch size, copy outputs back.
+//!
+//! Workers never make performance-relevant choices of their own: every action
+//! carries an `[earliest, latest]` window set by the controller, actions that
+//! cannot start inside their window are rejected rather than executed late,
+//! and only one `EXEC` runs on a GPU at a time. Those three rules are what
+//! makes the worker's timing predictable enough for the controller to plan
+//! around.
+//!
+//! Module map:
+//!
+//! * [`action`] — the action/result vocabulary shared with the controller.
+//! * [`page_cache`] — the 16 MiB-paged device weights cache.
+//! * [`io_cache`] — the bounded input/output staging area.
+//! * [`executor`] — per-action-type queues with window enforcement.
+//! * [`worker`] — the worker state machine itself.
+//! * [`telemetry`] — per-worker utilization and counter reporting.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod action;
+pub mod executor;
+pub mod io_cache;
+pub mod page_cache;
+pub mod telemetry;
+pub mod worker;
+
+pub use action::{
+    Action, ActionError, ActionId, ActionKind, ActionOutcome, ActionResult, ActionTiming, GpuId,
+    TimeWindow, WorkerId,
+};
+pub use page_cache::PageCache;
+pub use worker::{ExecMode, Worker, WorkerConfig};

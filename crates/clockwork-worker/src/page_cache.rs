@@ -1,0 +1,360 @@
+//! The paged device weights cache (§5.2 "Managing model weights in memory").
+//!
+//! Clockwork pre-allocates all GPU memory and carves the bulk of it into
+//! fixed 16 MiB pages used exclusively for model weights. Paging has two
+//! properties the paper leans on:
+//!
+//! * it eliminates external fragmentation, so the *only* piece of memory
+//!   state the controller has to track per worker is the number of free
+//!   pages; and
+//! * allocation/free become trivially predictable metadata operations,
+//!   removing the variable-latency allocator from the critical path (C1).
+//!
+//! Admission and eviction decisions belong to the controller; the cache
+//! nevertheless maintains a least-recently-used order so best-effort
+//! baselines (and the controller's own LRU policy for UNLOAD) can query a
+//! victim.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_model::ModelId;
+use clockwork_sim::time::Timestamp;
+
+/// Default page size: 16 MiB (§5.2).
+pub const DEFAULT_PAGE_SIZE: u64 = 16 * 1024 * 1024;
+
+/// Error returned when a page allocation cannot be satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InsufficientPages {
+    /// Pages requested.
+    pub needed: u64,
+    /// Pages currently free.
+    pub available: u64,
+}
+
+impl std::fmt::Display for InsufficientPages {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "insufficient pages: need {}, have {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientPages {}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct Residency {
+    pages: u64,
+    last_used: Timestamp,
+    loaded_at: Timestamp,
+}
+
+/// A fixed-size paged cache for model weights on one GPU.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PageCache {
+    page_size: u64,
+    total_pages: u64,
+    free_pages: u64,
+    resident: HashMap<ModelId, Residency>,
+}
+
+impl PageCache {
+    /// Creates a cache with the given total capacity in bytes and page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero.
+    pub fn new(capacity_bytes: u64, page_size: u64) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        let total_pages = capacity_bytes / page_size;
+        PageCache {
+            page_size,
+            total_pages,
+            free_pages: total_pages,
+            resident: HashMap::new(),
+        }
+    }
+
+    /// Creates a cache with the default 16 MiB page size.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        PageCache::new(capacity_bytes, DEFAULT_PAGE_SIZE)
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Total number of pages.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Number of free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.free_pages
+    }
+
+    /// Number of allocated pages.
+    pub fn used_pages(&self) -> u64 {
+        self.total_pages - self.free_pages
+    }
+
+    /// Number of pages a weights blob of `bytes` bytes occupies.
+    pub fn pages_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_size)
+    }
+
+    /// Whether a model's weights are resident.
+    pub fn contains(&self, model: ModelId) -> bool {
+        self.resident.contains_key(&model)
+    }
+
+    /// Number of models currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// The resident models (unordered).
+    pub fn resident_models(&self) -> Vec<ModelId> {
+        self.resident.keys().copied().collect()
+    }
+
+    /// Allocates pages for a model's weights.
+    ///
+    /// Fails without side effects if the model is already resident or there
+    /// are not enough free pages; the caller (controller) is responsible for
+    /// evicting first — the cache itself never makes that choice.
+    pub fn allocate(
+        &mut self,
+        model: ModelId,
+        weights_bytes: u64,
+        now: Timestamp,
+    ) -> Result<u64, InsufficientPages> {
+        if self.resident.contains_key(&model) {
+            // Re-loading a resident model costs nothing; treat as touch.
+            self.touch(model, now);
+            return Ok(0);
+        }
+        let needed = self.pages_for(weights_bytes).max(1);
+        if needed > self.free_pages {
+            return Err(InsufficientPages {
+                needed,
+                available: self.free_pages,
+            });
+        }
+        self.free_pages -= needed;
+        self.resident.insert(
+            model,
+            Residency {
+                pages: needed,
+                last_used: now,
+                loaded_at: now,
+            },
+        );
+        Ok(needed)
+    }
+
+    /// Releases a model's pages. Returns the number of pages freed (0 if the
+    /// model was not resident). Always succeeds, mirroring UNLOAD semantics.
+    pub fn release(&mut self, model: ModelId) -> u64 {
+        match self.resident.remove(&model) {
+            Some(r) => {
+                self.free_pages += r.pages;
+                r.pages
+            }
+            None => 0,
+        }
+    }
+
+    /// Marks a model as used at `now` (INFER touches its weights).
+    pub fn touch(&mut self, model: ModelId, now: Timestamp) {
+        if let Some(r) = self.resident.get_mut(&model) {
+            if now > r.last_used {
+                r.last_used = now;
+            }
+        }
+    }
+
+    /// The least recently used resident model, if any. Ties break by model id
+    /// for determinism.
+    pub fn lru_victim(&self) -> Option<ModelId> {
+        self.resident
+            .iter()
+            .min_by_key(|(id, r)| (r.last_used, **id))
+            .map(|(id, _)| *id)
+    }
+
+    /// The least recently used resident models, excluding `protect`, in
+    /// eviction order, whose combined pages are at least `pages_needed`.
+    /// Returns `None` if even evicting everything else would not free enough.
+    pub fn lru_victims_for(
+        &self,
+        pages_needed: u64,
+        protect: &[ModelId],
+    ) -> Option<Vec<ModelId>> {
+        let mut candidates: Vec<(&ModelId, &Residency)> = self
+            .resident
+            .iter()
+            .filter(|(id, _)| !protect.contains(id))
+            .collect();
+        candidates.sort_by_key(|(id, r)| (r.last_used, **id));
+        let mut freed = self.free_pages;
+        let mut victims = Vec::new();
+        for (id, r) in candidates {
+            if freed >= pages_needed {
+                break;
+            }
+            freed += r.pages;
+            victims.push(*id);
+        }
+        if freed >= pages_needed {
+            Some(victims)
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of pages in use, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.total_pages == 0 {
+            return 1.0;
+        }
+        self.used_pages() as f64 / self.total_pages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with_pages(pages: u64) -> PageCache {
+        PageCache::new(pages * DEFAULT_PAGE_SIZE, DEFAULT_PAGE_SIZE)
+    }
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_page_size_panics() {
+        let _ = PageCache::new(1024, 0);
+    }
+
+    #[test]
+    fn v100_page_count_matches_paper_capacity() {
+        // A 32 GB V100 minus the 1 GB of workspace + IO cache leaves room for
+        // roughly 2000 16 MiB pages; the paper observes GPU capacity is
+        // reached at ~201 resident ResNet50s (7 pages each) plus headroom.
+        let capacity = 31 * 1024 * MB;
+        let cache = PageCache::with_capacity(capacity);
+        assert_eq!(cache.total_pages(), 1984);
+        assert_eq!(cache.page_size(), DEFAULT_PAGE_SIZE);
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut c = cache_with_pages(10);
+        let t = Timestamp::from_millis(1);
+        let pages = c.allocate(ModelId(1), 100 * MB, t).unwrap();
+        assert_eq!(pages, 7);
+        assert!(c.contains(ModelId(1)));
+        assert_eq!(c.free_pages(), 3);
+        assert_eq!(c.used_pages(), 7);
+        assert_eq!(c.resident_count(), 1);
+        assert_eq!(c.release(ModelId(1)), 7);
+        assert_eq!(c.free_pages(), 10);
+        assert_eq!(c.release(ModelId(1)), 0, "double release is a no-op");
+    }
+
+    #[test]
+    fn allocation_failure_has_no_side_effects() {
+        let mut c = cache_with_pages(5);
+        c.allocate(ModelId(1), 64 * MB, Timestamp::ZERO).unwrap(); // 4 pages
+        let err = c
+            .allocate(ModelId(2), 48 * MB, Timestamp::ZERO)
+            .unwrap_err(); // needs 3
+        assert_eq!(err.needed, 3);
+        assert_eq!(err.available, 1);
+        assert!(!c.contains(ModelId(2)));
+        assert_eq!(c.free_pages(), 1);
+    }
+
+    #[test]
+    fn reloading_a_resident_model_is_free() {
+        let mut c = cache_with_pages(10);
+        c.allocate(ModelId(1), 32 * MB, Timestamp::ZERO).unwrap();
+        let again = c.allocate(ModelId(1), 32 * MB, Timestamp::from_millis(5)).unwrap();
+        assert_eq!(again, 0);
+        assert_eq!(c.used_pages(), 2);
+    }
+
+    #[test]
+    fn tiny_models_still_use_one_page() {
+        let mut c = cache_with_pages(4);
+        assert_eq!(c.allocate(ModelId(1), 100, Timestamp::ZERO).unwrap(), 1);
+        assert_eq!(c.pages_for(0), 0);
+        assert_eq!(c.pages_for(1), 1);
+        assert_eq!(c.pages_for(DEFAULT_PAGE_SIZE), 1);
+        assert_eq!(c.pages_for(DEFAULT_PAGE_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn lru_victim_follows_usage_order() {
+        let mut c = cache_with_pages(10);
+        c.allocate(ModelId(1), 16 * MB, Timestamp::from_millis(1)).unwrap();
+        c.allocate(ModelId(2), 16 * MB, Timestamp::from_millis(2)).unwrap();
+        c.allocate(ModelId(3), 16 * MB, Timestamp::from_millis(3)).unwrap();
+        assert_eq!(c.lru_victim(), Some(ModelId(1)));
+        c.touch(ModelId(1), Timestamp::from_millis(10));
+        assert_eq!(c.lru_victim(), Some(ModelId(2)));
+        // Touching with an older timestamp does not move a model backwards.
+        c.touch(ModelId(3), Timestamp::from_millis(1));
+        assert_eq!(c.lru_victim(), Some(ModelId(2)));
+        // Touching an absent model is a no-op.
+        c.touch(ModelId(99), Timestamp::from_millis(99));
+    }
+
+    #[test]
+    fn lru_victims_for_frees_just_enough() {
+        let mut c = cache_with_pages(10);
+        c.allocate(ModelId(1), 48 * MB, Timestamp::from_millis(1)).unwrap(); // 3 pages
+        c.allocate(ModelId(2), 48 * MB, Timestamp::from_millis(2)).unwrap(); // 3 pages
+        c.allocate(ModelId(3), 48 * MB, Timestamp::from_millis(3)).unwrap(); // 3 pages
+        // 1 page free; need 4 -> evict the single LRU model (3 pages).
+        let victims = c.lru_victims_for(4, &[]).unwrap();
+        assert_eq!(victims, vec![ModelId(1)]);
+        // Need 7 -> evict two models.
+        let victims = c.lru_victims_for(7, &[]).unwrap();
+        assert_eq!(victims, vec![ModelId(1), ModelId(2)]);
+        // Protecting a model skips it.
+        let victims = c.lru_victims_for(4, &[ModelId(1)]).unwrap();
+        assert_eq!(victims, vec![ModelId(2)]);
+        // Impossible requests return None.
+        assert!(c.lru_victims_for(100, &[]).is_none());
+        // Already-satisfiable requests need no victims.
+        assert_eq!(c.lru_victims_for(1, &[]).unwrap(), Vec::<ModelId>::new());
+    }
+
+    #[test]
+    fn occupancy_tracks_usage() {
+        let mut c = cache_with_pages(4);
+        assert_eq!(c.occupancy(), 0.0);
+        c.allocate(ModelId(1), 32 * MB, Timestamp::ZERO).unwrap();
+        assert!((c.occupancy() - 0.5).abs() < 1e-12);
+        let empty = PageCache::new(0, DEFAULT_PAGE_SIZE);
+        assert_eq!(empty.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn resident_models_lists_everything() {
+        let mut c = cache_with_pages(10);
+        c.allocate(ModelId(5), 16 * MB, Timestamp::ZERO).unwrap();
+        c.allocate(ModelId(7), 16 * MB, Timestamp::ZERO).unwrap();
+        let mut models = c.resident_models();
+        models.sort();
+        assert_eq!(models, vec![ModelId(5), ModelId(7)]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Worker-side telemetry.
+//!
+//! Workers report the measured duration of every action back to the
+//! controller (that is part of the action protocol, handled in
+//! [`crate::action::ActionResult`]); in addition they keep local aggregate
+//! statistics — GPU and PCIe utilization over time, action counts, rejection
+//! counts — which the evaluation harness reads to produce Fig. 6 (d)/(e) and
+//! the summary tables.
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_metrics::{LatencyHistogram, UtilizationTracker};
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// Aggregate counters for one worker.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerCounters {
+    /// LOAD actions completed successfully.
+    pub loads_completed: u64,
+    /// UNLOAD actions completed.
+    pub unloads_completed: u64,
+    /// INFER actions completed successfully.
+    pub infers_completed: u64,
+    /// Individual requests served (sum of batch sizes of successful INFERs).
+    pub requests_served: u64,
+    /// Actions rejected because their window elapsed.
+    pub window_rejections: u64,
+    /// Actions that failed for any other reason.
+    pub failures: u64,
+}
+
+impl WorkerCounters {
+    /// Total successful actions.
+    pub fn successes(&self) -> u64 {
+        self.loads_completed + self.unloads_completed + self.infers_completed
+    }
+}
+
+/// Utilization and latency telemetry for one worker.
+#[derive(Clone, Debug)]
+pub struct WorkerTelemetry {
+    /// Counter block.
+    pub counters: WorkerCounters,
+    /// GPU busy-time per second, per GPU.
+    pub gpu_utilization: Vec<UtilizationTracker>,
+    /// PCIe (weights transfer) busy-time per second, per GPU.
+    pub pcie_utilization: Vec<UtilizationTracker>,
+    /// Measured EXEC durations.
+    pub exec_durations: LatencyHistogram,
+    /// Measured LOAD durations.
+    pub load_durations: LatencyHistogram,
+}
+
+impl WorkerTelemetry {
+    /// Creates telemetry for a worker with `num_gpus` GPUs.
+    pub fn new(num_gpus: usize) -> Self {
+        WorkerTelemetry {
+            counters: WorkerCounters::default(),
+            gpu_utilization: (0..num_gpus).map(|_| UtilizationTracker::per_second()).collect(),
+            pcie_utilization: (0..num_gpus).map(|_| UtilizationTracker::per_second()).collect(),
+            exec_durations: LatencyHistogram::new(),
+            load_durations: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records a completed EXEC on `gpu` busy over `[start, end)`.
+    pub fn record_exec(&mut self, gpu: usize, start: Timestamp, end: Timestamp, duration: Nanos) {
+        if let Some(u) = self.gpu_utilization.get_mut(gpu) {
+            u.record_busy(start, end);
+        }
+        self.exec_durations.record(duration);
+    }
+
+    /// Records a completed weights transfer on `gpu` busy over `[start, end)`.
+    pub fn record_load(&mut self, gpu: usize, start: Timestamp, end: Timestamp, duration: Nanos) {
+        if let Some(u) = self.pcie_utilization.get_mut(gpu) {
+            u.record_busy(start, end);
+        }
+        self.load_durations.record(duration);
+    }
+
+    /// Mean GPU utilization across all GPUs over `[0, horizon]`.
+    pub fn mean_gpu_utilization(&self, horizon: Timestamp) -> f64 {
+        mean_utilization(&self.gpu_utilization, horizon)
+    }
+
+    /// Mean PCIe utilization across all GPUs over `[0, horizon]`.
+    pub fn mean_pcie_utilization(&self, horizon: Timestamp) -> f64 {
+        mean_utilization(&self.pcie_utilization, horizon)
+    }
+}
+
+fn mean_utilization(trackers: &[UtilizationTracker], horizon: Timestamp) -> f64 {
+    if trackers.is_empty() {
+        return 0.0;
+    }
+    trackers.iter().map(|t| t.mean_utilization(horizon)).sum::<f64>() / trackers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_successes() {
+        let c = WorkerCounters {
+            loads_completed: 2,
+            unloads_completed: 1,
+            infers_completed: 7,
+            requests_served: 20,
+            window_rejections: 3,
+            failures: 1,
+        };
+        assert_eq!(c.successes(), 10);
+    }
+
+    #[test]
+    fn exec_and_load_recordings_update_utilization() {
+        let mut t = WorkerTelemetry::new(2);
+        t.record_exec(
+            0,
+            Timestamp::ZERO,
+            Timestamp::from_millis(500),
+            Nanos::from_millis(500),
+        );
+        t.record_load(
+            1,
+            Timestamp::ZERO,
+            Timestamp::from_millis(250),
+            Nanos::from_millis(250),
+        );
+        let horizon = Timestamp::from_secs(1);
+        assert!((t.mean_gpu_utilization(horizon) - 0.25).abs() < 1e-9);
+        assert!((t.mean_pcie_utilization(horizon) - 0.125).abs() < 1e-9);
+        assert_eq!(t.exec_durations.count(), 1);
+        assert_eq!(t.load_durations.count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_gpu_indices_are_ignored() {
+        let mut t = WorkerTelemetry::new(1);
+        t.record_exec(
+            5,
+            Timestamp::ZERO,
+            Timestamp::from_millis(100),
+            Nanos::from_millis(100),
+        );
+        assert_eq!(t.mean_gpu_utilization(Timestamp::from_secs(1)), 0.0);
+        assert_eq!(t.exec_durations.count(), 1, "histogram still records");
+    }
+
+    #[test]
+    fn empty_telemetry_reports_zero_utilization() {
+        let t = WorkerTelemetry::new(0);
+        assert_eq!(t.mean_gpu_utilization(Timestamp::from_secs(1)), 0.0);
+    }
+}

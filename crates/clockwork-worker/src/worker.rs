@@ -1,0 +1,1189 @@
+//! The worker state machine (§4.4, §5.2).
+//!
+//! A [`Worker`] holds every registered model's weights in host memory,
+//! maintains a paged weights cache, an IO staging cache and timing models per
+//! GPU, and executes [`Action`]s submitted by the controller. It is written
+//! as a pure state machine over virtual time: `submit` enqueues work,
+//! [`Worker::poll`] advances everything whose virtual time has come and
+//! returns the [`ActionResult`]s produced, and [`Worker::next_wakeup`] tells
+//! the surrounding event loop when something will next happen.
+//!
+//! Faithfulness notes:
+//!
+//! * Only one EXEC runs per GPU at a time in [`ExecMode::Exclusive`] (the
+//!   Clockwork configuration); [`ExecMode::Concurrent`] exists for the
+//!   best-effort baselines and for the Fig. 2b experiment, and exhibits the
+//!   throughput-vs-variance trade-off of the paper.
+//! * INFER is internally split into INPUT → EXEC → OUTPUT. Inputs and outputs
+//!   move on their own PCIe streams and overlap with execution; the action
+//!   completes when outputs land in host memory, while the executor frees as
+//!   soon as EXEC finishes (so back-to-back INFERs of the same model are
+//!   possible, §5.2).
+//! * Actions that cannot *start* inside their `[earliest, latest]` window are
+//!   rejected with [`ActionError::WindowElapsed`] and never executed.
+//! * LOAD aborts if the page cache has insufficient free pages; UNLOAD only
+//!   updates metadata and always succeeds.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_model::ModelSpec;
+use clockwork_model::ModelId;
+use clockwork_sim::engine::EventQueue;
+use clockwork_sim::gpu::{GpuSpec, GpuTimingModel};
+use clockwork_sim::memory::MemoryPool;
+use clockwork_sim::pcie::{LinkScheduler, PcieLink};
+use clockwork_sim::rng::SimRng;
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_sim::variance::{ExternalVariance, VarianceConfig};
+
+use crate::action::{
+    Action, ActionError, ActionKind, ActionOutcome, ActionResult, ActionTiming, GpuId, TimeWindow,
+    WorkerId,
+};
+use crate::executor::Executor;
+use crate::io_cache::{IoCache, DEFAULT_IO_CACHE_BYTES};
+use crate::page_cache::{PageCache, DEFAULT_PAGE_SIZE};
+use crate::telemetry::WorkerTelemetry;
+
+/// How INFER executions share the GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// One EXEC at a time per GPU — the Clockwork discipline.
+    Exclusive,
+    /// Up to `max_concurrent` EXECs share the GPU — the best-effort
+    /// discipline of conventional serving systems (and of Fig. 2b).
+    Concurrent {
+        /// Maximum kernels in flight per GPU.
+        max_concurrent: u32,
+    },
+}
+
+/// Static configuration of a worker.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkerConfig {
+    /// This worker's id.
+    pub id: WorkerId,
+    /// Number of GPUs this worker controls.
+    pub num_gpus: u32,
+    /// The GPU device model.
+    pub gpu: GpuSpec,
+    /// The host↔device link.
+    pub pcie: PcieLink,
+    /// Weights cache page size (16 MiB by default).
+    pub page_size: u64,
+    /// Bytes of device memory dedicated to the weights page cache, per GPU.
+    pub weights_cache_bytes: u64,
+    /// Bytes of device memory dedicated to IO staging, per GPU.
+    pub io_cache_bytes: u64,
+    /// Host memory available for registered model weights.
+    pub host_memory_bytes: u64,
+    /// EXEC sharing discipline.
+    pub exec_mode: ExecMode,
+    /// External interference profile (C3).
+    pub variance: VarianceConfig,
+    /// RNG seed for this worker's timing noise.
+    pub seed: u64,
+}
+
+impl WorkerConfig {
+    /// The paper's worker: one V100 GPU (32 GB), 768 GB host memory, 16 MiB
+    /// pages, 512 MB workspace and 512 MB IO cache carved out of device
+    /// memory, exclusive execution, near-quiet external variance.
+    pub fn new(id: WorkerId) -> Self {
+        let gpu = GpuSpec::tesla_v100();
+        // 512 MB workspace + 512 MB IO cache reserved out of device memory.
+        let weights_cache_bytes = gpu.device_memory - 1024 * 1024 * 1024;
+        WorkerConfig {
+            id,
+            num_gpus: 1,
+            gpu,
+            pcie: PcieLink::v100_pcie3(),
+            page_size: DEFAULT_PAGE_SIZE,
+            weights_cache_bytes,
+            io_cache_bytes: DEFAULT_IO_CACHE_BYTES,
+            host_memory_bytes: 768 * 1024 * 1024 * 1024,
+            exec_mode: ExecMode::Exclusive,
+            variance: VarianceConfig::none(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Sets the number of GPUs.
+    pub fn with_gpus(mut self, num_gpus: u32) -> Self {
+        self.num_gpus = num_gpus;
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Sets the external variance profile.
+    pub fn with_variance(mut self, variance: VarianceConfig) -> Self {
+        self.variance = variance;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the weights cache capacity per GPU (useful for small tests).
+    pub fn with_weights_cache(mut self, bytes: u64) -> Self {
+        self.weights_cache_bytes = bytes;
+        self
+    }
+
+    /// Total weight pages per GPU under this configuration.
+    pub fn pages_per_gpu(&self) -> u64 {
+        self.weights_cache_bytes / self.page_size
+    }
+}
+
+/// Errors from worker management operations (not action execution).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerError {
+    /// A model with this id is already registered.
+    DuplicateModel(ModelId),
+    /// Host memory cannot hold another model's weights.
+    HostMemoryExhausted {
+        /// Bytes the model needs.
+        requested: u64,
+        /// Bytes left in host memory.
+        available: u64,
+    },
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::DuplicateModel(m) => write!(f, "model {m} already registered"),
+            WorkerError::HostMemoryExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "host memory exhausted: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+/// Per-GPU state.
+struct GpuState {
+    page_cache: PageCache,
+    io_cache: IoCache,
+    timing: GpuTimingModel,
+    load_link: LinkScheduler,
+    input_link: LinkScheduler,
+    output_link: LinkScheduler,
+    load_executor: Executor,
+    infer_executor: Executor,
+    in_flight_execs: u32,
+}
+
+/// A completion scheduled inside the worker.
+struct Completion {
+    gpu_index: usize,
+    result: ActionResult,
+    io_release: u64,
+    exec_finished: bool,
+}
+
+/// A Clockwork worker.
+pub struct Worker {
+    config: WorkerConfig,
+    models: HashMap<ModelId, Arc<ModelSpec>>,
+    host_memory: MemoryPool,
+    gpus: Vec<GpuState>,
+    completions: EventQueue<Completion>,
+    variance: ExternalVariance,
+    telemetry: WorkerTelemetry,
+}
+
+impl Worker {
+    /// Creates a worker from its configuration.
+    pub fn new(config: WorkerConfig) -> Self {
+        let root = SimRng::seeded(config.seed ^ u64::from(config.id.0));
+        let gpus = (0..config.num_gpus)
+            .map(|g| GpuState {
+                page_cache: PageCache::new(config.weights_cache_bytes, config.page_size),
+                io_cache: IoCache::new(config.io_cache_bytes),
+                timing: GpuTimingModel::new(config.gpu.clone(), root.derive(1000 + u64::from(g))),
+                load_link: LinkScheduler::new(),
+                input_link: LinkScheduler::new(),
+                output_link: LinkScheduler::new(),
+                load_executor: Executor::new(),
+                infer_executor: Executor::new(),
+                in_flight_execs: 0,
+            })
+            .collect();
+        let telemetry = WorkerTelemetry::new(config.num_gpus as usize);
+        let variance = ExternalVariance::new(config.variance, root.derive(7));
+        Worker {
+            host_memory: MemoryPool::new(config.host_memory_bytes),
+            models: HashMap::new(),
+            gpus,
+            completions: EventQueue::new(),
+            variance,
+            telemetry,
+            config,
+        }
+    }
+
+    /// The worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.config.id
+    }
+
+    /// The worker's configuration.
+    pub fn config(&self) -> &WorkerConfig {
+        &self.config
+    }
+
+    /// Worker telemetry (utilization, counters, measured durations).
+    pub fn telemetry(&self) -> &WorkerTelemetry {
+        &self.telemetry
+    }
+
+    /// Registers a model's weights in host memory (worker startup pre-loads
+    /// every model from disk, §5.1).
+    pub fn register_model(&mut self, id: ModelId, spec: Arc<ModelSpec>) -> Result<(), WorkerError> {
+        if self.models.contains_key(&id) {
+            return Err(WorkerError::DuplicateModel(id));
+        }
+        let bytes = spec.weights_bytes();
+        self.host_memory
+            .allocate(bytes)
+            .map_err(|e| WorkerError::HostMemoryExhausted {
+                requested: e.requested,
+                available: e.available,
+            })?;
+        self.models.insert(id, spec);
+        Ok(())
+    }
+
+    /// Whether a model is registered (present in host memory).
+    pub fn has_model(&self, id: ModelId) -> bool {
+        self.models.contains_key(&id)
+    }
+
+    /// Number of registered models.
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The spec of a registered model.
+    pub fn model_spec(&self, id: ModelId) -> Option<&Arc<ModelSpec>> {
+        self.models.get(&id)
+    }
+
+    /// Host memory still available for model registration.
+    pub fn host_memory_available(&self) -> u64 {
+        self.host_memory.available()
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> u32 {
+        self.config.num_gpus
+    }
+
+    /// Free pages in a GPU's weights cache.
+    pub fn free_pages(&self, gpu: GpuId) -> u64 {
+        self.gpu(gpu).map(|g| g.page_cache.free_pages()).unwrap_or(0)
+    }
+
+    /// Total pages in a GPU's weights cache.
+    pub fn total_pages(&self, gpu: GpuId) -> u64 {
+        self.gpu(gpu).map(|g| g.page_cache.total_pages()).unwrap_or(0)
+    }
+
+    /// Whether a model's weights are resident on a GPU.
+    pub fn is_loaded(&self, gpu: GpuId, model: ModelId) -> bool {
+        self.gpu(gpu).map(|g| g.page_cache.contains(model)).unwrap_or(false)
+    }
+
+    /// The models resident on a GPU.
+    pub fn resident_models(&self, gpu: GpuId) -> Vec<ModelId> {
+        self.gpu(gpu)
+            .map(|g| g.page_cache.resident_models())
+            .unwrap_or_default()
+    }
+
+    /// GPU utilization of a GPU so far (fraction of `[0, now]` busy).
+    pub fn gpu_utilization(&self, gpu: GpuId, now: Timestamp) -> f64 {
+        self.gpu(gpu).map(|g| g.timing.utilization(now)).unwrap_or(0.0)
+    }
+
+    /// PCIe (weights link) utilization of a GPU so far.
+    pub fn pcie_utilization(&self, gpu: GpuId, now: Timestamp) -> f64 {
+        self.gpu(gpu)
+            .map(|g| g.load_link.utilization(now))
+            .unwrap_or(0.0)
+    }
+
+    fn gpu(&self, gpu: GpuId) -> Option<&GpuState> {
+        self.gpus.get(gpu.0 as usize)
+    }
+
+    /// Submits an action, received at `now`.
+    pub fn submit(&mut self, now: Timestamp, action: Action) {
+        let gpu_index = (action.gpu.0 as usize).min(self.gpus.len().saturating_sub(1));
+        let gpu = &mut self.gpus[gpu_index];
+        match &action.kind {
+            ActionKind::Load { .. } | ActionKind::Unload { .. } => {
+                gpu.load_executor.push(action, now);
+            }
+            ActionKind::Infer { .. } => {
+                gpu.infer_executor.push(action, now);
+            }
+        }
+    }
+
+    /// The next virtual time at which this worker has something to do.
+    ///
+    /// This must agree with [`Worker::poll`] about when progress is possible:
+    /// an INFER executor whose GPU is already at its concurrency limit cannot
+    /// start anything until a completion fires, so its queued work does not
+    /// contribute a wake-up time (the pending completion does). Reporting it
+    /// anyway would make the driving event loop spin at the current instant
+    /// without ever advancing virtual time.
+    pub fn next_wakeup(&mut self) -> Option<Timestamp> {
+        let mut best = self.completions.peek_time();
+        for gpu in &self.gpus {
+            let infer_blocked = match self.config.exec_mode {
+                ExecMode::Exclusive => false,
+                ExecMode::Concurrent { max_concurrent } => gpu.in_flight_execs >= max_concurrent,
+            };
+            let mut consider = |t: Option<Timestamp>| {
+                if let Some(t) = t {
+                    best = Some(match best {
+                        Some(b) => b.min(t),
+                        None => t,
+                    });
+                }
+            };
+            consider(gpu.load_executor.next_start_time());
+            if !infer_blocked {
+                consider(gpu.infer_executor.next_start_time());
+            }
+        }
+        best
+    }
+
+    /// Advances the worker through all internal events up to and including
+    /// `now`, returning the action results produced.
+    pub fn poll(&mut self, now: Timestamp) -> Vec<ActionResult> {
+        let mut results = Vec::new();
+        loop {
+            // Completions due?
+            let completion_time = self.completions.peek_time().filter(|&t| t <= now);
+            // Action starts due?
+            let mut start: Option<(Timestamp, usize, bool)> = None; // (time, gpu, is_load_executor)
+            for (gi, gpu) in self.gpus.iter().enumerate() {
+                if let Some(t) = gpu.load_executor.next_start_time() {
+                    if t <= now && start.map(|(bt, _, _)| t < bt).unwrap_or(true) {
+                        start = Some((t, gi, true));
+                    }
+                }
+                let infer_blocked = match self.config.exec_mode {
+                    ExecMode::Exclusive => false,
+                    ExecMode::Concurrent { max_concurrent } => {
+                        gpu.in_flight_execs >= max_concurrent
+                    }
+                };
+                if !infer_blocked {
+                    if let Some(t) = gpu.infer_executor.next_start_time() {
+                        if t <= now && start.map(|(bt, _, _)| t < bt).unwrap_or(true) {
+                            start = Some((t, gi, false));
+                        }
+                    }
+                }
+            }
+
+            match (completion_time, start) {
+                (None, None) => break,
+                (Some(ct), Some((st, _, _))) if ct <= st => self.finish_completion(&mut results),
+                (Some(_), None) => self.finish_completion(&mut results),
+                (_, Some((st, gi, is_load))) => self.start_next_action(st, gi, is_load),
+            }
+        }
+        results
+    }
+
+    fn finish_completion(&mut self, results: &mut Vec<ActionResult>) {
+        let Some((_, completion)) = self.completions.pop() else {
+            return;
+        };
+        let gpu = &mut self.gpus[completion.gpu_index];
+        if completion.io_release > 0 {
+            gpu.io_cache.release(completion.io_release);
+        }
+        if completion.exec_finished && gpu.in_flight_execs > 0 {
+            gpu.in_flight_execs -= 1;
+        }
+        results.push(completion.result);
+    }
+
+    fn start_next_action(&mut self, start: Timestamp, gpu_index: usize, is_load_executor: bool) {
+        let queued = {
+            let gpu = &mut self.gpus[gpu_index];
+            let ex = if is_load_executor {
+                &mut gpu.load_executor
+            } else {
+                &mut gpu.infer_executor
+            };
+            ex.pop_ready(start)
+        };
+        let Some(queued) = queued else { return };
+        let action = queued.action;
+        let received = queued.received;
+        match action.kind.clone() {
+            ActionKind::Load { model } => self.run_load(gpu_index, action, received, start, model),
+            ActionKind::Unload { model } => self.run_unload(gpu_index, action, received, start, model),
+            ActionKind::Infer {
+                model,
+                batch,
+                request_ids,
+            } => self.run_infer(gpu_index, action, received, start, model, batch, request_ids),
+        }
+    }
+
+    fn make_result(
+        &self,
+        action: &Action,
+        model: ModelId,
+        batch: u32,
+        request_ids: Vec<u64>,
+        outcome: ActionOutcome,
+    ) -> ActionResult {
+        ActionResult {
+            action_id: action.id,
+            worker: self.config.id,
+            gpu: action.gpu,
+            model,
+            action_type: action.kind.type_name(),
+            batch,
+            request_ids,
+            expected_duration: action.expected_duration,
+            outcome,
+        }
+    }
+
+    fn fail(
+        &mut self,
+        gpu_index: usize,
+        action: &Action,
+        model: ModelId,
+        batch: u32,
+        request_ids: Vec<u64>,
+        at: Timestamp,
+        error: ActionError,
+    ) {
+        if error == ActionError::WindowElapsed {
+            self.telemetry.counters.window_rejections += 1;
+        } else {
+            self.telemetry.counters.failures += 1;
+        }
+        let result = self.make_result(
+            action,
+            model,
+            batch,
+            request_ids,
+            ActionOutcome::Error { error, at },
+        );
+        self.completions.push(
+            at,
+            Completion {
+                gpu_index,
+                result,
+                io_release: 0,
+                exec_finished: false,
+            },
+        );
+    }
+
+    fn run_load(
+        &mut self,
+        gpu_index: usize,
+        action: Action,
+        received: Timestamp,
+        start: Timestamp,
+        model: ModelId,
+    ) {
+        if action.window.expired(start) {
+            return self.fail(gpu_index, &action, model, 1, vec![], start, ActionError::WindowElapsed);
+        }
+        let Some(spec) = self.models.get(&model).cloned() else {
+            return self.fail(gpu_index, &action, model, 1, vec![], start, ActionError::UnknownModel);
+        };
+        let weights_bytes = spec.weights_bytes();
+        let already_loaded = self.gpus[gpu_index].page_cache.contains(model);
+        if !already_loaded {
+            let alloc = self.gpus[gpu_index]
+                .page_cache
+                .allocate(model, weights_bytes, start);
+            if let Err(e) = alloc {
+                return self.fail(
+                    gpu_index,
+                    &action,
+                    model,
+                    1,
+                    vec![],
+                    start,
+                    ActionError::InsufficientPages {
+                        needed: e.needed,
+                        available: e.available,
+                    },
+                );
+            }
+        }
+        // Copy weights over PCIe (a no-op copy if already resident).
+        let base = if already_loaded {
+            Nanos::from_micros(10)
+        } else {
+            self.config.pcie.transfer_duration(weights_bytes)
+        };
+        let duration = self.variance.perturb(start, base);
+        let gpu = &mut self.gpus[gpu_index];
+        let (t_start, t_end) = gpu.load_link.schedule(start, duration, weights_bytes);
+        gpu.load_executor.occupy_until(t_end);
+        self.telemetry.record_load(gpu_index, t_start, t_end, duration);
+        self.telemetry.counters.loads_completed += 1;
+        let timing = ActionTiming {
+            received,
+            start: t_start,
+            end: t_end,
+            device_duration: duration,
+        };
+        let result = self.make_result(&action, model, 1, vec![], ActionOutcome::Success(timing));
+        self.completions.push(
+            t_end,
+            Completion {
+                gpu_index,
+                result,
+                io_release: 0,
+                exec_finished: false,
+            },
+        );
+    }
+
+    fn run_unload(
+        &mut self,
+        gpu_index: usize,
+        action: Action,
+        received: Timestamp,
+        start: Timestamp,
+        model: ModelId,
+    ) {
+        // UNLOAD only updates metadata and always succeeds (§5.2).
+        let gpu = &mut self.gpus[gpu_index];
+        let _freed = gpu.page_cache.release(model);
+        let duration = Nanos::from_micros(5);
+        let end = start + duration;
+        gpu.load_executor.occupy_until(end);
+        self.telemetry.counters.unloads_completed += 1;
+        let timing = ActionTiming {
+            received,
+            start,
+            end,
+            device_duration: duration,
+        };
+        let result = self.make_result(&action, model, 1, vec![], ActionOutcome::Success(timing));
+        self.completions.push(
+            end,
+            Completion {
+                gpu_index,
+                result,
+                io_release: 0,
+                exec_finished: false,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_infer(
+        &mut self,
+        gpu_index: usize,
+        action: Action,
+        received: Timestamp,
+        start: Timestamp,
+        model: ModelId,
+        batch: u32,
+        request_ids: Vec<u64>,
+    ) {
+        if action.window.expired(start) {
+            return self.fail(
+                gpu_index,
+                &action,
+                model,
+                batch,
+                request_ids,
+                start,
+                ActionError::WindowElapsed,
+            );
+        }
+        let Some(spec) = self.models.get(&model).cloned() else {
+            return self.fail(
+                gpu_index,
+                &action,
+                model,
+                batch,
+                request_ids,
+                start,
+                ActionError::UnknownModel,
+            );
+        };
+        let Some(base_exec) = spec.exec_latency(batch) else {
+            return self.fail(
+                gpu_index,
+                &action,
+                model,
+                batch,
+                request_ids,
+                start,
+                ActionError::UnsupportedBatch { batch },
+            );
+        };
+        if !self.gpus[gpu_index].page_cache.contains(model) {
+            return self.fail(
+                gpu_index,
+                &action,
+                model,
+                batch,
+                request_ids,
+                start,
+                ActionError::ModelNotLoaded,
+            );
+        }
+        let io_bytes = (spec.input_bytes() + spec.output_bytes()) * u64::from(batch);
+        if self.gpus[gpu_index].io_cache.acquire(io_bytes).is_err() {
+            return self.fail(
+                gpu_index,
+                &action,
+                model,
+                batch,
+                request_ids,
+                start,
+                ActionError::IoCacheFull,
+            );
+        }
+
+        // INPUT: copy inputs host -> device on the input stream.
+        let input_bytes = spec.input_bytes() * u64::from(batch);
+        let input_duration = self.config.pcie.transfer_duration(input_bytes);
+        let (_, input_done) = self.gpus[gpu_index]
+            .input_link
+            .schedule(start, input_duration, input_bytes);
+
+        // EXEC: run the kernel, one at a time (or concurrently for baselines).
+        let concurrency = self.gpus[gpu_index].in_flight_execs + 1;
+        let exec_base = match self.config.exec_mode {
+            ExecMode::Exclusive => self.gpus[gpu_index].timing.exec_duration(base_exec),
+            ExecMode::Concurrent { .. } => self.gpus[gpu_index]
+                .timing
+                .exec_duration_concurrent(base_exec, concurrency),
+        };
+        let exec_duration = self.variance.perturb(start, exec_base);
+        let exec_start = input_done;
+        let exec_end = exec_start + exec_duration;
+        {
+            let gpu = &mut self.gpus[gpu_index];
+            gpu.timing.occupy(exec_start, exec_duration);
+            gpu.in_flight_execs += 1;
+            if matches!(self.config.exec_mode, ExecMode::Exclusive) {
+                gpu.infer_executor.occupy_until(exec_end);
+            }
+            gpu.page_cache.touch(model, exec_end);
+        }
+        self.telemetry
+            .record_exec(gpu_index, exec_start, exec_end, exec_duration);
+
+        // OUTPUT: copy outputs device -> host on the output stream.
+        let output_bytes = spec.output_bytes() * u64::from(batch);
+        let output_duration = self.config.pcie.transfer_duration(output_bytes);
+        let (_, output_done) = self.gpus[gpu_index]
+            .output_link
+            .schedule(exec_end, output_duration, output_bytes);
+
+        self.telemetry.counters.infers_completed += 1;
+        self.telemetry.counters.requests_served += request_ids.len().max(1) as u64;
+
+        let timing = ActionTiming {
+            received,
+            start,
+            end: output_done,
+            device_duration: exec_duration,
+        };
+        let result = self.make_result(
+            &action,
+            model,
+            batch,
+            request_ids,
+            ActionOutcome::Success(timing),
+        );
+        self.completions.push(
+            output_done,
+            Completion {
+                gpu_index,
+                result,
+                io_release: io_bytes,
+                exec_finished: true,
+            },
+        );
+    }
+}
+
+/// Convenience constructor for actions, used by the controller and tests.
+pub fn make_action(
+    id: u64,
+    gpu: GpuId,
+    kind: ActionKind,
+    window: TimeWindow,
+    expected_duration: Nanos,
+) -> Action {
+    Action {
+        id: crate::action::ActionId(id),
+        gpu,
+        kind,
+        window,
+        expected_duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_model::zoo::ModelZoo;
+    use clockwork_sim::gpu::ExecNoise;
+
+    fn quiet_config() -> WorkerConfig {
+        let mut cfg = WorkerConfig::new(WorkerId(0));
+        cfg.gpu.exec_noise = ExecNoise::none();
+        cfg
+    }
+
+    fn resnet() -> Arc<ModelSpec> {
+        Arc::new(ModelZoo::new().resnet50().clone())
+    }
+
+    fn load_action(id: u64, model: ModelId) -> Action {
+        make_action(
+            id,
+            GpuId(0),
+            ActionKind::Load { model },
+            TimeWindow::always(),
+            Nanos::from_millis(8),
+        )
+    }
+
+    fn infer_action(id: u64, model: ModelId, batch: u32, reqs: Vec<u64>) -> Action {
+        make_action(
+            id,
+            GpuId(0),
+            ActionKind::Infer {
+                model,
+                batch,
+                request_ids: reqs,
+            },
+            TimeWindow::always(),
+            Nanos::from_millis(3),
+        )
+    }
+
+    fn drain(worker: &mut Worker, until: Timestamp) -> Vec<ActionResult> {
+        worker.poll(until)
+    }
+
+    #[test]
+    fn register_and_query_models() {
+        let mut w = Worker::new(quiet_config());
+        assert_eq!(w.model_count(), 0);
+        w.register_model(ModelId(1), resnet()).unwrap();
+        assert!(w.has_model(ModelId(1)));
+        assert!(w.model_spec(ModelId(1)).is_some());
+        assert_eq!(
+            w.register_model(ModelId(1), resnet()),
+            Err(WorkerError::DuplicateModel(ModelId(1)))
+        );
+        assert!(w.host_memory_available() < w.config().host_memory_bytes);
+    }
+
+    #[test]
+    fn host_memory_limits_registration() {
+        let mut cfg = quiet_config();
+        cfg.host_memory_bytes = 200 * 1024 * 1024; // fits one ResNet50, not two
+        let mut w = Worker::new(cfg);
+        w.register_model(ModelId(1), resnet()).unwrap();
+        let err = w.register_model(ModelId(2), resnet()).unwrap_err();
+        assert!(matches!(err, WorkerError::HostMemoryExhausted { .. }));
+    }
+
+    #[test]
+    fn load_then_infer_round_trip() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        let t0 = Timestamp::from_millis(1);
+        w.submit(t0, load_action(1, ModelId(1)));
+        let results = drain(&mut w, Timestamp::from_millis(100));
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_success(), "{:?}", results[0]);
+        let load_timing = results[0].outcome.timing().unwrap();
+        // Appendix A: ResNet50 weights transfer ≈ 8.33 ms.
+        let ms = load_timing.device_duration.as_millis_f64();
+        assert!((ms - 8.33).abs() < 0.3, "load took {ms} ms");
+        assert!(w.is_loaded(GpuId(0), ModelId(1)));
+
+        let t1 = Timestamp::from_millis(20);
+        w.submit(t1, infer_action(2, ModelId(1), 1, vec![77]));
+        let results = drain(&mut w, Timestamp::from_millis(100));
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.is_success());
+        assert_eq!(r.request_ids, vec![77]);
+        let timing = r.outcome.timing().unwrap();
+        // Batch-1 ResNet50 EXEC ≈ 2.61 ms plus small IO transfers.
+        let total = timing.total().as_millis_f64();
+        assert!(total > 2.5 && total < 3.2, "inference took {total} ms");
+    }
+
+    #[test]
+    fn infer_without_load_fails_model_not_loaded() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, infer_action(1, ModelId(1), 1, vec![1]));
+        let results = drain(&mut w, Timestamp::from_millis(10));
+        assert_eq!(results.len(), 1);
+        match &results[0].outcome {
+            ActionOutcome::Error { error, .. } => assert_eq!(*error, ActionError::ModelNotLoaded),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_model_and_unsupported_batch_fail() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(99)));
+        w.submit(Timestamp::ZERO, load_action(2, ModelId(1)));
+        w.submit(Timestamp::ZERO, infer_action(3, ModelId(1), 3, vec![1]));
+        let results = drain(&mut w, Timestamp::from_millis(100));
+        assert_eq!(results.len(), 3);
+        let by_id = |id: u64| {
+            results
+                .iter()
+                .find(|r| r.action_id.0 == id)
+                .unwrap()
+                .clone()
+        };
+        assert!(matches!(
+            by_id(1).outcome,
+            ActionOutcome::Error {
+                error: ActionError::UnknownModel,
+                ..
+            }
+        ));
+        assert!(by_id(2).is_success());
+        assert!(matches!(
+            by_id(3).outcome,
+            ActionOutcome::Error {
+                error: ActionError::UnsupportedBatch { batch: 3 },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn actions_outside_window_are_rejected() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        // Window already closed when the worker gets to it.
+        let mut a = load_action(1, ModelId(1));
+        a.window = TimeWindow {
+            earliest: Timestamp::from_millis(1),
+            latest: Timestamp::from_millis(2),
+        };
+        w.submit(Timestamp::from_millis(5), a);
+        let results = drain(&mut w, Timestamp::from_millis(10));
+        assert_eq!(results.len(), 1);
+        assert!(matches!(
+            results[0].outcome,
+            ActionOutcome::Error {
+                error: ActionError::WindowElapsed,
+                ..
+            }
+        ));
+        assert!(!w.is_loaded(GpuId(0), ModelId(1)));
+        assert_eq!(w.telemetry().counters.window_rejections, 1);
+    }
+
+    #[test]
+    fn actions_wait_for_earliest() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        let mut a = load_action(1, ModelId(1));
+        a.window = TimeWindow::starting_at(Timestamp::from_millis(50), Nanos::from_millis(10));
+        w.submit(Timestamp::ZERO, a);
+        assert!(drain(&mut w, Timestamp::from_millis(40)).is_empty());
+        assert_eq!(w.next_wakeup(), Some(Timestamp::from_millis(50)));
+        let results = drain(&mut w, Timestamp::from_millis(100));
+        assert_eq!(results.len(), 1);
+        let timing = results[0].outcome.timing().unwrap();
+        assert_eq!(timing.start, Timestamp::from_millis(50));
+    }
+
+    #[test]
+    fn load_fails_when_pages_exhausted() {
+        let mut cfg = quiet_config();
+        cfg.weights_cache_bytes = 8 * DEFAULT_PAGE_SIZE; // 8 pages = 1 ResNet50
+        let mut w = Worker::new(cfg);
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.register_model(ModelId(2), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        w.submit(Timestamp::ZERO, load_action(2, ModelId(2)));
+        let results = drain(&mut w, Timestamp::from_millis(100));
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_success());
+        assert!(matches!(
+            results[1].outcome,
+            ActionOutcome::Error {
+                error: ActionError::InsufficientPages { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unload_frees_pages_and_always_succeeds() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        drain(&mut w, Timestamp::from_millis(50));
+        let free_before = w.free_pages(GpuId(0));
+        let unload = make_action(
+            2,
+            GpuId(0),
+            ActionKind::Unload { model: ModelId(1) },
+            TimeWindow::always(),
+            Nanos::from_micros(5),
+        );
+        w.submit(Timestamp::from_millis(60), unload);
+        let results = drain(&mut w, Timestamp::from_millis(70));
+        assert!(results[0].is_success());
+        assert!(!w.is_loaded(GpuId(0), ModelId(1)));
+        assert!(w.free_pages(GpuId(0)) > free_before);
+        // Unloading a model that is not resident also succeeds.
+        let unload2 = make_action(
+            3,
+            GpuId(0),
+            ActionKind::Unload { model: ModelId(9) },
+            TimeWindow::always(),
+            Nanos::from_micros(5),
+        );
+        w.submit(Timestamp::from_millis(80), unload2);
+        assert!(drain(&mut w, Timestamp::from_millis(90))[0].is_success());
+    }
+
+    #[test]
+    fn exclusive_mode_serialises_execs() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        drain(&mut w, Timestamp::from_millis(50));
+        // Submit 4 batch-1 INFERs at the same instant.
+        for i in 0..4 {
+            w.submit(
+                Timestamp::from_millis(50),
+                infer_action(10 + i, ModelId(1), 1, vec![i]),
+            );
+        }
+        let results = drain(&mut w, Timestamp::from_secs(1));
+        assert_eq!(results.len(), 4);
+        let mut exec_windows: Vec<(Timestamp, Timestamp)> = results
+            .iter()
+            .map(|r| {
+                let t = r.outcome.timing().unwrap();
+                (t.start, t.end)
+            })
+            .collect();
+        exec_windows.sort();
+        // Each inference takes ~2.6 ms; completions should be spaced by at
+        // least the exec duration (serialised), not overlapping.
+        for pair in exec_windows.windows(2) {
+            let gap = pair[1].1.since(pair[0].1);
+            assert!(
+                gap >= Nanos::from_millis(2),
+                "completions too close: {gap}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_mode_inflates_latency_variance() {
+        let mut exclusive_cfg = WorkerConfig::new(WorkerId(0));
+        exclusive_cfg.variance = VarianceConfig::none();
+        let mut concurrent_cfg = exclusive_cfg.clone().with_exec_mode(ExecMode::Concurrent {
+            max_concurrent: 16,
+        });
+        concurrent_cfg.seed = 77;
+
+        let run = |cfg: WorkerConfig| -> Vec<f64> {
+            let mut w = Worker::new(cfg);
+            w.register_model(ModelId(1), resnet()).unwrap();
+            w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+            w.poll(Timestamp::from_millis(50));
+            let mut latencies = Vec::new();
+            // 20 rounds of 16 concurrent requests.
+            for round in 0..20u64 {
+                let t = Timestamp::from_millis(100 + round * 100);
+                for i in 0..16u64 {
+                    w.submit(t, infer_action(100 + round * 16 + i, ModelId(1), 1, vec![i]));
+                }
+                for r in w.poll(Timestamp::from_millis(100 + round * 100 + 99)) {
+                    if let Some(timing) = r.outcome.timing() {
+                        latencies.push(timing.total().as_millis_f64());
+                    }
+                }
+            }
+            latencies
+        };
+        let excl = run(exclusive_cfg);
+        let conc = run(concurrent_cfg);
+        assert!(!excl.is_empty() && !conc.is_empty());
+        let spread = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[(s.len() as f64 * 0.95) as usize] - s[s.len() / 2]
+        };
+        assert!(
+            spread(&conc) > 3.0 * spread(&excl),
+            "concurrent spread {} vs exclusive {}",
+            spread(&conc),
+            spread(&excl)
+        );
+    }
+
+    #[test]
+    fn back_to_back_infers_batch_throughput_matches_profile() {
+        // Saturating a worker with batch-8 requests should give roughly
+        // batch/latency throughput (Fig. 6a reaches ~1000 r/s with batching).
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        drain(&mut w, Timestamp::from_millis(50));
+        let horizon = Timestamp::from_secs(2);
+        let mut submitted = 0u64;
+        for i in 0..200u64 {
+            w.submit(
+                Timestamp::from_millis(50),
+                infer_action(100 + i, ModelId(1), 8, (0..8).map(|k| i * 8 + k).collect()),
+            );
+            submitted += 8;
+        }
+        let results = drain(&mut w, horizon);
+        let served: u64 = results
+            .iter()
+            .filter(|r| r.is_success())
+            .map(|r| r.request_ids.len() as u64)
+            .sum();
+        assert!(served <= submitted);
+        // Batch-8 latency is 9.13 ms -> ~876 r/s; in 1.95 s of serving time
+        // expect roughly 1700 requests.
+        assert!(served > 1_400, "served {served}");
+        let util = w.gpu_utilization(GpuId(0), horizon);
+        assert!(util > 0.8, "GPU utilization {util}");
+    }
+
+    #[test]
+    fn telemetry_counts_match_results() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        w.submit(Timestamp::ZERO, infer_action(2, ModelId(1), 1, vec![1]));
+        w.submit(Timestamp::ZERO, infer_action(3, ModelId(1), 1, vec![2]));
+        let results = drain(&mut w, Timestamp::from_secs(1));
+        assert_eq!(results.len(), 3);
+        let counters = &w.telemetry().counters;
+        assert_eq!(counters.loads_completed, 1);
+        assert_eq!(counters.infers_completed, 2);
+        assert_eq!(counters.requests_served, 2);
+    }
+
+    #[test]
+    fn next_wakeup_tracks_pending_work() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        assert_eq!(w.next_wakeup(), None);
+        w.submit(Timestamp::from_millis(5), load_action(1, ModelId(1)));
+        assert_eq!(w.next_wakeup(), Some(Timestamp::from_millis(5)));
+        let _ = w.poll(Timestamp::from_millis(5));
+        // A completion is now pending at ~13.3 ms.
+        let wake = w.next_wakeup().unwrap();
+        assert!(wake > Timestamp::from_millis(12) && wake < Timestamp::from_millis(15));
+    }
+
+    #[test]
+    fn next_wakeup_ignores_infers_blocked_by_the_concurrency_limit() {
+        // Regression test: with concurrent execution and the GPU at its
+        // in-flight limit, queued INFERs cannot start until a completion
+        // fires. `next_wakeup` must therefore report the completion time, not
+        // the queued INFER's (already past) start time — otherwise the
+        // driving event loop wakes the worker at the current instant forever
+        // and virtual time never advances (observed as a livelock with the
+        // Clipper/INFaaS baselines under load).
+        let mut cfg = quiet_config();
+        cfg.exec_mode = ExecMode::Concurrent { max_concurrent: 2 };
+        let mut w = Worker::new(cfg);
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        // Finish the load.
+        let _ = w.poll(Timestamp::from_millis(20));
+
+        let t = Timestamp::from_millis(20);
+        for i in 0..3u64 {
+            w.submit(t, infer_action(10 + i, ModelId(1), 1, vec![i]));
+        }
+        // Starts two INFERs (the concurrency limit) and leaves one queued.
+        let results = w.poll(t);
+        assert!(results.iter().all(|r| r.action_type == "LOAD"));
+        let wake = w.next_wakeup().expect("a completion is pending");
+        assert!(
+            wake > t,
+            "next_wakeup {wake} must be in the future, not the blocked INFER's start time"
+        );
+        // Once the completions fire, the third INFER runs to completion too.
+        let results = w.poll(Timestamp::from_millis(200));
+        let infers = results.iter().filter(|r| r.action_type == "INFER").count();
+        assert_eq!(infers, 3);
+        assert!(results.iter().all(|r| r.is_success()));
+    }
+
+    #[test]
+    fn worker_is_deterministic_for_same_seed() {
+        let run = || {
+            let mut w = Worker::new(WorkerConfig::new(WorkerId(0)).with_seed(42));
+            w.register_model(ModelId(1), resnet()).unwrap();
+            w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+            for i in 0..50u64 {
+                w.submit(
+                    Timestamp::from_millis(20),
+                    infer_action(10 + i, ModelId(1), 1, vec![i]),
+                );
+            }
+            w.poll(Timestamp::from_secs(1))
+                .iter()
+                .filter_map(|r| r.outcome.timing().map(|t| t.end))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

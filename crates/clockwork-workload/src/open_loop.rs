@@ -1,0 +1,136 @@
+//! Open-loop (Poisson) clients.
+//!
+//! §6.3 drives each model instance with an independent open-loop client using
+//! Poisson inter-arrival times: requests arrive at a fixed average rate
+//! regardless of how the system is doing, which is what exposes SLO
+//! violations under overload. [`OpenLoopClient`] pre-generates a [`Trace`]
+//! so experiments remain deterministic for a given seed.
+
+use clockwork_model::ModelId;
+use clockwork_sim::rng::SimRng;
+use clockwork_sim::time::{Nanos, Timestamp};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// An open-loop Poisson request generator for one model instance.
+#[derive(Clone, Debug)]
+pub struct OpenLoopClient {
+    /// The model this client targets.
+    pub model: ModelId,
+    /// Average request rate in requests per second.
+    pub rate_per_sec: f64,
+    /// The SLO attached to every request.
+    pub slo: Nanos,
+}
+
+impl OpenLoopClient {
+    /// Creates a client.
+    pub fn new(model: ModelId, rate_per_sec: f64, slo: Nanos) -> Self {
+        OpenLoopClient {
+            model,
+            rate_per_sec,
+            slo,
+        }
+    }
+
+    /// Generates this client's arrivals over `[0, duration)`.
+    pub fn generate(&self, duration: Nanos, rng: &mut SimRng) -> Trace {
+        let mut events = Vec::new();
+        if self.rate_per_sec <= 0.0 {
+            return Trace::new(events);
+        }
+        let mut t = Timestamp::ZERO + rng.poisson_gap(self.rate_per_sec);
+        let end = Timestamp::ZERO + duration;
+        while t < end {
+            events.push(TraceEvent {
+                at: t,
+                model: self.model,
+                slo: self.slo,
+            });
+            t = t + rng.poisson_gap(self.rate_per_sec);
+        }
+        Trace::new(events)
+    }
+
+    /// Generates a combined trace for many clients, one per model, each with
+    /// the given per-client rate.
+    pub fn generate_many(
+        models: &[ModelId],
+        rate_per_client: f64,
+        slo: Nanos,
+        duration: Nanos,
+        rng: &mut SimRng,
+    ) -> Trace {
+        let mut all = Vec::new();
+        for (i, &model) in models.iter().enumerate() {
+            let mut client_rng = rng.derive(i as u64 + 1);
+            let client = OpenLoopClient::new(model, rate_per_client, slo);
+            all.extend(client.generate(duration, &mut client_rng).events().to_vec());
+        }
+        Trace::new(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_respected_on_average() {
+        let client = OpenLoopClient::new(ModelId(1), 200.0, Nanos::from_millis(100));
+        let mut rng = SimRng::seeded(1);
+        let trace = client.generate(Nanos::from_secs(30), &mut rng);
+        let rate = trace.len() as f64 / 30.0;
+        assert!((rate - 200.0).abs() < 10.0, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_produces_nothing() {
+        let client = OpenLoopClient::new(ModelId(1), 0.0, Nanos::from_millis(100));
+        let mut rng = SimRng::seeded(2);
+        assert!(client.generate(Nanos::from_secs(10), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn arrivals_look_poisson() {
+        // Coefficient of variation of exponential inter-arrival gaps is 1.
+        let client = OpenLoopClient::new(ModelId(1), 1000.0, Nanos::from_millis(10));
+        let mut rng = SimRng::seeded(3);
+        let trace = client.generate(Nanos::from_secs(20), &mut rng);
+        let gaps: Vec<f64> = trace
+            .events()
+            .windows(2)
+            .map(|w| (w[1].at - w[0].at).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "cv {cv}");
+    }
+
+    #[test]
+    fn generate_many_is_deterministic_and_covers_all_models() {
+        let models: Vec<ModelId> = (0..12).map(ModelId).collect();
+        let mut rng_a = SimRng::seeded(7);
+        let mut rng_b = SimRng::seeded(7);
+        let a = OpenLoopClient::generate_many(
+            &models,
+            50.0,
+            Nanos::from_millis(100),
+            Nanos::from_secs(10),
+            &mut rng_a,
+        );
+        let b = OpenLoopClient::generate_many(
+            &models,
+            50.0,
+            Nanos::from_millis(100),
+            Nanos::from_secs(10),
+            &mut rng_b,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.models().len(), 12);
+        // Cumulative rate N * R.
+        let rate = a.len() as f64 / 10.0;
+        assert!((rate - 600.0).abs() < 60.0, "rate {rate}");
+    }
+}

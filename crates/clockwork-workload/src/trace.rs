@@ -1,0 +1,231 @@
+//! Request traces: a time-ordered list of request arrivals.
+//!
+//! Traces decouple workload generation from the serving system: generators
+//! (open-loop, Azure-like) produce a [`Trace`], and the system harness replays
+//! it against whichever scheduler is under test. Traces can be scaled in rate
+//! and truncated in duration, which is how the paper's 8-hour / 1.5×-rate
+//! experiments are shrunk to simulation budgets (recorded in EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_model::ModelId;
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// One request arrival in a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Arrival time relative to trace start.
+    pub at: Timestamp,
+    /// The model instance the request targets.
+    pub model: ModelId,
+    /// The latency SLO for this request ([`Nanos::MAX`] = no SLO).
+    pub slo: Nanos,
+}
+
+/// A time-ordered sequence of request arrivals.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a trace from events, sorting them by arrival time.
+    pub fn new(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| (e.at, e.model));
+        Trace { events }
+    }
+
+    /// The events, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The arrival time of the last request, or zero for an empty trace.
+    pub fn duration(&self) -> Timestamp {
+        self.events.last().map(|e| e.at).unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Mean request rate over the trace duration, in requests per second.
+    pub fn mean_rate(&self) -> f64 {
+        let d = self.duration().as_secs_f64();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        self.events.len() as f64 / d
+    }
+
+    /// The distinct models appearing in the trace.
+    pub fn models(&self) -> Vec<ModelId> {
+        let mut models: Vec<ModelId> = self.events.iter().map(|e| e.model).collect();
+        models.sort_unstable();
+        models.dedup();
+        models
+    }
+
+    /// Returns a copy truncated to arrivals before `cutoff`.
+    pub fn truncated(&self, cutoff: Timestamp) -> Trace {
+        Trace {
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| e.at < cutoff)
+                .collect(),
+        }
+    }
+
+    /// Returns a copy with all arrival times compressed by `factor` (2.0
+    /// doubles the request rate). Factors below or equal to zero are ignored.
+    pub fn rate_scaled(&self, factor: f64) -> Trace {
+        if factor <= 0.0 {
+            return self.clone();
+        }
+        Trace {
+            events: self
+                .events
+                .iter()
+                .map(|e| TraceEvent {
+                    at: Timestamp::from_nanos((e.at.as_nanos() as f64 / factor).round() as u64),
+                    ..*e
+                })
+                .collect(),
+        }
+    }
+
+    /// Merges two traces into one ordered trace.
+    pub fn merged(&self, other: &Trace) -> Trace {
+        let mut events = self.events.clone();
+        events.extend(other.events.iter().copied());
+        Trace::new(events)
+    }
+
+    /// Serialises the trace to a simple CSV (`at_ns,model,slo_ns`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("at_ns,model,slo_ns\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                e.at.as_nanos(),
+                e.model.0,
+                e.slo.as_nanos()
+            ));
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV format produced by [`Trace::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Trace, String> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 3 {
+                return Err(format!("line {}: expected 3 fields, got {}", i + 1, fields.len()));
+            }
+            let at: u64 = fields[0]
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad timestamp: {e}", i + 1))?;
+            let model: u32 = fields[1]
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad model id: {e}", i + 1))?;
+            let slo: u64 = fields[2]
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad slo: {e}", i + 1))?;
+            events.push(TraceEvent {
+                at: Timestamp::from_nanos(at),
+                model: ModelId(model),
+                slo: Nanos::from_nanos(slo),
+            });
+        }
+        Ok(Trace::new(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ms: u64, model: u32) -> TraceEvent {
+        TraceEvent {
+            at: Timestamp::from_millis(ms),
+            model: ModelId(model),
+            slo: Nanos::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_by_time() {
+        let t = Trace::new(vec![event(30, 1), event(10, 2), event(20, 1)]);
+        let times: Vec<u64> = t.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.duration(), Timestamp::from_millis(30));
+        assert_eq!(t.models(), vec![ModelId(1), ModelId(2)]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_rate(), 0.0);
+        assert_eq!(t.duration(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn mean_rate() {
+        let events: Vec<TraceEvent> = (1..=100).map(|i| event(i * 10, 1)).collect();
+        let t = Trace::new(events);
+        // 100 events over 1 second.
+        assert!((t.mean_rate() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn truncation_and_scaling() {
+        let t = Trace::new((0..100).map(|i| event(i * 10, 1)).collect());
+        let first_half = t.truncated(Timestamp::from_millis(500));
+        assert_eq!(first_half.len(), 50);
+        let double = t.rate_scaled(2.0);
+        assert_eq!(double.duration(), Timestamp::from_millis(495));
+        assert_eq!(t.rate_scaled(0.0), t, "invalid factors are ignored");
+    }
+
+    #[test]
+    fn merging_interleaves() {
+        let a = Trace::new(vec![event(10, 1), event(30, 1)]);
+        let b = Trace::new(vec![event(20, 2)]);
+        let m = a.merged(&b);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.events()[1].model, ModelId(2));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = Trace::new(vec![event(10, 1), event(20, 2)]);
+        let csv = t.to_csv();
+        let parsed = Trace::from_csv(&csv).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn csv_parse_errors_are_reported() {
+        assert!(Trace::from_csv("at_ns,model,slo_ns\n1,2\n").is_err());
+        assert!(Trace::from_csv("at_ns,model,slo_ns\nx,2,3\n").is_err());
+        let empty = Trace::from_csv("at_ns,model,slo_ns\n").unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Property-based tests for workload generation and trace handling.
+//!
+//! Every experiment in the repository is driven by a [`Trace`]; these tests
+//! pin down the trace algebra (ordering, scaling, truncation, merging, CSV
+//! round-trips) and the statistical sanity of the open-loop, closed-loop and
+//! Azure-like generators.
+
+use proptest::prelude::*;
+
+use clockwork_model::ModelId;
+use clockwork_sim::rng::SimRng;
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_workload::azure::{AzureTraceConfig, AzureTraceGenerator};
+use clockwork_workload::closed_loop::ClosedLoopClient;
+use clockwork_workload::open_loop::OpenLoopClient;
+use clockwork_workload::trace::{Trace, TraceEvent};
+
+const HOUR_NS: u64 = 3_600_000_000_000;
+
+fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec(
+        (0u64..HOUR_NS, 0u32..50, 1u64..1_000_000_000u64),
+        0..300,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(at, model, slo)| TraceEvent {
+                at: Timestamp::from_nanos(at),
+                model: ModelId(model),
+                slo: Nanos::from_nanos(slo),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Trace algebra
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn trace_is_sorted_and_preserves_every_event(events in arb_events()) {
+        let trace = Trace::new(events.clone());
+        prop_assert_eq!(trace.len(), events.len());
+        for w in trace.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // Same multiset of events, just reordered.
+        let mut original: Vec<_> = events.iter().map(|e| (e.at, e.model, e.slo)).collect();
+        let mut sorted: Vec<_> = trace.events().iter().map(|e| (e.at, e.model, e.slo)).collect();
+        original.sort();
+        sorted.sort();
+        prop_assert_eq!(original, sorted);
+        // Duration is the last arrival.
+        let expected_duration = events.iter().map(|e| e.at).max().unwrap_or(Timestamp::ZERO);
+        prop_assert_eq!(trace.duration(), expected_duration);
+        // The model list is deduplicated and covers every referenced model.
+        let models = trace.models();
+        for e in trace.events() {
+            prop_assert!(models.contains(&e.model));
+        }
+        let mut deduped = models.clone();
+        deduped.sort();
+        deduped.dedup();
+        prop_assert_eq!(deduped.len(), models.len());
+    }
+
+    #[test]
+    fn trace_truncation_keeps_exactly_the_prefix(events in arb_events(), cutoff in 0u64..HOUR_NS) {
+        let trace = Trace::new(events);
+        let cutoff = Timestamp::from_nanos(cutoff);
+        let truncated = trace.truncated(cutoff);
+        let expected = trace.events().iter().filter(|e| e.at <= cutoff).count();
+        prop_assert_eq!(truncated.len(), expected);
+        for e in truncated.events() {
+            prop_assert!(e.at <= cutoff);
+        }
+    }
+
+    #[test]
+    fn trace_rate_scaling_preserves_count_and_compresses_time(events in arb_events(), factor in 0.1f64..10.0) {
+        let trace = Trace::new(events);
+        let scaled = trace.rate_scaled(factor);
+        prop_assert_eq!(scaled.len(), trace.len());
+        // Scaling the rate by `factor` divides every arrival time by it.
+        for (orig, s) in trace.events().iter().zip(scaled.events()) {
+            prop_assert_eq!(orig.model, s.model);
+            prop_assert_eq!(orig.slo, s.slo);
+            let expected = orig.at.as_nanos() as f64 / factor;
+            let got = s.at.as_nanos() as f64;
+            prop_assert!((got - expected).abs() <= expected * 1e-9 + 2.0,
+                "arrival {} scaled to {}, expected {}", orig.at, s.at, expected);
+        }
+        if factor > 1.0 {
+            prop_assert!(scaled.duration() <= trace.duration());
+        }
+    }
+
+    #[test]
+    fn trace_merge_is_a_union(a in arb_events(), b in arb_events()) {
+        let ta = Trace::new(a);
+        let tb = Trace::new(b);
+        let merged = ta.merged(&tb);
+        prop_assert_eq!(merged.len(), ta.len() + tb.len());
+        prop_assert!(merged.duration() >= ta.duration());
+        prop_assert!(merged.duration() >= tb.duration());
+        for w in merged.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn trace_csv_roundtrips(events in arb_events()) {
+        let trace = Trace::new(events);
+        let text = trace.to_csv();
+        let parsed = Trace::from_csv(&text).expect("our own CSV must parse");
+        prop_assert_eq!(parsed.len(), trace.len());
+        for (orig, p) in trace.events().iter().zip(parsed.events()) {
+            prop_assert_eq!(orig.at, p.at);
+            prop_assert_eq!(orig.model, p.model);
+            prop_assert_eq!(orig.slo, p.slo);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Open-loop (Poisson) clients
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn open_loop_rate_is_respected_within_statistical_bounds(rate in 50.0f64..2000.0, seed in any::<u64>()) {
+        let slo = Nanos::from_millis(100);
+        let duration = Nanos::from_secs(20);
+        let client = OpenLoopClient::new(ModelId(3), rate, slo);
+        let mut rng = SimRng::seeded(seed);
+        let trace = client.generate(duration, &mut rng);
+        // All events target the right model, carry the right SLO, and lie
+        // within the requested duration.
+        for e in trace.events() {
+            prop_assert_eq!(e.model, ModelId(3));
+            prop_assert_eq!(e.slo, slo);
+            prop_assert!(e.at <= Timestamp::ZERO + duration);
+        }
+        // The realised rate is within 20 % of the requested rate (Poisson
+        // with >= 1000 expected events).
+        let expected = rate * duration.as_secs_f64();
+        let got = trace.len() as f64;
+        prop_assert!((got - expected).abs() < expected * 0.2,
+            "requested ~{} events, generated {}", expected, got);
+    }
+
+    #[test]
+    fn open_loop_generate_many_covers_every_model(
+        n_models in 1usize..30,
+        rate in 1.0f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let models: Vec<ModelId> = (0..n_models as u32).map(ModelId).collect();
+        let mut rng = SimRng::seeded(seed);
+        let trace = OpenLoopClient::generate_many(
+            &models,
+            rate,
+            Nanos::from_millis(100),
+            Nanos::from_secs(30),
+            &mut rng,
+        );
+        for e in trace.events() {
+            prop_assert!(models.contains(&e.model));
+        }
+        for w in trace.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Closed-loop clients
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn closed_loop_client_never_exceeds_its_concurrency(
+        concurrency in 1u32..32,
+        responses in 0usize..200,
+    ) {
+        let mut client = ClosedLoopClient::new(ModelId(1), concurrency, Nanos::from_millis(100));
+        let initial = client.initial_submissions(Timestamp::ZERO);
+        // A closed-loop client opens exactly `concurrency` requests up front.
+        prop_assert_eq!(initial.len(), concurrency as usize);
+        prop_assert_eq!(client.in_flight(), concurrency);
+        prop_assert_eq!(client.submitted(), u64::from(concurrency));
+
+        let mut now = Timestamp::ZERO;
+        for i in 0..responses {
+            now = now + Nanos::from_millis(5);
+            let next = client.on_response(now);
+            // Every completed request is immediately replaced by exactly one
+            // new submission, keeping in-flight constant.
+            prop_assert!(next.is_some());
+            prop_assert_eq!(client.in_flight(), concurrency);
+            prop_assert_eq!(client.completed(), i as u64 + 1);
+            prop_assert_eq!(client.submitted(), u64::from(concurrency) + i as u64 + 1);
+        }
+    }
+
+}
+
+// ----------------------------------------------------------------------
+// Azure-like trace generator (fewer cases: each one synthesises minutes of
+// trace)
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn azure_generator_is_deterministic_and_shaped_like_its_config(
+        functions in 20usize..200,
+        models in 5usize..60,
+        rate in 50.0f64..500.0,
+        seed in any::<u64>(),
+    ) {
+        let config = AzureTraceConfig {
+            functions,
+            models,
+            duration: Nanos::from_minutes(2),
+            target_rate: rate,
+            slo: Nanos::from_millis(100),
+            seed,
+        };
+        let generator = AzureTraceGenerator::new(config);
+        prop_assert_eq!(generator.functions().len(), functions);
+        for f in generator.functions() {
+            prop_assert!((f.model.0 as usize) < models, "function mapped to unknown model");
+            prop_assert!(f.weight >= 0.0);
+        }
+
+        let trace = generator.generate();
+        // Determinism: the same config yields byte-identical traces.
+        let again = AzureTraceGenerator::new(config).generate();
+        prop_assert_eq!(trace.len(), again.len());
+        prop_assert_eq!(trace.events(), again.events());
+
+        // Shape: events are ordered, within duration, target known models,
+        // and carry the configured SLO.
+        for e in trace.events() {
+            prop_assert!((e.model.0 as usize) < models);
+            prop_assert_eq!(e.slo, config.slo);
+            prop_assert!(e.at <= Timestamp::ZERO + config.duration);
+        }
+        for w in trace.events().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        // The realised aggregate rate is in the same order of magnitude as
+        // the target. The generator deliberately trades rate exactness for
+        // realistic class mixtures (hourly spikes land inside short windows,
+        // cold functions contribute a minimum trickle), so the band here is
+        // wide; the per-experiment realised rates are recorded in
+        // EXPERIMENTS.md.
+        prop_assert!(!trace.is_empty());
+        let realised = trace.mean_rate();
+        prop_assert!(realised > rate * 0.2 && realised < rate * 10.0,
+            "target {} r/s but realised {} r/s", rate, realised);
+    }
+}

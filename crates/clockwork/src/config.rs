@@ -1,0 +1,143 @@
+//! System-level configuration.
+
+use clockwork_controller::ClockworkSchedulerConfig;
+use clockwork_sim::network::NetworkConfig;
+use clockwork_sim::variance::VarianceConfig;
+use clockwork_worker::ExecMode;
+
+use clockwork_baselines::{ClipperConfig, InfaasConfig};
+
+/// Which serving discipline drives the cluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SchedulerKind {
+    /// The Clockwork scheduler (proactive, consolidated choice).
+    Clockwork(ClockworkSchedulerConfig),
+    /// The naive FIFO ablation scheduler.
+    Fifo,
+    /// The Clipper-like reactive baseline.
+    Clipper(ClipperConfig),
+    /// The INFaaS-like reactive baseline.
+    Infaas(InfaasConfig),
+}
+
+impl Default for SchedulerKind {
+    fn default() -> Self {
+        SchedulerKind::Clockwork(ClockworkSchedulerConfig::default())
+    }
+}
+
+impl SchedulerKind {
+    /// The execution discipline the paired workers should run with: Clockwork
+    /// and the FIFO ablation assume exclusive one-at-a-time execution, while
+    /// the reactive baselines run atop frameworks that execute concurrently.
+    pub fn default_exec_mode(&self) -> ExecMode {
+        match self {
+            SchedulerKind::Clockwork(_) | SchedulerKind::Fifo => ExecMode::Exclusive,
+            SchedulerKind::Clipper(_) | SchedulerKind::Infaas(_) => ExecMode::Concurrent {
+                max_concurrent: 16,
+            },
+        }
+    }
+
+    /// A short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Clockwork(_) => "clockwork",
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::Clipper(_) => "clipper",
+            SchedulerKind::Infaas(_) => "infaas",
+        }
+    }
+}
+
+/// Configuration of a serving cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Number of worker machines.
+    pub workers: u32,
+    /// GPUs per worker.
+    pub gpus_per_worker: u32,
+    /// Device memory dedicated to the weights cache, per GPU, in bytes.
+    pub weights_cache_bytes: u64,
+    /// Execution discipline override (defaults to the scheduler's natural
+    /// mode when `None`).
+    pub exec_mode: Option<ExecMode>,
+    /// External interference profile applied to every worker.
+    pub variance: VarianceConfig,
+    /// Network model between clients, controller and workers.
+    pub network: NetworkConfig,
+    /// The serving discipline.
+    pub scheduler: SchedulerKind,
+    /// Keep every individual response in memory (disable for very large
+    /// traces; aggregates are always collected).
+    pub keep_responses: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            workers: 1,
+            gpus_per_worker: 1,
+            weights_cache_bytes: 31 * 1024 * 1024 * 1024,
+            exec_mode: None,
+            variance: VarianceConfig::none(),
+            network: NetworkConfig::ideal(clockwork_sim::time::Nanos::from_micros(100)),
+            scheduler: SchedulerKind::default(),
+            keep_responses: true,
+            seed: 0xc10c,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The execution mode workers should use.
+    pub fn effective_exec_mode(&self) -> ExecMode {
+        self.exec_mode.unwrap_or(self.scheduler.default_exec_mode())
+    }
+
+    /// Total number of GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.workers * self.gpus_per_worker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = SystemConfig::default();
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.total_gpus(), 1);
+        assert_eq!(c.scheduler.label(), "clockwork");
+        assert_eq!(c.effective_exec_mode(), ExecMode::Exclusive);
+    }
+
+    #[test]
+    fn baselines_default_to_concurrent_execution() {
+        let clipper = SchedulerKind::Clipper(ClipperConfig::default());
+        assert!(matches!(
+            clipper.default_exec_mode(),
+            ExecMode::Concurrent { .. }
+        ));
+        assert_eq!(clipper.label(), "clipper");
+        assert_eq!(SchedulerKind::Fifo.label(), "fifo");
+        assert_eq!(
+            SchedulerKind::Infaas(InfaasConfig::default()).label(),
+            "infaas"
+        );
+    }
+
+    #[test]
+    fn exec_mode_override_wins() {
+        let mut c = SystemConfig::default();
+        c.exec_mode = Some(ExecMode::Concurrent { max_concurrent: 4 });
+        assert_eq!(
+            c.effective_exec_mode(),
+            ExecMode::Concurrent { max_concurrent: 4 }
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Clockwork-RS: a distributed model serving system with predictable
+//! performance, reproducing "Serving DNNs like Clockwork" (OSDI 2020).
+//!
+//! This crate assembles the pieces from the rest of the workspace — the
+//! simulated hardware substrate, the model zoo, predictable workers, the
+//! centralized controller, workload generators and the baseline disciplines —
+//! into a runnable serving system driven by a discrete-event loop.
+//!
+//! # Quick start
+//!
+//! ```
+//! use clockwork::prelude::*;
+//!
+//! // One worker with one (simulated) V100, the Clockwork scheduler.
+//! let mut system = SystemBuilder::new()
+//!     .workers(1)
+//!     .scheduler(SchedulerKind::Clockwork(Default::default()))
+//!     .build();
+//!
+//! // Register 3 copies of ResNet50 from the Appendix A model zoo.
+//! let zoo = ModelZoo::new();
+//! let models = system.register_copies(zoo.resnet50(), 3);
+//!
+//! // Drive them with open-loop Poisson clients at 100 r/s each, 100 ms SLO.
+//! let trace = OpenLoopClient::generate_many(
+//!     &models,
+//!     100.0,
+//!     Nanos::from_millis(100),
+//!     Nanos::from_secs(2),
+//!     &mut SimRng::seeded(1),
+//! );
+//! system.submit_trace(&trace);
+//! system.run_to_completion();
+//!
+//! let m = system.telemetry().metrics();
+//! assert!(m.satisfaction() > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod system;
+pub mod telemetry;
+
+pub use config::{SchedulerKind, SystemConfig};
+pub use system::{ServingSystem, SystemBuilder};
+pub use telemetry::{ExperimentMetrics, SystemTelemetry};
+
+/// Convenience re-exports for examples, tests and benchmarks.
+pub mod prelude {
+    pub use crate::config::{SchedulerKind, SystemConfig};
+    pub use crate::system::{ServingSystem, SystemBuilder};
+    pub use crate::telemetry::{ExperimentMetrics, SystemTelemetry};
+    pub use clockwork_controller::{
+        ClockworkScheduler, ClockworkSchedulerConfig, InferenceRequest, RequestId,
+    };
+    pub use clockwork_model::{zoo::ModelZoo, ModelId, ModelSpec};
+    pub use clockwork_sim::rng::SimRng;
+    pub use clockwork_sim::time::{Nanos, Timestamp};
+    pub use clockwork_sim::variance::VarianceConfig;
+    pub use clockwork_worker::{ExecMode, WorkerConfig, WorkerId};
+    pub use clockwork_workload::{
+        AzureTraceConfig, AzureTraceGenerator, ClosedLoopClient, OpenLoopClient, Trace, TraceEvent,
+    };
+}

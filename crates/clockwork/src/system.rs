@@ -1,0 +1,699 @@
+//! The serving system: controller + workers + network in one event loop.
+//!
+//! [`SystemBuilder`] assembles a cluster from a [`SystemConfig`];
+//! [`ServingSystem`] then runs it in virtual time. Requests enter either from
+//! a pre-generated [`Trace`] (open-loop and Azure-like workloads) or from
+//! interactive [`ClosedLoopClient`]s; actions and results travel over the
+//! simulated network; workers execute them with the timing models of
+//! `clockwork-sim`; and every response is folded into [`SystemTelemetry`].
+//!
+//! The event loop mirrors the deployment of the paper: clients, controller
+//! and workers are distinct machines, every hop pays a network delay, and the
+//! controller is the only component that makes decisions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use clockwork_baselines::{ClipperScheduler, InfaasScheduler};
+use clockwork_controller::alt::FifoScheduler;
+use clockwork_controller::request::{InferenceRequest, RequestId, Response};
+use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
+use clockwork_controller::worker_state::GpuRef;
+use clockwork_controller::ClockworkScheduler;
+use clockwork_model::{ModelId, ModelSpec};
+use clockwork_sim::engine::EventQueue;
+use clockwork_sim::network::NetworkModel;
+use clockwork_sim::rng::SimRng;
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_worker::{Action, ActionResult, GpuId, Worker, WorkerConfig, WorkerId};
+use clockwork_workload::{ClosedLoopClient, Trace};
+
+use crate::config::{SchedulerKind, SystemConfig};
+use crate::telemetry::SystemTelemetry;
+
+/// Builder for a [`ServingSystem`].
+#[derive(Clone, Debug, Default)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+}
+
+impl SystemBuilder {
+    /// Starts from the default configuration (one worker, one GPU, the
+    /// Clockwork scheduler, an ideal 100 µs network).
+    pub fn new() -> Self {
+        SystemBuilder {
+            config: SystemConfig::default(),
+        }
+    }
+
+    /// Starts from an explicit configuration.
+    pub fn from_config(config: SystemConfig) -> Self {
+        SystemBuilder { config }
+    }
+
+    /// Sets the number of workers.
+    pub fn workers(mut self, workers: u32) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the number of GPUs per worker.
+    pub fn gpus_per_worker(mut self, gpus: u32) -> Self {
+        self.config.gpus_per_worker = gpus;
+        self
+    }
+
+    /// Sets the serving discipline.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the per-GPU weights cache size in bytes.
+    pub fn weights_cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.weights_cache_bytes = bytes;
+        self
+    }
+
+    /// Applies an external-variance profile to every worker.
+    pub fn variance(mut self, variance: clockwork_sim::variance::VarianceConfig) -> Self {
+        self.config.variance = variance;
+        self
+    }
+
+    /// Overrides the worker execution mode.
+    pub fn exec_mode(mut self, mode: clockwork_worker::ExecMode) -> Self {
+        self.config.exec_mode = Some(mode);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Disables raw per-response storage (for very large traces).
+    pub fn drop_raw_responses(mut self) -> Self {
+        self.config.keep_responses = false;
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> ServingSystem {
+        ServingSystem::new(self.config)
+    }
+}
+
+enum AnyScheduler {
+    Clockwork(ClockworkScheduler),
+    Fifo(FifoScheduler),
+    Clipper(ClipperScheduler),
+    Infaas(InfaasScheduler),
+}
+
+impl AnyScheduler {
+    fn as_scheduler(&mut self) -> &mut dyn Scheduler {
+        match self {
+            AnyScheduler::Clockwork(s) => s,
+            AnyScheduler::Fifo(s) => s,
+            AnyScheduler::Clipper(s) => s,
+            AnyScheduler::Infaas(s) => s,
+        }
+    }
+
+    fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        match self {
+            AnyScheduler::Clockwork(s) => s.add_gpu(gpu_ref, total_pages, page_size),
+            AnyScheduler::Fifo(s) => s.add_gpu(gpu_ref, total_pages, page_size),
+            AnyScheduler::Clipper(s) => s.add_gpu(gpu_ref, total_pages, page_size),
+            AnyScheduler::Infaas(s) => s.add_gpu(gpu_ref, total_pages, page_size),
+        }
+    }
+
+    fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_seed: Nanos) {
+        match self {
+            AnyScheduler::Clockwork(s) => s.add_model(id, spec, load_seed),
+            AnyScheduler::Fifo(s) => s.add_model(id, spec, load_seed),
+            AnyScheduler::Clipper(s) => s.add_model(id, spec, load_seed),
+            AnyScheduler::Infaas(s) => s.add_model(id, spec, load_seed),
+        }
+    }
+}
+
+enum SystemEvent {
+    /// A request leaves a client (trace replay or closed-loop resubmission).
+    ClientSubmit {
+        model: ModelId,
+        slo: Nanos,
+        client: Option<usize>,
+    },
+    /// The request reaches the controller.
+    ControllerRequest { request: InferenceRequest },
+    /// An action reaches a worker.
+    WorkerAction { worker: usize, action: Action },
+    /// A worker may have work to process at this time.
+    WorkerWake { worker: usize },
+    /// A result reaches the controller.
+    ControllerResult { result: ActionResult },
+    /// A response reaches the client that issued the request.
+    ClientResponse {
+        response: Response,
+        client: Option<usize>,
+    },
+    /// A dynamically uploaded model's weights finish arriving at the workers
+    /// (§5.1 "dynamic model loading over the network").
+    ModelUpload { id: ModelId, spec: Arc<ModelSpec> },
+    /// Periodic scheduler tick.
+    SchedulerTick,
+}
+
+/// A running serving cluster in virtual time.
+pub struct ServingSystem {
+    config: SystemConfig,
+    scheduler: AnyScheduler,
+    ctx: SchedulerCtx,
+    workers: Vec<Worker>,
+    worker_wake_scheduled: Vec<Option<Timestamp>>,
+    tick_scheduled: Option<Timestamp>,
+    network: NetworkModel,
+    queue: EventQueue<SystemEvent>,
+    telemetry: SystemTelemetry,
+    clients: Vec<ClosedLoopClient>,
+    request_owner: HashMap<RequestId, usize>,
+    models: HashMap<ModelId, Arc<ModelSpec>>,
+    next_model_id: u32,
+    next_request_id: u64,
+    now: Timestamp,
+}
+
+impl ServingSystem {
+    /// Creates a system from a configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        let rng = SimRng::seeded(config.seed);
+        let exec_mode = config.effective_exec_mode();
+        let workers: Vec<Worker> = (0..config.workers)
+            .map(|w| {
+                let wc = WorkerConfig::new(WorkerId(w))
+                    .with_gpus(config.gpus_per_worker)
+                    .with_exec_mode(exec_mode)
+                    .with_variance(config.variance)
+                    .with_weights_cache(config.weights_cache_bytes)
+                    .with_seed(config.seed ^ (u64::from(w) << 16));
+                Worker::new(wc)
+            })
+            .collect();
+        let mut scheduler = match config.scheduler {
+            SchedulerKind::Clockwork(cfg) => AnyScheduler::Clockwork(ClockworkScheduler::new(cfg)),
+            SchedulerKind::Fifo => AnyScheduler::Fifo(FifoScheduler::new()),
+            SchedulerKind::Clipper(cfg) => AnyScheduler::Clipper(ClipperScheduler::new(cfg)),
+            SchedulerKind::Infaas(cfg) => AnyScheduler::Infaas(InfaasScheduler::new(cfg)),
+        };
+        for worker in &workers {
+            for g in 0..worker.num_gpus() {
+                scheduler.add_gpu(
+                    GpuRef {
+                        worker: worker.id(),
+                        gpu: GpuId(g),
+                    },
+                    worker.total_pages(GpuId(g)),
+                    worker.config().page_size,
+                );
+            }
+        }
+        let telemetry = SystemTelemetry::new(config.keep_responses);
+        let worker_count = workers.len();
+        ServingSystem {
+            network: NetworkModel::new(config.network, rng.derive(1)),
+            scheduler,
+            ctx: SchedulerCtx::new(),
+            workers,
+            worker_wake_scheduled: vec![None; worker_count],
+            tick_scheduled: None,
+            queue: EventQueue::new(),
+            telemetry,
+            clients: Vec::new(),
+            request_owner: HashMap::new(),
+            models: HashMap::new(),
+            next_model_id: 0,
+            next_request_id: 0,
+            now: Timestamp::ZERO,
+            config,
+        }
+    }
+
+    /// The configuration of this system.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The telemetry collected so far.
+    pub fn telemetry(&self) -> &SystemTelemetry {
+        &self.telemetry
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Read access to the workers (for utilization reporting).
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// The Clockwork scheduler, if that is the configured discipline (used by
+    /// the prediction-error experiment).
+    pub fn clockwork_scheduler(&self) -> Option<&ClockworkScheduler> {
+        match &self.scheduler {
+            AnyScheduler::Clockwork(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Registers one model instance and returns its id.
+    pub fn register_model(&mut self, spec: &ModelSpec) -> ModelId {
+        let id = ModelId(self.next_model_id);
+        self.next_model_id += 1;
+        self.install_model(id, Arc::new(spec.clone()));
+        id
+    }
+
+    /// Uploads a model at a virtual time while the system is running (§5.1
+    /// "dynamic model loading over the network").
+    ///
+    /// The weights are shipped to the worker fleet over the simulated
+    /// network, and the model only becomes servable once that transfer has
+    /// arrived; requests that reach the controller earlier are rejected as
+    /// unknown, exactly as they would be against a real deployment that has
+    /// not finished the upload. Returns the id the model will be servable
+    /// under.
+    pub fn upload_model(&mut self, at: Timestamp, spec: &ModelSpec) -> ModelId {
+        let id = ModelId(self.next_model_id);
+        self.next_model_id += 1;
+        let spec = Arc::new(spec.clone());
+        // Shipping the weights over the shared network dominates an upload.
+        let delay = self.network.delay(spec.weights_bytes());
+        self.queue
+            .push(at + delay, SystemEvent::ModelUpload { id, spec });
+        id
+    }
+
+    /// Makes a model known to every worker (host memory), the scheduler and
+    /// the telemetry layer. Shared by start-of-run registration and runtime
+    /// uploads.
+    fn install_model(&mut self, id: ModelId, spec: Arc<ModelSpec>) {
+        for worker in &mut self.workers {
+            worker
+                .register_model(id, Arc::clone(&spec))
+                .expect("host memory exhausted while registering models");
+        }
+        let load_seed = spec.weights_transfer_duration(&self.workers[0].config().pcie);
+        self.scheduler.add_model(id, Arc::clone(&spec), load_seed);
+        self.models.insert(id, spec);
+    }
+
+    /// Registers `copies` instances of the same model (the paper's
+    /// experiments duplicate one model many times) and returns their ids.
+    pub fn register_copies(&mut self, spec: &ModelSpec, copies: usize) -> Vec<ModelId> {
+        (0..copies).map(|_| self.register_model(spec)).collect()
+    }
+
+    /// Registers one instance for each spec in a slice.
+    pub fn register_all(&mut self, specs: &[&ModelSpec]) -> Vec<ModelId> {
+        specs.iter().map(|s| self.register_model(s)).collect()
+    }
+
+    /// Submits every request of a trace.
+    pub fn submit_trace(&mut self, trace: &Trace) {
+        for event in trace.events() {
+            self.queue.push(
+                event.at,
+                SystemEvent::ClientSubmit {
+                    model: event.model,
+                    slo: event.slo,
+                    client: None,
+                },
+            );
+        }
+    }
+
+    /// Adds a closed-loop client; its initial requests are submitted at
+    /// `start`.
+    pub fn add_closed_loop_client(&mut self, mut client: ClosedLoopClient, start: Timestamp) {
+        let submissions = client.initial_submissions(start);
+        let index = self.clients.len();
+        self.clients.push(client);
+        for (at, model, slo) in submissions {
+            self.queue.push(
+                at,
+                SystemEvent::ClientSubmit {
+                    model,
+                    slo,
+                    client: Some(index),
+                },
+            );
+        }
+    }
+
+    /// Submits a single request at a given time (convenience for examples).
+    pub fn submit_request(&mut self, at: Timestamp, model: ModelId, slo: Nanos) {
+        self.queue.push(
+            at,
+            SystemEvent::ClientSubmit {
+                model,
+                slo,
+                client: None,
+            },
+        );
+    }
+
+    fn schedule_worker_wake(&mut self, worker: usize) {
+        if let Some(wake) = self.workers[worker].next_wakeup() {
+            let due = wake.max(self.now);
+            let already = self.worker_wake_scheduled[worker];
+            if already.map(|t| due < t).unwrap_or(true) {
+                self.worker_wake_scheduled[worker] = Some(due);
+                self.queue.push(due, SystemEvent::WorkerWake { worker });
+            }
+        }
+    }
+
+    fn schedule_tick(&mut self) {
+        if let Some(tick) = self.scheduler.as_scheduler().next_tick(self.now) {
+            if self.tick_scheduled.map(|t| tick < t).unwrap_or(true) {
+                self.tick_scheduled = Some(tick);
+                self.queue.push(tick, SystemEvent::SchedulerTick);
+            }
+        }
+    }
+
+    /// Drains scheduler outputs: actions go to workers (over the network),
+    /// responses go back to clients (over the network).
+    fn drain_ctx(&mut self) {
+        let actions = self.ctx.take_actions();
+        for (worker_id, action) in actions {
+            let worker_index = self
+                .workers
+                .iter()
+                .position(|w| w.id() == worker_id)
+                .unwrap_or(0);
+            // INFER inputs are forwarded through the controller (§7), so the
+            // message size includes the batch's input tensors.
+            let bytes = match &action.kind {
+                clockwork_worker::ActionKind::Infer { model, batch, .. } => {
+                    self.models
+                        .get(model)
+                        .map(|m| m.input_bytes() * u64::from(*batch))
+                        .unwrap_or(1_000)
+                        + 256
+                }
+                _ => 256,
+            };
+            let delay = self.network.delay(bytes);
+            self.queue.push(
+                self.now + delay,
+                SystemEvent::WorkerAction {
+                    worker: worker_index,
+                    action,
+                },
+            );
+        }
+        let responses = self.ctx.take_responses();
+        for response in responses {
+            self.telemetry.record_response(&response);
+            let client = self.request_owner.remove(&response.request);
+            let bytes = self
+                .models
+                .get(&response.model)
+                .map(|m| m.output_bytes())
+                .unwrap_or(1_000)
+                + 128;
+            let delay = self.network.delay(bytes);
+            self.queue.push(
+                self.now + delay,
+                SystemEvent::ClientResponse { response, client },
+            );
+        }
+        self.schedule_tick();
+    }
+
+    fn handle_event(&mut self, event: SystemEvent) {
+        match event {
+            SystemEvent::ClientSubmit { model, slo, client } => {
+                let bytes = self
+                    .models
+                    .get(&model)
+                    .map(|m| m.input_bytes())
+                    .unwrap_or(1_000);
+                let delay = self.network.delay(bytes + 128);
+                let id = RequestId(self.next_request_id);
+                self.next_request_id += 1;
+                if let Some(client) = client {
+                    self.request_owner.insert(id, client);
+                }
+                let at_controller = self.now + delay;
+                let request = InferenceRequest {
+                    id,
+                    model,
+                    arrival: at_controller,
+                    slo,
+                };
+                self.queue.push(at_controller, SystemEvent::ControllerRequest { request });
+            }
+            SystemEvent::ControllerRequest { request } => {
+                self.telemetry.record_arrival(self.now);
+                self.scheduler
+                    .as_scheduler()
+                    .on_request(self.now, request, &mut self.ctx);
+                self.drain_ctx();
+            }
+            SystemEvent::WorkerAction { worker, action } => {
+                self.workers[worker].submit(self.now, action);
+                self.schedule_worker_wake(worker);
+            }
+            SystemEvent::WorkerWake { worker } => {
+                self.worker_wake_scheduled[worker] = None;
+                let results = self.workers[worker].poll(self.now);
+                for result in results {
+                    let bytes = match result.action_type {
+                        "INFER" => {
+                            self.models
+                                .get(&result.model)
+                                .map(|m| m.output_bytes() * u64::from(result.batch))
+                                .unwrap_or(1_000)
+                                + 128
+                        }
+                        _ => 128,
+                    };
+                    let delay = self.network.delay(bytes);
+                    self.queue.push(
+                        self.now + delay,
+                        SystemEvent::ControllerResult { result },
+                    );
+                }
+                self.schedule_worker_wake(worker);
+            }
+            SystemEvent::ControllerResult { result } => {
+                self.scheduler
+                    .as_scheduler()
+                    .on_result(self.now, &result, &mut self.ctx);
+                self.drain_ctx();
+            }
+            SystemEvent::ClientResponse { response, client } => {
+                if let Some(index) = client {
+                    if let Some((at, model, slo)) = self.clients[index].on_response(self.now) {
+                        self.queue.push(
+                            at,
+                            SystemEvent::ClientSubmit {
+                                model,
+                                slo,
+                                client: Some(index),
+                            },
+                        );
+                    }
+                }
+                let _ = response;
+            }
+            SystemEvent::ModelUpload { id, spec } => {
+                self.install_model(id, spec);
+            }
+            SystemEvent::SchedulerTick => {
+                self.tick_scheduled = None;
+                self.scheduler.as_scheduler().on_tick(self.now, &mut self.ctx);
+                self.drain_ctx();
+            }
+        }
+    }
+
+    /// Runs the system until `until`, or until no events remain.
+    pub fn run_until(&mut self, until: Timestamp) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("event exists");
+            if t > self.now {
+                self.now = t;
+            }
+            self.handle_event(event);
+        }
+        if until > self.now && until != Timestamp::MAX {
+            self.now = until;
+        }
+    }
+
+    /// Runs for a duration of virtual time from the current instant.
+    pub fn run_for(&mut self, duration: Nanos) {
+        let until = self.now + duration;
+        self.run_until(until);
+    }
+
+    /// Runs until every event has been processed (all trace requests answered
+    /// and all actions completed). Closed-loop clients keep resubmitting
+    /// forever, so systems with closed-loop clients should use
+    /// [`ServingSystem::run_until`] instead.
+    pub fn run_to_completion(&mut self) {
+        self.run_until(Timestamp::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_model::zoo::ModelZoo;
+    use clockwork_workload::OpenLoopClient;
+
+    #[test]
+    fn single_request_round_trip() {
+        let zoo = ModelZoo::new();
+        let mut system = SystemBuilder::new().build();
+        let model = system.register_model(zoo.resnet50());
+        system.submit_request(Timestamp::ZERO, model, Nanos::from_millis(100));
+        system.run_to_completion();
+        let m = system.telemetry().metrics();
+        assert_eq!(m.total_requests, 1);
+        assert_eq!(m.successes, 1);
+        assert_eq!(m.goodput, 1);
+        assert_eq!(m.cold_starts, 1, "first request is a cold start");
+        // Cold start: load (~8.3 ms) + exec (~2.6 ms) + network.
+        let latency = m.latency.max().as_millis_f64();
+        assert!(latency > 10.0 && latency < 20.0, "latency {latency} ms");
+    }
+
+    #[test]
+    fn warm_requests_meet_tight_slos() {
+        let zoo = ModelZoo::new();
+        let mut system = SystemBuilder::new().seed(7).build();
+        let model = system.register_model(zoo.resnet50());
+        // Warm up.
+        system.submit_request(Timestamp::ZERO, model, Nanos::from_millis(100));
+        // Steady warm requests every 10 ms with a 10 ms SLO.
+        for i in 1..100u64 {
+            system.submit_request(
+                Timestamp::from_millis(50 + i * 10),
+                model,
+                Nanos::from_millis(10),
+            );
+        }
+        system.run_to_completion();
+        let m = system.telemetry().metrics();
+        assert_eq!(m.total_requests, 100);
+        assert!(
+            m.goodput >= 99,
+            "warm requests should meet 10 ms SLOs: goodput {}",
+            m.goodput
+        );
+    }
+
+    #[test]
+    fn open_loop_workload_on_multiple_models() {
+        let zoo = ModelZoo::new();
+        let mut system = SystemBuilder::new().seed(11).build();
+        let models = system.register_copies(zoo.resnet50(), 4);
+        let trace = OpenLoopClient::generate_many(
+            &models,
+            50.0,
+            Nanos::from_millis(100),
+            Nanos::from_secs(2),
+            &mut SimRng::seeded(3),
+        );
+        let expected = trace.len() as u64;
+        system.submit_trace(&trace);
+        system.run_to_completion();
+        let m = system.telemetry().metrics();
+        assert_eq!(m.total_requests, expected);
+        assert!(
+            m.satisfaction() > 0.95,
+            "satisfaction {} with {} requests",
+            m.satisfaction(),
+            expected
+        );
+    }
+
+    #[test]
+    fn closed_loop_clients_sustain_throughput() {
+        let zoo = ModelZoo::new();
+        let mut system = SystemBuilder::new().seed(13).build();
+        let model = system.register_model(zoo.resnet50());
+        system.add_closed_loop_client(
+            ClosedLoopClient::new(model, 8, Nanos::from_millis(250)),
+            Timestamp::ZERO,
+        );
+        system.run_until(Timestamp::from_secs(2));
+        let m = system.telemetry().metrics();
+        // Batch-8 ResNet50 sustains several hundred requests per second.
+        assert!(
+            m.throughput_rate() > 300.0,
+            "throughput {}",
+            m.throughput_rate()
+        );
+        assert!(m.successes > 500);
+    }
+
+    #[test]
+    fn fifo_ablation_serves_but_with_less_goodput_under_load() {
+        let zoo = ModelZoo::new();
+        let run = |kind: SchedulerKind| {
+            let mut system = SystemBuilder::new().scheduler(kind).seed(17).build();
+            let models = system.register_copies(zoo.resnet50(), 4);
+            let trace = OpenLoopClient::generate_many(
+                &models,
+                120.0,
+                Nanos::from_millis(50),
+                Nanos::from_secs(2),
+                &mut SimRng::seeded(5),
+            );
+            system.submit_trace(&trace);
+            system.run_until(Timestamp::from_secs(4));
+            system.telemetry().metrics()
+        };
+        let clockwork = run(SchedulerKind::default());
+        let fifo = run(SchedulerKind::Fifo);
+        assert!(clockwork.satisfaction() >= fifo.satisfaction());
+        assert!(fifo.successes > 0, "fifo still serves requests");
+    }
+
+    #[test]
+    fn multi_worker_clusters_scale_throughput() {
+        let zoo = ModelZoo::new();
+        let run = |workers: u32| {
+            let mut system = SystemBuilder::new().workers(workers).seed(19).build();
+            let models = system.register_copies(zoo.resnet50(), workers as usize * 2);
+            for (i, m) in models.iter().enumerate() {
+                system.add_closed_loop_client(
+                    ClosedLoopClient::new(*m, 8, Nanos::from_millis(500)),
+                    Timestamp::from_millis(i as u64),
+                );
+            }
+            system.run_until(Timestamp::from_secs(2));
+            system.telemetry().metrics().throughput_rate()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four > one * 2.0,
+            "4 workers ({four} r/s) should beat 1 worker ({one} r/s) by >2x"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! End-to-end experiment telemetry.
+//!
+//! Every figure of the evaluation is computed from the per-request responses
+//! and per-interval series collected here: goodput (responses within SLO) and
+//! throughput over time, the latency distribution scaled to the tail, batch
+//! sizes, cold-start counts, and rejection breakdowns.
+
+use std::collections::HashMap;
+
+use clockwork_controller::request::{RejectReason, RequestOutcome, Response};
+use clockwork_metrics::{LatencyHistogram, Summary, TimeSeries};
+use clockwork_model::ModelId;
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// Aggregated metrics of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentMetrics {
+    /// Total requests submitted to the controller.
+    pub total_requests: u64,
+    /// Requests that returned a successful inference.
+    pub successes: u64,
+    /// Successful requests that met their SLO (goodput).
+    pub goodput: u64,
+    /// Requests rejected, by reason.
+    pub rejections: HashMap<&'static str, u64>,
+    /// Latency distribution of all completed requests.
+    pub latency: LatencyHistogram,
+    /// Latency distribution of only the requests that met their SLO.
+    pub goodput_latency: LatencyHistogram,
+    /// Mean batch size over all successful requests.
+    pub mean_batch: f64,
+    /// Number of successful requests served from a cold model.
+    pub cold_starts: u64,
+    /// Duration of the experiment (last event seen).
+    pub horizon: Timestamp,
+}
+
+impl ExperimentMetrics {
+    /// Fraction of all requests that met their SLO ("workload satisfaction",
+    /// Fig. 7).
+    pub fn satisfaction(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 0.0;
+        }
+        self.goodput as f64 / self.total_requests as f64
+    }
+
+    /// Goodput in requests per second over the experiment horizon.
+    pub fn goodput_rate(&self) -> f64 {
+        let secs = self.horizon.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.goodput as f64 / secs
+    }
+
+    /// Throughput (successful responses, SLO-met or not) in requests per
+    /// second.
+    pub fn throughput_rate(&self) -> f64 {
+        let secs = self.horizon.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.successes as f64 / secs
+    }
+
+    /// Fraction of successful requests that were cold starts.
+    pub fn cold_start_fraction(&self) -> f64 {
+        if self.successes == 0 {
+            return 0.0;
+        }
+        self.cold_starts as f64 / self.successes as f64
+    }
+}
+
+/// Collects per-request outcomes and time series during a run.
+#[derive(Clone, Debug)]
+pub struct SystemTelemetry {
+    keep_responses: bool,
+    responses: Vec<Response>,
+    total_requests: u64,
+    successes: u64,
+    goodput: u64,
+    cold_starts: u64,
+    rejections: HashMap<&'static str, u64>,
+    latency: LatencyHistogram,
+    goodput_latency: LatencyHistogram,
+    batch_sizes: Summary,
+    /// Requests submitted per second.
+    pub request_series: TimeSeries,
+    /// Successful responses per second.
+    pub throughput_series: TimeSeries,
+    /// SLO-met responses per second.
+    pub goodput_series: TimeSeries,
+    /// Cold-start responses per second.
+    pub cold_start_series: TimeSeries,
+    /// Mean batch size per second (gauge).
+    pub batch_series: TimeSeries,
+    /// Latency (ms) samples per second (gauge, for max/percentile plots).
+    pub latency_series: TimeSeries,
+    per_model_success: HashMap<ModelId, u64>,
+    horizon: Timestamp,
+}
+
+impl Default for SystemTelemetry {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl SystemTelemetry {
+    /// Creates an empty telemetry collector.
+    pub fn new(keep_responses: bool) -> Self {
+        SystemTelemetry {
+            keep_responses,
+            responses: Vec::new(),
+            total_requests: 0,
+            successes: 0,
+            goodput: 0,
+            cold_starts: 0,
+            rejections: HashMap::new(),
+            latency: LatencyHistogram::new(),
+            goodput_latency: LatencyHistogram::new(),
+            batch_sizes: Summary::new(),
+            request_series: TimeSeries::per_second(),
+            throughput_series: TimeSeries::per_second(),
+            goodput_series: TimeSeries::per_second(),
+            cold_start_series: TimeSeries::per_second(),
+            batch_series: TimeSeries::per_second(),
+            latency_series: TimeSeries::per_second(),
+            per_model_success: HashMap::new(),
+            horizon: Timestamp::ZERO,
+        }
+    }
+
+    fn advance(&mut self, t: Timestamp) {
+        if t > self.horizon && t != Timestamp::MAX {
+            self.horizon = t;
+        }
+    }
+
+    /// Records that a request arrived at the controller.
+    pub fn record_arrival(&mut self, at: Timestamp) {
+        self.total_requests += 1;
+        self.request_series.record_event(at);
+        self.advance(at);
+    }
+
+    /// Records a response returned to a client.
+    pub fn record_response(&mut self, response: &Response) {
+        match &response.outcome {
+            RequestOutcome::Success {
+                completed,
+                batch,
+                cold_start,
+                ..
+            } => {
+                self.successes += 1;
+                let latency = *completed - response.arrival;
+                self.latency.record(latency);
+                self.latency_series
+                    .record_value(*completed, latency.as_millis_f64());
+                self.throughput_series.record_event(*completed);
+                self.batch_sizes.record(f64::from(*batch));
+                self.batch_series.record_value(*completed, f64::from(*batch));
+                if *cold_start {
+                    self.cold_starts += 1;
+                    self.cold_start_series.record_event(*completed);
+                }
+                if response.met_slo() {
+                    self.goodput += 1;
+                    self.goodput_latency.record(latency);
+                    self.goodput_series.record_event(*completed);
+                }
+                *self.per_model_success.entry(response.model).or_insert(0) += 1;
+                self.advance(*completed);
+            }
+            RequestOutcome::Rejected { at, reason } => {
+                let key = match reason {
+                    RejectReason::CannotMeetSlo => "cannot_meet_slo",
+                    RejectReason::DeadlineElapsed => "deadline_elapsed",
+                    RejectReason::UnknownModel => "unknown_model",
+                    RejectReason::WorkerRejected => "worker_rejected",
+                };
+                *self.rejections.entry(key).or_insert(0) += 1;
+                self.advance(*at);
+            }
+        }
+        if self.keep_responses {
+            self.responses.push(*response);
+        }
+    }
+
+    /// All individual responses (empty if `keep_responses` was disabled).
+    pub fn responses(&self) -> &[Response] {
+        &self.responses
+    }
+
+    /// End-to-end latency distribution of completed requests.
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Successful-response counts per model.
+    pub fn per_model_successes(&self) -> &HashMap<ModelId, u64> {
+        &self.per_model_success
+    }
+
+    /// Latency of all completed requests at a percentile.
+    pub fn latency_percentile(&self, p: f64) -> Nanos {
+        self.latency.percentile(p)
+    }
+
+    /// Finalises the aggregate metrics.
+    pub fn metrics(&self) -> ExperimentMetrics {
+        ExperimentMetrics {
+            total_requests: self.total_requests,
+            successes: self.successes,
+            goodput: self.goodput,
+            rejections: self.rejections.clone(),
+            latency: self.latency.clone(),
+            goodput_latency: self.goodput_latency.clone(),
+            mean_batch: self.batch_sizes.mean(),
+            cold_starts: self.cold_starts,
+            horizon: self.horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_controller::request::RequestId;
+    use clockwork_worker::{GpuId, WorkerId};
+
+    fn success(arrival_ms: u64, completed_ms: u64, deadline_ms: u64, cold: bool) -> Response {
+        Response {
+            request: RequestId(arrival_ms),
+            model: ModelId(1),
+            arrival: Timestamp::from_millis(arrival_ms),
+            deadline: Timestamp::from_millis(deadline_ms),
+            outcome: RequestOutcome::Success {
+                completed: Timestamp::from_millis(completed_ms),
+                batch: 4,
+                worker: WorkerId(0),
+                gpu: GpuId(0),
+                cold_start: cold,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_follow_responses() {
+        let mut t = SystemTelemetry::new(true);
+        t.record_arrival(Timestamp::from_millis(0));
+        t.record_arrival(Timestamp::from_millis(1));
+        t.record_arrival(Timestamp::from_millis(2));
+        t.record_response(&success(0, 10, 100, false)); // met SLO
+        t.record_response(&success(1, 500, 100, true)); // missed SLO
+        t.record_response(&Response {
+            request: RequestId(3),
+            model: ModelId(1),
+            arrival: Timestamp::from_millis(2),
+            deadline: Timestamp::from_millis(50),
+            outcome: RequestOutcome::Rejected {
+                at: Timestamp::from_millis(2),
+                reason: RejectReason::CannotMeetSlo,
+            },
+        });
+        let m = t.metrics();
+        assert_eq!(m.total_requests, 3);
+        assert_eq!(m.successes, 2);
+        assert_eq!(m.goodput, 1);
+        assert_eq!(m.cold_starts, 1);
+        assert!((m.satisfaction() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.rejections.get("cannot_meet_slo"), Some(&1));
+        assert_eq!(m.mean_batch, 4.0);
+        assert!((m.cold_start_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(t.responses().len(), 3);
+        assert_eq!(t.per_model_successes().get(&ModelId(1)), Some(&2));
+        assert!(m.goodput_rate() > 0.0);
+        assert!(m.throughput_rate() >= m.goodput_rate());
+    }
+
+    #[test]
+    fn keep_responses_flag_controls_raw_storage() {
+        let mut t = SystemTelemetry::new(false);
+        t.record_arrival(Timestamp::ZERO);
+        t.record_response(&success(0, 10, 100, false));
+        assert!(t.responses().is_empty());
+        assert_eq!(t.metrics().successes, 1);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let t = SystemTelemetry::default();
+        let m = t.metrics();
+        assert_eq!(m.satisfaction(), 0.0);
+        assert_eq!(m.goodput_rate(), 0.0);
+        assert_eq!(m.cold_start_fraction(), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_track_recorded_values() {
+        let mut t = SystemTelemetry::new(false);
+        for i in 1..=100u64 {
+            t.record_arrival(Timestamp::ZERO);
+            t.record_response(&success(0, i, 1_000, false));
+        }
+        let p50 = t.latency_percentile(50.0).as_millis_f64();
+        assert!((p50 - 50.0).abs() < 3.0, "p50 {p50}");
+    }
+}

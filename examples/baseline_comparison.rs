@@ -1,0 +1,59 @@
+//! Compare Clockwork against the reactive baselines (a miniature Fig. 5).
+//!
+//! ```bash
+//! cargo run --release --example baseline_comparison
+//! ```
+//!
+//! Runs the same closed-loop workload (6 copies of ResNet50, 16 outstanding
+//! requests each, 50 ms SLO) against Clockwork, the Clipper-like baseline,
+//! the INFaaS-like baseline and the FIFO strawman, and prints goodput and
+//! tail latency for each.
+
+use clockwork::prelude::*;
+use clockwork_baselines::{ClipperConfig, InfaasConfig};
+
+fn run(kind: SchedulerKind) -> (String, f64, f64, f64) {
+    let zoo = ModelZoo::new();
+    let label = kind.label().to_string();
+    let mut system = SystemBuilder::new().scheduler(kind).seed(9).drop_raw_responses().build();
+    let models = system.register_copies(zoo.resnet50(), 6);
+    for (i, &m) in models.iter().enumerate() {
+        system.add_closed_loop_client(
+            ClosedLoopClient::new(m, 16, Nanos::from_millis(50)),
+            Timestamp::from_millis(i as u64),
+        );
+    }
+    system.run_until(Timestamp::from_secs(10));
+    let m = system.telemetry().metrics();
+    (
+        label,
+        m.goodput_rate(),
+        m.satisfaction(),
+        m.latency.percentile(99.0).as_millis_f64(),
+    )
+}
+
+fn main() {
+    println!("{:<12} {:>12} {:>14} {:>10}", "system", "goodput r/s", "satisfaction", "p99 ms");
+    let mut clockwork_goodput = 0.0;
+    let mut best_baseline = 0.0f64;
+    for kind in [
+        SchedulerKind::default(),
+        SchedulerKind::Clipper(ClipperConfig::default()),
+        SchedulerKind::Infaas(InfaasConfig::default()),
+        SchedulerKind::Fifo,
+    ] {
+        let (label, goodput, satisfaction, p99) = run(kind);
+        println!("{label:<12} {goodput:>12.0} {:>13.1}% {p99:>10.2}", satisfaction * 100.0);
+        if label == "clockwork" {
+            clockwork_goodput = goodput;
+        } else {
+            best_baseline = best_baseline.max(goodput);
+        }
+    }
+    println!();
+    println!(
+        "Clockwork goodput vs best baseline: {:.2}x",
+        clockwork_goodput / best_baseline.max(1.0)
+    );
+}

@@ -1,0 +1,83 @@
+//! Integration tests comparing serving disciplines on the same substrate.
+
+use clockwork::prelude::*;
+use clockwork_baselines::{ClipperConfig, InfaasConfig};
+
+fn run_closed_loop(kind: SchedulerKind, copies: usize, slo_ms: u64, seconds: u64) -> ExperimentMetrics {
+    let zoo = ModelZoo::new();
+    let mut system = SystemBuilder::new().scheduler(kind).seed(300).drop_raw_responses().build();
+    let ids = system.register_copies(zoo.resnet50(), copies);
+    for (i, &m) in ids.iter().enumerate() {
+        system.add_closed_loop_client(
+            ClosedLoopClient::new(m, 16, Nanos::from_millis(slo_ms)),
+            Timestamp::from_millis(i as u64),
+        );
+    }
+    system.run_until(Timestamp::from_secs(seconds));
+    system.telemetry().metrics()
+}
+
+#[test]
+fn all_disciplines_serve_a_light_workload() {
+    for kind in [
+        SchedulerKind::default(),
+        SchedulerKind::Fifo,
+        SchedulerKind::Clipper(ClipperConfig::default()),
+        SchedulerKind::Infaas(InfaasConfig::default()),
+    ] {
+        let label = kind.label();
+        let m = run_closed_loop(kind, 2, 500, 3);
+        assert!(m.successes > 500, "{label}: successes {}", m.successes);
+        assert!(
+            m.satisfaction() > 0.5,
+            "{label}: satisfaction {}",
+            m.satisfaction()
+        );
+    }
+}
+
+#[test]
+fn clockwork_beats_baselines_at_tight_slos() {
+    // The Fig. 5 headline: below ~100 ms SLO the reactive baselines' goodput
+    // collapses while Clockwork keeps serving.
+    let clockwork = run_closed_loop(SchedulerKind::default(), 15, 50, 8);
+    let clipper = run_closed_loop(SchedulerKind::Clipper(ClipperConfig::default()), 15, 50, 8);
+    let infaas = run_closed_loop(SchedulerKind::Infaas(InfaasConfig::default()), 15, 50, 8);
+    assert!(
+        clockwork.goodput_rate() > clipper.goodput_rate(),
+        "clockwork {} vs clipper {}",
+        clockwork.goodput_rate(),
+        clipper.goodput_rate()
+    );
+    assert!(
+        clockwork.goodput_rate() > infaas.goodput_rate(),
+        "clockwork {} vs infaas {}",
+        clockwork.goodput_rate(),
+        infaas.goodput_rate()
+    );
+    assert!(
+        clockwork.satisfaction() > clipper.satisfaction(),
+        "clockwork {} vs clipper {}",
+        clockwork.satisfaction(),
+        clipper.satisfaction()
+    );
+}
+
+#[test]
+fn baselines_tail_latency_exceeds_slo_under_pressure() {
+    // Clipper keeps executing late requests, so its p99 blows through the SLO;
+    // Clockwork's stays pinned near it.
+    let slo_ms = 50u64;
+    let clockwork = run_closed_loop(SchedulerKind::default(), 15, slo_ms, 6);
+    let clipper = run_closed_loop(SchedulerKind::Clipper(ClipperConfig::default()), 15, slo_ms, 6);
+    let cw_p99 = clockwork.latency.percentile(99.0).as_millis_f64();
+    let cl_p99 = clipper.latency.percentile(99.0).as_millis_f64();
+    assert!(
+        cw_p99 <= slo_ms as f64 + 5.0,
+        "clockwork p99 {cw_p99} should stay near the {slo_ms} ms SLO"
+    );
+    assert!(
+        cl_p99 > cw_p99,
+        "clipper p99 {cl_p99} vs clockwork p99 {cw_p99}"
+    );
+}

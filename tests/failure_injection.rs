@@ -1,0 +1,297 @@
+//! Failure-injection and stress tests for the assembled serving system.
+//!
+//! The paper's central claim is not that nothing ever goes wrong, but that
+//! when something does — external interference (C3), cache pressure, PCIe
+//! saturation, overload — the system degrades by *rejecting work up-front*
+//! rather than by serving requests late or wedging. Each test here injects
+//! one of those conditions and checks that the guarantees that matter
+//! (exactly-once responses, no silent SLO violations, continued progress)
+//! survive it.
+
+use clockwork::prelude::*;
+use clockwork_controller::request::RequestOutcome;
+use clockwork_sim::rng::SimRng;
+use clockwork_workload::open_loop::OpenLoopClient;
+use clockwork_workload::trace::{Trace, TraceEvent};
+
+/// Builds an open-loop trace over `ids` at `rate` requests/second per model.
+fn open_loop_trace(ids: &[ModelId], rate: f64, slo: Nanos, duration: Nanos, seed: u64) -> Trace {
+    let mut rng = SimRng::seeded(seed);
+    OpenLoopClient::generate_many(ids, rate, slo, duration, &mut rng)
+}
+
+/// Collects (total, successes, goodput, rejected) from a finished system.
+fn counts(system: &ServingSystem) -> (u64, u64, u64, u64) {
+    let m = system.telemetry().metrics();
+    let rejected: u64 = m.rejections.values().sum();
+    (m.total_requests, m.successes, m.goodput, rejected)
+}
+
+#[test]
+fn hostile_external_variance_degrades_gracefully() {
+    // A hostile host: frequent latency spikes and periodic thermal throttling
+    // (VarianceConfig::hostile). Accounting identities and the "no silent SLO
+    // miss" rule must survive; goodput may drop.
+    let zoo = ModelZoo::new();
+    let mut system = SystemBuilder::new()
+        .workers(1)
+        .variance(clockwork_sim::variance::VarianceConfig::hostile())
+        .seed(11)
+        .build();
+    let ids = system.register_copies(zoo.resnet50(), 4);
+    let trace = open_loop_trace(
+        &ids,
+        40.0,
+        Nanos::from_millis(100),
+        Nanos::from_secs(4),
+        99,
+    );
+    let submitted = trace.len() as u64;
+    system.submit_trace(&trace);
+    system.run_to_completion();
+
+    let (total, successes, goodput, rejected) = counts(&system);
+    assert_eq!(total, submitted);
+    assert_eq!(successes + rejected, total);
+    assert!(goodput <= successes);
+    // The workload is light (160 r/s against a ~380 r/s GPU), so even a
+    // hostile host serves the bulk of it.
+    assert!(
+        goodput as f64 > 0.8 * total as f64,
+        "goodput {goodput}/{total} collapsed under hostile variance"
+    );
+    // Goodput really means goodput: every response counted there met its
+    // deadline.
+    for r in system.telemetry().responses() {
+        if let RequestOutcome::Success { completed, .. } = r.outcome {
+            if completed <= r.deadline {
+                continue;
+            }
+            // Served-but-late responses are allowed to exist (an action can
+            // overrun its prediction under interference) but they must not be
+            // counted as goodput — checked via the aggregate above — and they
+            // must be rare.
+        }
+    }
+}
+
+#[test]
+fn hostile_variance_runs_are_still_deterministic() {
+    // Interference is part of the simulation, so two runs with the same seed
+    // must agree byte-for-byte even in a hostile environment.
+    let run = || {
+        let zoo = ModelZoo::new();
+        let mut system = SystemBuilder::new()
+            .workers(1)
+            .variance(clockwork_sim::variance::VarianceConfig::hostile())
+            .seed(1234)
+            .build();
+        let ids = system.register_copies(zoo.resnet50(), 3);
+        let trace = open_loop_trace(&ids, 50.0, Nanos::from_millis(50), Nanos::from_secs(3), 7);
+        system.submit_trace(&trace);
+        system.run_to_completion();
+        let m = system.telemetry().metrics();
+        (m.total_requests, m.successes, m.goodput, m.cold_starts)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn tiny_weights_cache_forces_evictions_without_stalling() {
+    // Shrink the weights cache so only ~2 of 8 models fit at once: every
+    // request burst forces LOAD/UNLOAD churn (the Fig. 6 regime). The system
+    // must keep serving and must mark the reloads as cold starts.
+    let zoo = ModelZoo::new();
+    let spec = zoo.resnet50();
+    let two_models = 2 * spec.weights_bytes() + 64 * 1024 * 1024;
+    let mut system = SystemBuilder::new()
+        .workers(1)
+        .weights_cache_bytes(two_models)
+        .seed(5)
+        .build();
+    let ids = system.register_copies(spec, 8);
+    let trace = open_loop_trace(&ids, 8.0, Nanos::from_millis(250), Nanos::from_secs(5), 21);
+    let submitted = trace.len() as u64;
+    system.submit_trace(&trace);
+    system.run_to_completion();
+
+    let m = system.telemetry().metrics();
+    assert_eq!(m.total_requests, submitted);
+    assert!(
+        m.successes as f64 > 0.7 * submitted as f64,
+        "cache churn should slow things down, not stop them: {} / {submitted}",
+        m.successes
+    );
+    assert!(
+        m.cold_starts > ids.len() as u64,
+        "with 8 models and room for 2, reloads must be frequent (saw {})",
+        m.cold_starts
+    );
+    // Nothing served under the SLO was actually late.
+    assert!(m.goodput_latency.max() <= Nanos::from_millis(250));
+}
+
+#[test]
+fn overload_is_shed_by_rejection_not_by_latency() {
+    // Offer ~4x the single-GPU capacity. Clockwork's answer to overload is
+    // up-front rejection; the latency distribution of what it does serve must
+    // stay pinned at or below the SLO.
+    let zoo = ModelZoo::new();
+    let slo = Nanos::from_millis(100);
+    let mut system = SystemBuilder::new().workers(1).seed(17).build();
+    let ids = system.register_copies(zoo.resnet50(), 6);
+    let trace = open_loop_trace(&ids, 280.0, slo, Nanos::from_secs(4), 3);
+    system.submit_trace(&trace);
+    system.run_to_completion();
+
+    let m = system.telemetry().metrics();
+    let rejected: u64 = m.rejections.values().sum();
+    assert!(rejected > 0, "an overloaded system must reject something");
+    assert!(m.goodput > 0, "an overloaded system must still serve something");
+    // Overload is absorbed by admission control, not by stretching the tail:
+    // essentially everything that was admitted met its deadline. (A handful
+    // of admitted-but-late responses are expected — the paper's own §6.5
+    // scale run admits 361 of 22 M requests that then overrun — so allow up
+    // to 1 %.)
+    let late = m.successes - m.goodput;
+    assert!(
+        (late as f64) < 0.01 * m.successes as f64,
+        "too many admitted requests were served late: {late} of {}",
+        m.successes
+    );
+    assert!(m.goodput_latency.percentile(99.9) <= slo);
+    // The shed requests are dropped by the controller before execution
+    // (admission control or queue-deadline expiry, the paper's "time out
+    // without executing"), not by workers failing actions.
+    let controller_sheds = m
+        .rejections
+        .iter()
+        .filter(|(reason, _)| !reason.contains("worker"))
+        .map(|(_, n)| n)
+        .sum::<u64>();
+    assert!(
+        controller_sheds as f64 > 0.9 * rejected as f64,
+        "load shedding should happen at the controller, got {:?}",
+        m.rejections
+    );
+}
+
+#[test]
+fn cold_start_storm_saturates_pcie_but_every_request_is_answered() {
+    // 40 distinct models, each requested a handful of times with nothing
+    // resident: every model pays a ~8 ms weights transfer, so the PCIe link
+    // becomes the bottleneck (the Fig. 6 crossover). A generous SLO lets
+    // everything complete; the point is that the burst of LOADs neither
+    // wedges the pipeline nor loses requests.
+    let zoo = ModelZoo::new();
+    let mut system = SystemBuilder::new().workers(1).seed(23).build();
+    let ids = system.register_copies(zoo.resnet50(), 40);
+    let mut events = Vec::new();
+    for (i, &m) in ids.iter().enumerate() {
+        for k in 0..3u64 {
+            events.push(TraceEvent {
+                at: Timestamp::from_millis(5 * i as u64 + 200 * k),
+                model: m,
+                slo: Nanos::from_millis(800),
+            });
+        }
+    }
+    let trace = Trace::new(events);
+    let submitted = trace.len() as u64;
+    system.submit_trace(&trace);
+    system.run_to_completion();
+
+    let m = system.telemetry().metrics();
+    assert_eq!(m.total_requests, submitted);
+    assert_eq!(
+        m.successes, submitted,
+        "a generous SLO and idle GPU must allow every cold request to be served: {:?}",
+        m.rejections
+    );
+    assert!(
+        m.cold_starts >= ids.len() as u64,
+        "every model's first request is necessarily a cold start"
+    );
+    assert!(m.goodput_latency.max() <= Nanos::from_millis(800));
+}
+
+#[test]
+fn impossible_then_feasible_requests_do_not_poison_the_scheduler() {
+    // A burst of requests with unmeetable SLOs is rejected; the feasible
+    // requests that follow must be completely unaffected (no stale state, no
+    // leftover strategies, no blocked executors).
+    let zoo = ModelZoo::new();
+    let mut system = SystemBuilder::new().workers(1).seed(31).build();
+    let id = system.register_model(zoo.resnet50());
+
+    let mut events = Vec::new();
+    for i in 0..50u64 {
+        events.push(TraceEvent {
+            at: Timestamp::from_millis(i),
+            model: id,
+            slo: Nanos::from_micros(200),
+        });
+    }
+    for i in 0..50u64 {
+        events.push(TraceEvent {
+            at: Timestamp::from_millis(500 + 10 * i),
+            model: id,
+            slo: Nanos::from_millis(100),
+        });
+    }
+    system.submit_trace(&Trace::new(events));
+    system.run_to_completion();
+
+    let responses = system.telemetry().responses();
+    assert_eq!(responses.len(), 100);
+    let (mut early_rejected, mut late_served) = (0u64, 0u64);
+    for r in responses {
+        if r.arrival < Timestamp::from_millis(400) {
+            if matches!(r.outcome, RequestOutcome::Rejected { .. }) {
+                early_rejected += 1;
+            }
+        } else if let RequestOutcome::Success { completed, .. } = r.outcome {
+            assert!(completed <= r.deadline, "post-burst request served late");
+            late_served += 1;
+        }
+    }
+    assert_eq!(early_rejected, 50, "every impossible-SLO request is rejected");
+    assert_eq!(late_served, 50, "every feasible follow-up request is served");
+}
+
+#[test]
+fn multi_gpu_workers_share_the_load() {
+    // The §6.5 scale experiment runs 2 GPUs per worker; both GPUs must
+    // actually absorb work (the scheduler balances across GPU executors, not
+    // just across workers).
+    let zoo = ModelZoo::new();
+    let mut single = SystemBuilder::new().workers(1).gpus_per_worker(1).seed(41).build();
+    let mut dual = SystemBuilder::new().workers(1).gpus_per_worker(2).seed(41).build();
+
+    let run = |system: &mut ServingSystem| {
+        let ids = system.register_copies(zoo.resnet50(), 8);
+        let trace = open_loop_trace(&ids, 150.0, Nanos::from_millis(50), Nanos::from_secs(4), 13);
+        system.submit_trace(&trace);
+        system.run_to_completion();
+        system.telemetry().metrics()
+    };
+    let m1 = run(&mut single);
+    let m2 = run(&mut dual);
+    // 8 models x 150 r/s = 1200 r/s offered: beyond one GPU even with
+    // batching, comfortably within two. The single-GPU worker must shed load
+    // while the dual-GPU worker absorbs almost all of it — i.e. the second
+    // GPU is genuinely used.
+    assert!(
+        m1.satisfaction() < 0.92,
+        "1200 r/s should overload a single GPU (satisfaction {})",
+        m1.satisfaction()
+    );
+    assert!(
+        m2.satisfaction() > m1.satisfaction() + 0.05,
+        "second GPU added little: {} vs {}",
+        m2.satisfaction(),
+        m1.satisfaction()
+    );
+    assert!(m2.goodput > m1.goodput);
+    assert!(m2.goodput_latency.percentile(99.9) <= Nanos::from_millis(50));
+}
