@@ -47,10 +47,15 @@ fn main() {
     println!("{}", RunSummary::csv_header());
 
     let full = ClockworkSchedulerConfig::default();
-    println!("{}", run("clockwork_full", SchedulerKind::Clockwork(full), None).csv_row());
+    println!(
+        "{}",
+        run("clockwork_full", SchedulerKind::Clockwork(full), None).csv_row()
+    );
 
-    let mut no_admission = ClockworkSchedulerConfig::default();
-    no_admission.admission_control = false;
+    let no_admission = ClockworkSchedulerConfig {
+        admission_control: false,
+        ..Default::default()
+    };
     println!(
         "{}",
         run(
@@ -61,8 +66,10 @@ fn main() {
         .csv_row()
     );
 
-    let mut no_batching = ClockworkSchedulerConfig::default();
-    no_batching.batching = false;
+    let no_batching = ClockworkSchedulerConfig {
+        batching: false,
+        ..Default::default()
+    };
     println!(
         "{}",
         run("no_batching", SchedulerKind::Clockwork(no_batching), None).csv_row()
@@ -78,7 +85,10 @@ fn main() {
         .csv_row()
     );
 
-    println!("{}", run("fifo_strawman", SchedulerKind::Fifo, None).csv_row());
+    println!(
+        "{}",
+        run("fifo_strawman", SchedulerKind::Fifo, None).csv_row()
+    );
 
     println!("# expected shape: removing admission control and batching hurts goodput under");
     println!("# overload; concurrent EXEC inflates tail latency; FIFO does both.");

@@ -90,8 +90,12 @@ fn main() {
         println!("{row}");
     }
 
-    bench::section("Fig 7 (right): isolation of LS clients from batch clients (N=6 LS @ 200 r/s each)");
-    println!("slo_multiplier,slo_ms,ls_sat_m0,ls_sat_m12_c16,bc_rps_m12_c16,ls_sat_m48_c4,bc_rps_m48_c4");
+    bench::section(
+        "Fig 7 (right): isolation of LS clients from batch clients (N=6 LS @ 200 r/s each)",
+    );
+    println!(
+        "slo_multiplier,slo_ms,ls_sat_m0,ls_sat_m12_c16,bc_rps_m12_c16,ls_sat_m48_c4,bc_rps_m48_c4"
+    );
     for &mult in &slo_multipliers() {
         let slo = Nanos::from_millis_f64(BASE_LATENCY_MS * mult);
         let (a, _) = ls_satisfaction(6, 1200.0, slo, 0, 0, 9_100 + mult as u64);

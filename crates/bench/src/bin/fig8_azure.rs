@@ -83,11 +83,8 @@ fn main() {
         m.latency.max().as_millis_f64(),
         m.cold_start_fraction()
     );
-    let models_with_cold: HashSet<ModelId> = generator
-        .functions()
-        .iter()
-        .map(|f| f.model)
-        .collect();
+    let models_with_cold: HashSet<ModelId> =
+        generator.functions().iter().map(|f| f.model).collect();
     println!(
         "# distinct models in workload: {} (cold-start fraction of successes: {:.1}%)",
         models_with_cold.len(),

@@ -35,8 +35,10 @@ fn error_summary(label: &str, errors_us: &[f64]) {
 
 fn main() {
     let zoo = ModelZoo::new();
-    let mut scheduler_config = clockwork_controller::ClockworkSchedulerConfig::default();
-    scheduler_config.record_predictions = true;
+    let scheduler_config = clockwork_controller::ClockworkSchedulerConfig {
+        record_predictions: true,
+        ..Default::default()
+    };
 
     let config = AzureTraceConfig {
         functions: 400,
@@ -67,7 +69,11 @@ fn main() {
         .expect("clockwork scheduler configured")
         .predictions()
         .to_vec();
-    println!("# {} predictions recorded from {} requests", predictions.len(), trace.len());
+    println!(
+        "# {} predictions recorded from {} requests",
+        predictions.len(),
+        trace.len()
+    );
 
     bench::section("Fig 9 (top): action duration prediction error (microseconds)");
     let infer_errors: Vec<f64> = predictions

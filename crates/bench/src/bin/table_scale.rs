@@ -48,7 +48,9 @@ fn run(slo: Nanos) -> (f64, u64, u64, f64, f64, f64) {
 
 fn main() {
     bench::section("Section 6.5 table: 10 workers x 2 GPUs, scaled Azure-like trace");
-    println!("slo_ms,goodput_rps,missed_slo_after_admission,rejected_upfront,p50_ms,p9999_ms,max_ms");
+    println!(
+        "slo_ms,goodput_rps,missed_slo_after_admission,rejected_upfront,p50_ms,p9999_ms,max_ms"
+    );
     for slo_ms in [100u64, 25] {
         let (goodput, missed, rejected, p50, p9999, max) = run(Nanos::from_millis(slo_ms));
         println!("{slo_ms},{goodput:.0},{missed},{rejected},{p50:.2},{p9999:.2},{max:.2}");

@@ -175,7 +175,10 @@ impl ClipperScheduler {
                         load_est,
                     );
                 }
-                self.models.get_mut(&model_id).expect("model exists").load_requested = true;
+                self.models
+                    .get_mut(&model_id)
+                    .expect("model exists")
+                    .load_requested = true;
             }
             // Dispatch batches up to the pipeline depth.
             loop {
@@ -425,12 +428,20 @@ mod tests {
         assert_eq!(actions[0].1.kind.type_name(), "LOAD");
         assert!(actions[0].1.window.latest == Timestamp::MAX, "no windows");
         // LOAD completes: the queued request is dispatched.
-        s.on_result(Timestamp::from_millis(9), &success(&actions[0].1, 9), &mut ctx);
+        s.on_result(
+            Timestamp::from_millis(9),
+            &success(&actions[0].1, 9),
+            &mut ctx,
+        );
         let actions = ctx.take_actions();
         assert_eq!(actions.len(), 1);
         assert_eq!(actions[0].1.kind.type_name(), "INFER");
         // INFER completes: response goes out.
-        s.on_result(Timestamp::from_millis(13), &success(&actions[0].1, 13), &mut ctx);
+        s.on_result(
+            Timestamp::from_millis(13),
+            &success(&actions[0].1, 13),
+            &mut ctx,
+        );
         let responses = ctx.take_responses();
         assert_eq!(responses.len(), 1);
         assert!(responses[0].outcome.is_success());
@@ -458,7 +469,11 @@ mod tests {
         let mut t = 10u64;
         // Fast responses (well under SLO) should grow the batch size.
         for _ in 0..6 {
-            s.on_request(Timestamp::from_millis(t), request(next_id, t, 100), &mut ctx);
+            s.on_request(
+                Timestamp::from_millis(t),
+                request(next_id, t, 100),
+                &mut ctx,
+            );
             next_id += 1;
             for (_, a) in ctx.take_actions() {
                 if a.kind.type_name() == "INFER" {

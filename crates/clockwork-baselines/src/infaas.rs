@@ -108,7 +108,10 @@ impl InfaasScheduler {
 
     /// Number of replicas (loaded GPUs) a model currently has.
     pub fn replica_count(&self, model: ModelId) -> usize {
-        self.models.get(&model).map(|m| m.replicas.len()).unwrap_or(0)
+        self.models
+            .get(&model)
+            .map(|m| m.replicas.len())
+            .unwrap_or(0)
     }
 
     /// Picks the batch-size variant for a dispatch: deeper queues and looser
@@ -298,7 +301,10 @@ impl Scheduler for InfaasScheduler {
                 if let Some(track) = self.tracker.get_mut(gpu_ref) {
                     track.note_load_result(result.action_id, result.model, result.is_success());
                 }
-                let target = self.load_targets.remove(&result.action_id).unwrap_or(gpu_ref);
+                let target = self
+                    .load_targets
+                    .remove(&result.action_id)
+                    .unwrap_or(gpu_ref);
                 if let Some(state) = self.models.get_mut(&result.model) {
                     state.loading.retain(|g| *g != target);
                     if result.is_success() && !state.replicas.contains(&target) {
@@ -424,7 +430,10 @@ mod tests {
     #[test]
     fn variant_selection_scales_with_queue_and_slo() {
         let spec = resnet();
-        assert_eq!(InfaasScheduler::select_variant(&spec, 1, Nanos::from_millis(100)), 1);
+        assert_eq!(
+            InfaasScheduler::select_variant(&spec, 1, Nanos::from_millis(100)),
+            1
+        );
         assert!(InfaasScheduler::select_variant(&spec, 20, Nanos::from_millis(200)) >= 8);
         // Tight SLO caps the variant even with a deep queue.
         assert_eq!(
@@ -462,8 +471,10 @@ mod tests {
 
     #[test]
     fn deep_queues_trigger_replication_to_other_gpus() {
-        let mut config = InfaasConfig::default();
-        config.replication_queue_threshold = 8;
+        let config = InfaasConfig {
+            replication_queue_threshold: 8,
+            ..Default::default()
+        };
         let mut s = InfaasScheduler::new(config);
         s.add_gpu(gref(0), 100, PAGE);
         s.add_gpu(gref(1), 100, PAGE);

@@ -290,10 +290,7 @@ impl ClockworkScheduler {
         // horizon, so long-idle models do not keep attracting LOADs.
         let horizon = self.config.load_priority_horizon;
         self.cold_rejections.retain(|_, history| {
-            while history
-                .front()
-                .is_some_and(|&t| t + horizon < now)
-            {
+            while history.front().is_some_and(|&t| t + horizon < now) {
                 history.pop_front();
             }
             !history.is_empty()
@@ -307,8 +304,8 @@ impl ClockworkScheduler {
             };
             let mut expired = Vec::new();
             entry.queue.retain(|p| {
-                let doomed = p.deadline != Timestamp::MAX
-                    && now + min_exec + allowance > p.deadline;
+                let doomed =
+                    p.deadline != Timestamp::MAX && now + min_exec + allowance > p.deadline;
                 if doomed {
                     expired.push(p.clone());
                 }
@@ -389,11 +386,11 @@ impl ClockworkScheduler {
         let horizon = now + self.config.lookahead;
         let gpu_refs: Vec<GpuRef> = self.tracker.gpus().iter().map(|g| g.gpu_ref).collect();
         for gpu_ref in gpu_refs {
-            loop {
-                let exec_slot = match self.tracker.get(gpu_ref) {
-                    Some(track) => track.next_exec_slot(now),
-                    None => break,
-                };
+            while let Some(exec_slot) = self
+                .tracker
+                .get(gpu_ref)
+                .map(|track| track.next_exec_slot(now))
+            {
                 if exec_slot >= horizon {
                     break;
                 }
@@ -583,11 +580,7 @@ impl ClockworkScheduler {
         let demands = self.model_demands(now);
         let gpu_refs: Vec<GpuRef> = self.tracker.gpus().iter().map(|g| g.gpu_ref).collect();
         for gpu_ref in gpu_refs {
-            loop {
-                let load_slot = match self.tracker.get(gpu_ref) {
-                    Some(t) => t.next_load_slot(now),
-                    None => break,
-                };
+            while let Some(load_slot) = self.tracker.get(gpu_ref).map(|t| t.next_load_slot(now)) {
                 if load_slot >= horizon {
                     break;
                 }
@@ -870,7 +863,9 @@ impl Scheduler for ClockworkScheduler {
     }
 
     fn next_tick(&self, now: Timestamp) -> Option<Timestamp> {
-        if self.queued_models.is_empty() && self.in_flight.is_empty() && self.in_flight_loads.is_empty()
+        if self.queued_models.is_empty()
+            && self.in_flight.is_empty()
+            && self.in_flight_loads.is_empty()
         {
             None
         } else {
@@ -985,8 +980,14 @@ mod tests {
         assert_eq!(s.stats().cold_requests, 1);
         assert_eq!(s.stats().admitted, 1);
         // The INFER must not be scheduled to start before the LOAD finishes.
-        let load = actions.iter().find(|(_, a)| a.kind.type_name() == "LOAD").unwrap();
-        let infer = actions.iter().find(|(_, a)| a.kind.type_name() == "INFER").unwrap();
+        let load = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "LOAD")
+            .unwrap();
+        let infer = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "INFER")
+            .unwrap();
         assert!(infer.1.window.earliest >= load.1.window.earliest + load.1.expected_duration);
     }
 
@@ -1062,10 +1063,7 @@ mod tests {
             }
             responses.extend(ctx.take_responses());
         }
-        let successes = responses
-            .iter()
-            .filter(|r| r.outcome.is_success())
-            .count();
+        let successes = responses.iter().filter(|r| r.outcome.is_success()).count();
         assert_eq!(successes, 5, "all requests served: {responses:?}");
         assert_eq!(s.stats().completed, 5);
         assert_eq!(s.queued_requests(), 0);
@@ -1254,7 +1252,11 @@ mod tests {
         s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
         let actions = ctx.take_actions();
         for (id, a) in actions.iter().map(|(_, a)| (a.id, a.clone())) {
-            let dur = if a.kind.type_name() == "LOAD" { 8_330 } else { 2_610 };
+            let dur = if a.kind.type_name() == "LOAD" {
+                8_330
+            } else {
+                2_610
+            };
             s.on_result(
                 Timestamp::from_millis(15),
                 &success_result(id, &a, 10, dur),
@@ -1289,15 +1291,21 @@ mod tests {
 
     #[test]
     fn prediction_records_are_collected_when_enabled() {
-        let mut config = ClockworkSchedulerConfig::default();
-        config.record_predictions = true;
+        let config = ClockworkSchedulerConfig {
+            record_predictions: true,
+            ..Default::default()
+        };
         let mut s = ClockworkScheduler::new(config);
         s.add_gpu(gref(), 100, PAGE);
         s.add_model(ModelId(1), resnet(), Nanos::from_millis_f64(8.33));
         let mut ctx = SchedulerCtx::new();
         s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
         for (id, a) in ctx.take_actions().iter().map(|(_, a)| (a.id, a.clone())) {
-            let dur = if a.kind.type_name() == "LOAD" { 8_400 } else { 2_650 };
+            let dur = if a.kind.type_name() == "LOAD" {
+                8_400
+            } else {
+                2_650
+            };
             s.on_result(
                 Timestamp::from_millis(15),
                 &success_result(id, &a, 10, dur),

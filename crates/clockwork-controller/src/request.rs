@@ -226,6 +226,8 @@ mod tests {
     #[test]
     fn reject_reasons_display() {
         assert!(RejectReason::CannotMeetSlo.to_string().contains("SLO"));
-        assert!(RejectReason::DeadlineElapsed.to_string().contains("deadline"));
+        assert!(RejectReason::DeadlineElapsed
+            .to_string()
+            .contains("deadline"));
     }
 }

@@ -180,7 +180,12 @@ impl GpuTrack {
         self.resident
             .iter()
             .filter(|m| !protect.contains(m) && !self.loading.contains(m))
-            .min_by_key(|m| (self.last_used.get(m).copied().unwrap_or(Timestamp::ZERO), **m))
+            .min_by_key(|m| {
+                (
+                    self.last_used.get(m).copied().unwrap_or(Timestamp::ZERO),
+                    **m,
+                )
+            })
             .copied()
     }
 
@@ -209,7 +214,8 @@ impl WorkerStateTracker {
     /// Registers a GPU.
     pub fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
         let idx = self.gpus.len();
-        self.gpus.push(GpuTrack::new(gpu_ref, total_pages, page_size));
+        self.gpus
+            .push(GpuTrack::new(gpu_ref, total_pages, page_size));
         self.index.insert(gpu_ref, idx);
     }
 
@@ -366,9 +372,18 @@ mod tests {
             Nanos::from_millis(3),
         );
         assert_eq!(g.exec_free_at, Timestamp::from_millis(13));
-        assert_eq!(g.next_exec_slot(Timestamp::from_millis(5)), Timestamp::from_millis(13));
-        assert_eq!(g.next_exec_slot(Timestamp::from_millis(20)), Timestamp::from_millis(20));
-        assert_eq!(g.last_used.get(&ModelId(3)), Some(&Timestamp::from_millis(10)));
+        assert_eq!(
+            g.next_exec_slot(Timestamp::from_millis(5)),
+            Timestamp::from_millis(13)
+        );
+        assert_eq!(
+            g.next_exec_slot(Timestamp::from_millis(20)),
+            Timestamp::from_millis(20)
+        );
+        assert_eq!(
+            g.last_used.get(&ModelId(3)),
+            Some(&Timestamp::from_millis(10))
+        );
         g.note_infer_result(ActionId(5));
         assert!(g.outstanding.is_empty());
     }
@@ -384,7 +399,8 @@ mod tests {
                 Nanos::from_millis(1),
             );
             g.note_load_result(ActionId(u64::from(i)), ModelId(i), true);
-            g.last_used.insert(ModelId(i), Timestamp::from_millis(used_ms));
+            g.last_used
+                .insert(ModelId(i), Timestamp::from_millis(used_ms));
         }
         let none = HashSet::new();
         assert_eq!(g.lru_candidate(&none), Some(ModelId(2)));

@@ -117,7 +117,8 @@ enum TrackOp {
 fn track_op() -> impl Strategy<Value = TrackOp> {
     prop_oneof![
         (0u32..16, 1u64..40).prop_map(|(model, pages)| TrackOp::LoadSent { model, pages }),
-        (0u32..16, any::<bool>()).prop_map(|(model, success)| TrackOp::LoadResult { model, success }),
+        (0u32..16, any::<bool>())
+            .prop_map(|(model, success)| TrackOp::LoadResult { model, success }),
         (0u32..16).prop_map(|model| TrackOp::InferSent { model }),
         (0u32..16).prop_map(|model| TrackOp::UnloadSent { model }),
     ]
@@ -137,7 +138,7 @@ proptest! {
         let mut pending_load: std::collections::HashMap<u32, ActionId> = Default::default();
 
         for op in ops {
-            now = now + Nanos::from_micros(100);
+            now += Nanos::from_micros(100);
             match op {
                 TrackOp::LoadSent { model, pages } => {
                     // The scheduler only sends a LOAD when the model is not
@@ -238,7 +239,7 @@ proptest! {
             );
             track.note_load_result(id, ModelId(m), true);
         }
-        let mut last_used = vec![Timestamp::ZERO; 8];
+        let mut last_used = [Timestamp::ZERO; 8];
         for (i, &(m, at)) in touches.iter().enumerate() {
             let start = Timestamp::from_nanos(at);
             track.note_infer_sent(
@@ -338,7 +339,10 @@ fn drive_scheduler(
     config: ClockworkSchedulerConfig,
     registered_models: u32,
     requests: &[(u32, Nanos)],
-) -> (Vec<clockwork_worker::Action>, Vec<clockwork_controller::request::Response>) {
+) -> (
+    Vec<clockwork_worker::Action>,
+    Vec<clockwork_controller::request::Response>,
+) {
     let zoo = ModelZoo::new();
     let spec = Arc::new(zoo.resnet50().clone());
     let mut sched = ClockworkScheduler::new(config);
@@ -395,7 +399,7 @@ fn drive_scheduler(
             }
             actions.push(action);
         }
-        now = now + Nanos::from_millis(1);
+        now += Nanos::from_millis(1);
     }
     responses.extend(ctx.take_responses());
     (actions, responses)

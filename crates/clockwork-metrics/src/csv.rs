@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+        assert_eq!(fmt_f64(1.2345, 2), "1.23");
         assert_eq!(fmt_f64(0.5, 0), "0");
     }
 }

@@ -286,7 +286,12 @@ mod tests {
             h.record(Nanos::from_micros(us));
         }
         assert_eq!(h.count(), 10_000);
-        for (q, expected_us) in [(0.1, 1_000.0), (0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+        for (q, expected_us) in [
+            (0.1, 1_000.0),
+            (0.5, 5_000.0),
+            (0.9, 9_000.0),
+            (0.99, 9_900.0),
+        ] {
             let got = h.quantile(q).as_micros_f64();
             let rel = (got - expected_us).abs() / expected_us;
             assert!(rel < 0.03, "q{q}: expected ~{expected_us}us got {got}us");
@@ -354,7 +359,10 @@ mod tests {
         assert!(!pts.is_empty());
         for w in pts.windows(2) {
             assert!(w[1].0 >= w[0].0, "latencies must be non-decreasing");
-            assert!(w[1].1 >= w[0].1, "cumulative fraction must be non-decreasing");
+            assert!(
+                w[1].1 >= w[0].1,
+                "cumulative fraction must be non-decreasing"
+            );
         }
         assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
     }
@@ -385,7 +393,18 @@ mod tests {
     #[test]
     fn bucket_value_is_inverse_lower_bound_of_bucket_index() {
         // For any value, bucket_value(bucket_index(v)) <= v and within ~2 %.
-        for v in [1u64, 63, 64, 65, 100, 1_000, 4_096, 1_000_000, 123_456_789, 10_000_000_000] {
+        for v in [
+            1u64,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            4_096,
+            1_000_000,
+            123_456_789,
+            10_000_000_000,
+        ] {
             let idx = LatencyHistogram::bucket_index(v);
             let lower = LatencyHistogram::bucket_value(idx);
             assert!(lower <= v, "lower {lower} > v {v}");

@@ -121,9 +121,18 @@ mod tests {
     fn percentile_nearest_rank() {
         let samples: Vec<Nanos> = (1..=100u64).map(Nanos::from_millis).collect();
         assert_eq!(percentile_nanos(&samples, 0.0), Some(Nanos::from_millis(1)));
-        assert_eq!(percentile_nanos(&samples, 50.0), Some(Nanos::from_millis(50)));
-        assert_eq!(percentile_nanos(&samples, 99.0), Some(Nanos::from_millis(99)));
-        assert_eq!(percentile_nanos(&samples, 100.0), Some(Nanos::from_millis(100)));
+        assert_eq!(
+            percentile_nanos(&samples, 50.0),
+            Some(Nanos::from_millis(50))
+        );
+        assert_eq!(
+            percentile_nanos(&samples, 99.0),
+            Some(Nanos::from_millis(99))
+        );
+        assert_eq!(
+            percentile_nanos(&samples, 100.0),
+            Some(Nanos::from_millis(100))
+        );
         assert_eq!(percentile_nanos(&[], 50.0), None);
     }
 

@@ -120,13 +120,17 @@ impl TimeSeries {
 
     /// Iterates over `(bucket start time, count, sum)` rows.
     pub fn rows(&self) -> impl Iterator<Item = (Timestamp, u64, f64)> + '_ {
-        self.counts.iter().zip(&self.sums).enumerate().map(move |(i, (&c, &s))| {
-            (
-                Timestamp::from_nanos(i as u64 * self.interval.as_nanos()),
-                c,
-                s,
-            )
-        })
+        self.counts
+            .iter()
+            .zip(&self.sums)
+            .enumerate()
+            .map(move |(i, (&c, &s))| {
+                (
+                    Timestamp::from_nanos(i as u64 * self.interval.as_nanos()),
+                    c,
+                    s,
+                )
+            })
     }
 
     /// Mean event rate over the whole series, in events per second.

@@ -145,8 +145,8 @@ impl Compiler {
         let activation_traffic =
             (source.peak_activation_bytes() as f64 * 2.0 + source.input_bytes() as f64) * batch_f;
         let compute_secs = flops / (self.target.flops_per_sec * self.target.efficiency);
-        let memory_secs =
-            (weight_traffic + activation_traffic) / (self.target.memory_bandwidth * self.target.efficiency);
+        let memory_secs = (weight_traffic + activation_traffic)
+            / (self.target.memory_bandwidth * self.target.efficiency);
         let bound = compute_secs.max(memory_secs);
         let launches = source.layers.len() as u64;
         Nanos::from_secs_f64(bound) + self.target.launch_overhead * launches
@@ -260,10 +260,7 @@ mod tests {
         let l1 = compiled.kernel(1).unwrap().estimated_latency;
         let l16 = compiled.kernel(16).unwrap().estimated_latency;
         assert!(l16 > l1, "larger batches take longer");
-        assert!(
-            l16 < l1 * 16,
-            "batching must amortise: b1 {l1} b16 {l16}"
-        );
+        assert!(l16 < l1 * 16, "batching must amortise: b1 {l1} b16 {l16}");
     }
 
     #[test]
@@ -272,7 +269,11 @@ mod tests {
         // range at batch 1 on a V100-like target, matching Appendix A.
         let src = ModelSource::resnet_like("realism", 4);
         let compiled = Compiler::new().compile(&src);
-        let ms = compiled.kernel(1).unwrap().estimated_latency.as_millis_f64();
+        let ms = compiled
+            .kernel(1)
+            .unwrap()
+            .estimated_latency
+            .as_millis_f64();
         assert!(ms > 0.3 && ms < 60.0, "batch-1 latency {ms} ms");
     }
 

@@ -66,7 +66,10 @@ pub struct ModelProfile {
 impl ModelProfile {
     /// The seed estimate for an exact batch size.
     pub fn estimate(&self, batch: u32) -> Option<Nanos> {
-        self.seeds.iter().find(|s| s.batch == batch).map(|s| s.estimate)
+        self.seeds
+            .iter()
+            .find(|s| s.batch == batch)
+            .map(|s| s.estimate)
     }
 }
 
@@ -146,8 +149,8 @@ mod tests {
         let profile = profile_model(&spec, &mut gpu, &ProfilerConfig::default());
         for p in &spec.batch_profiles {
             let est = profile.estimate(p.batch).unwrap();
-            let rel =
-                (est.as_nanos() as f64 - p.latency.as_nanos() as f64).abs() / p.latency.as_nanos() as f64;
+            let rel = (est.as_nanos() as f64 - p.latency.as_nanos() as f64).abs()
+                / p.latency.as_nanos() as f64;
             assert!(rel < 0.05, "batch {} estimate off by {rel}", p.batch);
         }
     }

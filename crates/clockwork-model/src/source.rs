@@ -63,8 +63,10 @@ impl Layer {
                 out_channels,
                 kernel,
                 ..
-            } => u64::from(in_channels) * u64::from(out_channels) * u64::from(kernel * kernel)
-                + u64::from(out_channels),
+            } => {
+                u64::from(in_channels) * u64::from(out_channels) * u64::from(kernel * kernel)
+                    + u64::from(out_channels)
+            }
             Layer::Dense {
                 in_features,
                 out_features,
@@ -99,8 +101,12 @@ impl Layer {
                 channels,
                 input_hw,
                 factor,
-            } => u64::from(channels) * u64::from(input_hw) * u64::from(input_hw)
-                * u64::from(factor.max(1)),
+            } => {
+                u64::from(channels)
+                    * u64::from(input_hw)
+                    * u64::from(input_hw)
+                    * u64::from(factor.max(1))
+            }
             Layer::BatchNorm { channels, input_hw } => {
                 4 * u64::from(channels) * u64::from(input_hw) * u64::from(input_hw)
             }

@@ -138,7 +138,10 @@ impl ModelSpec {
         if count == 0 {
             return None;
         }
-        self.batch_profiles.iter().copied().find(|p| p.batch >= count)
+        self.batch_profiles
+            .iter()
+            .copied()
+            .find(|p| p.batch >= count)
     }
 
     /// The largest batch size whose execution latency fits within `budget`,
@@ -154,7 +157,8 @@ impl ModelSpec {
     /// Per-request execution cost at a given batch size (latency divided by
     /// batch), used by the load scheduler's demand estimates.
     pub fn per_request_cost(&self, batch: u32) -> Option<Nanos> {
-        self.exec_latency(batch).map(|l| l / u64::from(batch.max(1)))
+        self.exec_latency(batch)
+            .map(|l| l / u64::from(batch.max(1)))
     }
 
     /// Number of fixed-size pages needed to hold the weights.
@@ -243,11 +247,15 @@ mod tests {
     fn largest_batch_within_budget() {
         let m = resnet50();
         assert_eq!(
-            m.largest_batch_within(Nanos::from_millis(10)).unwrap().batch,
+            m.largest_batch_within(Nanos::from_millis(10))
+                .unwrap()
+                .batch,
             8
         );
         assert_eq!(
-            m.largest_batch_within(Nanos::from_millis(100)).unwrap().batch,
+            m.largest_batch_within(Nanos::from_millis(100))
+                .unwrap()
+                .batch,
             16
         );
         assert!(m.largest_batch_within(Nanos::from_micros(100)).is_none());

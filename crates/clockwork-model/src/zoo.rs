@@ -16,82 +16,586 @@ use crate::spec::ModelSpec;
 /// One row of the Appendix A table:
 /// `(family, name, input kB, output kB, weights MB, measured transfer ms,
 ///   latency ms at batch 1, 2, 4, 8, 16)`.
-pub type ZooRow = (
-    &'static str,
-    &'static str,
-    f64,
-    f64,
-    f64,
-    f64,
-    [f64; 5],
-);
+pub type ZooRow = (&'static str, &'static str, f64, f64, f64, f64, [f64; 5]);
 
 /// The Appendix A model table.
 pub const ZOO_TABLE: &[ZooRow] = &[
-    ("DenseNet", "densenet121", 602.0, 4.0, 31.8, 2.59, [3.80, 4.52, 6.55, 10.22, 17.91]),
-    ("DenseNet", "densenet161", 602.0, 4.0, 114.7, 9.33, [7.66, 10.11, 15.13, 23.94, 40.04]),
-    ("DenseNet", "densenet169", 602.0, 4.0, 56.5, 4.50, [5.18, 6.29, 8.57, 12.82, 21.85]),
-    ("DenseNet", "densenet201", 602.0, 4.0, 80.0, 6.52, [6.84, 8.45, 11.95, 18.30, 31.03]),
-    ("DLA", "dla34", 602.0, 4.0, 64.9, 5.29, [3.06, 4.77, 7.11, 10.66, 15.98]),
-    ("GoogLeNet", "googlenet", 602.0, 4.0, 26.5, 2.16, [1.54, 1.94, 2.69, 4.19, 7.11]),
-    ("Inception v3", "inceptionv3", 1073.0, 4.0, 95.3, 7.77, [4.46, 6.85, 10.99, 16.45, 26.17]),
-    ("Inception v3", "xception", 602.0, 4.0, 159.3, 12.99, [4.49, 6.64, 10.46, 18.53, 34.55]),
-    ("Mobile Pose", "mobile_pose_mobilenet1.0", 590.0, 209.0, 20.0, 1.63, [0.99, 1.72, 2.99, 5.67, 10.78]),
-    ("Mobile Pose", "mobile_pose_mobilenetv3", 590.0, 209.0, 19.0, 1.55, [1.29, 1.92, 3.13, 5.71, 11.62]),
-    ("Mobile Pose", "mobile_pose_resnet18_v1", 590.0, 209.0, 51.4, 4.19, [1.43, 2.25, 3.52, 6.29, 11.46]),
-    ("Mobile Pose", "mobile_pose_resnet50_v1", 590.0, 209.0, 102.2, 8.31, [3.29, 5.42, 9.00, 16.28, 29.92]),
-    ("Mobile Pose", "simple_pose_resnet18_v1b", 590.0, 209.0, 61.5, 5.00, [2.46, 3.62, 6.67, 10.70, 18.98]),
-    ("ResNeSt", "resnest14", 602.0, 4.0, 42.4, 3.45, [2.70, 4.07, 6.72, 12.61, 22.91]),
-    ("ResNeSt", "resnest26", 602.0, 4.0, 68.2, 5.56, [4.30, 6.07, 9.85, 18.26, 32.52]),
-    ("ResNeSt", "resnest50", 602.0, 4.0, 109.8, 8.93, [6.96, 9.47, 14.27, 29.94, 56.02]),
-    ("ResNeSt", "resnest101", 602.0, 4.0, 192.9, 15.71, [12.31, 16.23, 25.79, 44.65, 78.17]),
-    ("ResNet", "resnet18_v1", 602.0, 4.0, 46.7, 3.81, [1.27, 1.86, 2.73, 4.06, 7.02]),
-    ("ResNet", "resnet18_v1b", 602.0, 4.0, 46.7, 3.81, [1.25, 1.71, 2.37, 3.93, 6.83]),
-    ("ResNet", "resnet34_v1", 602.0, 4.0, 87.2, 7.11, [2.40, 3.39, 4.62, 7.76, 14.40]),
-    ("ResNet", "resnet34_v1b", 602.0, 4.0, 87.2, 7.11, [2.37, 3.37, 4.59, 7.76, 13.32]),
-    ("ResNet", "resnet50_v1", 602.0, 4.0, 102.3, 8.33, [2.61, 3.78, 5.61, 9.13, 15.67]),
-    ("ResNet", "resnet50_v1b", 602.0, 4.0, 102.1, 8.33, [2.77, 3.95, 5.88, 9.78, 16.58]),
-    ("ResNet", "resnet50_v1c", 602.0, 4.0, 102.2, 8.31, [2.82, 4.07, 6.11, 10.17, 17.26]),
-    ("ResNet", "resnet50_v1d", 602.0, 4.0, 102.2, 8.31, [2.78, 4.02, 6.01, 10.06, 17.13]),
-    ("ResNet", "resnet50_v1s", 602.0, 4.0, 102.6, 8.35, [3.04, 4.47, 6.99, 11.66, 20.39]),
-    ("ResNet", "resnet50_tuned_1.8x", 602.0, 4.0, 88.1, 7.16, [2.24, 3.05, 4.25, 6.65, 11.13]),
-    ("ResNet", "resnet101_v1", 602.0, 4.0, 178.3, 14.54, [5.27, 7.62, 11.07, 18.04, 30.30]),
-    ("ResNet", "resnet101_v1b", 602.0, 4.0, 178.0, 14.46, [5.41, 7.80, 11.33, 18.64, 31.18]),
-    ("ResNet", "resnet101_v1c", 602.0, 4.0, 178.1, 14.47, [5.47, 7.91, 11.53, 19.03, 31.98]),
-    ("ResNet", "resnet101_v1d", 602.0, 4.0, 178.1, 14.47, [5.42, 7.87, 11.44, 18.94, 31.84]),
-    ("ResNet", "resnet101_v1s", 602.0, 4.0, 178.5, 14.51, [5.70, 8.35, 12.43, 20.55, 35.10]),
-    ("ResNet", "resnet101_tuned_1.9x", 602.0, 4.0, 136.3, 11.08, [3.85, 5.61, 7.47, 12.56, 20.61]),
-    ("ResNet", "resnet101_tuned_2.2x", 602.0, 4.0, 131.0, 10.65, [3.72, 5.23, 7.01, 11.28, 18.55]),
-    ("ResNet", "resnet152_v1", 602.0, 4.0, 240.9, 19.58, [7.71, 11.14, 16.21, 26.48, 44.60]),
-    ("ResNet", "resnet152_v1b", 602.0, 4.0, 240.5, 19.54, [7.86, 11.36, 16.41, 27.05, 45.49]),
-    ("ResNet", "resnet152_v1c", 602.0, 4.0, 240.5, 19.55, [7.90, 11.48, 16.64, 27.42, 46.24]),
-    ("ResNet", "resnet152_v1d", 602.0, 4.0, 240.5, 19.55, [7.89, 11.45, 16.59, 27.38, 46.01]),
-    ("ResNet", "resnet152_v1s", 602.0, 4.0, 241.0, 19.58, [8.15, 11.91, 17.50, 28.95, 49.27]),
-    ("ResNet v2", "resnet18_v2", 602.0, 4.0, 46.7, 3.81, [1.32, 1.81, 2.48, 4.42, 7.12]),
-    ("ResNet v2", "resnet34_v2", 602.0, 4.0, 87.2, 7.11, [2.55, 3.44, 4.83, 7.90, 14.01]),
-    ("ResNet v2", "resnet50_v2", 602.0, 4.0, 102.2, 8.32, [2.73, 4.05, 5.87, 9.93, 17.30]),
-    ("ResNet v2", "resnet101_v2", 602.0, 4.0, 178.1, 14.47, [5.51, 8.05, 11.83, 18.14, 33.57]),
-    ("ResNet v2", "resnet152_v2", 602.0, 4.0, 240.6, 19.56, [8.21, 11.66, 17.03, 27.60, 48.54]),
-    ("ResNeXt", "resnext50_32x4d", 602.0, 4.0, 100.0, 8.15, [2.18, 3.23, 5.35, 9.21, 17.42]),
-    ("ResNeXt", "resnext101_32x4d", 602.0, 4.0, 176.4, 14.34, [4.65, 6.27, 10.06, 17.75, 32.83]),
-    ("ResNeXt", "resnext101_64x4d", 602.0, 4.0, 333.4, 27.18, [6.46, 10.24, 17.13, 30.42, 60.23]),
-    ("SENet", "se_resnext50_32x4d", 602.0, 4.0, 110.1, 8.95, [3.20, 4.47, 6.87, 11.50, 20.64]),
-    ("SENet", "se_resnext101_32x4d", 602.0, 4.0, 195.5, 15.89, [6.23, 8.24, 12.53, 21.02, 37.89]),
-    ("SENet", "se_resnext101_64x4d", 602.0, 4.0, 352.5, 28.75, [8.18, 12.97, 19.93, 34.99, 66.44]),
-    ("TSN", "tsn_inceptionv1_kinetics400", 1073.0, 1.6, 24.0, 1.96, [1.95, 2.76, 4.44, 7.51, 13.43]),
-    ("TSN", "tsn_inceptionv3_kinetics400", 1073.0, 1.6, 90.4, 7.37, [4.47, 6.87, 10.97, 16.43, 26.12]),
-    ("TSN", "tsn_resnet18_v1b_kinetics400", 602.0, 1.6, 45.5, 3.71, [1.25, 1.72, 2.38, 3.93, 6.83]),
-    ("TSN", "tsn_resnet34_v1b_kinetics400", 602.0, 1.6, 85.9, 7.01, [2.38, 3.38, 4.59, 7.74, 13.37]),
-    ("TSN", "tsn_resnet50_v1b_kinetics400", 602.0, 1.6, 97.2, 7.93, [2.77, 3.94, 5.85, 9.77, 16.52]),
-    ("TSN", "tsn_resnet101_v1b_kinetics400", 602.0, 1.6, 173.1, 14.11, [5.42, 7.80, 11.30, 18.63, 31.15]),
-    ("TSN", "tsn_resnet152_v1b_kinetics400", 602.0, 1.6, 235.6, 19.21, [7.87, 11.35, 16.42, 27.07, 45.44]),
-    ("Wide ResNet", "cifar_wideresnet16_10", 12.0, 0.04, 68.5, 5.59, [1.27, 1.72, 2.61, 4.07, 7.62]),
-    ("Wide ResNet", "cifar_wideresnet28_10", 12.0, 0.04, 145.9, 11.93, [2.21, 3.57, 5.42, 8.41, 16.05]),
-    ("Wide ResNet", "cifar_wideresnet40_8", 12.0, 0.04, 143.0, 11.69, [2.49, 3.90, 5.99, 9.86, 17.14]),
-    ("Winograd", "winograd_resnet18_v2", 602.0, 4.0, 77.4, 6.31, [0.95, 1.17, 1.71, 2.81, 5.09]),
-    ("Winograd", "winograd_resnet50_v2", 602.0, 4.0, 128.7, 10.49, [3.39, 4.24, 6.07, 10.28, 18.84]),
-    ("Winograd", "winograd_resnet101_v2", 602.0, 4.0, 235.8, 19.23, [6.36, 7.71, 10.71, 17.26, 33.52]),
-    ("Winograd", "winograd_resnet152_v2", 602.0, 4.0, 324.1, 26.42, [9.40, 11.13, 15.92, 24.42, 28.92]),
+    (
+        "DenseNet",
+        "densenet121",
+        602.0,
+        4.0,
+        31.8,
+        2.59,
+        [3.80, 4.52, 6.55, 10.22, 17.91],
+    ),
+    (
+        "DenseNet",
+        "densenet161",
+        602.0,
+        4.0,
+        114.7,
+        9.33,
+        [7.66, 10.11, 15.13, 23.94, 40.04],
+    ),
+    (
+        "DenseNet",
+        "densenet169",
+        602.0,
+        4.0,
+        56.5,
+        4.50,
+        [5.18, 6.29, 8.57, 12.82, 21.85],
+    ),
+    (
+        "DenseNet",
+        "densenet201",
+        602.0,
+        4.0,
+        80.0,
+        6.52,
+        [6.84, 8.45, 11.95, 18.30, 31.03],
+    ),
+    (
+        "DLA",
+        "dla34",
+        602.0,
+        4.0,
+        64.9,
+        5.29,
+        [3.06, 4.77, 7.11, 10.66, 15.98],
+    ),
+    (
+        "GoogLeNet",
+        "googlenet",
+        602.0,
+        4.0,
+        26.5,
+        2.16,
+        [1.54, 1.94, 2.69, 4.19, 7.11],
+    ),
+    (
+        "Inception v3",
+        "inceptionv3",
+        1073.0,
+        4.0,
+        95.3,
+        7.77,
+        [4.46, 6.85, 10.99, 16.45, 26.17],
+    ),
+    (
+        "Inception v3",
+        "xception",
+        602.0,
+        4.0,
+        159.3,
+        12.99,
+        [4.49, 6.64, 10.46, 18.53, 34.55],
+    ),
+    (
+        "Mobile Pose",
+        "mobile_pose_mobilenet1.0",
+        590.0,
+        209.0,
+        20.0,
+        1.63,
+        [0.99, 1.72, 2.99, 5.67, 10.78],
+    ),
+    (
+        "Mobile Pose",
+        "mobile_pose_mobilenetv3",
+        590.0,
+        209.0,
+        19.0,
+        1.55,
+        [1.29, 1.92, 3.13, 5.71, 11.62],
+    ),
+    (
+        "Mobile Pose",
+        "mobile_pose_resnet18_v1",
+        590.0,
+        209.0,
+        51.4,
+        4.19,
+        [1.43, 2.25, 3.52, 6.29, 11.46],
+    ),
+    (
+        "Mobile Pose",
+        "mobile_pose_resnet50_v1",
+        590.0,
+        209.0,
+        102.2,
+        8.31,
+        [3.29, 5.42, 9.00, 16.28, 29.92],
+    ),
+    (
+        "Mobile Pose",
+        "simple_pose_resnet18_v1b",
+        590.0,
+        209.0,
+        61.5,
+        5.00,
+        [2.46, 3.62, 6.67, 10.70, 18.98],
+    ),
+    (
+        "ResNeSt",
+        "resnest14",
+        602.0,
+        4.0,
+        42.4,
+        3.45,
+        [2.70, 4.07, 6.72, 12.61, 22.91],
+    ),
+    (
+        "ResNeSt",
+        "resnest26",
+        602.0,
+        4.0,
+        68.2,
+        5.56,
+        [4.30, 6.07, 9.85, 18.26, 32.52],
+    ),
+    (
+        "ResNeSt",
+        "resnest50",
+        602.0,
+        4.0,
+        109.8,
+        8.93,
+        [6.96, 9.47, 14.27, 29.94, 56.02],
+    ),
+    (
+        "ResNeSt",
+        "resnest101",
+        602.0,
+        4.0,
+        192.9,
+        15.71,
+        [12.31, 16.23, 25.79, 44.65, 78.17],
+    ),
+    (
+        "ResNet",
+        "resnet18_v1",
+        602.0,
+        4.0,
+        46.7,
+        3.81,
+        [1.27, 1.86, 2.73, 4.06, 7.02],
+    ),
+    (
+        "ResNet",
+        "resnet18_v1b",
+        602.0,
+        4.0,
+        46.7,
+        3.81,
+        [1.25, 1.71, 2.37, 3.93, 6.83],
+    ),
+    (
+        "ResNet",
+        "resnet34_v1",
+        602.0,
+        4.0,
+        87.2,
+        7.11,
+        [2.40, 3.39, 4.62, 7.76, 14.40],
+    ),
+    (
+        "ResNet",
+        "resnet34_v1b",
+        602.0,
+        4.0,
+        87.2,
+        7.11,
+        [2.37, 3.37, 4.59, 7.76, 13.32],
+    ),
+    (
+        "ResNet",
+        "resnet50_v1",
+        602.0,
+        4.0,
+        102.3,
+        8.33,
+        [2.61, 3.78, 5.61, 9.13, 15.67],
+    ),
+    (
+        "ResNet",
+        "resnet50_v1b",
+        602.0,
+        4.0,
+        102.1,
+        8.33,
+        [2.77, 3.95, 5.88, 9.78, 16.58],
+    ),
+    (
+        "ResNet",
+        "resnet50_v1c",
+        602.0,
+        4.0,
+        102.2,
+        8.31,
+        [2.82, 4.07, 6.11, 10.17, 17.26],
+    ),
+    (
+        "ResNet",
+        "resnet50_v1d",
+        602.0,
+        4.0,
+        102.2,
+        8.31,
+        [2.78, 4.02, 6.01, 10.06, 17.13],
+    ),
+    (
+        "ResNet",
+        "resnet50_v1s",
+        602.0,
+        4.0,
+        102.6,
+        8.35,
+        [3.04, 4.47, 6.99, 11.66, 20.39],
+    ),
+    (
+        "ResNet",
+        "resnet50_tuned_1.8x",
+        602.0,
+        4.0,
+        88.1,
+        7.16,
+        [2.24, 3.05, 4.25, 6.65, 11.13],
+    ),
+    (
+        "ResNet",
+        "resnet101_v1",
+        602.0,
+        4.0,
+        178.3,
+        14.54,
+        [5.27, 7.62, 11.07, 18.04, 30.30],
+    ),
+    (
+        "ResNet",
+        "resnet101_v1b",
+        602.0,
+        4.0,
+        178.0,
+        14.46,
+        [5.41, 7.80, 11.33, 18.64, 31.18],
+    ),
+    (
+        "ResNet",
+        "resnet101_v1c",
+        602.0,
+        4.0,
+        178.1,
+        14.47,
+        [5.47, 7.91, 11.53, 19.03, 31.98],
+    ),
+    (
+        "ResNet",
+        "resnet101_v1d",
+        602.0,
+        4.0,
+        178.1,
+        14.47,
+        [5.42, 7.87, 11.44, 18.94, 31.84],
+    ),
+    (
+        "ResNet",
+        "resnet101_v1s",
+        602.0,
+        4.0,
+        178.5,
+        14.51,
+        [5.70, 8.35, 12.43, 20.55, 35.10],
+    ),
+    (
+        "ResNet",
+        "resnet101_tuned_1.9x",
+        602.0,
+        4.0,
+        136.3,
+        11.08,
+        [3.85, 5.61, 7.47, 12.56, 20.61],
+    ),
+    (
+        "ResNet",
+        "resnet101_tuned_2.2x",
+        602.0,
+        4.0,
+        131.0,
+        10.65,
+        [3.72, 5.23, 7.01, 11.28, 18.55],
+    ),
+    (
+        "ResNet",
+        "resnet152_v1",
+        602.0,
+        4.0,
+        240.9,
+        19.58,
+        [7.71, 11.14, 16.21, 26.48, 44.60],
+    ),
+    (
+        "ResNet",
+        "resnet152_v1b",
+        602.0,
+        4.0,
+        240.5,
+        19.54,
+        [7.86, 11.36, 16.41, 27.05, 45.49],
+    ),
+    (
+        "ResNet",
+        "resnet152_v1c",
+        602.0,
+        4.0,
+        240.5,
+        19.55,
+        [7.90, 11.48, 16.64, 27.42, 46.24],
+    ),
+    (
+        "ResNet",
+        "resnet152_v1d",
+        602.0,
+        4.0,
+        240.5,
+        19.55,
+        [7.89, 11.45, 16.59, 27.38, 46.01],
+    ),
+    (
+        "ResNet",
+        "resnet152_v1s",
+        602.0,
+        4.0,
+        241.0,
+        19.58,
+        [8.15, 11.91, 17.50, 28.95, 49.27],
+    ),
+    (
+        "ResNet v2",
+        "resnet18_v2",
+        602.0,
+        4.0,
+        46.7,
+        3.81,
+        [1.32, 1.81, 2.48, 4.42, 7.12],
+    ),
+    (
+        "ResNet v2",
+        "resnet34_v2",
+        602.0,
+        4.0,
+        87.2,
+        7.11,
+        [2.55, 3.44, 4.83, 7.90, 14.01],
+    ),
+    (
+        "ResNet v2",
+        "resnet50_v2",
+        602.0,
+        4.0,
+        102.2,
+        8.32,
+        [2.73, 4.05, 5.87, 9.93, 17.30],
+    ),
+    (
+        "ResNet v2",
+        "resnet101_v2",
+        602.0,
+        4.0,
+        178.1,
+        14.47,
+        [5.51, 8.05, 11.83, 18.14, 33.57],
+    ),
+    (
+        "ResNet v2",
+        "resnet152_v2",
+        602.0,
+        4.0,
+        240.6,
+        19.56,
+        [8.21, 11.66, 17.03, 27.60, 48.54],
+    ),
+    (
+        "ResNeXt",
+        "resnext50_32x4d",
+        602.0,
+        4.0,
+        100.0,
+        8.15,
+        [2.18, 3.23, 5.35, 9.21, 17.42],
+    ),
+    (
+        "ResNeXt",
+        "resnext101_32x4d",
+        602.0,
+        4.0,
+        176.4,
+        14.34,
+        [4.65, 6.27, 10.06, 17.75, 32.83],
+    ),
+    (
+        "ResNeXt",
+        "resnext101_64x4d",
+        602.0,
+        4.0,
+        333.4,
+        27.18,
+        [6.46, 10.24, 17.13, 30.42, 60.23],
+    ),
+    (
+        "SENet",
+        "se_resnext50_32x4d",
+        602.0,
+        4.0,
+        110.1,
+        8.95,
+        [3.20, 4.47, 6.87, 11.50, 20.64],
+    ),
+    (
+        "SENet",
+        "se_resnext101_32x4d",
+        602.0,
+        4.0,
+        195.5,
+        15.89,
+        [6.23, 8.24, 12.53, 21.02, 37.89],
+    ),
+    (
+        "SENet",
+        "se_resnext101_64x4d",
+        602.0,
+        4.0,
+        352.5,
+        28.75,
+        [8.18, 12.97, 19.93, 34.99, 66.44],
+    ),
+    (
+        "TSN",
+        "tsn_inceptionv1_kinetics400",
+        1073.0,
+        1.6,
+        24.0,
+        1.96,
+        [1.95, 2.76, 4.44, 7.51, 13.43],
+    ),
+    (
+        "TSN",
+        "tsn_inceptionv3_kinetics400",
+        1073.0,
+        1.6,
+        90.4,
+        7.37,
+        [4.47, 6.87, 10.97, 16.43, 26.12],
+    ),
+    (
+        "TSN",
+        "tsn_resnet18_v1b_kinetics400",
+        602.0,
+        1.6,
+        45.5,
+        3.71,
+        [1.25, 1.72, 2.38, 3.93, 6.83],
+    ),
+    (
+        "TSN",
+        "tsn_resnet34_v1b_kinetics400",
+        602.0,
+        1.6,
+        85.9,
+        7.01,
+        [2.38, 3.38, 4.59, 7.74, 13.37],
+    ),
+    (
+        "TSN",
+        "tsn_resnet50_v1b_kinetics400",
+        602.0,
+        1.6,
+        97.2,
+        7.93,
+        [2.77, 3.94, 5.85, 9.77, 16.52],
+    ),
+    (
+        "TSN",
+        "tsn_resnet101_v1b_kinetics400",
+        602.0,
+        1.6,
+        173.1,
+        14.11,
+        [5.42, 7.80, 11.30, 18.63, 31.15],
+    ),
+    (
+        "TSN",
+        "tsn_resnet152_v1b_kinetics400",
+        602.0,
+        1.6,
+        235.6,
+        19.21,
+        [7.87, 11.35, 16.42, 27.07, 45.44],
+    ),
+    (
+        "Wide ResNet",
+        "cifar_wideresnet16_10",
+        12.0,
+        0.04,
+        68.5,
+        5.59,
+        [1.27, 1.72, 2.61, 4.07, 7.62],
+    ),
+    (
+        "Wide ResNet",
+        "cifar_wideresnet28_10",
+        12.0,
+        0.04,
+        145.9,
+        11.93,
+        [2.21, 3.57, 5.42, 8.41, 16.05],
+    ),
+    (
+        "Wide ResNet",
+        "cifar_wideresnet40_8",
+        12.0,
+        0.04,
+        143.0,
+        11.69,
+        [2.49, 3.90, 5.99, 9.86, 17.14],
+    ),
+    (
+        "Winograd",
+        "winograd_resnet18_v2",
+        602.0,
+        4.0,
+        77.4,
+        6.31,
+        [0.95, 1.17, 1.71, 2.81, 5.09],
+    ),
+    (
+        "Winograd",
+        "winograd_resnet50_v2",
+        602.0,
+        4.0,
+        128.7,
+        10.49,
+        [3.39, 4.24, 6.07, 10.28, 18.84],
+    ),
+    (
+        "Winograd",
+        "winograd_resnet101_v2",
+        602.0,
+        4.0,
+        235.8,
+        19.23,
+        [6.36, 7.71, 10.71, 17.26, 33.52],
+    ),
+    (
+        "Winograd",
+        "winograd_resnet152_v2",
+        602.0,
+        4.0,
+        324.1,
+        26.42,
+        [9.40, 11.13, 15.92, 24.42, 28.92],
+    ),
 ];
 
 /// The model zoo: the Appendix A table materialised as [`ModelSpec`]s.
@@ -111,28 +615,30 @@ impl ModelZoo {
     pub fn new() -> Self {
         let specs = ZOO_TABLE
             .iter()
-            .map(|&(family, name, input_kb, output_kb, weights_mb, _transfer_ms, lat)| {
-                let mut spec = ModelSpec::from_millis(
-                    name,
-                    family,
-                    input_kb,
-                    output_kb,
-                    weights_mb,
-                    &[
-                        (1, lat[0]),
-                        (2, lat[1]),
-                        (4, lat[2]),
-                        (8, lat[3]),
-                        (16, lat[4]),
-                    ],
-                );
-                // The paper allocates 512 MB of workspace memory for
-                // intermediate results; individual models need less, roughly
-                // proportional to their activation footprint. We approximate
-                // it as 2x the input size plus 64 MiB.
-                spec.workspace_bytes = 2 * spec.input_bytes() + 64 * 1024 * 1024;
-                spec
-            })
+            .map(
+                |&(family, name, input_kb, output_kb, weights_mb, _transfer_ms, lat)| {
+                    let mut spec = ModelSpec::from_millis(
+                        name,
+                        family,
+                        input_kb,
+                        output_kb,
+                        weights_mb,
+                        &[
+                            (1, lat[0]),
+                            (2, lat[1]),
+                            (4, lat[2]),
+                            (8, lat[3]),
+                            (16, lat[4]),
+                        ],
+                    );
+                    // The paper allocates 512 MB of workspace memory for
+                    // intermediate results; individual models need less, roughly
+                    // proportional to their activation footprint. We approximate
+                    // it as 2x the input size plus 64 MiB.
+                    spec.workspace_bytes = 2 * spec.input_bytes() + 64 * 1024 * 1024;
+                    spec
+                },
+            )
             .collect();
         ModelZoo { specs }
     }
@@ -172,10 +678,7 @@ impl ModelZoo {
     /// The measured transfer time reported in Appendix A for a model, in
     /// milliseconds (used to validate the PCIe model).
     pub fn reported_transfer_ms(&self, name: &str) -> Option<f64> {
-        ZOO_TABLE
-            .iter()
-            .find(|row| row.1 == name)
-            .map(|row| row.5)
+        ZOO_TABLE.iter().find(|row| row.1 == name).map(|row| row.5)
     }
 }
 
@@ -280,8 +783,8 @@ mod tests {
             .map(|m| m.weights_mb)
             .fold(f64::INFINITY, f64::min);
         let max = zoo.all().iter().map(|m| m.weights_mb).fold(0.0, f64::max);
-        assert!(min >= 10.0 && min <= 30.0, "min {min}");
-        assert!(max >= 300.0 && max <= 400.0, "max {max}");
+        assert!((10.0..=30.0).contains(&min), "min {min}");
+        assert!((300.0..=400.0).contains(&max), "max {max}");
     }
 
     #[test]

@@ -20,10 +20,10 @@ use clockwork_sim::time::Nanos;
 /// otherwise unconstrained.
 fn arb_spec() -> impl Strategy<Value = ModelSpec> {
     (
-        0.01f64..2000.0,                       // input_kb
-        0.01f64..2000.0,                       // output_kb
-        1.0f64..400.0,                         // weights_mb
-        0.2f64..20.0,                          // batch-1 latency in ms
+        0.01f64..2000.0,                            // input_kb
+        0.01f64..2000.0,                            // output_kb
+        1.0f64..400.0,                              // weights_mb
+        0.2f64..20.0,                               // batch-1 latency in ms
         proptest::collection::vec(1.05f64..2.0, 4), // growth factor per doubling
     )
         .prop_map(|(input_kb, output_kb, weights_mb, b1_ms, growth)| {
@@ -33,7 +33,14 @@ fn arb_spec() -> impl Strategy<Value = ModelSpec> {
                 lat *= g;
                 profiles.push((2u32 << i, lat));
             }
-            ModelSpec::from_millis("synthetic", "Synthetic", input_kb, output_kb, weights_mb, &profiles)
+            ModelSpec::from_millis(
+                "synthetic",
+                "Synthetic",
+                input_kb,
+                output_kb,
+                weights_mb,
+                &profiles,
+            )
         })
 }
 

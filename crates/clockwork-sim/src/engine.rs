@@ -193,7 +193,7 @@ impl SimClock {
 
     /// Advances the clock by a duration and returns the new time.
     pub fn advance_by(&mut self, d: Nanos) -> Timestamp {
-        self.now = self.now + d;
+        self.now += d;
         self.now
     }
 }
@@ -322,7 +322,10 @@ mod tests {
         c.advance_to(Timestamp::from_millis(10));
         c.advance_to(Timestamp::from_millis(5));
         assert_eq!(c.now(), Timestamp::from_millis(10));
-        assert_eq!(c.advance_by(Nanos::from_millis(3)), Timestamp::from_millis(13));
+        assert_eq!(
+            c.advance_by(Nanos::from_millis(3)),
+            Timestamp::from_millis(13)
+        );
     }
 
     #[test]

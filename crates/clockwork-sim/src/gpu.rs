@@ -193,7 +193,7 @@ impl GpuTimingModel {
         };
         if noise.spike_probability > 0.0 && self.rng.chance(noise.spike_probability) {
             let spike = noise.max_spike.mul_f64(self.rng.uniform());
-            d = d + spike;
+            d += spike;
         }
         d
     }

@@ -96,10 +96,10 @@ impl NetworkModel {
             cfg.base_latency
         };
         if cfg.bandwidth_bytes_per_sec.is_finite() && cfg.bandwidth_bytes_per_sec > 0.0 {
-            d = d + Nanos::from_secs_f64(bytes as f64 / cfg.bandwidth_bytes_per_sec);
+            d += Nanos::from_secs_f64(bytes as f64 / cfg.bandwidth_bytes_per_sec);
         }
         if cfg.spike_probability > 0.0 && self.rng.chance(cfg.spike_probability) {
-            d = d + cfg.max_spike.mul_f64(self.rng.uniform());
+            d += cfg.max_spike.mul_f64(self.rng.uniform());
         }
         d
     }

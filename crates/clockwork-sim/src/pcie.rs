@@ -90,7 +90,12 @@ impl LinkScheduler {
 
     /// Schedules a transfer requested at `now` taking `duration`, returning
     /// its `(start, end)` interval. Transfers are serialised FIFO.
-    pub fn schedule(&mut self, now: Timestamp, duration: Nanos, bytes: u64) -> (Timestamp, Timestamp) {
+    pub fn schedule(
+        &mut self,
+        now: Timestamp,
+        duration: Nanos,
+        bytes: u64,
+    ) -> (Timestamp, Timestamp) {
         let start = now.max(self.busy_until);
         let end = start + duration;
         self.busy_until = end;

@@ -87,7 +87,9 @@ impl ExternalVariance {
     /// Creates a sampler with the given configuration.
     pub fn new(config: VarianceConfig, mut rng: SimRng) -> Self {
         let next_throttle = match config.throttle_mean_interval {
-            Some(mean) => Timestamp::ZERO + Nanos::from_secs_f64(rng.exponential(mean.as_secs_f64())),
+            Some(mean) => {
+                Timestamp::ZERO + Nanos::from_secs_f64(rng.exponential(mean.as_secs_f64()))
+            }
             None => Timestamp::MAX,
         };
         ExternalVariance {
@@ -119,7 +121,7 @@ impl ExternalVariance {
             d = d.mul_f64(self.config.throttle_factor);
         }
         if self.config.spike_probability > 0.0 && self.rng.chance(self.config.spike_probability) {
-            d = d + self.config.max_spike.mul_f64(self.rng.uniform());
+            d += self.config.max_spike.mul_f64(self.rng.uniform());
             self.spikes_injected += 1;
         }
         d
@@ -215,7 +217,11 @@ mod tests {
                 assert_eq!(d, base.mul_f64(1.5));
             }
         }
-        assert!(v.throttle_windows() > 100, "windows {}", v.throttle_windows());
+        assert!(
+            v.throttle_windows() > 100,
+            "windows {}",
+            v.throttle_windows()
+        );
         let frac = slowed as f64 / total as f64;
         // Roughly duration / (duration + mean interval) ≈ 2/12 of time throttled.
         assert!(frac > 0.08 && frac < 0.30, "throttled fraction {frac}");

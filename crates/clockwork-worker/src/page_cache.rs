@@ -191,11 +191,7 @@ impl PageCache {
     /// The least recently used resident models, excluding `protect`, in
     /// eviction order, whose combined pages are at least `pages_needed`.
     /// Returns `None` if even evicting everything else would not free enough.
-    pub fn lru_victims_for(
-        &self,
-        pages_needed: u64,
-        protect: &[ModelId],
-    ) -> Option<Vec<ModelId>> {
+    pub fn lru_victims_for(&self, pages_needed: u64, protect: &[ModelId]) -> Option<Vec<ModelId>> {
         let mut candidates: Vec<(&ModelId, &Residency)> = self
             .resident
             .iter()
@@ -286,7 +282,9 @@ mod tests {
     fn reloading_a_resident_model_is_free() {
         let mut c = cache_with_pages(10);
         c.allocate(ModelId(1), 32 * MB, Timestamp::ZERO).unwrap();
-        let again = c.allocate(ModelId(1), 32 * MB, Timestamp::from_millis(5)).unwrap();
+        let again = c
+            .allocate(ModelId(1), 32 * MB, Timestamp::from_millis(5))
+            .unwrap();
         assert_eq!(again, 0);
         assert_eq!(c.used_pages(), 2);
     }
@@ -304,9 +302,12 @@ mod tests {
     #[test]
     fn lru_victim_follows_usage_order() {
         let mut c = cache_with_pages(10);
-        c.allocate(ModelId(1), 16 * MB, Timestamp::from_millis(1)).unwrap();
-        c.allocate(ModelId(2), 16 * MB, Timestamp::from_millis(2)).unwrap();
-        c.allocate(ModelId(3), 16 * MB, Timestamp::from_millis(3)).unwrap();
+        c.allocate(ModelId(1), 16 * MB, Timestamp::from_millis(1))
+            .unwrap();
+        c.allocate(ModelId(2), 16 * MB, Timestamp::from_millis(2))
+            .unwrap();
+        c.allocate(ModelId(3), 16 * MB, Timestamp::from_millis(3))
+            .unwrap();
         assert_eq!(c.lru_victim(), Some(ModelId(1)));
         c.touch(ModelId(1), Timestamp::from_millis(10));
         assert_eq!(c.lru_victim(), Some(ModelId(2)));
@@ -320,10 +321,13 @@ mod tests {
     #[test]
     fn lru_victims_for_frees_just_enough() {
         let mut c = cache_with_pages(10);
-        c.allocate(ModelId(1), 48 * MB, Timestamp::from_millis(1)).unwrap(); // 3 pages
-        c.allocate(ModelId(2), 48 * MB, Timestamp::from_millis(2)).unwrap(); // 3 pages
-        c.allocate(ModelId(3), 48 * MB, Timestamp::from_millis(3)).unwrap(); // 3 pages
-        // 1 page free; need 4 -> evict the single LRU model (3 pages).
+        c.allocate(ModelId(1), 48 * MB, Timestamp::from_millis(1))
+            .unwrap(); // 3 pages
+        c.allocate(ModelId(2), 48 * MB, Timestamp::from_millis(2))
+            .unwrap(); // 3 pages
+        c.allocate(ModelId(3), 48 * MB, Timestamp::from_millis(3))
+            .unwrap(); // 3 pages
+                       // 1 page free; need 4 -> evict the single LRU model (3 pages).
         let victims = c.lru_victims_for(4, &[]).unwrap();
         assert_eq!(victims, vec![ModelId(1)]);
         // Need 7 -> evict two models.

@@ -56,8 +56,12 @@ impl WorkerTelemetry {
     pub fn new(num_gpus: usize) -> Self {
         WorkerTelemetry {
             counters: WorkerCounters::default(),
-            gpu_utilization: (0..num_gpus).map(|_| UtilizationTracker::per_second()).collect(),
-            pcie_utilization: (0..num_gpus).map(|_| UtilizationTracker::per_second()).collect(),
+            gpu_utilization: (0..num_gpus)
+                .map(|_| UtilizationTracker::per_second())
+                .collect(),
+            pcie_utilization: (0..num_gpus)
+                .map(|_| UtilizationTracker::per_second())
+                .collect(),
             exec_durations: LatencyHistogram::new(),
             load_durations: LatencyHistogram::new(),
         }
@@ -94,7 +98,11 @@ fn mean_utilization(trackers: &[UtilizationTracker], horizon: Timestamp) -> f64 
     if trackers.is_empty() {
         return 0.0;
     }
-    trackers.iter().map(|t| t.mean_utilization(horizon)).sum::<f64>() / trackers.len() as f64
+    trackers
+        .iter()
+        .map(|t| t.mean_utilization(horizon))
+        .sum::<f64>()
+        / trackers.len() as f64
 }
 
 #[cfg(test)]

@@ -29,8 +29,8 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use clockwork_model::ModelSpec;
 use clockwork_model::ModelId;
+use clockwork_model::ModelSpec;
 use clockwork_sim::engine::EventQueue;
 use clockwork_sim::gpu::{GpuSpec, GpuTimingModel};
 use clockwork_sim::memory::MemoryPool;
@@ -299,17 +299,23 @@ impl Worker {
 
     /// Free pages in a GPU's weights cache.
     pub fn free_pages(&self, gpu: GpuId) -> u64 {
-        self.gpu(gpu).map(|g| g.page_cache.free_pages()).unwrap_or(0)
+        self.gpu(gpu)
+            .map(|g| g.page_cache.free_pages())
+            .unwrap_or(0)
     }
 
     /// Total pages in a GPU's weights cache.
     pub fn total_pages(&self, gpu: GpuId) -> u64 {
-        self.gpu(gpu).map(|g| g.page_cache.total_pages()).unwrap_or(0)
+        self.gpu(gpu)
+            .map(|g| g.page_cache.total_pages())
+            .unwrap_or(0)
     }
 
     /// Whether a model's weights are resident on a GPU.
     pub fn is_loaded(&self, gpu: GpuId, model: ModelId) -> bool {
-        self.gpu(gpu).map(|g| g.page_cache.contains(model)).unwrap_or(false)
+        self.gpu(gpu)
+            .map(|g| g.page_cache.contains(model))
+            .unwrap_or(false)
     }
 
     /// The models resident on a GPU.
@@ -321,7 +327,9 @@ impl Worker {
 
     /// GPU utilization of a GPU so far (fraction of `[0, now]` busy).
     pub fn gpu_utilization(&self, gpu: GpuId, now: Timestamp) -> f64 {
-        self.gpu(gpu).map(|g| g.timing.utilization(now)).unwrap_or(0.0)
+        self.gpu(gpu)
+            .map(|g| g.timing.utilization(now))
+            .unwrap_or(0.0)
     }
 
     /// PCIe (weights link) utilization of a GPU so far.
@@ -449,12 +457,22 @@ impl Worker {
         let received = queued.received;
         match action.kind.clone() {
             ActionKind::Load { model } => self.run_load(gpu_index, action, received, start, model),
-            ActionKind::Unload { model } => self.run_unload(gpu_index, action, received, start, model),
+            ActionKind::Unload { model } => {
+                self.run_unload(gpu_index, action, received, start, model)
+            }
             ActionKind::Infer {
                 model,
                 batch,
                 request_ids,
-            } => self.run_infer(gpu_index, action, received, start, model, batch, request_ids),
+            } => self.run_infer(
+                gpu_index,
+                action,
+                received,
+                start,
+                model,
+                batch,
+                request_ids,
+            ),
         }
     }
 
@@ -479,6 +497,7 @@ impl Worker {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fail(
         &mut self,
         gpu_index: usize,
@@ -521,10 +540,26 @@ impl Worker {
         model: ModelId,
     ) {
         if action.window.expired(start) {
-            return self.fail(gpu_index, &action, model, 1, vec![], start, ActionError::WindowElapsed);
+            return self.fail(
+                gpu_index,
+                &action,
+                model,
+                1,
+                vec![],
+                start,
+                ActionError::WindowElapsed,
+            );
         }
         let Some(spec) = self.models.get(&model).cloned() else {
-            return self.fail(gpu_index, &action, model, 1, vec![], start, ActionError::UnknownModel);
+            return self.fail(
+                gpu_index,
+                &action,
+                model,
+                1,
+                vec![],
+                start,
+                ActionError::UnknownModel,
+            );
         };
         let weights_bytes = spec.weights_bytes();
         let already_loaded = self.gpus[gpu_index].page_cache.contains(model);
@@ -557,7 +592,8 @@ impl Worker {
         let gpu = &mut self.gpus[gpu_index];
         let (t_start, t_end) = gpu.load_link.schedule(start, duration, weights_bytes);
         gpu.load_executor.occupy_until(t_end);
-        self.telemetry.record_load(gpu_index, t_start, t_end, duration);
+        self.telemetry
+            .record_load(gpu_index, t_start, t_end, duration);
         self.telemetry.counters.loads_completed += 1;
         let timing = ActionTiming {
             received,
@@ -681,9 +717,10 @@ impl Worker {
         // INPUT: copy inputs host -> device on the input stream.
         let input_bytes = spec.input_bytes() * u64::from(batch);
         let input_duration = self.config.pcie.transfer_duration(input_bytes);
-        let (_, input_done) = self.gpus[gpu_index]
-            .input_link
-            .schedule(start, input_duration, input_bytes);
+        let (_, input_done) =
+            self.gpus[gpu_index]
+                .input_link
+                .schedule(start, input_duration, input_bytes);
 
         // EXEC: run the kernel, one at a time (or concurrently for baselines).
         let concurrency = self.gpus[gpu_index].in_flight_execs + 1;
@@ -711,9 +748,10 @@ impl Worker {
         // OUTPUT: copy outputs device -> host on the output stream.
         let output_bytes = spec.output_bytes() * u64::from(batch);
         let output_duration = self.config.pcie.transfer_duration(output_bytes);
-        let (_, output_done) = self.gpus[gpu_index]
-            .output_link
-            .schedule(exec_end, output_duration, output_bytes);
+        let (_, output_done) =
+            self.gpus[gpu_index]
+                .output_link
+                .schedule(exec_end, output_duration, output_bytes);
 
         self.telemetry.counters.infers_completed += 1;
         self.telemetry.counters.requests_served += request_ids.len().max(1) as u64;
@@ -1020,10 +1058,7 @@ mod tests {
         // least the exec duration (serialised), not overlapping.
         for pair in exec_windows.windows(2) {
             let gap = pair[1].1.since(pair[0].1);
-            assert!(
-                gap >= Nanos::from_millis(2),
-                "completions too close: {gap}"
-            );
+            assert!(gap >= Nanos::from_millis(2), "completions too close: {gap}");
         }
     }
 
@@ -1031,9 +1066,9 @@ mod tests {
     fn concurrent_mode_inflates_latency_variance() {
         let mut exclusive_cfg = WorkerConfig::new(WorkerId(0));
         exclusive_cfg.variance = VarianceConfig::none();
-        let mut concurrent_cfg = exclusive_cfg.clone().with_exec_mode(ExecMode::Concurrent {
-            max_concurrent: 16,
-        });
+        let mut concurrent_cfg = exclusive_cfg
+            .clone()
+            .with_exec_mode(ExecMode::Concurrent { max_concurrent: 16 });
         concurrent_cfg.seed = 77;
 
         let run = |cfg: WorkerConfig| -> Vec<f64> {
@@ -1046,7 +1081,10 @@ mod tests {
             for round in 0..20u64 {
                 let t = Timestamp::from_millis(100 + round * 100);
                 for i in 0..16u64 {
-                    w.submit(t, infer_action(100 + round * 16 + i, ModelId(1), 1, vec![i]));
+                    w.submit(
+                        t,
+                        infer_action(100 + round * 16 + i, ModelId(1), 1, vec![i]),
+                    );
                 }
                 for r in w.poll(Timestamp::from_millis(100 + round * 100 + 99)) {
                     if let Some(timing) = r.outcome.timing() {

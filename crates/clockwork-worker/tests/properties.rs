@@ -33,7 +33,8 @@ enum CacheOp {
 
 fn cache_op() -> impl Strategy<Value = CacheOp> {
     prop_oneof![
-        (0u32..40, 1u64..600).prop_map(|(model, weights_mb)| CacheOp::Allocate { model, weights_mb }),
+        (0u32..40, 1u64..600)
+            .prop_map(|(model, weights_mb)| CacheOp::Allocate { model, weights_mb }),
         (0u32..40).prop_map(|model| CacheOp::Release { model }),
         (0u32..40).prop_map(|model| CacheOp::Touch { model }),
     ]
@@ -53,7 +54,7 @@ proptest! {
         prop_assert_eq!(cache.total_pages(), capacity_pages);
         let mut now = Timestamp::ZERO;
         for op in ops {
-            now = now + Nanos::from_micros(10);
+            now += Nanos::from_micros(10);
             match op {
                 CacheOp::Allocate { model, weights_mb } => {
                     let model = ModelId(model);
@@ -118,18 +119,18 @@ proptest! {
         let mut cache = PageCache::new(1024 * PAGE, PAGE);
         let mut now = Timestamp::ZERO;
         let mut last_touch = vec![Timestamp::ZERO; n];
-        for i in 0..n {
-            now = now + Nanos::from_millis(1);
+        for (i, touch) in last_touch.iter_mut().enumerate() {
+            now += Nanos::from_millis(1);
             cache
                 .allocate(ModelId(i as u32), 4 * PAGE, now)
                 .expect("cache sized to fit all models");
-            last_touch[i] = now;
+            *touch = now;
         }
         for &idx in &touch_order {
             if idx >= n {
                 continue;
             }
-            now = now + Nanos::from_millis(1);
+            now += Nanos::from_millis(1);
             cache.touch(ModelId(idx as u32), now);
             last_touch[idx] = now;
         }
@@ -149,7 +150,7 @@ proptest! {
         let mut cache = PageCache::new(total * PAGE, PAGE);
         let mut now = Timestamp::ZERO;
         for (i, pages) in residents.iter().enumerate() {
-            now = now + Nanos::from_millis(1);
+            now += Nanos::from_millis(1);
             cache
                 .allocate(ModelId(i as u32), pages * PAGE, now)
                 .expect("within capacity");

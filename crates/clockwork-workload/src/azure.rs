@@ -160,14 +160,14 @@ impl AzureTraceGenerator {
                     * rng.lognormal_factor(0.5)
             }
             FunctionClass::PeriodicHourly => {
-                if minute % 60 == 0 {
+                if minute.is_multiple_of(60) {
                     30.0
                 } else {
                     0.15
                 }
             }
             FunctionClass::PeriodicQuarterHourly => {
-                if minute % 15 == 0 {
+                if minute.is_multiple_of(15) {
                     12.0
                 } else {
                     0.2
@@ -234,7 +234,10 @@ mod tests {
         assert_eq!(gen.functions().len(), 200);
         let classes: std::collections::HashSet<_> =
             gen.functions().iter().map(|f| f.class).collect();
-        assert!(classes.len() >= 4, "expected a diverse mixture: {classes:?}");
+        assert!(
+            classes.len() >= 4,
+            "expected a diverse mixture: {classes:?}"
+        );
         assert!(gen.functions().iter().all(|f| (f.model.0 as usize) < 50));
     }
 
@@ -296,7 +299,8 @@ mod tests {
             }
         }
         let spike = per_minute[60] as f64;
-        let neighbours = (per_minute[58] + per_minute[59] + per_minute[61] + per_minute[62]) as f64 / 4.0;
+        let neighbours =
+            (per_minute[58] + per_minute[59] + per_minute[61] + per_minute[62]) as f64 / 4.0;
         assert!(
             spike > neighbours * 1.2,
             "expected hourly spike: minute 60 = {spike}, neighbours = {neighbours}"

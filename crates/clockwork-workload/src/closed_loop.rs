@@ -128,8 +128,8 @@ mod tests {
 
     #[test]
     fn think_time_delays_resubmission() {
-        let mut c = ClosedLoopClient::new(ModelId(1), 1, Nanos::MAX)
-            .with_think_time(Nanos::from_millis(5));
+        let mut c =
+            ClosedLoopClient::new(ModelId(1), 1, Nanos::MAX).with_think_time(Nanos::from_millis(5));
         c.initial_submissions(Timestamp::ZERO);
         let (at, _, slo) = c.on_response(Timestamp::from_millis(10)).unwrap();
         assert_eq!(at, Timestamp::from_millis(15));

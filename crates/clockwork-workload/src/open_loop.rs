@@ -47,7 +47,7 @@ impl OpenLoopClient {
                 model: self.model,
                 slo: self.slo,
             });
-            t = t + rng.poisson_gap(self.rate_per_sec);
+            t += rng.poisson_gap(self.rate_per_sec);
         }
         Trace::new(events)
     }

@@ -132,7 +132,11 @@ impl Trace {
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 3 {
-                return Err(format!("line {}: expected 3 fields, got {}", i + 1, fields.len()));
+                return Err(format!(
+                    "line {}: expected 3 fields, got {}",
+                    i + 1,
+                    fields.len()
+                ));
             }
             let at: u64 = fields[0]
                 .trim()

@@ -18,19 +18,17 @@ use clockwork_workload::trace::{Trace, TraceEvent};
 const HOUR_NS: u64 = 3_600_000_000_000;
 
 fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
-    proptest::collection::vec(
-        (0u64..HOUR_NS, 0u32..50, 1u64..1_000_000_000u64),
-        0..300,
+    proptest::collection::vec((0u64..HOUR_NS, 0u32..50, 1u64..1_000_000_000u64), 0..300).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(at, model, slo)| TraceEvent {
+                    at: Timestamp::from_nanos(at),
+                    model: ModelId(model),
+                    slo: Nanos::from_nanos(slo),
+                })
+                .collect()
+        },
     )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .map(|(at, model, slo)| TraceEvent {
-                at: Timestamp::from_nanos(at),
-                model: ModelId(model),
-                slo: Nanos::from_nanos(slo),
-            })
-            .collect()
-    })
 }
 
 proptest! {
@@ -189,7 +187,7 @@ proptest! {
 
         let mut now = Timestamp::ZERO;
         for i in 0..responses {
-            now = now + Nanos::from_millis(5);
+            now += Nanos::from_millis(5);
             let next = client.on_response(now);
             // Every completed request is immediately replaced by exactly one
             // new submission, keeping in-flight constant.

@@ -4,10 +4,10 @@
 //! cargo run --release --example azure_trace
 //! ```
 //!
-//! Generates a synthetic serverless workload (heavy sustained + cold + bursty
-//! + periodic-spike functions), maps it onto 100 model instances drawn from
-//! the Appendix A zoo, serves it on a 3-worker cluster with a 100 ms SLO, and
-//! prints per-minute goodput plus the cold-start breakdown.
+//! Generates a synthetic serverless workload (heavy sustained, cold, bursty,
+//! and periodic-spike functions), maps it onto 100 model instances drawn
+//! from the Appendix A zoo, serves it on a 3-worker cluster with a 100 ms
+//! SLO, and prints per-minute goodput plus the cold-start breakdown.
 
 use clockwork::prelude::*;
 
@@ -30,7 +30,11 @@ fn main() {
         config.functions
     );
 
-    let mut system = SystemBuilder::new().workers(3).seed(3).drop_raw_responses().build();
+    let mut system = SystemBuilder::new()
+        .workers(3)
+        .seed(3)
+        .drop_raw_responses()
+        .build();
     for i in 0..config.models {
         // Cycle through the zoo so the cluster serves heterogeneous models.
         system.register_model(&zoo.all()[i % zoo.len()]);

@@ -15,7 +15,11 @@ use clockwork_baselines::{ClipperConfig, InfaasConfig};
 fn run(kind: SchedulerKind) -> (String, f64, f64, f64) {
     let zoo = ModelZoo::new();
     let label = kind.label().to_string();
-    let mut system = SystemBuilder::new().scheduler(kind).seed(9).drop_raw_responses().build();
+    let mut system = SystemBuilder::new()
+        .scheduler(kind)
+        .seed(9)
+        .drop_raw_responses()
+        .build();
     let models = system.register_copies(zoo.resnet50(), 6);
     for (i, &m) in models.iter().enumerate() {
         system.add_closed_loop_client(
@@ -34,7 +38,10 @@ fn run(kind: SchedulerKind) -> (String, f64, f64, f64) {
 }
 
 fn main() {
-    println!("{:<12} {:>12} {:>14} {:>10}", "system", "goodput r/s", "satisfaction", "p99 ms");
+    println!(
+        "{:<12} {:>12} {:>14} {:>10}",
+        "system", "goodput r/s", "satisfaction", "p99 ms"
+    );
     let mut clockwork_goodput = 0.0;
     let mut best_baseline = 0.0f64;
     for kind in [
@@ -44,7 +51,10 @@ fn main() {
         SchedulerKind::Fifo,
     ] {
         let (label, goodput, satisfaction, p99) = run(kind);
-        println!("{label:<12} {goodput:>12.0} {:>13.1}% {p99:>10.2}", satisfaction * 100.0);
+        println!(
+            "{label:<12} {goodput:>12.0} {:>13.1}% {p99:>10.2}",
+            satisfaction * 100.0
+        );
         if label == "clockwork" {
             clockwork_goodput = goodput;
         } else {

@@ -14,7 +14,11 @@ use clockwork::prelude::*;
 
 fn run(with_batch_clients: bool) -> (f64, f64) {
     let zoo = ModelZoo::new();
-    let mut system = SystemBuilder::new().workers(2).seed(44).drop_raw_responses().build();
+    let mut system = SystemBuilder::new()
+        .workers(2)
+        .seed(44)
+        .drop_raw_responses()
+        .build();
     let ls_models = system.register_copies(zoo.resnet50(), 4);
     let bc_models = system.register_copies(zoo.resnet50(), 8);
     let duration = Nanos::from_secs(10);
@@ -49,8 +53,14 @@ fn run(with_batch_clients: bool) -> (f64, f64) {
 fn main() {
     let (alone, _) = run(false);
     let (shared, bc_rps) = run(true);
-    println!("LS satisfaction without batch clients: {:.1}%", alone * 100.0);
-    println!("LS satisfaction with batch clients:    {:.1}%", shared * 100.0);
+    println!(
+        "LS satisfaction without batch clients: {:.1}%",
+        alone * 100.0
+    );
+    println!(
+        "LS satisfaction with batch clients:    {:.1}%",
+        shared * 100.0
+    );
     println!("batch-client throughput:               {bc_rps:.0} r/s");
     println!(
         "isolation penalty: {:.1} percentage points",

@@ -50,5 +50,8 @@ fn main() {
         metrics.latency.max().as_millis_f64()
     );
 
-    assert!(metrics.satisfaction() > 0.99, "warm requests should meet a 25 ms SLO");
+    assert!(
+        metrics.satisfaction() > 0.99,
+        "warm requests should meet a 25 ms SLO"
+    );
 }

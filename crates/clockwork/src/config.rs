@@ -33,9 +33,9 @@ impl SchedulerKind {
     pub fn default_exec_mode(&self) -> ExecMode {
         match self {
             SchedulerKind::Clockwork(_) | SchedulerKind::Fifo => ExecMode::Exclusive,
-            SchedulerKind::Clipper(_) | SchedulerKind::Infaas(_) => ExecMode::Concurrent {
-                max_concurrent: 16,
-            },
+            SchedulerKind::Clipper(_) | SchedulerKind::Infaas(_) => {
+                ExecMode::Concurrent { max_concurrent: 16 }
+            }
         }
     }
 
@@ -133,8 +133,10 @@ mod tests {
 
     #[test]
     fn exec_mode_override_wins() {
-        let mut c = SystemConfig::default();
-        c.exec_mode = Some(ExecMode::Concurrent { max_concurrent: 4 });
+        let c = SystemConfig {
+            exec_mode: Some(ExecMode::Concurrent { max_concurrent: 4 }),
+            ..Default::default()
+        };
         assert_eq!(
             c.effective_exec_mode(),
             ExecMode::Concurrent { max_concurrent: 4 }

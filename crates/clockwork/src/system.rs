@@ -106,7 +106,10 @@ impl SystemBuilder {
 }
 
 enum AnyScheduler {
-    Clockwork(ClockworkScheduler),
+    // Boxed: the Clockwork scheduler's tracking state dwarfs the other
+    // disciplines, and one heap indirection here is invisible next to the
+    // per-tick scheduling work.
+    Clockwork(Box<ClockworkScheduler>),
     Fifo(FifoScheduler),
     Clipper(ClipperScheduler),
     Infaas(InfaasScheduler),
@@ -115,7 +118,7 @@ enum AnyScheduler {
 impl AnyScheduler {
     fn as_scheduler(&mut self) -> &mut dyn Scheduler {
         match self {
-            AnyScheduler::Clockwork(s) => s,
+            AnyScheduler::Clockwork(s) => &mut **s,
             AnyScheduler::Fifo(s) => s,
             AnyScheduler::Clipper(s) => s,
             AnyScheduler::Infaas(s) => s,
@@ -204,7 +207,9 @@ impl ServingSystem {
             })
             .collect();
         let mut scheduler = match config.scheduler {
-            SchedulerKind::Clockwork(cfg) => AnyScheduler::Clockwork(ClockworkScheduler::new(cfg)),
+            SchedulerKind::Clockwork(cfg) => {
+                AnyScheduler::Clockwork(Box::new(ClockworkScheduler::new(cfg)))
+            }
             SchedulerKind::Fifo => AnyScheduler::Fifo(FifoScheduler::new()),
             SchedulerKind::Clipper(cfg) => AnyScheduler::Clipper(ClipperScheduler::new(cfg)),
             SchedulerKind::Infaas(cfg) => AnyScheduler::Infaas(InfaasScheduler::new(cfg)),
@@ -459,7 +464,8 @@ impl ServingSystem {
                     arrival: at_controller,
                     slo,
                 };
-                self.queue.push(at_controller, SystemEvent::ControllerRequest { request });
+                self.queue
+                    .push(at_controller, SystemEvent::ControllerRequest { request });
             }
             SystemEvent::ControllerRequest { request } => {
                 self.telemetry.record_arrival(self.now);
@@ -487,10 +493,8 @@ impl ServingSystem {
                         _ => 128,
                     };
                     let delay = self.network.delay(bytes);
-                    self.queue.push(
-                        self.now + delay,
-                        SystemEvent::ControllerResult { result },
-                    );
+                    self.queue
+                        .push(self.now + delay, SystemEvent::ControllerResult { result });
                 }
                 self.schedule_worker_wake(worker);
             }
@@ -520,7 +524,9 @@ impl ServingSystem {
             }
             SystemEvent::SchedulerTick => {
                 self.tick_scheduled = None;
-                self.scheduler.as_scheduler().on_tick(self.now, &mut self.ctx);
+                self.scheduler
+                    .as_scheduler()
+                    .on_tick(self.now, &mut self.ctx);
                 self.drain_ctx();
             }
         }

@@ -162,7 +162,8 @@ impl SystemTelemetry {
                     .record_value(*completed, latency.as_millis_f64());
                 self.throughput_series.record_event(*completed);
                 self.batch_sizes.record(f64::from(*batch));
-                self.batch_series.record_value(*completed, f64::from(*batch));
+                self.batch_series
+                    .record_value(*completed, f64::from(*batch));
                 if *cold_start {
                     self.cold_starts += 1;
                     self.cold_start_series.record_event(*completed);

@@ -3,9 +3,18 @@
 use clockwork::prelude::*;
 use clockwork_baselines::{ClipperConfig, InfaasConfig};
 
-fn run_closed_loop(kind: SchedulerKind, copies: usize, slo_ms: u64, seconds: u64) -> ExperimentMetrics {
+fn run_closed_loop(
+    kind: SchedulerKind,
+    copies: usize,
+    slo_ms: u64,
+    seconds: u64,
+) -> ExperimentMetrics {
     let zoo = ModelZoo::new();
-    let mut system = SystemBuilder::new().scheduler(kind).seed(300).drop_raw_responses().build();
+    let mut system = SystemBuilder::new()
+        .scheduler(kind)
+        .seed(300)
+        .drop_raw_responses()
+        .build();
     let ids = system.register_copies(zoo.resnet50(), copies);
     for (i, &m) in ids.iter().enumerate() {
         system.add_closed_loop_client(
@@ -69,7 +78,12 @@ fn baselines_tail_latency_exceeds_slo_under_pressure() {
     // Clockwork's stays pinned near it.
     let slo_ms = 50u64;
     let clockwork = run_closed_loop(SchedulerKind::default(), 15, slo_ms, 6);
-    let clipper = run_closed_loop(SchedulerKind::Clipper(ClipperConfig::default()), 15, slo_ms, 6);
+    let clipper = run_closed_loop(
+        SchedulerKind::Clipper(ClipperConfig::default()),
+        15,
+        slo_ms,
+        6,
+    );
     let cw_p99 = clockwork.latency.percentile(99.0).as_millis_f64();
     let cl_p99 = clipper.latency.percentile(99.0).as_millis_f64();
     assert!(

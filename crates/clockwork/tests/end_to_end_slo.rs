@@ -129,7 +129,13 @@ fn slo_multiplier_sweep_matches_fig7_shape() {
     let tight = satisfaction_at(1.0);
     let medium = satisfaction_at(5.1);
     let loose = satisfaction_at(25.6);
-    assert!(tight < 0.6, "1x the exec latency leaves no headroom: {tight}");
+    assert!(
+        tight < 0.6,
+        "1x the exec latency leaves no headroom: {tight}"
+    );
     assert!(medium > tight, "satisfaction should improve with the SLO");
-    assert!(loose > 0.95, "a 25x SLO should be nearly always met: {loose}");
+    assert!(
+        loose > 0.95,
+        "a 25x SLO should be nearly always met: {loose}"
+    );
 }

@@ -39,13 +39,7 @@ fn hostile_external_variance_degrades_gracefully() {
         .seed(11)
         .build();
     let ids = system.register_copies(zoo.resnet50(), 4);
-    let trace = open_loop_trace(
-        &ids,
-        40.0,
-        Nanos::from_millis(100),
-        Nanos::from_secs(4),
-        99,
-    );
+    let trace = open_loop_trace(&ids, 40.0, Nanos::from_millis(100), Nanos::from_secs(4), 99);
     let submitted = trace.len() as u64;
     system.submit_trace(&trace);
     system.run_to_completion();
@@ -147,7 +141,10 @@ fn overload_is_shed_by_rejection_not_by_latency() {
     let m = system.telemetry().metrics();
     let rejected: u64 = m.rejections.values().sum();
     assert!(rejected > 0, "an overloaded system must reject something");
-    assert!(m.goodput > 0, "an overloaded system must still serve something");
+    assert!(
+        m.goodput > 0,
+        "an overloaded system must still serve something"
+    );
     // Overload is absorbed by admission control, not by stretching the tail:
     // essentially everything that was admitted met its deadline. (A handful
     // of admitted-but-late responses are expected — the paper's own §6.5
@@ -255,8 +252,14 @@ fn impossible_then_feasible_requests_do_not_poison_the_scheduler() {
             late_served += 1;
         }
     }
-    assert_eq!(early_rejected, 50, "every impossible-SLO request is rejected");
-    assert_eq!(late_served, 50, "every feasible follow-up request is served");
+    assert_eq!(
+        early_rejected, 50,
+        "every impossible-SLO request is rejected"
+    );
+    assert_eq!(
+        late_served, 50,
+        "every feasible follow-up request is served"
+    );
 }
 
 #[test]
@@ -265,8 +268,16 @@ fn multi_gpu_workers_share_the_load() {
     // actually absorb work (the scheduler balances across GPU executors, not
     // just across workers).
     let zoo = ModelZoo::new();
-    let mut single = SystemBuilder::new().workers(1).gpus_per_worker(1).seed(41).build();
-    let mut dual = SystemBuilder::new().workers(1).gpus_per_worker(2).seed(41).build();
+    let mut single = SystemBuilder::new()
+        .workers(1)
+        .gpus_per_worker(1)
+        .seed(41)
+        .build();
+    let mut dual = SystemBuilder::new()
+        .workers(1)
+        .gpus_per_worker(2)
+        .seed(41)
+        .build();
 
     let run = |system: &mut ServingSystem| {
         let ids = system.register_copies(zoo.resnet50(), 8);

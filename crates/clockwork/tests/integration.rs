@@ -31,7 +31,10 @@ fn heterogeneous_zoo_models_share_one_gpu() {
     // Ten different model varieties on one GPU, all warm after first use.
     let zoo = ModelZoo::new();
     let mut system = SystemBuilder::new().seed(101).build();
-    let ids: Vec<ModelId> = zoo.all()[..10].iter().map(|s| system.register_model(s)).collect();
+    let ids: Vec<ModelId> = zoo.all()[..10]
+        .iter()
+        .map(|s| system.register_model(s))
+        .collect();
     let trace = OpenLoopClient::generate_many(
         &ids,
         20.0,
@@ -91,12 +94,16 @@ fn memory_pressure_forces_cold_starts_but_not_slo_violations() {
     for round in 0..30u64 {
         for &id in &ids {
             system.submit_request(t, id, Nanos::from_millis(150));
-            t = t + Nanos::from_millis(3 + round % 3);
+            t += Nanos::from_millis(3 + round % 3);
         }
     }
     system.run_to_completion();
     let m = system.telemetry().metrics();
-    assert!(m.cold_starts > 10, "expected cold starts, got {}", m.cold_starts);
+    assert!(
+        m.cold_starts > 10,
+        "expected cold starts, got {}",
+        m.cold_starts
+    );
     assert!(
         m.satisfaction() > 0.8,
         "satisfaction {} cold {}",
@@ -129,7 +136,11 @@ fn deterministic_runs_for_identical_seeds() {
 #[test]
 fn multi_gpu_workers_spread_load() {
     let zoo = ModelZoo::new();
-    let mut system = SystemBuilder::new().workers(1).gpus_per_worker(2).seed(106).build();
+    let mut system = SystemBuilder::new()
+        .workers(1)
+        .gpus_per_worker(2)
+        .seed(106)
+        .build();
     let ids = system.register_copies(zoo.resnet50(), 4);
     for (i, &m) in ids.iter().enumerate() {
         system.add_closed_loop_client(
@@ -142,7 +153,10 @@ fn multi_gpu_workers_spread_load() {
     let horizon = Timestamp::from_secs(2);
     let g0 = worker.gpu_utilization(clockwork_worker::GpuId(0), horizon);
     let g1 = worker.gpu_utilization(clockwork_worker::GpuId(1), horizon);
-    assert!(g0 > 0.2 && g1 > 0.2, "both GPUs must be used: {g0:.2} / {g1:.2}");
+    assert!(
+        g0 > 0.2 && g1 > 0.2,
+        "both GPUs must be used: {g0:.2} / {g1:.2}"
+    );
 }
 
 #[test]
@@ -157,8 +171,16 @@ fn models_uploaded_at_runtime_become_servable_after_the_transfer() {
 
     // Before the upload lands: the already-registered model serves, the
     // uploaded one is rejected as unknown.
-    system.submit_request(Timestamp::from_millis(100), resident, Nanos::from_millis(100));
-    system.submit_request(Timestamp::from_millis(100), uploaded, Nanos::from_millis(100));
+    system.submit_request(
+        Timestamp::from_millis(100),
+        resident,
+        Nanos::from_millis(100),
+    );
+    system.submit_request(
+        Timestamp::from_millis(100),
+        uploaded,
+        Nanos::from_millis(100),
+    );
     // Well after the upload: both serve.
     for i in 0..20u64 {
         system.submit_request(
@@ -187,7 +209,10 @@ fn models_uploaded_at_runtime_become_servable_after_the_transfer() {
         }
     }
     assert_eq!(early_unknown, 1);
-    assert_eq!(late_served, 20, "uploaded model must serve once the weights arrive");
+    assert_eq!(
+        late_served, 20,
+        "uploaded model must serve once the weights arrive"
+    );
     let m = system.telemetry().metrics();
     assert_eq!(m.total_requests, 22);
 }

@@ -1,0 +1,177 @@
+//! Minimal API-compatible stub of [criterion](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This stub implements the subset of the criterion API the `bench`
+//! crate uses — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock-timed runner: each benchmark body is warmed up once and then
+//! timed over a fixed iteration count, reporting mean ns/iter on stdout.
+//! Statistical analysis, plots, and CLI filtering are not implemented.
+//! Swapping in the real crate requires no source changes in the benches.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; times the routine under `iter`.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run and time `routine` for the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up pass keeps lazy-initialised state out of the timing.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: core::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count (the stub uses it directly as
+    /// the number of timed iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!("bench {}/{}: {:.1} ns/iter", self.name, id, b.mean_ns);
+        self
+    }
+
+    /// Benchmark a closure with an explicit input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        println!("bench {}/{}: {:.1} ns/iter", self.name, id, b.mean_ns);
+        self
+    }
+
+    /// Finish the group (a no-op in the stub, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+            _criterion: core::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a closure outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a callable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

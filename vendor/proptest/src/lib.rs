@@ -1,0 +1,702 @@
+//! Minimal API-compatible stub of [`proptest`](https://proptest-rs.github.io/proptest/).
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This stub implements the subset of the proptest API used by the
+//! workspace's property suites: the `proptest!` macro, `Strategy` with
+//! `prop_map` / `prop_flat_map` / `prop_filter`, range and tuple strategies,
+//! `Just`, `prop_oneof!`, `any::<T>()`, `proptest::collection::{vec,
+//! btree_set}`, `prop::sample::Index`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * Generation is driven by a deterministic splitmix64 PRNG seeded per test
+//!   case, so failures are reproducible run-to-run but there is **no
+//!   shrinking** — a failing case reports the panic from the assertion macros
+//!   (which degrade to `assert!`/`assert_eq!`) at full size.
+//! * No persistence of failing cases, forking, or timeout support.
+//!
+//! Swapping in the real crate requires no source changes in the test suites,
+//! only a `Cargo.toml` edit.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG driving generation.
+
+    /// Configuration for a `proptest!` block.
+    ///
+    /// Only `cases` is honoured; it mirrors `ProptestConfig::with_cases`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps the offline suites
+            // fast while still exercising the properties broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator used to drive all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Create a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform value in `[lo, hi)` using 128-bit arithmetic so that the
+        /// full signed/unsigned 64-bit domain is representable.
+        pub fn gen_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo < hi, "empty range passed to strategy");
+            let width = (hi - lo) as u128;
+            let sample = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % width;
+            lo + sample as i128
+        }
+
+        /// Uniform usize in `[lo, hi)`.
+        pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+            self.gen_range_i128(lo as i128, hi as i128) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike the real crate there is no `ValueTree`/shrinking layer; a
+    /// strategy simply produces a value from an RNG.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a second strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Retry generation until `f` accepts the value (up to a bound).
+        fn prop_filter<R, F>(self, reason: R, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            R: Into<String>,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                f,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: String,
+        pub(crate) f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive values: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice among boxed alternatives; built by `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the (non-empty) list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range_usize(0, self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range_i128(self.start as i128, self.end as i128) as $t
+                }
+            }
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // next_f64 is in [0, 1); scale by the closed width so the upper
+            // endpoint is approachable. Exact inclusion of the endpoint is
+            // irrelevant for the properties exercised here.
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    impl Strategy for ::core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+);)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+        (A, B, C, D, E, F);
+        (A, B, C, D, E, F, G);
+        (A, B, C, D, E, F, G, H);
+        (A, B, C, D, E, F, G, H, I);
+        (A, B, C, D, E, F, G, H, I, J);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy returned by [`any`].
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy for this type.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Full-domain strategy for a primitive type.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for bool {
+        type Strategy = Any<bool>;
+        fn arbitrary() -> Any<bool> {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+    impl Arbitrary for f64 {
+        type Strategy = Any<f64>;
+        fn arbitrary() -> Any<f64> {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for Any<crate::sample::Index> {
+        type Value = crate::sample::Index;
+        fn generate(&self, rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+    impl Arbitrary for crate::sample::Index {
+        type Strategy = Any<crate::sample::Index>;
+        fn arbitrary() -> Any<crate::sample::Index> {
+            Any(core::marker::PhantomData)
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample::Index`).
+
+    /// An abstract index into a collection of as-yet-unknown size.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Resolve against a concrete collection length (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_set`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// A size (range) for generated collections, half-open.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range_usize(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate ordered sets of values from `element` with size in `size`.
+    ///
+    /// If the element domain is too small to reach the drawn size, the set is
+    /// returned at the largest size reached after a bounded number of draws
+    /// (matching the real crate's behaviour of not looping forever).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range_usize(self.size.lo, self.size.hi);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(20) + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced access to strategy modules (`prop::sample::Index`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert a boolean condition inside a property (degrades to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (degrades to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (degrades to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case if the assumption fails.
+///
+/// The property body is expanded directly inside the per-case `for` loop of
+/// [`proptest!`], so `continue` moves on to the next generated case — the
+/// real crate's discard semantics. Caveat: inside a loop written in the
+/// property body itself, `continue` binds to that inner loop instead; hoist
+/// the assumption out of inner loops.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// Mirrors the real macro's surface: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]`
+/// functions whose parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($param:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                // Per-case deterministic seed; fold in the test name so
+                // different properties see different streams.
+                let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).as_bytes() {
+                    __seed = (__seed ^ *b as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $param = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ASSUME_CASES_RUN: AtomicU64 = AtomicU64::new(0);
+
+    // No `#[test]` attribute: expanded as a plain fn and driven by the
+    // harness test below so the counter isn't raced by a parallel run.
+    proptest! {
+        fn assume_body(v in 0u64..10) {
+            prop_assume!(v != 3);
+            ASSUME_CASES_RUN.fetch_add(1, Ordering::Relaxed);
+            prop_assert_ne!(v, 3);
+        }
+    }
+
+    #[test]
+    fn prop_assume_discards_only_the_current_case() {
+        ASSUME_CASES_RUN.store(0, Ordering::Relaxed);
+        assume_body();
+        let ran = ASSUME_CASES_RUN.load(Ordering::Relaxed);
+        // 64 default cases over 0..10: roughly 1 in 10 is discarded. If
+        // prop_assume! aborted the whole fn (the bug this guards against),
+        // far fewer than half the cases would run.
+        assert!(
+            (32..=64).contains(&ran),
+            "expected most of 64 cases to run, got {ran}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_collections_respect_bounds(
+            v in 5u64..10,
+            xs in crate::collection::vec(0u32..4, 2..6),
+            s in crate::collection::btree_set(0u32..100, 3..8),
+            f in -2.0f64..2.0,
+            pick in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((5..10).contains(&v));
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 4));
+            prop_assert!(s.len() >= 3 && s.len() < 8);
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(pick.index(7) < 7);
+        }
+
+        #[test]
+        fn combinators_compose(n in 1u64..5) {
+            let doubled = (0u64..10).prop_map(move |x| x * n);
+            let mut rng = crate::test_runner::TestRng::new(n);
+            let v = doubled.generate(&mut rng);
+            prop_assert_eq!(v % n, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec(0u64..1000, 10..20);
+        let a = strat.generate(&mut crate::test_runner::TestRng::new(42));
+        let b = strat.generate(&mut crate::test_runner::TestRng::new(42));
+        assert_eq!(a, b);
+    }
+}

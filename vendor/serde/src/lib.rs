@@ -1,0 +1,20 @@
+//! Minimal API-compatible stub of [`serde`](https://serde.rs).
+//!
+//! The build environment for this repository has no network access, so the
+//! real `serde` crate cannot be fetched. The workspace only uses serde for
+//! `#[derive(Serialize, Deserialize)]` annotations on plain-old-data types —
+//! no code serializes anything yet — so this stub provides just the two
+//! marker traits and derive macros that implement them. Replacing this with
+//! the real crate requires no source changes, only a `Cargo.toml` edit.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The stub derive produces an empty implementation; the trait carries no
+/// methods so that it can be derived for any type without knowing how to
+/// walk its fields.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

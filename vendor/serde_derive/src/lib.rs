@@ -1,0 +1,115 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! The stub's `Serialize` / `Deserialize` traits are pure markers, and no
+//! code in the workspace takes them as bounds yet, so the derives simply
+//! parse the item name and emit a marker impl. Generic items are handled by
+//! scanning the (already-validated) item header token stream for its name
+//! and generic parameter identifiers — enough for the plain-old-data types
+//! this workspace derives on, without pulling in `syn`/`quote`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, generic_params)` from a struct/enum/union definition.
+///
+/// `generic_params` is the comma-joined list of parameter *names* (lifetimes
+/// included), suitable for both the `impl<...>` binder and the `Type<...>`
+/// argument position, with defaults and bounds stripped.
+fn parse_item_header(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility / keywords until we hit the
+    // item keyword, then take the following identifier as the name.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name?;
+
+    // If the next token is `<`, collect top-level generic parameter names.
+    let mut params = Vec::new();
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        let mut pending_lifetime = false;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => expect_param = true,
+                    '\'' if depth == 1 && expect_param => pending_lifetime = true,
+                    _ => {}
+                },
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let ident = id.to_string();
+                    if ident == "const" {
+                        // `const N: usize` — the next ident is the name.
+                        continue;
+                    }
+                    if pending_lifetime {
+                        params.push(format!("'{ident}"));
+                        pending_lifetime = false;
+                    } else {
+                        params.push(ident);
+                    }
+                    expect_param = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    Some((name, params))
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let Some((name, params)) = parse_item_header(input) else {
+        return TokenStream::new();
+    };
+    let mut binder: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        binder.push(lt.to_string());
+    }
+    binder.extend(params.iter().cloned());
+    let binder = if binder.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", binder.join(", "))
+    };
+    let args = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let trait_args = match extra_lifetime {
+        Some(lt) => format!("<{lt}>"),
+        None => String::new(),
+    };
+    format!("impl{binder} {trait_path}{trait_args} for {name}{args} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Derive a marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", None)
+}
+
+/// Derive a marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize", Some("'de"))
+}
