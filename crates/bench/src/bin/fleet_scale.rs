@@ -1,0 +1,227 @@
+//! Fleet-scale perf scenario: 20 workers × 4 GPUs under Azure-derived load.
+//!
+//! Unlike the figure binaries, this scenario exists to measure the
+//! *simulator* rather than the system it simulates: it drives a cluster an
+//! order of magnitude larger than the paper's testbed (80 GPUs, 200 model
+//! instances sampled from the Appendix A zoo, an open-loop MAF-like
+//! workload) and reports how fast the event loop chews through it —
+//! wall-clock events per second — alongside the usual serving metrics
+//! (goodput, SLO violation rate) and a peak-RSS proxy. Results are written
+//! to `BENCH_fleet.json` at the repo root; CI's `perf-smoke` job replays a
+//! fixed-work prefix (`--events 2000000`) and fails the build if events/sec
+//! regresses more than 30 % below the checked-in baseline
+//! (`crates/bench/baseline/BENCH_fleet.json`).
+//!
+//! The run is deterministic: the telemetry layer folds every response into
+//! an order-sensitive FNV-1a digest, and two runs with the same seed must
+//! print the same digest (`--expect-digest` turns a mismatch into a non-zero
+//! exit for the golden-digest check).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin fleet_scale -- \
+//!     [--events N] [--out PATH] [--baseline PATH] [--seed N] [--expect-digest HEX]
+//! ```
+
+use std::time::Instant;
+
+use clockwork::prelude::*;
+
+const WORKERS: u32 = 20;
+const GPUS_PER_WORKER: u32 = 4;
+const MODELS: usize = 200;
+const FUNCTIONS: usize = 800;
+const DURATION_SECS: u64 = 120;
+const TARGET_RATE: f64 = 1_500.0;
+const SLO_MS: u64 = 100;
+/// Maximum tolerated drop of events/sec below the baseline (CI gate).
+const REGRESSION_TOLERANCE: f64 = 0.30;
+
+struct Args {
+    max_events: u64,
+    out: String,
+    baseline: Option<String>,
+    seed: u64,
+    expect_digest: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        max_events: u64::MAX,
+        out: "BENCH_fleet.json".to_string(),
+        baseline: None,
+        seed: 2020,
+        expect_digest: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--events" => args.max_events = value("--events").parse().expect("--events: integer"),
+            "--out" => args.out = value("--out"),
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--expect-digest" => {
+                let v = value("--expect-digest");
+                let hex = v.trim_start_matches("0x");
+                args.expect_digest =
+                    Some(u64::from_str_radix(hex, 16).expect("--expect-digest: hex u64"));
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Peak resident-set size in kilobytes, read from `/proc/self/status`
+/// (`VmHWM`). Returns 0 where the proc filesystem is unavailable — the field
+/// is a proxy for memory footprint, not a portable measurement.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Extracts a numeric field from a flat JSON document without a JSON parser
+/// (the workspace builds offline; the bench schema is flat and stable).
+fn json_number(doc: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    let zoo = ModelZoo::new();
+    let duration = Nanos::from_secs(DURATION_SECS);
+    let trace_config = AzureTraceConfig {
+        functions: FUNCTIONS,
+        models: MODELS,
+        duration,
+        target_rate: TARGET_RATE,
+        slo: Nanos::from_millis(SLO_MS),
+        seed: args.seed,
+    };
+    let generator = AzureTraceGenerator::new(trace_config);
+    let trace = generator.generate();
+    let smoke = args.max_events != u64::MAX;
+    println!(
+        "# fleet-scale scenario: {} workers x {} GPUs, {} models, {} requests over {}s{}",
+        WORKERS,
+        GPUS_PER_WORKER,
+        MODELS,
+        trace.len(),
+        DURATION_SECS,
+        if smoke {
+            format!(" (smoke: first {} events)", args.max_events)
+        } else {
+            String::new()
+        }
+    );
+
+    let mut system = SystemBuilder::new()
+        .workers(WORKERS)
+        .gpus_per_worker(GPUS_PER_WORKER)
+        .seed(args.seed)
+        .drop_raw_responses()
+        .build();
+    let varieties = zoo.all();
+    for i in 0..MODELS {
+        system.register_model(&varieties[i % varieties.len()]);
+    }
+    system.submit_trace(&trace);
+
+    let started = Instant::now();
+    system.run_until_events(
+        Timestamp::ZERO + duration + Nanos::from_secs(2),
+        args.max_events,
+    );
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let events = system.events_processed();
+    let events_per_sec = if wall_secs > 0.0 {
+        events as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let digest = system.telemetry().response_digest();
+    let m = system.telemetry().metrics();
+    let slo_violation_rate = 1.0 - m.satisfaction();
+    let rss_kb = peak_rss_kb();
+
+    bench::section("fleet_scale results");
+    println!(
+        "requests={} goodput={} goodput_rps={:.1} slo_violation_rate={:.4} p50_ms={:.2} p99_ms={:.2}",
+        m.total_requests,
+        m.goodput,
+        m.goodput_rate(),
+        slo_violation_rate,
+        m.latency.percentile(50.0).as_millis_f64(),
+        m.latency.percentile(99.0).as_millis_f64(),
+    );
+    println!(
+        "events={events} wall_secs={wall_secs:.2} events_per_sec={events_per_sec:.0} peak_rss_kb={rss_kb}"
+    );
+    println!("digest={digest:016x}");
+
+    let json = format!(
+        "{{\n  \"scenario\": {{\n    \"workers\": {WORKERS},\n    \"gpus_per_worker\": {GPUS_PER_WORKER},\n    \"models\": {MODELS},\n    \"functions\": {FUNCTIONS},\n    \"duration_secs\": {DURATION_SECS},\n    \"target_rate\": {TARGET_RATE},\n    \"slo_ms\": {SLO_MS},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+        seed = args.seed,
+        max_events = if smoke { args.max_events } else { 0 },
+        requests = m.total_requests,
+        goodput = m.goodput,
+        goodput_rps = m.goodput_rate(),
+        p50 = m.latency.percentile(50.0).as_millis_f64(),
+        p99 = m.latency.percentile(99.0).as_millis_f64(),
+        cold = m.cold_start_fraction(),
+    );
+    std::fs::write(&args.out, &json).expect("write results json");
+    println!("# wrote {}", args.out);
+
+    let mut failed = false;
+    if let Some(expected) = args.expect_digest {
+        if expected != digest {
+            eprintln!("DIGEST MISMATCH: expected {expected:016x}, got {digest:016x}");
+            failed = true;
+        } else {
+            println!("# digest matches expected value");
+        }
+    }
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = std::fs::read_to_string(baseline_path).expect("read baseline json");
+        let base_eps =
+            json_number(&baseline, "events_per_sec").expect("baseline json has no events_per_sec");
+        let floor = base_eps * (1.0 - REGRESSION_TOLERANCE);
+        println!(
+            "# perf gate: {events_per_sec:.0} events/sec vs baseline {base_eps:.0} (floor {floor:.0})"
+        );
+        if events_per_sec < floor {
+            eprintln!(
+                "PERF REGRESSION: {events_per_sec:.0} events/sec is more than {:.0}% below baseline {base_eps:.0}",
+                REGRESSION_TOLERANCE * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

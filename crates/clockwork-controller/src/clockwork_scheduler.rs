@@ -19,7 +19,7 @@
 //! least-recently-used. Admission control rejects requests whose SLO cannot
 //! be met even in the best case, before any work is wasted on them.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -146,6 +146,35 @@ struct PendingRequest {
 struct ModelEntry {
     spec: Arc<ModelSpec>,
     queue: VecDeque<PendingRequest>,
+    /// Conservative lower bound on the earliest deadline in `queue`
+    /// (`Timestamp::MAX` when empty or all-unbounded). Never later than the
+    /// true minimum, so the expiry pass may skip the scan when `now` has not
+    /// reached it yet.
+    min_deadline_hint: Timestamp,
+    /// Cached `(batch, required_start)` strategy candidates in ascending
+    /// batch order, mirroring Appendix B's strategy queue. Valid while
+    /// `cache_epoch` matches the profiler epoch and `cache_dirty` is unset.
+    strategies: Vec<(u32, Timestamp)>,
+    cache_epoch: u64,
+    cache_dirty: bool,
+}
+
+impl ModelEntry {
+    fn new(spec: Arc<ModelSpec>) -> Self {
+        ModelEntry {
+            spec,
+            queue: VecDeque::new(),
+            min_deadline_hint: Timestamp::MAX,
+            strategies: Vec::new(),
+            cache_epoch: 0,
+            cache_dirty: true,
+        }
+    }
+
+    /// Notes that `queue` changed, invalidating the strategy cache.
+    fn note_queue_changed(&mut self) {
+        self.cache_dirty = true;
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -171,6 +200,25 @@ pub struct ClockworkScheduler {
     cold_rejections: HashMap<ModelId, VecDeque<Timestamp>>,
     stats: SchedulerStats,
     predictions: Vec<PredictionRecord>,
+    /// GPUs (by dense tracker index) on which each model is resident or
+    /// loading, kept sorted by index. Mirrors the tracker's residency sets so
+    /// demand/allocation passes never scan every GPU per model.
+    holders: HashMap<ModelId, Vec<(usize, GpuRef)>>,
+    /// The inverse index: models resident or loading per GPU, in ascending
+    /// `ModelId` order so candidate scans match the dirty-set iteration
+    /// order.
+    avail_by_gpu: Vec<BTreeSet<ModelId>>,
+    // Reusable scratch buffers: the steady-state scheduling pass moves these
+    // out, refills them, and puts them back, so it allocates nothing once the
+    // buffers have grown to the fleet's working-set size.
+    scratch_models: Vec<ModelId>,
+    scratch_gpus: Vec<GpuRef>,
+    scratch_expired: Vec<PendingRequest>,
+    scratch_candidates: Vec<ModelId>,
+    scratch_demands: Vec<(ModelId, Nanos)>,
+    scratch_priorities: Vec<(ModelId, f64)>,
+    scratch_gpu_load: Vec<f64>,
+    scratch_protect: HashSet<ModelId>,
 }
 
 impl ClockworkScheduler {
@@ -187,6 +235,16 @@ impl ClockworkScheduler {
             cold_rejections: HashMap::new(),
             stats: SchedulerStats::default(),
             predictions: Vec::new(),
+            holders: HashMap::new(),
+            avail_by_gpu: Vec::new(),
+            scratch_models: Vec::new(),
+            scratch_gpus: Vec::new(),
+            scratch_expired: Vec::new(),
+            scratch_candidates: Vec::new(),
+            scratch_demands: Vec::new(),
+            scratch_priorities: Vec::new(),
+            scratch_gpu_load: Vec::new(),
+            scratch_protect: HashSet::new(),
         }
     }
 
@@ -198,6 +256,34 @@ impl ClockworkScheduler {
     /// Registers a GPU the scheduler may place work on.
     pub fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
         self.tracker.add_gpu(gpu_ref, total_pages, page_size);
+        self.avail_by_gpu.push(BTreeSet::new());
+    }
+
+    /// Records that `model` became resident-or-loading on `gpu_ref` in both
+    /// residency indices.
+    fn index_add_holder(&mut self, model: ModelId, gpu_ref: GpuRef) {
+        let idx = self.tracker.gpu_index(gpu_ref).expect("gpu exists");
+        let holders = self.holders.entry(model).or_default();
+        if let Err(pos) = holders.binary_search_by_key(&idx, |&(i, _)| i) {
+            holders.insert(pos, (idx, gpu_ref));
+        }
+        self.avail_by_gpu[idx].insert(model);
+    }
+
+    /// Records that `model` stopped being resident-or-loading on `gpu_ref`.
+    fn index_remove_holder(&mut self, model: ModelId, gpu_ref: GpuRef) {
+        let Some(idx) = self.tracker.gpu_index(gpu_ref) else {
+            return;
+        };
+        if let Some(holders) = self.holders.get_mut(&model) {
+            if let Ok(pos) = holders.binary_search_by_key(&idx, |&(i, _)| i) {
+                holders.remove(pos);
+            }
+            if holders.is_empty() {
+                self.holders.remove(&model);
+            }
+        }
+        self.avail_by_gpu[idx].remove(&model);
     }
 
     /// Registers a model, seeding its execution profiles from the compiled
@@ -208,13 +294,7 @@ impl ClockworkScheduler {
                 .seed(ProfileKey::exec(id, profile.batch), profile.latency);
         }
         self.profiler.seed(ProfileKey::load(id), load_seed);
-        self.models.insert(
-            id,
-            ModelEntry {
-                spec,
-                queue: VecDeque::new(),
-            },
-        );
+        self.models.insert(id, ModelEntry::new(spec));
     }
 
     /// Registers a model, deriving the LOAD seed from a PCIe link model.
@@ -251,9 +331,42 @@ impl ClockworkScheduler {
     }
 
     fn exec_estimate(&self, model: ModelId, batch: u32) -> Nanos {
-        self.profiler
-            .estimate_or(ProfileKey::exec(model, batch), Nanos::from_millis(10))
-            .max(Nanos::from_micros(1))
+        Self::exec_estimate_with(
+            &self.profiler,
+            self.models.get(&model).map(|e| e.spec.as_ref()),
+            model,
+            batch,
+        )
+    }
+
+    /// Estimated execution duration for `(model, batch)`.
+    ///
+    /// Falls back from the rolling profile to the model's compiled latency
+    /// table: the smallest kernel that covers `batch`, else the largest
+    /// kernel scaled linearly. A fixed constant is the estimate of last
+    /// resort only for models with no latency table at all — a hard-coded
+    /// 10 ms for every unprofiled batch size would systematically
+    /// mis-schedule models whose kernels are far from that value.
+    fn exec_estimate_with(
+        profiler: &ActionProfiler,
+        spec: Option<&ModelSpec>,
+        model: ModelId,
+        batch: u32,
+    ) -> Nanos {
+        if let Some(est) = profiler.estimate(ProfileKey::exec(model, batch)) {
+            return est.max(Nanos::from_micros(1));
+        }
+        if let Some(spec) = spec {
+            if let Some(profile) = spec.batch_for_count(batch.max(1)) {
+                return profile.latency.max(Nanos::from_micros(1));
+            }
+            if let Some(largest) = spec.batch_profiles.last() {
+                let scaled =
+                    largest.latency * u64::from(batch.max(1)) / u64::from(largest.batch.max(1));
+                return scaled.max(Nanos::from_micros(1));
+            }
+        }
+        Nanos::from_millis(10)
     }
 
     fn load_estimate(&self, model: ModelId) -> Nanos {
@@ -288,36 +401,57 @@ impl ClockworkScheduler {
     fn expire_requests(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
         // Forget cold-rejection demand that has aged out of the priority
         // horizon, so long-idle models do not keep attracting LOADs.
-        let horizon = self.config.load_priority_horizon;
-        self.cold_rejections.retain(|_, history| {
-            while history.front().is_some_and(|&t| t + horizon < now) {
-                history.pop_front();
-            }
-            !history.is_empty()
-        });
-        let model_ids: Vec<ModelId> = self.queued_models.iter().copied().collect();
-        for model_id in model_ids {
+        if !self.cold_rejections.is_empty() {
+            let horizon = self.config.load_priority_horizon;
+            self.cold_rejections.retain(|_, history| {
+                while history.front().is_some_and(|&t| t + horizon < now) {
+                    history.pop_front();
+                }
+                !history.is_empty()
+            });
+        }
+        if self.queued_models.is_empty() {
+            return;
+        }
+        let mut model_ids = std::mem::take(&mut self.scratch_models);
+        model_ids.clear();
+        model_ids.extend(self.queued_models.iter().copied());
+        let mut expired = std::mem::take(&mut self.scratch_expired);
+        let allowance = self.config.network_allowance;
+        for &model_id in &model_ids {
             let min_exec = self.exec_estimate(model_id, 1);
-            let allowance = self.config.network_allowance;
             let Some(entry) = self.models.get_mut(&model_id) else {
                 continue;
             };
-            let mut expired = Vec::new();
+            let cutoff = now + min_exec + allowance;
+            if cutoff <= entry.min_deadline_hint {
+                // No queued deadline can have lapsed yet.
+                continue;
+            }
+            expired.clear();
+            let mut remaining_min = Timestamp::MAX;
             entry.queue.retain(|p| {
-                let doomed =
-                    p.deadline != Timestamp::MAX && now + min_exec + allowance > p.deadline;
+                let doomed = p.deadline != Timestamp::MAX && cutoff > p.deadline;
                 if doomed {
                     expired.push(p.clone());
+                } else if p.deadline < remaining_min {
+                    remaining_min = p.deadline;
                 }
                 !doomed
             });
+            entry.min_deadline_hint = remaining_min;
+            if !expired.is_empty() {
+                entry.note_queue_changed();
+            }
             if entry.queue.is_empty() {
                 self.queued_models.remove(&model_id);
             }
-            for p in expired {
+            for p in expired.drain(..) {
                 self.reject(&p, now, RejectReason::DeadlineElapsed, ctx);
             }
         }
+        self.scratch_models = model_ids;
+        self.scratch_expired = expired;
     }
 
     /// Estimated completion time of the LOAD currently in flight for a model
@@ -332,50 +466,77 @@ impl ClockworkScheduler {
             .max()
     }
 
-    /// Chooses the best (batch, required-start) strategy for a model on a
-    /// GPU, mirroring the strategy-queue selection of Appendix B.
-    fn best_strategy(
-        &self,
+    /// Rebuilds a model's cached `(batch, required_start)` strategy list if
+    /// the queue changed or any profile estimate moved since the last build
+    /// (Appendix B's strategy queue). The list is independent of the GPU: the
+    /// per-GPU `exec_start` feasibility check happens at query time in
+    /// [`Self::strategy_for`].
+    fn ensure_strategies(
+        config: &ClockworkSchedulerConfig,
+        profiler: &ActionProfiler,
         model_id: ModelId,
-        entry: &ModelEntry,
-        exec_start: Timestamp,
-    ) -> Option<(u32, Timestamp)> {
-        let queued = entry.queue.len() as u32;
-        if queued == 0 {
-            return None;
+        entry: &mut ModelEntry,
+    ) {
+        let epoch = profiler.model_epoch(model_id);
+        if !entry.cache_dirty && entry.cache_epoch == epoch {
+            return;
         }
-        let allowance = self.config.network_allowance;
-        let mut candidate: Option<(u32, Timestamp)> = None;
-        for profile in &entry.spec.batch_profiles {
+        entry.cache_dirty = false;
+        entry.cache_epoch = epoch;
+        let ModelEntry {
+            spec,
+            queue,
+            strategies,
+            ..
+        } = entry;
+        strategies.clear();
+        let queued = queue.len() as u32;
+        if queued == 0 {
+            return;
+        }
+        let allowance = config.network_allowance;
+        // Running minimum deadline over the queue prefix each batch would
+        // serve; the queue is walked once across all batch sizes.
+        let mut min_deadline = Timestamp::MAX;
+        let mut taken = 0u32;
+        let mut prefix = queue.iter();
+        for profile in &spec.batch_profiles {
             let batch = profile.batch;
-            if !self.config.batching && batch > 1 {
+            if !config.batching && batch > 1 {
                 break;
             }
             if batch > queued {
                 // Not enough requests for this batch size.
                 continue;
             }
-            let serve = batch;
-            let est = self.exec_estimate(model_id, batch);
-            // The earliest deadline among the requests this batch would serve.
-            let min_deadline = entry
-                .queue
-                .iter()
-                .take(serve as usize)
-                .map(|p| p.deadline)
-                .min()
-                .unwrap_or(Timestamp::MAX);
+            while taken < batch {
+                let p = prefix.next().expect("batch <= queue length");
+                if p.deadline < min_deadline {
+                    min_deadline = p.deadline;
+                }
+                taken += 1;
+            }
+            let est = Self::exec_estimate_with(profiler, Some(spec), model_id, batch);
             let required_start = if min_deadline == Timestamp::MAX {
                 Timestamp::MAX
             } else {
                 min_deadline - est - allowance
             };
+            strategies.push((batch, required_start));
+        }
+    }
+
+    /// Chooses the best (batch, required-start) strategy for a model given
+    /// the earliest time an INFER could start: the largest batch whose
+    /// required start has not passed (the paper drops strategies for batch
+    /// sizes that are too small when larger ones fit).
+    fn strategy_for(entry: &ModelEntry, exec_start: Timestamp) -> Option<(u32, Timestamp)> {
+        let mut candidate: Option<(u32, Timestamp)> = None;
+        for &(batch, required_start) in &entry.strategies {
             if exec_start > required_start {
                 // This batch size cannot meet the earliest deadline.
                 continue;
             }
-            // Prefer the largest feasible batch (the paper drops strategies
-            // for batch sizes that are too small when larger ones fit).
             candidate = Some((batch, required_start));
         }
         candidate
@@ -383,23 +544,42 @@ impl ClockworkScheduler {
 
     /// Tops up INFER schedules on every GPU.
     fn schedule_infers(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        if self.queued_models.is_empty() {
+            return;
+        }
         let horizon = now + self.config.lookahead;
-        let gpu_refs: Vec<GpuRef> = self.tracker.gpus().iter().map(|g| g.gpu_ref).collect();
-        for gpu_ref in gpu_refs {
-            while let Some(exec_slot) = self
-                .tracker
-                .get(gpu_ref)
-                .map(|track| track.next_exec_slot(now))
-            {
+        let mut gpu_refs = std::mem::take(&mut self.scratch_gpus);
+        gpu_refs.clear();
+        gpu_refs.extend(self.tracker.gpus().iter().map(|g| g.gpu_ref));
+        for &gpu_ref in &gpu_refs {
+            if self.queued_models.is_empty() {
+                break;
+            }
+            let Some(gpu_idx) = self.tracker.gpu_index(gpu_ref) else {
+                continue;
+            };
+            while let Some(exec_slot) = self.tracker.get(gpu_ref).map(|t| t.next_exec_slot(now)) {
                 if exec_slot >= horizon {
                     break;
                 }
                 // Candidate models: queued requests + weights available here.
+                // Walk the smaller of the dirty set and this GPU's residency
+                // set; both iterate in ascending ModelId order, so the scan
+                // visits the same candidates in the same order as filtering
+                // the full dirty set would.
+                let mut candidates = std::mem::take(&mut self.scratch_candidates);
+                candidates.clear();
+                {
+                    let queued = &self.queued_models;
+                    let avail = &self.avail_by_gpu[gpu_idx];
+                    if avail.len() <= queued.len() {
+                        candidates.extend(avail.iter().copied().filter(|m| queued.contains(m)));
+                    } else {
+                        candidates.extend(queued.iter().copied().filter(|m| avail.contains(m)));
+                    }
+                }
                 let mut best: Option<(ModelId, u32, Timestamp, Timestamp)> = None;
-                for &model_id in &self.queued_models {
-                    let Some(entry) = self.models.get(&model_id) else {
-                        continue;
-                    };
+                for &model_id in &candidates {
                     let track = self.tracker.get(gpu_ref).expect("gpu exists");
                     let exec_start = if track.is_resident(model_id) {
                         exec_slot
@@ -411,9 +591,11 @@ impl ClockworkScheduler {
                     } else {
                         continue;
                     };
-                    if let Some((batch, required_start)) =
-                        self.best_strategy(model_id, entry, exec_start)
-                    {
+                    let Some(entry) = self.models.get_mut(&model_id) else {
+                        continue;
+                    };
+                    Self::ensure_strategies(&self.config, &self.profiler, model_id, entry);
+                    if let Some((batch, required_start)) = Self::strategy_for(entry, exec_start) {
                         let better = match &best {
                             None => true,
                             Some((_, _, best_required, _)) => required_start < *best_required,
@@ -423,12 +605,14 @@ impl ClockworkScheduler {
                         }
                     }
                 }
+                self.scratch_candidates = candidates;
                 let Some((model_id, batch, _required, exec_start)) = best else {
                     break;
                 };
                 self.dispatch_infer(now, gpu_ref, model_id, batch, exec_start, ctx);
             }
         }
+        self.scratch_gpus = gpu_refs;
     }
 
     fn dispatch_infer(
@@ -445,6 +629,13 @@ impl ClockworkScheduler {
         let entry = self.models.get_mut(&model_id).expect("model exists");
         let serve = (batch as usize).min(entry.queue.len());
         let requests: Vec<PendingRequest> = entry.queue.drain(..serve).collect();
+        entry.note_queue_changed();
+        entry.min_deadline_hint = entry
+            .queue
+            .iter()
+            .map(|p| p.deadline)
+            .min()
+            .unwrap_or(Timestamp::MAX);
         if entry.queue.is_empty() {
             self.queued_models.remove(&model_id);
         }
@@ -497,10 +688,15 @@ impl ClockworkScheduler {
         let _ = now;
     }
 
-    /// Demand (outstanding estimated execution time) per queued model.
-    fn model_demands(&self, now: Timestamp) -> HashMap<ModelId, Nanos> {
-        let mut demands = HashMap::new();
-        for &model_id in &self.queued_models {
+    /// Demand (outstanding estimated execution time) per queued model,
+    /// written into `demands` in ascending `ModelId` order so every
+    /// downstream float accumulation is run-to-run deterministic.
+    fn model_demands_into(&mut self, now: Timestamp, demands: &mut Vec<(ModelId, Nanos)>) {
+        demands.clear();
+        let mut models = std::mem::take(&mut self.scratch_models);
+        models.clear();
+        models.extend(self.queued_models.iter().copied());
+        for &model_id in &models {
             let Some(entry) = self.models.get(&model_id) else {
                 continue;
             };
@@ -514,61 +710,77 @@ impl ClockworkScheduler {
                 .map(|p| p.batch)
                 .unwrap_or(entry.spec.max_batch().max(1));
             let per_request = self.exec_estimate(model_id, batch) / u64::from(batch.max(1));
-            demands.insert(model_id, per_request * u64::from(count));
+            demands.push((model_id, per_request * u64::from(count)));
         }
         // Recent cold-start rejections are unfulfilled demand too (Appendix
         // B's "estimated SLO violations"): without them a model whose SLO is
         // tighter than its cold-start time would never be prioritised for a
         // LOAD even though clients keep asking for it.
-        for (&model_id, history) in &self.cold_rejections {
-            let recent = history
-                .iter()
-                .filter(|&&t| t + self.config.load_priority_horizon >= now)
-                .count() as u64;
-            if recent == 0 {
-                continue;
+        if !self.cold_rejections.is_empty() {
+            models.clear();
+            models.extend(self.cold_rejections.keys().copied());
+            models.sort_unstable();
+            for &model_id in &models {
+                let recent = self.cold_rejections[&model_id]
+                    .iter()
+                    .filter(|&&t| t + self.config.load_priority_horizon >= now)
+                    .count() as u64;
+                if recent == 0 {
+                    continue;
+                }
+                let add = self.exec_estimate(model_id, 1) * recent;
+                match demands.binary_search_by_key(&model_id, |&(m, _)| m) {
+                    Ok(i) => demands[i].1 += add,
+                    Err(i) => demands.insert(i, (model_id, add)),
+                }
             }
-            let per_request = self.exec_estimate(model_id, 1);
-            *demands.entry(model_id).or_insert(Nanos::ZERO) += per_request * recent;
         }
-        demands
+        self.scratch_models = models;
     }
 
     /// Load priority of each queued model with respect to one GPU
     /// (Appendix B): demand minus the GPU capacity already allocated to it
-    /// elsewhere.
-    fn load_priorities(&self, demands: &HashMap<ModelId, Nanos>) -> Vec<(ModelId, f64)> {
+    /// elsewhere. Holder lookups come from the persistent residency index,
+    /// and per-GPU loads accumulate into a dense scratch vector, so the pass
+    /// is linear in (demand models + their holders) rather than models ×
+    /// GPUs.
+    fn load_priorities_into(
+        &self,
+        demands: &[(ModelId, Nanos)],
+        gpu_load: &mut Vec<f64>,
+        out: &mut Vec<(ModelId, f64)>,
+    ) {
         let capacity = self.config.load_priority_horizon.as_secs_f64();
-        // Per-GPU total allocated demand.
-        let mut gpu_load: HashMap<GpuRef, f64> = HashMap::new();
-        let mut allocations: HashMap<(ModelId, GpuRef), f64> = HashMap::new();
-        for (&model_id, &demand) in demands {
-            let holders = self.tracker.gpus_with_model(model_id);
-            if holders.is_empty() {
+        gpu_load.clear();
+        gpu_load.resize(self.tracker.len(), 0.0);
+        out.clear();
+        for &(model_id, demand) in demands {
+            let Some(holders) = self.holders.get(&model_id) else {
                 continue;
-            }
+            };
             let share = demand.as_secs_f64() / holders.len() as f64;
-            for gpu in holders {
-                *gpu_load.entry(gpu).or_insert(0.0) += share;
-                allocations.insert((model_id, gpu), share);
+            for &(idx, _) in holders {
+                gpu_load[idx] += share;
             }
         }
-        let mut priorities: Vec<(ModelId, f64)> = demands
-            .iter()
-            .map(|(&model_id, &demand)| {
-                let mut served = 0.0;
-                for (&(m, gpu), &share) in &allocations {
-                    if m != model_id {
-                        continue;
-                    }
-                    let load = gpu_load.get(&gpu).copied().unwrap_or(share).max(1e-12);
+        for &(model_id, demand) in demands {
+            let mut served = 0.0;
+            if let Some(holders) = self.holders.get(&model_id) {
+                let share = demand.as_secs_f64() / holders.len() as f64;
+                for &(idx, _) in holders {
+                    let load = gpu_load[idx].max(1e-12);
                     served += share * (capacity / load);
                 }
-                (model_id, demand.as_secs_f64() - served)
-            })
-            .collect();
-        priorities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        priorities
+            }
+            out.push((model_id, demand.as_secs_f64() - served));
+        }
+        // Ties on priority break by ModelId so the ordering (and therefore
+        // the LOAD placement) is identical across runs.
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
     }
 
     /// Tops up LOAD schedules on every GPU, evicting LRU models when needed.
@@ -577,25 +789,33 @@ impl ClockworkScheduler {
             return;
         }
         let horizon = now + self.config.lookahead;
-        let demands = self.model_demands(now);
-        let gpu_refs: Vec<GpuRef> = self.tracker.gpus().iter().map(|g| g.gpu_ref).collect();
-        for gpu_ref in gpu_refs {
+        let mut demands = std::mem::take(&mut self.scratch_demands);
+        self.model_demands_into(now, &mut demands);
+        let mut gpu_load = std::mem::take(&mut self.scratch_gpu_load);
+        let mut priorities = std::mem::take(&mut self.scratch_priorities);
+        let mut gpu_refs = std::mem::take(&mut self.scratch_gpus);
+        gpu_refs.clear();
+        gpu_refs.extend(self.tracker.gpus().iter().map(|g| g.gpu_ref));
+        for &gpu_ref in &gpu_refs {
+            let Some(gpu_idx) = self.tracker.gpu_index(gpu_ref) else {
+                continue;
+            };
             while let Some(load_slot) = self.tracker.get(gpu_ref).map(|t| t.next_load_slot(now)) {
                 if load_slot >= horizon {
                     break;
                 }
-                let priorities = self.load_priorities(&demands);
+                // Dispatching a LOAD changes residency and therefore the
+                // allocation shares, so priorities are recomputed per slot —
+                // each recomputation is cheap against the persistent index.
+                self.load_priorities_into(&demands, &mut gpu_load, &mut priorities);
                 // Highest-priority model with positive unfulfilled demand that
                 // is not already available on this GPU.
-                let candidate = priorities.into_iter().find(|(model_id, priority)| {
-                    *priority > 0.0
-                        && self
-                            .tracker
-                            .get(gpu_ref)
-                            .map(|t| !t.has_or_loading(*model_id))
-                            .unwrap_or(false)
-                });
-                let Some((model_id, _priority)) = candidate else {
+                let avail = &self.avail_by_gpu[gpu_idx];
+                let candidate = priorities
+                    .iter()
+                    .find(|(model_id, priority)| *priority > 0.0 && !avail.contains(model_id))
+                    .map(|&(model_id, _)| model_id);
+                let Some(model_id) = candidate else {
                     break;
                 };
                 if !self.dispatch_load(now, gpu_ref, model_id, load_slot, ctx) {
@@ -603,6 +823,10 @@ impl ClockworkScheduler {
                 }
             }
         }
+        self.scratch_demands = demands;
+        self.scratch_gpu_load = gpu_load;
+        self.scratch_priorities = priorities;
+        self.scratch_gpus = gpu_refs;
     }
 
     fn dispatch_load(
@@ -620,17 +844,13 @@ impl ClockworkScheduler {
         let est = self.load_estimate(model_id);
         // Make room first: evict least-recently-used models that have no
         // queued requests and no outstanding work.
-        let protect: std::collections::HashSet<ModelId> = self
-            .queued_models
-            .iter()
-            .copied()
-            .chain(
-                self.tracker
-                    .get(gpu_ref)
-                    .map(|t| t.outstanding.values().map(|o| o.model).collect::<Vec<_>>())
-                    .unwrap_or_default(),
-            )
-            .collect();
+        let mut protect = std::mem::take(&mut self.scratch_protect);
+        protect.clear();
+        protect.extend(self.queued_models.iter().copied());
+        if let Some(track) = self.tracker.get(gpu_ref) {
+            protect.extend(track.outstanding.values().map(|o| o.model));
+        }
+        let mut room = true;
         loop {
             let track = self.tracker.get(gpu_ref).expect("gpu exists");
             let pages = track.pages_for(weights_bytes);
@@ -638,10 +858,12 @@ impl ClockworkScheduler {
                 break;
             }
             let Some(victim) = track.lru_candidate(&protect) else {
-                return false;
+                room = false;
+                break;
             };
             let track = self.tracker.get_mut(gpu_ref).expect("gpu exists");
             track.note_unload_sent(victim);
+            self.index_remove_holder(victim, gpu_ref);
             ctx.send_action(
                 gpu_ref.worker,
                 gpu_ref.gpu,
@@ -650,6 +872,10 @@ impl ClockworkScheduler {
                 Nanos::from_micros(5),
             );
             self.stats.unload_actions += 1;
+        }
+        self.scratch_protect = protect;
+        if !room {
+            return false;
         }
         let window = TimeWindow {
             earliest: load_slot,
@@ -676,6 +902,7 @@ impl ClockworkScheduler {
             load_slot,
             est,
         );
+        self.index_add_holder(model_id, gpu_ref);
         self.in_flight_loads.insert(action_id, expected_completion);
         self.stats.load_actions += 1;
         // The cold-start demand that motivated this LOAD is now being acted
@@ -753,6 +980,8 @@ impl ClockworkScheduler {
                             .models
                             .get_mut(&pending.request.model)
                             .expect("model exists");
+                        entry.min_deadline_hint = entry.min_deadline_hint.min(pending.deadline);
+                        entry.note_queue_changed();
                         entry.queue.push_front(pending.clone());
                         self.queued_models.insert(pending.request.model);
                     } else {
@@ -771,6 +1000,10 @@ impl ClockworkScheduler {
         let success = result.is_success();
         if let Some(track) = self.tracker.get_mut(gpu_ref) {
             track.note_load_result(result.action_id, result.model, success);
+            if !success {
+                // The model never became resident; drop it from the indices.
+                self.index_remove_holder(result.model, gpu_ref);
+            }
         }
         let expected_completion = self.in_flight_loads.remove(&result.action_id);
         if let ActionOutcome::Success(timing) = &result.outcome {
@@ -804,7 +1037,7 @@ impl Scheduler for ClockworkScheduler {
             });
             return;
         }
-        let cold = !self.tracker.model_available_somewhere(request.model);
+        let cold = !self.holders.contains_key(&request.model);
         if cold {
             self.stats.cold_requests += 1;
         }
@@ -844,6 +1077,8 @@ impl Scheduler for ClockworkScheduler {
         }
         self.stats.admitted += 1;
         let entry = self.models.get_mut(&request.model).expect("checked above");
+        entry.min_deadline_hint = entry.min_deadline_hint.min(pending.deadline);
+        entry.note_queue_changed();
         entry.queue.push_back(pending);
         self.queued_models.insert(request.model);
         self.schedule(now, ctx);

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use clockwork_metrics::percentile::SlidingWindow;
+use clockwork_metrics::OrderStatWindow;
 use clockwork_model::ModelId;
 use clockwork_sim::time::Nanos;
 
@@ -64,8 +64,10 @@ pub struct ActionProfiler {
     window_size: usize,
     percentile: f64,
     seeds: HashMap<ProfileKey, Nanos>,
-    windows: HashMap<ProfileKey, SlidingWindow>,
+    windows: HashMap<ProfileKey, OrderStatWindow>,
     measurements: u64,
+    epoch: u64,
+    model_epochs: HashMap<ModelId, u64>,
 }
 
 impl Default for ActionProfiler {
@@ -93,22 +95,31 @@ impl ActionProfiler {
             seeds: HashMap::new(),
             windows: HashMap::new(),
             measurements: 0,
+            epoch: 0,
+            model_epochs: HashMap::new(),
         }
     }
 
     /// Installs a seed estimate for a key (from offline profiling or the
     /// compiled latency table). Overwrites any previous seed.
     pub fn seed(&mut self, key: ProfileKey, estimate: Nanos) {
+        self.bump_epochs(key.model);
         self.seeds.insert(key, estimate);
     }
 
     /// Records a measured duration reported by a worker.
     pub fn record(&mut self, key: ProfileKey, measured: Nanos) {
         self.measurements += 1;
+        self.bump_epochs(key.model);
         self.windows
             .entry(key)
-            .or_insert_with(|| SlidingWindow::new(self.window_size))
+            .or_insert_with(|| OrderStatWindow::new(self.window_size))
             .push(measured);
+    }
+
+    fn bump_epochs(&mut self, model: ModelId) {
+        self.epoch += 1;
+        *self.model_epochs.entry(model).or_insert(0) += 1;
     }
 
     /// The current estimate for a key: the rolling percentile if measurements
@@ -131,6 +142,21 @@ impl ActionProfiler {
     /// Total number of measurements recorded.
     pub fn measurement_count(&self) -> u64 {
         self.measurements
+    }
+
+    /// A counter that advances whenever any estimate may have changed (a new
+    /// measurement or seed). Callers that cache values derived from estimates
+    /// compare epochs instead of re-reading every profile.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Like [`ActionProfiler::epoch`], but scoped to one model: advances only
+    /// when one of *that model's* estimates may have changed, so a stream of
+    /// measurements for other models does not invalidate caches derived from
+    /// this one.
+    pub fn model_epoch(&self, model: ModelId) -> u64 {
+        self.model_epochs.get(&model).copied().unwrap_or(0)
     }
 
     /// Number of keys with at least a seed or a measurement.

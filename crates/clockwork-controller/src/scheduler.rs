@@ -88,6 +88,20 @@ impl SchedulerCtx {
     pub fn take_responses(&mut self) -> Vec<Response> {
         std::mem::take(&mut self.responses)
     }
+
+    /// Drains the queued actions into a caller-provided buffer, reusing its
+    /// capacity (the steady-state event loop calls this once per event).
+    pub fn drain_actions_into(&mut self, out: &mut Vec<(WorkerId, Action)>) {
+        out.clear();
+        std::mem::swap(&mut self.actions, out);
+    }
+
+    /// Drains the queued responses into a caller-provided buffer, reusing its
+    /// capacity.
+    pub fn drain_responses_into(&mut self, out: &mut Vec<Response>) {
+        out.clear();
+        std::mem::swap(&mut self.responses, out);
+    }
 }
 
 /// A scheduling policy plugged into the controller.

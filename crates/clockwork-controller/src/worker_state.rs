@@ -244,6 +244,13 @@ impl WorkerStateTracker {
         self.index.get(&gpu_ref).map(|&i| &self.gpus[i])
     }
 
+    /// The dense registration index of a GPU (its position in
+    /// [`WorkerStateTracker::gpus`]), usable as a key into per-GPU side
+    /// tables that want `Vec` indexing instead of hash lookups.
+    pub fn gpu_index(&self, gpu_ref: GpuRef) -> Option<usize> {
+        self.index.get(&gpu_ref).copied()
+    }
+
     /// Mutable lookup by reference.
     pub fn get_mut(&mut self, gpu_ref: GpuRef) -> Option<&mut GpuTrack> {
         match self.index.get(&gpu_ref) {

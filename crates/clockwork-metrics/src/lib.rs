@@ -20,12 +20,14 @@
 
 pub mod csv;
 pub mod histogram;
+pub mod orderstat;
 pub mod percentile;
 pub mod summary;
 pub mod timeseries;
 pub mod utilization;
 
 pub use histogram::LatencyHistogram;
+pub use orderstat::OrderStatWindow;
 pub use summary::Summary;
 pub use timeseries::TimeSeries;
 pub use utilization::UtilizationTracker;

@@ -8,6 +8,7 @@
 use proptest::prelude::*;
 
 use clockwork_metrics::histogram::LatencyHistogram;
+use clockwork_metrics::orderstat::OrderStatWindow;
 use clockwork_metrics::percentile::{percentile_nanos, SlidingWindow};
 use clockwork_metrics::summary::Summary;
 use clockwork_metrics::timeseries::TimeSeries;
@@ -196,6 +197,63 @@ proptest! {
             let lo = *values.iter().min().unwrap();
             let hi = *values.iter().max().unwrap();
             prop_assert!(mean.as_nanos() >= lo && mean.as_nanos() <= hi);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // OrderStatWindow
+    // ------------------------------------------------------------------
+
+    // The incrementally sorted window must be indistinguishable from the
+    // clone-and-sort reference at every step of a random stream: same
+    // percentiles (for the profiler's p99 and any other rank), same
+    // extremes, same mean. The scheduler's prediction path relies on this
+    // equivalence being exact, not approximate.
+    #[test]
+    fn orderstat_window_matches_percentile_nanos(
+        values in samples(),
+        capacity in 1usize..64,
+        ps in proptest::collection::vec(0.0f64..=100.0, 1..8),
+    ) {
+        let mut w = OrderStatWindow::new(capacity);
+        let mut reference: Vec<Nanos> = Vec::new();
+        for &v in &values {
+            let sample = Nanos::from_nanos(v);
+            w.push(sample);
+            reference.push(sample);
+            if reference.len() > capacity {
+                reference.remove(0);
+            }
+            for &p in &ps {
+                prop_assert_eq!(w.percentile(p), percentile_nanos(&reference, p));
+            }
+            prop_assert_eq!(w.percentile(99.0), percentile_nanos(&reference, 99.0));
+            prop_assert_eq!(w.len(), reference.len());
+            prop_assert_eq!(w.max(), reference.iter().copied().max());
+            prop_assert_eq!(w.min(), reference.iter().copied().min());
+            prop_assert_eq!(w.latest(), reference.last().copied());
+        }
+        let sum: u128 = reference.iter().map(|n| n.as_nanos() as u128).sum();
+        let mean = Nanos::from_nanos((sum / reference.len() as u128) as u64);
+        prop_assert_eq!(w.mean(), Some(mean));
+    }
+
+    // The two window implementations agree sample for sample, so the
+    // profiler switch cannot have changed any estimate.
+    #[test]
+    fn orderstat_window_matches_sliding_window(values in samples(), capacity in 1usize..32) {
+        let mut fast = OrderStatWindow::new(capacity);
+        let mut slow = SlidingWindow::new(capacity);
+        for &v in &values {
+            let sample = Nanos::from_nanos(v);
+            fast.push(sample);
+            slow.push(sample);
+            for p in [0.0, 50.0, 99.0, 100.0] {
+                prop_assert_eq!(fast.percentile(p), slow.percentile(p));
+            }
+            prop_assert_eq!(fast.mean(), slow.mean());
+            prop_assert_eq!(fast.latest(), slow.latest());
+            prop_assert_eq!(fast.max(), slow.max());
         }
     }
 

@@ -168,13 +168,17 @@ impl Compiler {
                 workspace_bytes: workspace * u64::from(batch.max(1)),
             })
             .collect();
-        let batch_profiles: Vec<BatchProfile> = kernels
+        // `ModelSpec::batch_profiles` is documented as sorted by batch size
+        // and the scheduler's strategy builder relies on it; callers may pass
+        // `batches` in any order.
+        let mut batch_profiles: Vec<BatchProfile> = kernels
             .iter()
             .map(|k| BatchProfile {
                 batch: k.batch,
                 latency: k.estimated_latency,
             })
             .collect();
+        batch_profiles.sort_by_key(|p| p.batch);
         let spec = ModelSpec {
             name: source.name.clone(),
             family: "user".to_string(),

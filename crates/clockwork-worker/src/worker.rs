@@ -392,6 +392,15 @@ impl Worker {
     /// `now`, returning the action results produced.
     pub fn poll(&mut self, now: Timestamp) -> Vec<ActionResult> {
         let mut results = Vec::new();
+        self.poll_into(now, &mut results);
+        results
+    }
+
+    /// Like [`Worker::poll`], but appends the results to a caller-provided
+    /// buffer. The driving event loop wakes workers once per simulation
+    /// event at fleet scale; reusing one buffer across wakes keeps the
+    /// steady-state poll allocation-free.
+    pub fn poll_into(&mut self, now: Timestamp, results: &mut Vec<ActionResult>) {
         loop {
             // Completions due?
             let completion_time = self.completions.peek_time().filter(|&t| t <= now);
@@ -420,12 +429,11 @@ impl Worker {
 
             match (completion_time, start) {
                 (None, None) => break,
-                (Some(ct), Some((st, _, _))) if ct <= st => self.finish_completion(&mut results),
-                (Some(_), None) => self.finish_completion(&mut results),
+                (Some(ct), Some((st, _, _))) if ct <= st => self.finish_completion(results),
+                (Some(_), None) => self.finish_completion(results),
                 (_, Some((st, gi, is_load))) => self.start_next_action(st, gi, is_load),
             }
         }
-        results
     }
 
     fn finish_completion(&mut self, results: &mut Vec<ActionResult>) {

@@ -185,6 +185,14 @@ pub struct ServingSystem {
     clients: Vec<ClosedLoopClient>,
     request_owner: HashMap<RequestId, usize>,
     models: HashMap<ModelId, Arc<ModelSpec>>,
+    /// Dense worker lookup by id, so routing an action is one hash probe
+    /// instead of a scan over the fleet.
+    worker_index: HashMap<WorkerId, usize>,
+    /// Reusable buffers the scheduler outputs are drained into each pass.
+    action_buf: Vec<(WorkerId, Action)>,
+    response_buf: Vec<Response>,
+    result_buf: Vec<ActionResult>,
+    events_processed: u64,
     next_model_id: u32,
     next_request_id: u64,
     now: Timestamp,
@@ -228,6 +236,11 @@ impl ServingSystem {
         }
         let telemetry = SystemTelemetry::new(config.keep_responses);
         let worker_count = workers.len();
+        let worker_index = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.id(), i))
+            .collect();
         ServingSystem {
             network: NetworkModel::new(config.network, rng.derive(1)),
             scheduler,
@@ -240,6 +253,11 @@ impl ServingSystem {
             clients: Vec::new(),
             request_owner: HashMap::new(),
             models: HashMap::new(),
+            worker_index,
+            action_buf: Vec::new(),
+            response_buf: Vec::new(),
+            result_buf: Vec::new(),
+            events_processed: 0,
             next_model_id: 0,
             next_request_id: 0,
             now: Timestamp::ZERO,
@@ -329,18 +347,18 @@ impl ServingSystem {
         specs.iter().map(|s| self.register_model(s)).collect()
     }
 
-    /// Submits every request of a trace.
+    /// Submits every request of a trace in one batched push.
     pub fn submit_trace(&mut self, trace: &Trace) {
-        for event in trace.events() {
-            self.queue.push(
+        self.queue.push_batch(trace.events().iter().map(|event| {
+            (
                 event.at,
                 SystemEvent::ClientSubmit {
                     model: event.model,
                     slo: event.slo,
                     client: None,
                 },
-            );
-        }
+            )
+        }));
     }
 
     /// Adds a closed-loop client; its initial requests are submitted at
@@ -394,15 +412,13 @@ impl ServingSystem {
     }
 
     /// Drains scheduler outputs: actions go to workers (over the network),
-    /// responses go back to clients (over the network).
+    /// responses go back to clients (over the network). The drain buffers are
+    /// reused across calls so the steady-state loop allocates nothing here.
     fn drain_ctx(&mut self) {
-        let actions = self.ctx.take_actions();
-        for (worker_id, action) in actions {
-            let worker_index = self
-                .workers
-                .iter()
-                .position(|w| w.id() == worker_id)
-                .unwrap_or(0);
+        let mut actions = std::mem::take(&mut self.action_buf);
+        self.ctx.drain_actions_into(&mut actions);
+        for (worker_id, action) in actions.drain(..) {
+            let worker_index = self.worker_index.get(&worker_id).copied().unwrap_or(0);
             // INFER inputs are forwarded through the controller (§7), so the
             // message size includes the batch's input tensors.
             let bytes = match &action.kind {
@@ -424,8 +440,10 @@ impl ServingSystem {
                 },
             );
         }
-        let responses = self.ctx.take_responses();
-        for response in responses {
+        self.action_buf = actions;
+        let mut responses = std::mem::take(&mut self.response_buf);
+        self.ctx.drain_responses_into(&mut responses);
+        for response in responses.drain(..) {
             self.telemetry.record_response(&response);
             let client = self.request_owner.remove(&response.request);
             let bytes = self
@@ -440,6 +458,7 @@ impl ServingSystem {
                 SystemEvent::ClientResponse { response, client },
             );
         }
+        self.response_buf = responses;
         self.schedule_tick();
     }
 
@@ -480,8 +499,10 @@ impl ServingSystem {
             }
             SystemEvent::WorkerWake { worker } => {
                 self.worker_wake_scheduled[worker] = None;
-                let results = self.workers[worker].poll(self.now);
-                for result in results {
+                let mut results = std::mem::take(&mut self.result_buf);
+                results.clear();
+                self.workers[worker].poll_into(self.now, &mut results);
+                for result in results.drain(..) {
                     let bytes = match result.action_type {
                         "INFER" => {
                             self.models
@@ -496,6 +517,7 @@ impl ServingSystem {
                     self.queue
                         .push(self.now + delay, SystemEvent::ControllerResult { result });
                 }
+                self.result_buf = results;
                 self.schedule_worker_wake(worker);
             }
             SystemEvent::ControllerResult { result } => {
@@ -532,9 +554,28 @@ impl ServingSystem {
         }
     }
 
+    /// Total number of simulation events delivered so far (a wall-clock-free
+    /// measure of how much work a run performed; perf harnesses divide it by
+    /// elapsed host time to get events/sec).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Runs the system until `until`, or until no events remain.
     pub fn run_until(&mut self, until: Timestamp) {
-        while let Some(t) = self.queue.peek_time() {
+        self.run_until_events(until, u64::MAX);
+    }
+
+    /// Runs the system until `until`, until no events remain, or until
+    /// `max_events` further events have been delivered — whichever comes
+    /// first. The event cap gives perf harnesses a fixed-work smoke mode
+    /// whose cost does not drift as scheduling behaviour evolves.
+    pub fn run_until_events(&mut self, until: Timestamp, max_events: u64) {
+        let mut budget = max_events;
+        while budget > 0 {
+            let Some(t) = self.queue.peek_time() else {
+                break;
+            };
             if t > until {
                 break;
             }
@@ -542,9 +583,12 @@ impl ServingSystem {
             if t > self.now {
                 self.now = t;
             }
+            self.events_processed += 1;
+            budget -= 1;
             self.handle_event(event);
         }
-        if until > self.now && until != Timestamp::MAX {
+        let drained = self.queue.peek_time().map(|t| t > until).unwrap_or(true);
+        if drained && until > self.now && until != Timestamp::MAX {
             self.now = until;
         }
     }

@@ -100,6 +100,7 @@ pub struct SystemTelemetry {
     pub latency_series: TimeSeries,
     per_model_success: HashMap<ModelId, u64>,
     horizon: Timestamp,
+    digest: u64,
 }
 
 impl Default for SystemTelemetry {
@@ -130,7 +131,30 @@ impl SystemTelemetry {
             latency_series: TimeSeries::per_second(),
             per_model_success: HashMap::new(),
             horizon: Timestamp::ZERO,
+            digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
+    }
+
+    fn digest_fold(&mut self, value: u64) {
+        // FNV-1a over the 8 bytes of `value`.
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.digest;
+        for byte in value.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.digest = h;
+    }
+
+    /// An order-sensitive FNV-1a digest over every response the controller
+    /// produced (request id, model, outcome kind, timing, placement).
+    ///
+    /// Two runs of the same configuration with the same seed must report the
+    /// same digest — the golden-digest test and the fleet-scale perf harness
+    /// both use this to pin down that optimisations did not change
+    /// scheduling decisions.
+    pub fn response_digest(&self) -> u64 {
+        self.digest
     }
 
     fn advance(&mut self, t: Timestamp) {
@@ -148,13 +172,22 @@ impl SystemTelemetry {
 
     /// Records a response returned to a client.
     pub fn record_response(&mut self, response: &Response) {
+        self.digest_fold(response.request.0);
+        self.digest_fold(u64::from(response.model.0));
         match &response.outcome {
             RequestOutcome::Success {
                 completed,
                 batch,
+                worker,
+                gpu,
                 cold_start,
-                ..
             } => {
+                self.digest_fold(1);
+                self.digest_fold(completed.as_nanos());
+                self.digest_fold(u64::from(*batch));
+                self.digest_fold(u64::from(worker.0));
+                self.digest_fold(u64::from(gpu.0));
+                self.digest_fold(u64::from(*cold_start));
                 self.successes += 1;
                 let latency = *completed - response.arrival;
                 self.latency.record(latency);
@@ -177,6 +210,9 @@ impl SystemTelemetry {
                 self.advance(*completed);
             }
             RequestOutcome::Rejected { at, reason } => {
+                self.digest_fold(2);
+                self.digest_fold(at.as_nanos());
+                self.digest_fold(*reason as u64);
                 let key = match reason {
                     RejectReason::CannotMeetSlo => "cannot_meet_slo",
                     RejectReason::DeadlineElapsed => "deadline_elapsed",
