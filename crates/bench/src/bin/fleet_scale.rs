@@ -12,6 +12,10 @@
 //! regresses more than 30 % below the checked-in baseline
 //! (`crates/bench/baseline/BENCH_fleet.json`).
 //!
+//! The scenario itself lives in [`bench::FleetScenario`], shared with the
+//! `chaos_fleet` harness so a chaos run differs from this one only by its
+//! fault plan.
+//!
 //! The run is deterministic: the telemetry layer folds every response into
 //! an order-sensitive FNV-1a digest, and two runs with the same seed must
 //! print the same digest (`--expect-digest` turns a mismatch into a non-zero
@@ -25,15 +29,9 @@
 
 use std::time::Instant;
 
+use bench::FleetScenario;
 use clockwork::prelude::*;
 
-const WORKERS: u32 = 20;
-const GPUS_PER_WORKER: u32 = 4;
-const MODELS: usize = 200;
-const FUNCTIONS: usize = 800;
-const DURATION_SECS: u64 = 120;
-const TARGET_RATE: f64 = 1_500.0;
-const SLO_MS: u64 = 100;
 /// Maximum tolerated drop of events/sec below the baseline (CI gate).
 const REGRESSION_TOLERANCE: f64 = 0.30;
 
@@ -76,60 +74,21 @@ fn parse_args() -> Args {
     args
 }
 
-/// Peak resident-set size in kilobytes, read from `/proc/self/status`
-/// (`VmHWM`). Returns 0 where the proc filesystem is unavailable — the field
-/// is a proxy for memory footprint, not a portable measurement.
-fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-        }
-    }
-    0
-}
-
-/// Extracts a numeric field from a flat JSON document without a JSON parser
-/// (the workspace builds offline; the bench schema is flat and stable).
-fn json_number(doc: &str, field: &str) -> Option<f64> {
-    let needle = format!("\"{field}\":");
-    let at = doc.find(&needle)? + needle.len();
-    let rest = doc[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn main() {
     let args = parse_args();
-    let zoo = ModelZoo::new();
-    let duration = Nanos::from_secs(DURATION_SECS);
-    let trace_config = AzureTraceConfig {
-        functions: FUNCTIONS,
-        models: MODELS,
-        duration,
-        target_rate: TARGET_RATE,
-        slo: Nanos::from_millis(SLO_MS),
+    let scenario = FleetScenario {
         seed: args.seed,
+        ..Default::default()
     };
-    let generator = AzureTraceGenerator::new(trace_config);
-    let trace = generator.generate();
+    let trace = scenario.trace();
     let smoke = args.max_events != u64::MAX;
     println!(
         "# fleet-scale scenario: {} workers x {} GPUs, {} models, {} requests over {}s{}",
-        WORKERS,
-        GPUS_PER_WORKER,
-        MODELS,
+        scenario.workers,
+        scenario.gpus_per_worker,
+        scenario.models,
         trace.len(),
-        DURATION_SECS,
+        scenario.duration_secs,
         if smoke {
             format!(" (smoke: first {} events)", args.max_events)
         } else {
@@ -137,23 +96,11 @@ fn main() {
         }
     );
 
-    let mut system = SystemBuilder::new()
-        .workers(WORKERS)
-        .gpus_per_worker(GPUS_PER_WORKER)
-        .seed(args.seed)
-        .drop_raw_responses()
-        .build();
-    let varieties = zoo.all();
-    for i in 0..MODELS {
-        system.register_model(&varieties[i % varieties.len()]);
-    }
+    let mut system = scenario.build_system(FaultPlan::new());
     system.submit_trace(&trace);
 
     let started = Instant::now();
-    system.run_until_events(
-        Timestamp::ZERO + duration + Nanos::from_secs(2),
-        args.max_events,
-    );
+    system.run_until_events(scenario.horizon(), args.max_events);
     let wall_secs = started.elapsed().as_secs_f64();
 
     let events = system.events_processed();
@@ -165,7 +112,7 @@ fn main() {
     let digest = system.telemetry().response_digest();
     let m = system.telemetry().metrics();
     let slo_violation_rate = 1.0 - m.satisfaction();
-    let rss_kb = peak_rss_kb();
+    let rss_kb = bench::peak_rss_kb();
 
     bench::section("fleet_scale results");
     println!(
@@ -183,7 +130,14 @@ fn main() {
     println!("digest={digest:016x}");
 
     let json = format!(
-        "{{\n  \"scenario\": {{\n    \"workers\": {WORKERS},\n    \"gpus_per_worker\": {GPUS_PER_WORKER},\n    \"models\": {MODELS},\n    \"functions\": {FUNCTIONS},\n    \"duration_secs\": {DURATION_SECS},\n    \"target_rate\": {TARGET_RATE},\n    \"slo_ms\": {SLO_MS},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+        "{{\n  \"scenario\": {{\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+        workers = scenario.workers,
+        gpus = scenario.gpus_per_worker,
+        models = scenario.models,
+        functions = scenario.functions,
+        duration = scenario.duration_secs,
+        rate = scenario.target_rate,
+        slo = scenario.slo_ms,
         seed = args.seed,
         max_events = if smoke { args.max_events } else { 0 },
         requests = m.total_requests,
@@ -207,8 +161,8 @@ fn main() {
     }
     if let Some(baseline_path) = &args.baseline {
         let baseline = std::fs::read_to_string(baseline_path).expect("read baseline json");
-        let base_eps =
-            json_number(&baseline, "events_per_sec").expect("baseline json has no events_per_sec");
+        let base_eps = bench::json_number(&baseline, "events_per_sec")
+            .expect("baseline json has no events_per_sec");
         let floor = base_eps * (1.0 - REGRESSION_TOLERANCE);
         println!(
             "# perf gate: {events_per_sec:.0} events/sec vs baseline {base_eps:.0} (floor {floor:.0})"

@@ -121,9 +121,147 @@ pub fn section(title: &str) {
     println!("## {title}");
 }
 
+/// The fleet-scale scenario shared by the `fleet_scale` perf harness and the
+/// `chaos_fleet` chaos harness: 20 workers × 4 GPUs, 200 model instances
+/// cycling through the Appendix A zoo, and an open-loop Azure-derived trace.
+/// Both binaries build the same cluster from the same knobs so the chaos run
+/// differs from the perf run *only* by its fault plan.
+#[derive(Clone, Debug)]
+pub struct FleetScenario {
+    /// Number of worker machines.
+    pub workers: u32,
+    /// GPUs per worker.
+    pub gpus_per_worker: u32,
+    /// Model instances registered (cycling through the zoo).
+    pub models: usize,
+    /// Azure-like function workloads mapped onto the models.
+    pub functions: usize,
+    /// Virtual duration of the trace in seconds.
+    pub duration_secs: u64,
+    /// Aggregate request rate in requests/second.
+    pub target_rate: f64,
+    /// Per-request latency SLO in milliseconds.
+    pub slo_ms: u64,
+    /// Workload + system seed.
+    pub seed: u64,
+}
+
+impl Default for FleetScenario {
+    fn default() -> Self {
+        FleetScenario {
+            workers: 20,
+            gpus_per_worker: 4,
+            models: 200,
+            functions: 800,
+            duration_secs: 120,
+            target_rate: 1_500.0,
+            slo_ms: 100,
+            seed: 2020,
+        }
+    }
+}
+
+impl FleetScenario {
+    /// The trace duration in virtual time.
+    pub fn duration(&self) -> Nanos {
+        Nanos::from_secs(self.duration_secs)
+    }
+
+    /// The virtual horizon a run should be driven to: the trace duration
+    /// plus slack for in-flight tails to resolve.
+    pub fn horizon(&self) -> Timestamp {
+        Timestamp::ZERO + self.duration() + Nanos::from_secs(2)
+    }
+
+    /// Generates the scenario's Azure-derived open-loop trace.
+    pub fn trace(&self) -> Trace {
+        AzureTraceGenerator::new(AzureTraceConfig {
+            functions: self.functions,
+            models: self.models,
+            duration: self.duration(),
+            target_rate: self.target_rate,
+            slo: Nanos::from_millis(self.slo_ms),
+            seed: self.seed,
+        })
+        .generate()
+    }
+
+    /// Builds the cluster with the scenario's models registered and an
+    /// optional fault plan installed. The caller submits the trace.
+    pub fn build_system(&self, faults: FaultPlan) -> ServingSystem {
+        let zoo = ModelZoo::new();
+        let mut system = SystemBuilder::new()
+            .workers(self.workers)
+            .gpus_per_worker(self.gpus_per_worker)
+            .seed(self.seed)
+            .drop_raw_responses()
+            .faults(faults)
+            .build();
+        let varieties = zoo.all();
+        for i in 0..self.models {
+            system.register_model(&varieties[i % varieties.len()]);
+        }
+        system
+    }
+}
+
+/// Peak resident-set size in kilobytes, read from `/proc/self/status`
+/// (`VmHWM`). Returns 0 where the proc filesystem is unavailable — the field
+/// is a proxy for memory footprint, not a portable measurement.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Extracts a numeric field from a flat JSON document without a JSON parser
+/// (the workspace builds offline; the bench schemas are flat and stable).
+pub fn json_number(doc: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_scenario_builds_and_generates_deterministic_traces() {
+        let scenario = FleetScenario {
+            workers: 2,
+            gpus_per_worker: 1,
+            models: 4,
+            functions: 8,
+            duration_secs: 2,
+            target_rate: 50.0,
+            ..Default::default()
+        };
+        let a = scenario.trace();
+        let b = scenario.trace();
+        assert_eq!(a.len(), b.len(), "trace generation must be deterministic");
+        assert!(!a.is_empty());
+        let system = scenario.build_system(FaultPlan::new());
+        assert_eq!(system.config().workers, 2);
+        assert_eq!(system.config().gpus_per_worker, 1);
+        assert_eq!(json_number("{\"a\": 42.5, \"b\": 1}", "a"), Some(42.5));
+        assert_eq!(json_number("{\"a\": 1}", "missing"), None);
+    }
 
     #[test]
     fn resnet_system_and_summary_round_trip() {

@@ -25,14 +25,15 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use clockwork_model::{ModelId, ModelSpec};
+use clockwork_sim::engine::FaultKind;
 use clockwork_sim::pcie::PcieLink;
 use clockwork_sim::time::{Nanos, Timestamp};
-use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, TimeWindow};
+use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, GpuId, TimeWindow, WorkerId};
 
 use crate::profile::{ActionProfiler, ProfileKey};
 use crate::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
 use crate::scheduler::{Scheduler, SchedulerCtx};
-use crate::worker_state::{GpuRef, OutstandingAction, WorkerStateTracker};
+use crate::worker_state::{FreeAtIndex, GpuRef, OutstandingAction, WorkerStateTracker};
 
 /// Configuration of the Clockwork scheduler.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -123,6 +124,9 @@ pub struct SchedulerStats {
     pub rejected_deadline: u64,
     /// Requests rejected because a worker failed/rejected their action.
     pub rejected_worker: u64,
+    /// Requests rejected because their worker died mid-flight with no time
+    /// left to reissue the work elsewhere.
+    pub rejected_worker_failed: u64,
     /// Requests completed successfully.
     pub completed: u64,
     /// INFER actions issued.
@@ -208,11 +212,24 @@ pub struct ClockworkScheduler {
     /// `ModelId` order so candidate scans match the dirty-set iteration
     /// order.
     avail_by_gpu: Vec<BTreeSet<ModelId>>,
+    /// Workers currently crashed. Tracked separately from per-GPU liveness
+    /// so an overlapping single-GPU recovery cannot un-park a GPU whose
+    /// whole worker is still down (the worker would silently drop the
+    /// actions, leaking their requests).
+    down_workers: BTreeSet<WorkerId>,
+    /// Per-GPU next-actionable-time index for the INFER executor: the
+    /// scheduling pass pulls only GPUs whose executor frees before the
+    /// lookahead horizon instead of scanning the whole fleet per event.
+    /// Dead GPUs park at `Timestamp::MAX`.
+    exec_ready: FreeAtIndex,
+    /// The same index for the LOAD executor.
+    load_ready: FreeAtIndex,
     // Reusable scratch buffers: the steady-state scheduling pass moves these
     // out, refills them, and puts them back, so it allocates nothing once the
     // buffers have grown to the fleet's working-set size.
     scratch_models: Vec<ModelId>,
     scratch_gpus: Vec<GpuRef>,
+    scratch_gpu_idx: Vec<usize>,
     scratch_expired: Vec<PendingRequest>,
     scratch_candidates: Vec<ModelId>,
     scratch_demands: Vec<(ModelId, Nanos)>,
@@ -237,8 +254,12 @@ impl ClockworkScheduler {
             predictions: Vec::new(),
             holders: HashMap::new(),
             avail_by_gpu: Vec::new(),
+            down_workers: BTreeSet::new(),
+            exec_ready: FreeAtIndex::new(),
+            load_ready: FreeAtIndex::new(),
             scratch_models: Vec::new(),
             scratch_gpus: Vec::new(),
+            scratch_gpu_idx: Vec::new(),
             scratch_expired: Vec::new(),
             scratch_candidates: Vec::new(),
             scratch_demands: Vec::new(),
@@ -257,6 +278,8 @@ impl ClockworkScheduler {
     pub fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
         self.tracker.add_gpu(gpu_ref, total_pages, page_size);
         self.avail_by_gpu.push(BTreeSet::new());
+        self.exec_ready.push_gpu();
+        self.load_ready.push_gpu();
     }
 
     /// Records that `model` became resident-or-loading on `gpu_ref` in both
@@ -386,6 +409,7 @@ impl ClockworkScheduler {
             RejectReason::CannotMeetSlo => self.stats.rejected_admission += 1,
             RejectReason::DeadlineElapsed => self.stats.rejected_deadline += 1,
             RejectReason::WorkerRejected => self.stats.rejected_worker += 1,
+            RejectReason::WorkerFailed => self.stats.rejected_worker_failed += 1,
             RejectReason::UnknownModel => {}
         }
         ctx.send_response(Response {
@@ -542,22 +566,25 @@ impl ClockworkScheduler {
         candidate
     }
 
-    /// Tops up INFER schedules on every GPU.
+    /// Tops up INFER schedules on every actionable GPU.
+    ///
+    /// "Actionable" comes from the per-GPU next-free index: a GPU whose
+    /// executor is already committed past the lookahead horizon — or that is
+    /// dead — is never visited, so the pass scales with the GPUs that can
+    /// accept work, not with the fleet. The index yields registration order,
+    /// exactly the order the full scan used, so decisions are unchanged.
     fn schedule_infers(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
         if self.queued_models.is_empty() {
             return;
         }
         let horizon = now + self.config.lookahead;
-        let mut gpu_refs = std::mem::take(&mut self.scratch_gpus);
-        gpu_refs.clear();
-        gpu_refs.extend(self.tracker.gpus().iter().map(|g| g.gpu_ref));
-        for &gpu_ref in &gpu_refs {
+        let mut gpu_indices = std::mem::take(&mut self.scratch_gpu_idx);
+        self.exec_ready.actionable_into(horizon, &mut gpu_indices);
+        for &gpu_idx in &gpu_indices {
             if self.queued_models.is_empty() {
                 break;
             }
-            let Some(gpu_idx) = self.tracker.gpu_index(gpu_ref) else {
-                continue;
-            };
+            let gpu_ref = self.tracker.gpus()[gpu_idx].gpu_ref;
             while let Some(exec_slot) = self.tracker.get(gpu_ref).map(|t| t.next_exec_slot(now)) {
                 if exec_slot >= horizon {
                     break;
@@ -612,7 +639,7 @@ impl ClockworkScheduler {
                 self.dispatch_infer(now, gpu_ref, model_id, batch, exec_start, ctx);
             }
         }
-        self.scratch_gpus = gpu_refs;
+        self.scratch_gpu_idx = gpu_indices;
     }
 
     fn dispatch_infer(
@@ -677,6 +704,10 @@ impl ClockworkScheduler {
             exec_start,
             est,
         );
+        let exec_free_at = track.exec_free_at;
+        if let Some(idx) = self.tracker.gpu_index(gpu_ref) {
+            self.exec_ready.update(idx, exec_free_at);
+        }
         self.in_flight.insert(
             action_id,
             InFlightBatch {
@@ -783,7 +814,9 @@ impl ClockworkScheduler {
         });
     }
 
-    /// Tops up LOAD schedules on every GPU, evicting LRU models when needed.
+    /// Tops up LOAD schedules on every actionable GPU (see
+    /// [`ClockworkScheduler::schedule_infers`] for the index discipline),
+    /// evicting LRU models when needed.
     fn schedule_loads(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
         if self.queued_models.is_empty() && self.cold_rejections.is_empty() {
             return;
@@ -793,13 +826,10 @@ impl ClockworkScheduler {
         self.model_demands_into(now, &mut demands);
         let mut gpu_load = std::mem::take(&mut self.scratch_gpu_load);
         let mut priorities = std::mem::take(&mut self.scratch_priorities);
-        let mut gpu_refs = std::mem::take(&mut self.scratch_gpus);
-        gpu_refs.clear();
-        gpu_refs.extend(self.tracker.gpus().iter().map(|g| g.gpu_ref));
-        for &gpu_ref in &gpu_refs {
-            let Some(gpu_idx) = self.tracker.gpu_index(gpu_ref) else {
-                continue;
-            };
+        let mut gpu_indices = std::mem::take(&mut self.scratch_gpu_idx);
+        self.load_ready.actionable_into(horizon, &mut gpu_indices);
+        for &gpu_idx in &gpu_indices {
+            let gpu_ref = self.tracker.gpus()[gpu_idx].gpu_ref;
             while let Some(load_slot) = self.tracker.get(gpu_ref).map(|t| t.next_load_slot(now)) {
                 if load_slot >= horizon {
                     break;
@@ -826,7 +856,7 @@ impl ClockworkScheduler {
         self.scratch_demands = demands;
         self.scratch_gpu_load = gpu_load;
         self.scratch_priorities = priorities;
-        self.scratch_gpus = gpu_refs;
+        self.scratch_gpu_idx = gpu_indices;
     }
 
     fn dispatch_load(
@@ -902,6 +932,10 @@ impl ClockworkScheduler {
             load_slot,
             est,
         );
+        let load_free_at = track.load_free_at;
+        if let Some(idx) = self.tracker.gpu_index(gpu_ref) {
+            self.load_ready.update(idx, load_free_at);
+        }
         self.index_add_holder(model_id, gpu_ref);
         self.in_flight_loads.insert(action_id, expected_completion);
         self.stats.load_actions += 1;
@@ -970,26 +1004,109 @@ impl ClockworkScheduler {
                 }
             }
             ActionOutcome::Error { at, .. } => {
-                // Re-queue requests that still have a chance; reject the rest.
-                for pending in batch.requests {
-                    let min_exec = self.exec_estimate(pending.request.model, 1);
-                    let still_possible = pending.deadline == Timestamp::MAX
-                        || now + min_exec + self.config.network_allowance < pending.deadline;
-                    if still_possible {
-                        let entry = self
-                            .models
-                            .get_mut(&pending.request.model)
-                            .expect("model exists");
-                        entry.min_deadline_hint = entry.min_deadline_hint.min(pending.deadline);
-                        entry.note_queue_changed();
-                        entry.queue.push_front(pending.clone());
-                        self.queued_models.insert(pending.request.model);
-                    } else {
-                        self.reject(&pending, *at, RejectReason::WorkerRejected, ctx);
-                    }
-                }
+                self.requeue_or_reject(now, batch.requests, *at, RejectReason::WorkerRejected, ctx);
             }
         }
+    }
+
+    /// Re-queues the requests of a failed batch that still have a chance of
+    /// meeting their deadline; rejects the rest at `at` with `reason`. Shared
+    /// by worker-reported action errors and fault resolution (a crashed
+    /// worker never reports anything, so the controller synthesises the
+    /// failure itself).
+    fn requeue_or_reject(
+        &mut self,
+        now: Timestamp,
+        requests: Vec<PendingRequest>,
+        at: Timestamp,
+        reason: RejectReason,
+        ctx: &mut SchedulerCtx,
+    ) {
+        for pending in requests {
+            let min_exec = self.exec_estimate(pending.request.model, 1);
+            let still_possible = pending.deadline == Timestamp::MAX
+                || now + min_exec + self.config.network_allowance < pending.deadline;
+            if still_possible {
+                let entry = self
+                    .models
+                    .get_mut(&pending.request.model)
+                    .expect("model exists");
+                entry.min_deadline_hint = entry.min_deadline_hint.min(pending.deadline);
+                entry.note_queue_changed();
+                entry.queue.push_front(pending.clone());
+                self.queued_models.insert(pending.request.model);
+            } else {
+                self.reject(&pending, at, reason, ctx);
+            }
+        }
+    }
+
+    /// Handles one GPU dying (alone or as part of a worker crash): resolves
+    /// every outstanding action on it — the worker will never answer them —
+    /// invalidates the residency indices and cached demand that pointed at
+    /// it, and parks the GPU out of both scheduling indices until recovery.
+    fn note_gpu_failed(&mut self, now: Timestamp, gpu_ref: GpuRef, ctx: &mut SchedulerCtx) {
+        let Some(gpu_idx) = self.tracker.gpu_index(gpu_ref) else {
+            return;
+        };
+        // Resolve outstanding actions in action-id (issue) order so requeue
+        // order — and therefore the digest — is deterministic.
+        let mut lost: Vec<OutstandingAction> = self
+            .tracker
+            .get(gpu_ref)
+            .map(|t| t.outstanding.values().copied().collect())
+            .unwrap_or_default();
+        lost.sort_unstable_by_key(|o| o.id);
+        for o in &lost {
+            if o.is_load {
+                self.in_flight_loads.remove(&o.id);
+            } else if let Some(batch) = self.in_flight.remove(&o.id) {
+                self.requeue_or_reject(now, batch.requests, now, RejectReason::WorkerFailed, ctx);
+            }
+        }
+        // Drop the GPU from both residency indices.
+        let held: Vec<ModelId> = self.avail_by_gpu[gpu_idx].iter().copied().collect();
+        for model in held {
+            self.index_remove_holder(model, gpu_ref);
+        }
+        // Wipe the tracker's view; the GPU is cold and unschedulable.
+        if let Some(track) = self.tracker.get_mut(gpu_ref) {
+            track.note_fault(now);
+        }
+        self.exec_ready.update(gpu_idx, Timestamp::MAX);
+        self.load_ready.update(gpu_idx, Timestamp::MAX);
+    }
+
+    /// Re-admits a recovered GPU as cold capacity. Spurious recoveries —
+    /// e.g. a `GpuRecover` whose failure window was already superseded by a
+    /// worker restart — are no-ops so they cannot push the GPU's free times
+    /// (and its place in the scheduling indices) into the future.
+    fn note_gpu_recovered(&mut self, now: Timestamp, gpu_ref: GpuRef) {
+        let Some(gpu_idx) = self.tracker.gpu_index(gpu_ref) else {
+            return;
+        };
+        if let Some(track) = self.tracker.get_mut(gpu_ref) {
+            if track.alive {
+                return;
+            }
+            track.note_recovered(now);
+            self.exec_ready.update(gpu_idx, track.exec_free_at);
+            self.load_ready.update(gpu_idx, track.load_free_at);
+        }
+    }
+
+    /// The GPUs of one worker, in registration order.
+    fn worker_gpu_refs(&mut self, worker: WorkerId) -> Vec<GpuRef> {
+        let mut refs = std::mem::take(&mut self.scratch_gpus);
+        refs.clear();
+        refs.extend(
+            self.tracker
+                .gpus()
+                .iter()
+                .filter(|g| g.gpu_ref.worker == worker)
+                .map(|g| g.gpu_ref),
+        );
+        refs
     }
 
     fn handle_load_result(&mut self, result: &ActionResult) {
@@ -999,8 +1116,12 @@ impl ClockworkScheduler {
         };
         let success = result.is_success();
         if let Some(track) = self.tracker.get_mut(gpu_ref) {
-            track.note_load_result(result.action_id, result.model, success);
-            if !success {
+            // A stale result (its action was already resolved by a fault)
+            // must not touch the residency indices either: the entry it
+            // would remove may belong to a newer LOAD of the same model
+            // issued after the GPU recovered.
+            let applied = track.note_load_result(result.action_id, result.model, success);
+            if applied && !success {
                 // The model never became resident; drop it from the indices.
                 self.index_remove_holder(result.model, gpu_ref);
             }
@@ -1094,6 +1215,63 @@ impl Scheduler for ClockworkScheduler {
     }
 
     fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.schedule(now, ctx);
+    }
+
+    fn on_fault(&mut self, now: Timestamp, fault: &FaultKind, ctx: &mut SchedulerCtx) {
+        match *fault {
+            FaultKind::WorkerCrash { worker } => {
+                self.down_workers.insert(WorkerId(worker));
+                let refs = self.worker_gpu_refs(WorkerId(worker));
+                for &gpu_ref in &refs {
+                    self.note_gpu_failed(now, gpu_ref, ctx);
+                }
+                self.scratch_gpus = refs;
+            }
+            FaultKind::WorkerRestart { worker } => {
+                // A restart replaces the machine: every GPU of the worker
+                // comes back cold, superseding any individual GPU failure
+                // whose window overlapped the downtime (the worker side
+                // clears its per-GPU failed flags the same way).
+                self.down_workers.remove(&WorkerId(worker));
+                let refs = self.worker_gpu_refs(WorkerId(worker));
+                for &gpu_ref in &refs {
+                    self.note_gpu_recovered(now, gpu_ref);
+                }
+                self.scratch_gpus = refs;
+            }
+            FaultKind::GpuFail { worker, gpu } => {
+                self.note_gpu_failed(
+                    now,
+                    GpuRef {
+                        worker: WorkerId(worker),
+                        gpu: GpuId(gpu),
+                    },
+                    ctx,
+                );
+            }
+            FaultKind::GpuRecover { worker, gpu } => {
+                // While the whole worker is down, a single-GPU recovery
+                // cannot make the GPU reachable — leave it parked; the
+                // worker restart will re-admit every GPU.
+                if !self.down_workers.contains(&WorkerId(worker)) {
+                    self.note_gpu_recovered(
+                        now,
+                        GpuRef {
+                            worker: WorkerId(worker),
+                            gpu: GpuId(gpu),
+                        },
+                    );
+                }
+            }
+            // Link faults are a transport matter: the scheduler observes
+            // their effects as late-arriving results and window-elapsed
+            // rejections, which the normal result path already handles.
+            FaultKind::LinkDegrade { .. }
+            | FaultKind::LinkRestore { .. }
+            | FaultKind::PartitionStart { .. }
+            | FaultKind::PartitionEnd { .. } => {}
+        }
         self.schedule(now, ctx);
     }
 
@@ -1551,6 +1729,84 @@ mod tests {
         for p in s.predictions() {
             assert!(p.duration_error_ns().abs() < 1_000_000, "{p:?}");
         }
+    }
+
+    #[test]
+    fn worker_crash_resolves_in_flight_actions_and_clears_residency() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        // Cold request: a LOAD and an INFER are outstanding on the only GPU.
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 500), &mut ctx);
+        let _ = ctx.take_actions();
+        assert_eq!(s.in_flight_batches(), 1);
+        s.on_fault(
+            Timestamp::from_millis(5),
+            &FaultKind::WorkerCrash { worker: 0 },
+            &mut ctx,
+        );
+        // The batch was resolved: with 495 ms of slack the request is
+        // requeued, not rejected.
+        assert_eq!(s.in_flight_batches(), 0);
+        assert!(s.queued_requests() >= 1);
+        assert!(ctx.take_responses().is_empty());
+        let track = s.tracker().get(gref()).unwrap();
+        assert!(!track.alive);
+        assert!(track.resident.is_empty() && track.loading.is_empty());
+        assert_eq!(track.free_pages, track.total_pages, "reservations returned");
+        // While the fleet is dead, no actions are issued even on a tick.
+        let _ = ctx.take_actions();
+        s.on_tick(Timestamp::from_millis(6), &mut ctx);
+        assert!(
+            ctx.take_actions().is_empty(),
+            "no work may be sent to a dead worker"
+        );
+        // Restart: the queued request is scheduled again, cold (LOAD first).
+        s.on_fault(
+            Timestamp::from_millis(10),
+            &FaultKind::WorkerRestart { worker: 0 },
+            &mut ctx,
+        );
+        let kinds: Vec<&str> = ctx
+            .take_actions()
+            .iter()
+            .map(|(_, a)| a.kind.type_name())
+            .collect();
+        assert!(
+            kinds.contains(&"LOAD"),
+            "recovered worker must be treated as cold: {kinds:?}"
+        );
+        assert!(kinds.contains(&"INFER"), "{kinds:?}");
+    }
+
+    #[test]
+    fn crash_with_no_slack_rejects_with_worker_failed() {
+        let mut s = scheduler_with_one_gpu(100);
+        let mut ctx = SchedulerCtx::new();
+        // 20 ms SLO: cold start (~8.3 + 2.6 ms) fits, so the request is
+        // admitted and dispatched.
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 20), &mut ctx);
+        let _ = ctx.take_actions();
+        assert_eq!(s.in_flight_batches(), 1);
+        // The GPU dies at 18 ms: 2.6 ms of exec no longer fits before the
+        // 20 ms deadline, so the request must be rejected — exactly once,
+        // with the fault-specific reason.
+        s.on_fault(
+            Timestamp::from_millis(18),
+            &FaultKind::GpuFail { worker: 0, gpu: 0 },
+            &mut ctx,
+        );
+        let responses = ctx.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(
+            responses[0].outcome,
+            RequestOutcome::Rejected {
+                reason: RejectReason::WorkerFailed,
+                ..
+            }
+        ));
+        assert_eq!(s.stats().rejected_worker_failed, 1);
+        assert_eq!(s.queued_requests(), 0);
+        assert_eq!(s.in_flight_batches(), 0);
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub use clockwork_scheduler::{ClockworkScheduler, ClockworkSchedulerConfig};
 pub use profile::{ActionProfiler, ProfileKey, ProfileKind};
 pub use request::{InferenceRequest, RejectReason, RequestId, RequestOutcome, Response};
 pub use scheduler::{Scheduler, SchedulerCtx};
-pub use worker_state::{GpuTrack, WorkerStateTracker};
+pub use worker_state::{FreeAtIndex, GpuTrack, WorkerStateTracker};

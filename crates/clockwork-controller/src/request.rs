@@ -65,6 +65,12 @@ pub enum RejectReason {
     UnknownModel,
     /// A worker rejected or failed the action and no retry was possible.
     WorkerRejected,
+    /// The worker (or GPU) serving the request died mid-flight and the
+    /// deadline left no room to reissue the work elsewhere.
+    ///
+    /// Appended after the other variants so their discriminants — which feed
+    /// the determinism digest — are unchanged.
+    WorkerFailed,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -74,6 +80,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::DeadlineElapsed => "deadline elapsed in queue",
             RejectReason::UnknownModel => "unknown model",
             RejectReason::WorkerRejected => "worker rejected action",
+            RejectReason::WorkerFailed => "worker failed mid-flight",
         };
         f.write_str(s)
     }

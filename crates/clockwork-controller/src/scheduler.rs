@@ -120,6 +120,22 @@ pub trait Scheduler {
     /// Periodic opportunity to top up worker schedules and expire requests.
     fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx);
 
+    /// A fleet fault occurred (worker crash/restart, GPU failure/recovery,
+    /// link degradation/partition). The scheduler must drop its view of dead
+    /// capacity, resolve actions it will never hear back about, and re-admit
+    /// recovered capacity as cold.
+    ///
+    /// The default implementation ignores faults — appropriate only for the
+    /// baseline disciplines, which are never run under a fault plan.
+    fn on_fault(
+        &mut self,
+        now: Timestamp,
+        fault: &clockwork_sim::engine::FaultKind,
+        ctx: &mut SchedulerCtx,
+    ) {
+        let _ = (now, fault, ctx);
+    }
+
     /// When the scheduler next wants `on_tick` to run, if at all.
     fn next_tick(&self, now: Timestamp) -> Option<Timestamp>;
 

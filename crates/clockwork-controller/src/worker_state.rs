@@ -9,7 +9,7 @@
 //! the action profiles this is enough to predict when any candidate action
 //! would complete.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use clockwork_model::ModelId;
 use clockwork_sim::time::{Nanos, Timestamp};
@@ -68,6 +68,8 @@ pub struct GpuTrack {
     pub load_free_at: Timestamp,
     /// Outstanding actions on this GPU.
     pub outstanding: HashMap<ActionId, OutstandingAction>,
+    /// Whether the GPU (and its worker) is up. Dead GPUs receive no work.
+    pub alive: bool,
 }
 
 impl GpuTrack {
@@ -85,7 +87,32 @@ impl GpuTrack {
             exec_free_at: Timestamp::ZERO,
             load_free_at: Timestamp::ZERO,
             outstanding: HashMap::new(),
+            alive: true,
         }
+    }
+
+    /// Resets the track after the GPU (or its whole worker) died: residency,
+    /// page reservations and outstanding actions are gone, the memory comes
+    /// back empty, and the GPU is unschedulable until [`GpuTrack::note_recovered`].
+    /// The caller is responsible for resolving the outstanding actions (they
+    /// will never produce a result) *before* calling this.
+    pub fn note_fault(&mut self, now: Timestamp) {
+        self.resident.clear();
+        self.loading.clear();
+        self.pages_held.clear();
+        self.last_used.clear();
+        self.outstanding.clear();
+        self.free_pages = self.total_pages;
+        self.exec_free_at = now;
+        self.load_free_at = now;
+        self.alive = false;
+    }
+
+    /// Marks the GPU usable again after a fault, cold (nothing resident).
+    pub fn note_recovered(&mut self, now: Timestamp) {
+        self.alive = true;
+        self.exec_free_at = self.exec_free_at.max(now);
+        self.load_free_at = self.load_free_at.max(now);
     }
 
     /// Whether a model is usable for INFER scheduling on this GPU (resident,
@@ -156,9 +183,16 @@ impl GpuTrack {
         self.last_used.remove(&model);
     }
 
-    /// Records a LOAD result.
-    pub fn note_load_result(&mut self, id: ActionId, model: ModelId, success: bool) {
-        self.outstanding.remove(&id);
+    /// Records a LOAD result. A result whose action is no longer outstanding
+    /// is stale — e.g. it was produced just before the GPU crashed and the
+    /// crash already resolved the action — and is ignored entirely, so it
+    /// cannot resurrect residency on a GPU whose memory is gone. Returns
+    /// whether the result was applied (false = stale), so callers keep their
+    /// own side tables (residency indices) in lockstep with this track.
+    pub fn note_load_result(&mut self, id: ActionId, model: ModelId, success: bool) -> bool {
+        if self.outstanding.remove(&id).is_none() {
+            return false;
+        }
         self.loading.remove(&model);
         if success {
             self.resident.insert(model);
@@ -168,6 +202,7 @@ impl GpuTrack {
                 self.free_pages = (self.free_pages + pages).min(self.total_pages);
             }
         }
+        true
     }
 
     /// Records an INFER result (success or failure frees the executor claim).
@@ -279,6 +314,76 @@ impl WorkerStateTracker {
             .iter()
             .min_by_key(|g| (g.next_exec_slot(now), g.gpu_ref))
             .map(|g| g.gpu_ref)
+    }
+}
+
+/// An index of per-GPU "next actionable" times.
+///
+/// The scheduling passes used to scan every GPU per event just to discover
+/// that most executors are busy past the lookahead horizon. This index keeps
+/// each GPU's next-free time in a sorted set so a pass can pull exactly the
+/// GPUs that are actionable before the horizon — in ascending registration
+/// order, which keeps the visiting order (and therefore every scheduling
+/// decision and the determinism digest) identical to the full scan's.
+///
+/// Dead GPUs are parked at [`Timestamp::MAX`], which doubles as the
+/// "never actionable" sentinel.
+#[derive(Clone, Debug, Default)]
+pub struct FreeAtIndex {
+    by_time: BTreeSet<(Timestamp, u32)>,
+    current: Vec<Timestamp>,
+}
+
+impl FreeAtIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        FreeAtIndex::default()
+    }
+
+    /// Registers the next GPU (dense indices, in registration order),
+    /// initially free at time zero.
+    pub fn push_gpu(&mut self) {
+        let idx = self.current.len() as u32;
+        self.current.push(Timestamp::ZERO);
+        self.by_time.insert((Timestamp::ZERO, idx));
+    }
+
+    /// Number of GPUs registered.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Whether no GPUs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// The currently indexed free time of a GPU.
+    pub fn free_at(&self, idx: usize) -> Timestamp {
+        self.current[idx]
+    }
+
+    /// Moves a GPU to a new free time.
+    pub fn update(&mut self, idx: usize, free_at: Timestamp) {
+        let old = self.current[idx];
+        if old == free_at {
+            return;
+        }
+        self.by_time.remove(&(old, idx as u32));
+        self.by_time.insert((free_at, idx as u32));
+        self.current[idx] = free_at;
+    }
+
+    /// Collects the dense indices of every GPU whose free time is strictly
+    /// before `horizon`, sorted ascending (registration order), into `out`.
+    pub fn actionable_into(&self, horizon: Timestamp, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.by_time
+                .range(..(horizon, 0u32))
+                .map(|&(_, idx)| idx as usize),
+        );
+        out.sort_unstable();
     }
 }
 
@@ -415,6 +520,62 @@ mod tests {
         assert_eq!(g.lru_candidate(&protect), Some(ModelId(3)));
         let all: HashSet<ModelId> = [ModelId(1), ModelId(2), ModelId(3)].into_iter().collect();
         assert_eq!(g.lru_candidate(&all), None);
+    }
+
+    #[test]
+    fn note_fault_wipes_state_and_note_recovered_restores_cold() {
+        let mut g = GpuTrack::new(gref(0, 0), 10, 16 * 1024 * 1024);
+        g.note_load_sent(
+            outstanding(1, 7, 20, true),
+            4,
+            Timestamp::ZERO,
+            Nanos::from_millis(8),
+        );
+        g.note_load_result(ActionId(1), ModelId(7), true);
+        g.note_infer_sent(
+            outstanding(2, 7, 30, false),
+            Timestamp::from_millis(10),
+            Nanos::from_millis(3),
+        );
+        assert!(g.alive);
+        g.note_fault(Timestamp::from_millis(20));
+        assert!(!g.alive);
+        assert_eq!(g.free_pages, 10);
+        assert!(g.resident.is_empty());
+        assert!(g.outstanding.is_empty());
+        assert_eq!(g.exec_free_at, Timestamp::from_millis(20));
+        // A stale LOAD result (produced pre-crash) must not resurrect
+        // residency on the wiped GPU, and must report that it was ignored.
+        assert!(!g.note_load_result(ActionId(1), ModelId(7), true));
+        assert!(!g.is_resident(ModelId(7)));
+        g.note_recovered(Timestamp::from_millis(50));
+        assert!(g.alive);
+        assert!(g.resident.is_empty(), "recovery is cold");
+        assert_eq!(g.exec_free_at, Timestamp::from_millis(50));
+    }
+
+    #[test]
+    fn free_at_index_tracks_actionable_gpus_in_registration_order() {
+        let mut index = FreeAtIndex::new();
+        assert!(index.is_empty());
+        for _ in 0..4 {
+            index.push_gpu();
+        }
+        assert_eq!(index.len(), 4);
+        index.update(0, Timestamp::from_millis(50));
+        index.update(2, Timestamp::from_millis(5));
+        index.update(3, Timestamp::MAX); // dead GPU
+        let mut out = Vec::new();
+        index.actionable_into(Timestamp::from_millis(10), &mut out);
+        assert_eq!(out, vec![1, 2], "free-at 0 and 5ms are actionable, sorted");
+        // The horizon bound is strict: a GPU free exactly at the horizon is
+        // not actionable, matching the scan's `slot >= horizon` break.
+        index.actionable_into(Timestamp::from_millis(5), &mut out);
+        assert_eq!(out, vec![1]);
+        index.update(3, Timestamp::ZERO); // recovered
+        index.actionable_into(Timestamp::from_millis(10), &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(index.free_at(0), Timestamp::from_millis(50));
     }
 
     #[test]

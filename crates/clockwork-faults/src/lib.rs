@@ -1,0 +1,443 @@
+//! Deterministic fault-injection plans for fleet churn.
+//!
+//! The paper's claim is graceful, *predictable* degradation — which only
+//! means something if the fleet actually degrades. This crate builds
+//! [`FaultPlan`]s: timestamped schedules of [`FaultKind`] events (GPU
+//! failure/recovery, worker crash/restart with a cold page cache, link
+//! degradation and partition windows) that the serving system compiles into
+//! simulation events.
+//!
+//! Plans are pure data and a pure function of their inputs: a scripted plan
+//! is exactly the events its builder calls describe, and a randomized churn
+//! plan ([`FaultPlan::random_churn`]) is a deterministic function of its
+//! [`ChurnConfig`] — same config, same seed, same plan, same simulation,
+//! same digest. That determinism is what turns "chaos testing" into a
+//! reproducible experiment.
+//!
+//! Fault handling is implemented by the Clockwork scheduler; the best-effort
+//! baseline disciplines ignore faults and should not be combined with a
+//! non-empty plan.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::{Deserialize, Serialize};
+
+pub use clockwork_sim::engine::FaultKind;
+use clockwork_sim::rng::SimRng;
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault fires.
+    pub at: Timestamp,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fleet faults.
+///
+/// Events are kept sorted by timestamp (stable for ties: the order the
+/// builder calls inserted them), so compiling a plan into an event queue
+/// preserves a well-defined, reproducible delivery order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the default for every system).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds one fault, keeping the schedule sorted (stable for equal times).
+    pub fn push(&mut self, at: Timestamp, kind: FaultKind) {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, kind });
+    }
+
+    /// Builder-style [`FaultPlan::push`].
+    pub fn with(mut self, at: Timestamp, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Appends every event of another plan.
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        for e in other.events {
+            self.push(e.at, e.kind);
+        }
+        self
+    }
+
+    /// Crashes a worker at `at`.
+    pub fn crash_worker(self, at: Timestamp, worker: u32) -> Self {
+        self.with(at, FaultKind::WorkerCrash { worker })
+    }
+
+    /// Restarts a crashed worker at `at` (cold page caches).
+    pub fn restart_worker(self, at: Timestamp, worker: u32) -> Self {
+        self.with(at, FaultKind::WorkerRestart { worker })
+    }
+
+    /// Crashes a worker at `at` and restarts it `downtime` later.
+    pub fn crash_worker_for(self, at: Timestamp, worker: u32, downtime: Nanos) -> Self {
+        self.crash_worker(at, worker)
+            .restart_worker(at + downtime, worker)
+    }
+
+    /// Fails one GPU at `at`.
+    pub fn fail_gpu(self, at: Timestamp, worker: u32, gpu: u32) -> Self {
+        self.with(at, FaultKind::GpuFail { worker, gpu })
+    }
+
+    /// Recovers a failed GPU at `at` (cold weights cache).
+    pub fn recover_gpu(self, at: Timestamp, worker: u32, gpu: u32) -> Self {
+        self.with(at, FaultKind::GpuRecover { worker, gpu })
+    }
+
+    /// Fails one GPU at `at` and recovers it `downtime` later.
+    pub fn fail_gpu_for(self, at: Timestamp, worker: u32, gpu: u32, downtime: Nanos) -> Self {
+        self.fail_gpu(at, worker, gpu)
+            .recover_gpu(at + downtime, worker, gpu)
+    }
+
+    /// Multiplies a worker's controller↔worker delays by `factor` from `at`.
+    ///
+    /// The factor is stored in thousandths; values below 0.001 clamp to it.
+    pub fn degrade_link(self, at: Timestamp, worker: u32, factor: f64) -> Self {
+        let factor_milli = (factor * 1000.0).round().max(1.0) as u32;
+        self.with(
+            at,
+            FaultKind::LinkDegrade {
+                worker,
+                factor_milli,
+            },
+        )
+    }
+
+    /// Restores a worker's link to its healthy delay at `at`.
+    pub fn restore_link(self, at: Timestamp, worker: u32) -> Self {
+        self.with(at, FaultKind::LinkRestore { worker })
+    }
+
+    /// Degrades a worker's link for a window, then restores it.
+    pub fn degrade_link_for(self, at: Timestamp, worker: u32, factor: f64, span: Nanos) -> Self {
+        self.degrade_link(at, worker, factor)
+            .restore_link(at + span, worker)
+    }
+
+    /// Partitions a worker from the controller over `[at, at + span)`.
+    /// Messages in flight during the window are held and delivered when the
+    /// partition heals, not lost.
+    pub fn partition(self, at: Timestamp, worker: u32, span: Nanos) -> Self {
+        self.with(at, FaultKind::PartitionStart { worker })
+            .with(at + span, FaultKind::PartitionEnd { worker })
+    }
+
+    /// The time of the first scheduled fault, if any.
+    pub fn first_at(&self) -> Option<Timestamp> {
+        self.events.first().map(|e| e.at)
+    }
+
+    /// The time of the last scheduled event, if any.
+    pub fn last_at(&self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// The time of the last *recovery* event (restart / recover / restore /
+    /// heal), if any — the instant after which the fleet should be whole.
+    pub fn last_recovery_at(&self) -> Option<Timestamp> {
+        self.events
+            .iter()
+            .filter(|e| e.kind.is_recovery())
+            .map(|e| e.at)
+            .max()
+    }
+
+    /// Number of `WorkerCrash` events.
+    pub fn worker_crashes(&self) -> usize {
+        self.count(|k| matches!(k, FaultKind::WorkerCrash { .. }))
+    }
+
+    /// Number of `GpuFail` events.
+    pub fn gpu_failures(&self) -> usize {
+        self.count(|k| matches!(k, FaultKind::GpuFail { .. }))
+    }
+
+    /// Number of `PartitionStart` events.
+    pub fn partitions(&self) -> usize {
+        self.count(|k| matches!(k, FaultKind::PartitionStart { .. }))
+    }
+
+    /// Number of `LinkDegrade` events.
+    pub fn link_degradations(&self) -> usize {
+        self.count(|k| matches!(k, FaultKind::LinkDegrade { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&FaultKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Generates a randomized-but-deterministic churn plan: same config ⇒
+    /// same plan, byte for byte.
+    ///
+    /// Fault onsets are drawn uniformly from `[start, start + spread)` where
+    /// `spread = duration - max_downtime`, and every fault recovers after a
+    /// downtime drawn from `[min_downtime, max_downtime]`, so the fleet is
+    /// whole again no later than `start + duration`. Worker crashes pick
+    /// distinct workers (wrapping if more crashes than workers are asked
+    /// for); GPU failures pick (worker, gpu) pairs uniformly.
+    pub fn random_churn(config: &ChurnConfig) -> FaultPlan {
+        let mut rng = SimRng::seeded(config.seed).derive(0xFA17);
+        let mut plan = FaultPlan::new();
+        if config.workers == 0 || config.gpus_per_worker == 0 {
+            return plan;
+        }
+        let spread = config.duration.saturating_sub(config.max_downtime);
+        let onset = |rng: &mut SimRng| {
+            config.start + Nanos::from_nanos(rng.uniform_u64(spread.as_nanos().max(1)))
+        };
+        let downtime = |rng: &mut SimRng| {
+            let lo = config.min_downtime.as_nanos();
+            let hi = config.max_downtime.as_nanos().max(lo + 1);
+            Nanos::from_nanos(lo + rng.uniform_u64(hi - lo))
+        };
+        // Distinct victims while possible (single base draw, stride 1);
+        // wrap beyond the fleet size.
+        let crash_base = rng.uniform_u64(u64::from(config.workers)) as u32;
+        for i in 0..config.worker_crashes {
+            let worker = (crash_base + i) % config.workers;
+            let at = onset(&mut rng);
+            let down = downtime(&mut rng);
+            plan = plan.crash_worker_for(at, worker, down);
+        }
+        for _ in 0..config.gpu_failures {
+            let worker = rng.uniform_u64(u64::from(config.workers)) as u32;
+            let gpu = rng.uniform_u64(u64::from(config.gpus_per_worker)) as u32;
+            let at = onset(&mut rng);
+            let down = downtime(&mut rng);
+            plan = plan.fail_gpu_for(at, worker, gpu, down);
+        }
+        for _ in 0..config.link_degradations {
+            let worker = rng.uniform_u64(u64::from(config.workers)) as u32;
+            let factor = rng.uniform_range(2.0, 8.0);
+            let at = onset(&mut rng);
+            let span = downtime(&mut rng);
+            plan = plan.degrade_link_for(at, worker, factor, span);
+        }
+        for _ in 0..config.partitions {
+            let worker = rng.uniform_u64(u64::from(config.workers)) as u32;
+            let at = onset(&mut rng);
+            let span = downtime(&mut rng);
+            plan = plan.partition(at, worker, span);
+        }
+        plan
+    }
+}
+
+/// Configuration of a randomized churn plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Number of workers in the fleet.
+    pub workers: u32,
+    /// GPUs per worker.
+    pub gpus_per_worker: u32,
+    /// Earliest fault onset.
+    pub start: Timestamp,
+    /// Window within which every fault fires *and recovers*.
+    pub duration: Nanos,
+    /// Number of worker crash/restart pairs.
+    pub worker_crashes: u32,
+    /// Number of GPU fail/recover pairs.
+    pub gpu_failures: u32,
+    /// Number of link degrade/restore pairs.
+    pub link_degradations: u32,
+    /// Number of partition windows.
+    pub partitions: u32,
+    /// Minimum downtime of each fault.
+    pub min_downtime: Nanos,
+    /// Maximum downtime of each fault.
+    pub max_downtime: Nanos,
+    /// RNG seed; the plan is a pure function of this config.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            workers: 1,
+            gpus_per_worker: 1,
+            start: Timestamp::from_secs(10),
+            duration: Nanos::from_secs(60),
+            worker_crashes: 1,
+            gpu_failures: 2,
+            link_degradations: 1,
+            partitions: 1,
+            min_downtime: Nanos::from_secs(2),
+            max_downtime: Nanos::from_secs(10),
+            seed: 2020,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Timestamp {
+        Timestamp::from_millis(v)
+    }
+
+    #[test]
+    fn empty_plan_is_default() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.first_at(), None);
+        assert_eq!(plan.last_recovery_at(), None);
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn events_stay_sorted_with_stable_ties() {
+        let plan = FaultPlan::new()
+            .crash_worker(ms(50), 1)
+            .fail_gpu(ms(10), 0, 2)
+            .restart_worker(ms(50), 1)
+            .recover_gpu(ms(30), 0, 2);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        // Equal timestamps keep insertion order: crash before restart.
+        let at50: Vec<&FaultKind> = plan
+            .events()
+            .iter()
+            .filter(|e| e.at == ms(50))
+            .map(|e| &e.kind)
+            .collect();
+        assert!(matches!(at50[0], FaultKind::WorkerCrash { worker: 1 }));
+        assert!(matches!(at50[1], FaultKind::WorkerRestart { worker: 1 }));
+    }
+
+    #[test]
+    fn paired_builders_schedule_fault_and_recovery() {
+        let plan = FaultPlan::new()
+            .crash_worker_for(ms(100), 3, Nanos::from_millis(40))
+            .fail_gpu_for(ms(120), 0, 1, Nanos::from_millis(10))
+            .degrade_link_for(ms(10), 2, 4.0, Nanos::from_millis(500))
+            .partition(ms(200), 4, Nanos::from_millis(50));
+        assert_eq!(plan.len(), 8);
+        assert_eq!(plan.worker_crashes(), 1);
+        assert_eq!(plan.gpu_failures(), 1);
+        assert_eq!(plan.partitions(), 1);
+        assert_eq!(plan.link_degradations(), 1);
+        assert_eq!(plan.first_at(), Some(ms(10)));
+        assert_eq!(plan.last_recovery_at(), Some(ms(510)));
+        let degrade = plan
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::LinkDegrade { .. }))
+            .unwrap();
+        assert!(
+            matches!(
+                degrade.kind,
+                FaultKind::LinkDegrade {
+                    factor_milli: 4000,
+                    worker: 2
+                }
+            ),
+            "{degrade:?}"
+        );
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let a = FaultPlan::new().crash_worker(ms(10), 0);
+        let b = FaultPlan::new()
+            .crash_worker(ms(5), 1)
+            .restart_worker(ms(20), 1);
+        let merged = a.merge(b);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.first_at(), Some(ms(5)));
+        assert_eq!(merged.last_at(), Some(ms(20)));
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_and_bounded() {
+        let config = ChurnConfig {
+            workers: 20,
+            gpus_per_worker: 4,
+            start: Timestamp::from_secs(30),
+            duration: Nanos::from_secs(60),
+            worker_crashes: 3,
+            gpu_failures: 5,
+            link_degradations: 2,
+            partitions: 2,
+            min_downtime: Nanos::from_secs(1),
+            max_downtime: Nanos::from_secs(8),
+            seed: 99,
+        };
+        let a = FaultPlan::random_churn(&config);
+        let b = FaultPlan::random_churn(&config);
+        assert_eq!(a, b, "same config must yield the same plan");
+        assert_eq!(a.worker_crashes(), 3);
+        assert_eq!(a.gpu_failures(), 5);
+        // Every event lands inside [start, start + duration].
+        for e in a.events() {
+            assert!(e.at >= config.start, "{e:?}");
+            assert!(e.at <= config.start + config.duration, "{e:?}");
+            assert!(e.kind.worker() < config.workers, "{e:?}");
+            if let FaultKind::GpuFail { gpu, .. } | FaultKind::GpuRecover { gpu, .. } = e.kind {
+                assert!(gpu < config.gpus_per_worker, "{e:?}");
+            }
+        }
+        // Every fault has a matching recovery.
+        let recoveries = a.events().iter().filter(|e| e.kind.is_recovery()).count();
+        assert_eq!(recoveries * 2, a.len());
+        // Crash victims are distinct while the fleet has room for that.
+        let mut victims: Vec<u32> = a
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::WorkerCrash { worker } => Some(worker),
+                _ => None,
+            })
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+        assert_eq!(victims.len(), 3, "crash victims must be distinct");
+        let other_seed = FaultPlan::random_churn(&ChurnConfig {
+            seed: 100,
+            ..config
+        });
+        assert_ne!(a, other_seed, "different seeds should differ");
+    }
+
+    #[test]
+    fn degenerate_churn_configs_yield_empty_plans() {
+        let config = ChurnConfig {
+            workers: 0,
+            ..ChurnConfig::default()
+        };
+        assert!(FaultPlan::random_churn(&config).is_empty());
+    }
+}

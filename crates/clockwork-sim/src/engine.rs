@@ -26,7 +26,142 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::time::{Nanos, Timestamp};
+
+/// A fleet-churn fault delivered by the simulation.
+///
+/// Faults are part of the simulated world, not of the system under test: a
+/// production fleet *will* lose GPUs and whole workers, and links between the
+/// controller and workers *will* degrade or partition. Higher layers compile
+/// a fault plan into timestamped `FaultKind` events on their event queue and
+/// react to each one (drop in-flight work, invalidate residency state,
+/// re-admit recovered capacity cold).
+///
+/// Identifiers are raw indices — the worker's index in the fleet and the GPU's
+/// index within that worker — because the sim layer sits below the
+/// worker/controller vocabulary. Faults naming workers or GPUs that do not
+/// exist are ignored by the layers above.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// One GPU fails: its weights cache and in-flight actions are lost.
+    GpuFail {
+        /// Fleet index of the worker owning the GPU.
+        worker: u32,
+        /// GPU index within the worker.
+        gpu: u32,
+    },
+    /// A failed GPU comes back, with an empty (cold) weights cache.
+    GpuRecover {
+        /// Fleet index of the worker owning the GPU.
+        worker: u32,
+        /// GPU index within the worker.
+        gpu: u32,
+    },
+    /// The whole worker process crashes: every GPU's cache and every queued
+    /// or in-flight action is lost.
+    WorkerCrash {
+        /// Fleet index of the crashed worker.
+        worker: u32,
+    },
+    /// A crashed worker restarts with cold page caches on every GPU.
+    WorkerRestart {
+        /// Fleet index of the restarting worker.
+        worker: u32,
+    },
+    /// The controller↔worker link degrades: message delays are multiplied by
+    /// `factor_milli / 1000` (integer math keeps the simulation exact).
+    LinkDegrade {
+        /// Fleet index of the affected worker.
+        worker: u32,
+        /// Delay multiplier in thousandths (4000 = 4× slower).
+        factor_milli: u32,
+    },
+    /// The link returns to its healthy delay.
+    LinkRestore {
+        /// Fleet index of the affected worker.
+        worker: u32,
+    },
+    /// The controller↔worker link partitions: messages in either direction
+    /// are held (not lost) until the partition heals.
+    PartitionStart {
+        /// Fleet index of the partitioned worker.
+        worker: u32,
+    },
+    /// The partition heals; held messages are delivered.
+    PartitionEnd {
+        /// Fleet index of the partitioned worker.
+        worker: u32,
+    },
+}
+
+impl FaultKind {
+    /// The fleet index of the worker this fault concerns.
+    pub fn worker(&self) -> u32 {
+        match *self {
+            FaultKind::GpuFail { worker, .. }
+            | FaultKind::GpuRecover { worker, .. }
+            | FaultKind::WorkerCrash { worker }
+            | FaultKind::WorkerRestart { worker }
+            | FaultKind::LinkDegrade { worker, .. }
+            | FaultKind::LinkRestore { worker }
+            | FaultKind::PartitionStart { worker }
+            | FaultKind::PartitionEnd { worker } => worker,
+        }
+    }
+
+    /// A short snake_case label for telemetry and experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::GpuFail { .. } => "gpu_fail",
+            FaultKind::GpuRecover { .. } => "gpu_recover",
+            FaultKind::WorkerCrash { .. } => "worker_crash",
+            FaultKind::WorkerRestart { .. } => "worker_restart",
+            FaultKind::LinkDegrade { .. } => "link_degrade",
+            FaultKind::LinkRestore { .. } => "link_restore",
+            FaultKind::PartitionStart { .. } => "partition_start",
+            FaultKind::PartitionEnd { .. } => "partition_end",
+        }
+    }
+
+    /// A stable numeric code per variant, used when folding fault events into
+    /// determinism digests.
+    pub fn digest_code(&self) -> u64 {
+        match self {
+            FaultKind::GpuFail { .. } => 1,
+            FaultKind::GpuRecover { .. } => 2,
+            FaultKind::WorkerCrash { .. } => 3,
+            FaultKind::WorkerRestart { .. } => 4,
+            FaultKind::LinkDegrade { .. } => 5,
+            FaultKind::LinkRestore { .. } => 6,
+            FaultKind::PartitionStart { .. } => 7,
+            FaultKind::PartitionEnd { .. } => 8,
+        }
+    }
+
+    /// The variant's auxiliary payload (GPU index or delay factor; 0 for
+    /// worker-level faults), used alongside [`FaultKind::digest_code`].
+    pub fn aux(&self) -> u64 {
+        match *self {
+            FaultKind::GpuFail { gpu, .. } | FaultKind::GpuRecover { gpu, .. } => u64::from(gpu),
+            FaultKind::LinkDegrade { factor_milli, .. } => u64::from(factor_milli),
+            _ => 0,
+        }
+    }
+
+    /// Whether this fault restores capacity or connectivity rather than
+    /// removing it.
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::GpuRecover { .. }
+                | FaultKind::WorkerRestart { .. }
+                | FaultKind::LinkRestore { .. }
+                | FaultKind::PartitionEnd { .. }
+        )
+    }
+}
 
 /// A handle identifying a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]

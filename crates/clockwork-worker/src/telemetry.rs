@@ -27,6 +27,13 @@ pub struct WorkerCounters {
     pub window_rejections: u64,
     /// Actions that failed for any other reason.
     pub failures: u64,
+    /// Worker process crashes injected by a fault plan.
+    pub crashes: u64,
+    /// Single-GPU failures injected by a fault plan.
+    pub gpu_failures: u64,
+    /// Actions dropped because they arrived while the worker (or the target
+    /// GPU) was down.
+    pub dropped_actions: u64,
 }
 
 impl WorkerCounters {
@@ -118,6 +125,7 @@ mod tests {
             requests_served: 20,
             window_rejections: 3,
             failures: 1,
+            ..Default::default()
         };
         assert_eq!(c.successes(), 10);
     }

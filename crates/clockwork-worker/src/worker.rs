@@ -23,8 +23,14 @@
 //!   rejected with [`ActionError::WindowElapsed`] and never executed.
 //! * LOAD aborts if the page cache has insufficient free pages; UNLOAD only
 //!   updates metadata and always succeeds.
+//! * Fleet churn is modelled explicitly: [`Worker::crash`] loses every queued
+//!   and in-flight action and flushes the device caches (a restarted worker
+//!   is cold), [`Worker::fail_gpu`] does the same for a single GPU, and a
+//!   dead worker or GPU silently drops submissions — the controller, which
+//!   observes the same fault event, is responsible for resolving the actions
+//!   it will now never hear back about.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -189,6 +195,8 @@ struct GpuState {
     load_executor: Executor,
     infer_executor: Executor,
     in_flight_execs: u32,
+    /// Whether the GPU is currently failed (unusable until recovery).
+    failed: bool,
 }
 
 /// A completion scheduled inside the worker.
@@ -208,6 +216,13 @@ pub struct Worker {
     completions: EventQueue<Completion>,
     variance: ExternalVariance,
     telemetry: WorkerTelemetry,
+    /// Whether the worker process is up (false between crash and restart).
+    alive: bool,
+    /// GPUs with at least one queued action. The poll loop and wake-up
+    /// computation scan only this ready-set instead of every executor on
+    /// every GPU per wake; a GPU drops out once both its executor queues
+    /// drain.
+    active_gpus: BTreeSet<u32>,
 }
 
 impl Worker {
@@ -225,6 +240,7 @@ impl Worker {
                 load_executor: Executor::new(),
                 infer_executor: Executor::new(),
                 in_flight_execs: 0,
+                failed: false,
             })
             .collect();
         let telemetry = WorkerTelemetry::new(config.num_gpus as usize);
@@ -236,6 +252,8 @@ impl Worker {
             completions: EventQueue::new(),
             variance,
             telemetry,
+            alive: true,
+            active_gpus: BTreeSet::new(),
             config,
         }
     }
@@ -343,9 +361,109 @@ impl Worker {
         self.gpus.get(gpu.0 as usize)
     }
 
-    /// Submits an action, received at `now`.
+    /// Whether the worker process is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Whether a GPU is currently failed.
+    pub fn gpu_failed(&self, gpu: GpuId) -> bool {
+        self.gpu(gpu).map(|g| g.failed).unwrap_or(true)
+    }
+
+    /// Number of usable GPUs right now (0 while the worker is down).
+    pub fn alive_gpus(&self) -> u32 {
+        if !self.alive {
+            return 0;
+        }
+        self.gpus.iter().filter(|g| !g.failed).count() as u32
+    }
+
+    /// Resets one GPU to its power-on state: empty caches, idle executors,
+    /// fresh link schedules. The timing model (and its RNG stream) is kept so
+    /// a fault does not replay past execution noise.
+    fn reset_gpu(config: &WorkerConfig, gpu: &mut GpuState) {
+        gpu.page_cache = PageCache::new(config.weights_cache_bytes, config.page_size);
+        gpu.io_cache = IoCache::new(config.io_cache_bytes);
+        gpu.load_link = LinkScheduler::new();
+        gpu.input_link = LinkScheduler::new();
+        gpu.output_link = LinkScheduler::new();
+        gpu.load_executor = Executor::new();
+        gpu.infer_executor = Executor::new();
+        gpu.in_flight_execs = 0;
+    }
+
+    /// Simulates a worker process crash at `now`: every queued and in-flight
+    /// action is lost without a result, and every GPU's caches are flushed,
+    /// so the worker is cold when it [`Worker::restart`]s. Registered models
+    /// stay in host memory — workers pre-load weights from disk at startup
+    /// (§5.1), and the restart models that reload as complete by the time the
+    /// worker rejoins the fleet. The controller observes the same fault event
+    /// and must resolve the actions it will now never hear back about.
+    pub fn crash(&mut self, now: Timestamp) {
+        self.alive = false;
+        self.telemetry.counters.crashes += 1;
+        self.completions = EventQueue::new();
+        self.active_gpus.clear();
+        for gpu in &mut self.gpus {
+            Self::reset_gpu(&self.config, gpu);
+        }
+        let _ = now;
+    }
+
+    /// Brings a crashed worker back up with cold caches. A restart replaces
+    /// the whole machine, so it supersedes any per-GPU failure whose window
+    /// overlaps the downtime: every GPU comes back usable (and cold) — the
+    /// same view the controller takes when it re-admits the worker.
+    pub fn restart(&mut self, now: Timestamp) {
+        self.alive = true;
+        for gpu in &mut self.gpus {
+            gpu.failed = false;
+        }
+        let _ = now;
+    }
+
+    /// Fails one GPU: its queued and in-flight actions are lost and its
+    /// caches flushed. The GPU drops all work until [`Worker::recover_gpu`].
+    pub fn fail_gpu(&mut self, gpu: GpuId) {
+        let gi = gpu.0 as usize;
+        let Some(state) = self.gpus.get_mut(gi) else {
+            return;
+        };
+        state.failed = true;
+        Self::reset_gpu(&self.config, state);
+        self.telemetry.counters.gpu_failures += 1;
+        self.active_gpus.remove(&gpu.0);
+        // Drop the failed GPU's pending completions; the relative order of
+        // the survivors is preserved (they re-enter in pop order, and the
+        // queue tie-breaks by insertion).
+        let mut kept = Vec::new();
+        while let Some((t, completion)) = self.completions.pop() {
+            if completion.gpu_index != gi {
+                kept.push((t, completion));
+            }
+        }
+        for (t, completion) in kept {
+            self.completions.push(t, completion);
+        }
+    }
+
+    /// Recovers a failed GPU with an empty (cold) weights cache.
+    pub fn recover_gpu(&mut self, gpu: GpuId) {
+        if let Some(state) = self.gpus.get_mut(gpu.0 as usize) {
+            state.failed = false;
+        }
+    }
+
+    /// Submits an action, received at `now`. A dead worker (or a failed GPU)
+    /// drops the action silently — it cannot acknowledge anything, and the
+    /// controller resolves the action when it processes the fault.
     pub fn submit(&mut self, now: Timestamp, action: Action) {
         let gpu_index = (action.gpu.0 as usize).min(self.gpus.len().saturating_sub(1));
+        if !self.alive || self.gpus[gpu_index].failed {
+            self.telemetry.counters.dropped_actions += 1;
+            return;
+        }
         let gpu = &mut self.gpus[gpu_index];
         match &action.kind {
             ActionKind::Load { .. } | ActionKind::Unload { .. } => {
@@ -355,6 +473,7 @@ impl Worker {
                 gpu.infer_executor.push(action, now);
             }
         }
+        self.active_gpus.insert(gpu_index as u32);
     }
 
     /// The next virtual time at which this worker has something to do.
@@ -366,8 +485,12 @@ impl Worker {
     /// anyway would make the driving event loop spin at the current instant
     /// without ever advancing virtual time.
     pub fn next_wakeup(&mut self) -> Option<Timestamp> {
+        if !self.alive {
+            return None;
+        }
         let mut best = self.completions.peek_time();
-        for gpu in &self.gpus {
+        for &gi in &self.active_gpus {
+            let gpu = &self.gpus[gi as usize];
             let infer_blocked = match self.config.exec_mode {
                 ExecMode::Exclusive => false,
                 ExecMode::Concurrent { max_concurrent } => gpu.in_flight_execs >= max_concurrent,
@@ -399,14 +522,28 @@ impl Worker {
     /// Like [`Worker::poll`], but appends the results to a caller-provided
     /// buffer. The driving event loop wakes workers once per simulation
     /// event at fleet scale; reusing one buffer across wakes keeps the
-    /// steady-state poll allocation-free.
+    /// steady-state poll allocation-free, and the ready-set of GPUs with
+    /// queued work keeps each scan proportional to the GPUs that can actually
+    /// make progress rather than to every executor on the worker.
     pub fn poll_into(&mut self, now: Timestamp, results: &mut Vec<ActionResult>) {
+        if !self.alive {
+            return;
+        }
         loop {
             // Completions due?
             let completion_time = self.completions.peek_time().filter(|&t| t <= now);
-            // Action starts due?
+            // Action starts due? Only GPUs in the ready-set can have any;
+            // ascending index order preserves the strict-minimum tie-break
+            // the full scan had (lowest GPU index wins, LOAD before INFER).
             let mut start: Option<(Timestamp, usize, bool)> = None; // (time, gpu, is_load_executor)
-            for (gi, gpu) in self.gpus.iter().enumerate() {
+            let mut drained = false;
+            for &gi_u in &self.active_gpus {
+                let gi = gi_u as usize;
+                let gpu = &self.gpus[gi];
+                if gpu.load_executor.is_empty() && gpu.infer_executor.is_empty() {
+                    drained = true;
+                    continue;
+                }
                 if let Some(t) = gpu.load_executor.next_start_time() {
                     if t <= now && start.map(|(bt, _, _)| t < bt).unwrap_or(true) {
                         start = Some((t, gi, true));
@@ -425,6 +562,13 @@ impl Worker {
                         }
                     }
                 }
+            }
+            if drained {
+                let gpus = &self.gpus;
+                self.active_gpus.retain(|&gi| {
+                    let gpu = &gpus[gi as usize];
+                    !(gpu.load_executor.is_empty() && gpu.infer_executor.is_empty())
+                });
             }
 
             match (completion_time, start) {
@@ -1211,6 +1355,120 @@ mod tests {
         let infers = results.iter().filter(|r| r.action_type == "INFER").count();
         assert_eq!(infers, 3);
         assert!(results.iter().all(|r| r.is_success()));
+    }
+
+    #[test]
+    fn crash_drops_in_flight_work_and_restart_is_cold() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        drain(&mut w, Timestamp::from_millis(50));
+        assert!(w.is_loaded(GpuId(0), ModelId(1)));
+        // Put an INFER in flight (queued, not yet polled) and crash.
+        w.submit(
+            Timestamp::from_millis(60),
+            infer_action(2, ModelId(1), 1, vec![9]),
+        );
+        w.crash(Timestamp::from_millis(61));
+        assert!(!w.is_alive());
+        assert_eq!(w.alive_gpus(), 0);
+        assert_eq!(w.next_wakeup(), None, "a dead worker never wakes");
+        assert!(drain(&mut w, Timestamp::from_secs(1)).is_empty());
+        // Submissions while down are dropped without a result.
+        w.submit(
+            Timestamp::from_millis(70),
+            infer_action(3, ModelId(1), 1, vec![10]),
+        );
+        assert!(drain(&mut w, Timestamp::from_secs(1)).is_empty());
+        assert_eq!(w.telemetry().counters.dropped_actions, 1);
+        assert_eq!(w.telemetry().counters.crashes, 1);
+        // Restart: host models survive, the device cache is cold.
+        w.restart(Timestamp::from_millis(100));
+        assert!(w.is_alive());
+        assert!(w.has_model(ModelId(1)), "host memory survives a restart");
+        assert!(
+            !w.is_loaded(GpuId(0), ModelId(1)),
+            "the page cache must be cold after a restart"
+        );
+        // An INFER without a fresh LOAD fails; a LOAD pays the full transfer.
+        w.submit(
+            Timestamp::from_millis(100),
+            infer_action(4, ModelId(1), 1, vec![11]),
+        );
+        let results = drain(&mut w, Timestamp::from_millis(120));
+        assert!(matches!(
+            results[0].outcome,
+            ActionOutcome::Error {
+                error: ActionError::ModelNotLoaded,
+                ..
+            }
+        ));
+        w.submit(Timestamp::from_millis(120), load_action(5, ModelId(1)));
+        let results = drain(&mut w, Timestamp::from_millis(200));
+        let timing = results[0].outcome.timing().unwrap();
+        let ms = timing.device_duration.as_millis_f64();
+        assert!((ms - 8.33).abs() < 0.3, "cold reload took {ms} ms");
+    }
+
+    #[test]
+    fn single_gpu_failure_spares_the_other_gpus() {
+        let mut w = Worker::new(quiet_config().with_gpus(2));
+        w.register_model(ModelId(1), resnet()).unwrap();
+        // Warm both GPUs.
+        for g in 0..2u32 {
+            let mut a = load_action(u64::from(g) + 1, ModelId(1));
+            a.gpu = GpuId(g);
+            w.submit(Timestamp::ZERO, a);
+        }
+        drain(&mut w, Timestamp::from_millis(100));
+        assert!(w.is_loaded(GpuId(0), ModelId(1)));
+        assert!(w.is_loaded(GpuId(1), ModelId(1)));
+        w.fail_gpu(GpuId(0));
+        assert!(w.gpu_failed(GpuId(0)));
+        assert!(!w.gpu_failed(GpuId(1)));
+        assert_eq!(w.alive_gpus(), 1);
+        assert!(
+            !w.is_loaded(GpuId(0), ModelId(1)),
+            "failed GPU loses its cache"
+        );
+        assert!(
+            w.is_loaded(GpuId(1), ModelId(1)),
+            "survivor keeps its cache"
+        );
+        // Work for the failed GPU is dropped; the survivor still serves.
+        let mut dead = infer_action(10, ModelId(1), 1, vec![1]);
+        dead.gpu = GpuId(0);
+        w.submit(Timestamp::from_millis(110), dead);
+        let mut live = infer_action(11, ModelId(1), 1, vec![2]);
+        live.gpu = GpuId(1);
+        w.submit(Timestamp::from_millis(110), live);
+        let results = drain(&mut w, Timestamp::from_millis(200));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].gpu, GpuId(1));
+        assert!(results[0].is_success());
+        // Recovery comes back cold.
+        w.recover_gpu(GpuId(0));
+        assert!(!w.gpu_failed(GpuId(0)));
+        assert!(!w.is_loaded(GpuId(0), ModelId(1)));
+        assert_eq!(w.telemetry().counters.gpu_failures, 1);
+    }
+
+    #[test]
+    fn gpu_failure_drops_only_that_gpus_completions() {
+        let mut w = Worker::new(quiet_config().with_gpus(2));
+        w.register_model(ModelId(1), resnet()).unwrap();
+        // Start loads on both GPUs so each has a pending completion.
+        for g in 0..2u32 {
+            let mut a = load_action(u64::from(g) + 1, ModelId(1));
+            a.gpu = GpuId(g);
+            w.submit(Timestamp::ZERO, a);
+        }
+        // Poll at t=0: both loads start, completions pending at ~8.3 ms.
+        assert!(drain(&mut w, Timestamp::ZERO).is_empty());
+        w.fail_gpu(GpuId(1));
+        let results = drain(&mut w, Timestamp::from_millis(100));
+        assert_eq!(results.len(), 1, "only GPU 0's load completes");
+        assert_eq!(results[0].gpu, GpuId(0));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! System-level configuration.
 
 use clockwork_controller::ClockworkSchedulerConfig;
+use clockwork_faults::FaultPlan;
 use clockwork_sim::network::NetworkConfig;
 use clockwork_sim::variance::VarianceConfig;
 use clockwork_worker::ExecMode;
@@ -71,6 +72,11 @@ pub struct SystemConfig {
     /// Keep every individual response in memory (disable for very large
     /// traces; aggregates are always collected).
     pub keep_responses: bool,
+    /// Scheduled fleet faults (worker crashes, GPU failures, link faults).
+    /// Empty by default. Fault handling is implemented by the Clockwork
+    /// scheduler; do not combine a non-empty plan with the baseline
+    /// disciplines, which ignore faults.
+    pub faults: FaultPlan,
     /// RNG seed.
     pub seed: u64,
 }
@@ -86,6 +92,7 @@ impl Default for SystemConfig {
             network: NetworkConfig::ideal(clockwork_sim::time::Nanos::from_micros(100)),
             scheduler: SchedulerKind::default(),
             keep_responses: true,
+            faults: FaultPlan::new(),
             seed: 0xc10c,
         }
     }

@@ -45,16 +45,17 @@ pub mod telemetry;
 
 pub use config::{SchedulerKind, SystemConfig};
 pub use system::{ServingSystem, SystemBuilder};
-pub use telemetry::{ExperimentMetrics, SystemTelemetry};
+pub use telemetry::{ExperimentMetrics, FaultRecord, SystemTelemetry};
 
 /// Convenience re-exports for examples, tests and benchmarks.
 pub mod prelude {
     pub use crate::config::{SchedulerKind, SystemConfig};
     pub use crate::system::{ServingSystem, SystemBuilder};
-    pub use crate::telemetry::{ExperimentMetrics, SystemTelemetry};
+    pub use crate::telemetry::{ExperimentMetrics, FaultRecord, SystemTelemetry};
     pub use clockwork_controller::{
         ClockworkScheduler, ClockworkSchedulerConfig, InferenceRequest, RequestId,
     };
+    pub use clockwork_faults::{ChurnConfig, FaultKind, FaultPlan};
     pub use clockwork_model::{zoo::ModelZoo, ModelId, ModelSpec};
     pub use clockwork_sim::rng::SimRng;
     pub use clockwork_sim::time::{Nanos, Timestamp};

@@ -20,8 +20,9 @@ use clockwork_controller::request::{InferenceRequest, RequestId, Response};
 use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
 use clockwork_controller::worker_state::GpuRef;
 use clockwork_controller::ClockworkScheduler;
+use clockwork_faults::FaultPlan;
 use clockwork_model::{ModelId, ModelSpec};
-use clockwork_sim::engine::EventQueue;
+use clockwork_sim::engine::{EventQueue, FaultKind};
 use clockwork_sim::network::NetworkModel;
 use clockwork_sim::rng::SimRng;
 use clockwork_sim::time::{Nanos, Timestamp};
@@ -99,6 +100,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Schedules a fault plan: fleet churn (worker crashes, GPU failures,
+    /// link degradation and partitions) compiled into simulation events.
+    /// Requires the Clockwork scheduler — the baseline disciplines ignore
+    /// faults.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
     /// Builds the system.
     pub fn build(self) -> ServingSystem {
         ServingSystem::new(self.config)
@@ -169,6 +179,40 @@ enum SystemEvent {
     ModelUpload { id: ModelId, spec: Arc<ModelSpec> },
     /// Periodic scheduler tick.
     SchedulerTick,
+    /// A scheduled fleet fault fires.
+    Fault { kind: FaultKind },
+}
+
+/// Condition of one controller↔worker link, adjusted by fault events.
+struct LinkState {
+    /// Delay multiplier in thousandths (1000 = healthy).
+    factor_milli: u64,
+    /// Whether the link is partitioned. Partitioned messages are held, not
+    /// lost: real networks buffer and retry, and losing them would break the
+    /// exactly-once response accounting the controller maintains.
+    partitioned: bool,
+    /// Messages held during the partition, with the residual network delay
+    /// they still owe once the partition heals.
+    held: Vec<(Nanos, SystemEvent)>,
+}
+
+impl LinkState {
+    fn healthy() -> Self {
+        LinkState {
+            factor_milli: 1000,
+            partitioned: false,
+            held: Vec::new(),
+        }
+    }
+
+    /// Scales a base network delay by the link's degradation factor.
+    fn scale(&self, base: Nanos) -> Nanos {
+        if self.factor_milli == 1000 {
+            base
+        } else {
+            Nanos::from_nanos(base.as_nanos().saturating_mul(self.factor_milli) / 1000)
+        }
+    }
 }
 
 /// A running serving cluster in virtual time.
@@ -188,6 +232,8 @@ pub struct ServingSystem {
     /// Dense worker lookup by id, so routing an action is one hash probe
     /// instead of a scan over the fleet.
     worker_index: HashMap<WorkerId, usize>,
+    /// Per-worker controller↔worker link condition (degradation/partition).
+    links: Vec<LinkState>,
     /// Reusable buffers the scheduler outputs are drained into each pass.
     action_buf: Vec<(WorkerId, Action)>,
     response_buf: Vec<Response>,
@@ -241,6 +287,12 @@ impl ServingSystem {
             .enumerate()
             .map(|(i, w)| (w.id(), i))
             .collect();
+        // Compile the fault plan into simulation events up front; the plan
+        // is sorted, and same-time faults keep their plan order.
+        let mut queue = EventQueue::new();
+        for event in config.faults.events() {
+            queue.push(event.at, SystemEvent::Fault { kind: event.kind });
+        }
         ServingSystem {
             network: NetworkModel::new(config.network, rng.derive(1)),
             scheduler,
@@ -248,12 +300,13 @@ impl ServingSystem {
             workers,
             worker_wake_scheduled: vec![None; worker_count],
             tick_scheduled: None,
-            queue: EventQueue::new(),
+            queue,
             telemetry,
             clients: Vec::new(),
             request_owner: HashMap::new(),
             models: HashMap::new(),
             worker_index,
+            links: (0..worker_count).map(|_| LinkState::healthy()).collect(),
             action_buf: Vec::new(),
             response_buf: Vec::new(),
             result_buf: Vec::new(),
@@ -431,14 +484,16 @@ impl ServingSystem {
                 }
                 _ => 256,
             };
-            let delay = self.network.delay(bytes);
-            self.queue.push(
-                self.now + delay,
-                SystemEvent::WorkerAction {
-                    worker: worker_index,
-                    action,
-                },
-            );
+            let delay = self.links[worker_index].scale(self.network.delay(bytes));
+            let event = SystemEvent::WorkerAction {
+                worker: worker_index,
+                action,
+            };
+            if self.links[worker_index].partitioned {
+                self.links[worker_index].held.push((delay, event));
+            } else {
+                self.queue.push(self.now + delay, event);
+            }
         }
         self.action_buf = actions;
         let mut responses = std::mem::take(&mut self.response_buf);
@@ -513,9 +568,13 @@ impl ServingSystem {
                         }
                         _ => 128,
                     };
-                    let delay = self.network.delay(bytes);
-                    self.queue
-                        .push(self.now + delay, SystemEvent::ControllerResult { result });
+                    let delay = self.links[worker].scale(self.network.delay(bytes));
+                    let event = SystemEvent::ControllerResult { result };
+                    if self.links[worker].partitioned {
+                        self.links[worker].held.push((delay, event));
+                    } else {
+                        self.queue.push(self.now + delay, event);
+                    }
                 }
                 self.result_buf = results;
                 self.schedule_worker_wake(worker);
@@ -551,7 +610,74 @@ impl ServingSystem {
                     .on_tick(self.now, &mut self.ctx);
                 self.drain_ctx();
             }
+            SystemEvent::Fault { kind } => {
+                self.apply_fault(kind);
+            }
         }
+    }
+
+    /// Applies one fault atomically to the worker fleet, the transport layer
+    /// and the controller, and folds it into the telemetry digest. Faults
+    /// naming a worker or GPU that does not exist are ignored.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        let Some(&idx) = self.worker_index.get(&WorkerId(kind.worker())) else {
+            return;
+        };
+        match kind {
+            FaultKind::WorkerCrash { .. } => self.workers[idx].crash(self.now),
+            FaultKind::WorkerRestart { .. } => self.workers[idx].restart(self.now),
+            FaultKind::GpuFail { gpu, .. } => {
+                if gpu >= self.workers[idx].num_gpus() {
+                    return;
+                }
+                self.workers[idx].fail_gpu(GpuId(gpu));
+            }
+            FaultKind::GpuRecover { gpu, .. } => {
+                if gpu >= self.workers[idx].num_gpus() {
+                    return;
+                }
+                self.workers[idx].recover_gpu(GpuId(gpu));
+            }
+            FaultKind::LinkDegrade { factor_milli, .. } => {
+                self.links[idx].factor_milli = u64::from(factor_milli).max(1);
+            }
+            FaultKind::LinkRestore { .. } => self.links[idx].factor_milli = 1000,
+            FaultKind::PartitionStart { .. } => self.links[idx].partitioned = true,
+            FaultKind::PartitionEnd { .. } => {
+                self.links[idx].partitioned = false;
+                // Held messages were already on the wire; they pay their
+                // residual delay from the heal instant.
+                let held = std::mem::take(&mut self.links[idx].held);
+                for (delay, event) in held {
+                    self.queue.push(self.now + delay, event);
+                }
+            }
+        }
+        let (alive, total) = self.gpu_availability();
+        self.telemetry.record_fault(self.now, &kind, alive, total);
+        self.scheduler
+            .as_scheduler()
+            .on_fault(self.now, &kind, &mut self.ctx);
+        self.drain_ctx();
+    }
+
+    /// Schedules a fault at a virtual time while the system is running; the
+    /// equivalent of one entry of a [`FaultPlan`] (see
+    /// [`SystemBuilder::faults`] for whole-plan scheduling).
+    pub fn inject_fault(&mut self, at: Timestamp, kind: FaultKind) {
+        self.queue.push(at, SystemEvent::Fault { kind });
+    }
+
+    /// `(alive, total)` GPU counts across the fleet — the availability that
+    /// fault telemetry records per event.
+    pub fn gpu_availability(&self) -> (u32, u32) {
+        let mut alive = 0;
+        let mut total = 0;
+        for worker in &self.workers {
+            total += worker.num_gpus();
+            alive += worker.alive_gpus();
+        }
+        (alive, total)
     }
 
     /// Total number of simulation events delivered so far (a wall-clock-free

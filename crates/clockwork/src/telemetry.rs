@@ -10,7 +10,33 @@ use std::collections::HashMap;
 use clockwork_controller::request::{RejectReason, RequestOutcome, Response};
 use clockwork_metrics::{LatencyHistogram, Summary, TimeSeries};
 use clockwork_model::ModelId;
+use clockwork_sim::engine::FaultKind;
 use clockwork_sim::time::{Nanos, Timestamp};
+
+/// One fleet fault observed by the system, with the availability it left
+/// behind — the per-phase availability timeline of a chaos run is read
+/// straight off these records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// When the fault fired.
+    pub at: Timestamp,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Usable GPUs across the fleet immediately after the fault.
+    pub alive_gpus: u32,
+    /// Total GPUs in the fleet.
+    pub total_gpus: u32,
+}
+
+impl FaultRecord {
+    /// Fraction of the fleet's GPUs usable immediately after this fault.
+    pub fn availability(&self) -> f64 {
+        if self.total_gpus == 0 {
+            return 0.0;
+        }
+        f64::from(self.alive_gpus) / f64::from(self.total_gpus)
+    }
+}
 
 /// Aggregated metrics of one experiment run.
 #[derive(Clone, Debug)]
@@ -99,6 +125,7 @@ pub struct SystemTelemetry {
     /// Latency (ms) samples per second (gauge, for max/percentile plots).
     pub latency_series: TimeSeries,
     per_model_success: HashMap<ModelId, u64>,
+    faults: Vec<FaultRecord>,
     horizon: Timestamp,
     digest: u64,
 }
@@ -130,6 +157,7 @@ impl SystemTelemetry {
             batch_series: TimeSeries::per_second(),
             latency_series: TimeSeries::per_second(),
             per_model_success: HashMap::new(),
+            faults: Vec::new(),
             horizon: Timestamp::ZERO,
             digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
@@ -218,6 +246,7 @@ impl SystemTelemetry {
                     RejectReason::DeadlineElapsed => "deadline_elapsed",
                     RejectReason::UnknownModel => "unknown_model",
                     RejectReason::WorkerRejected => "worker_rejected",
+                    RejectReason::WorkerFailed => "worker_failed",
                 };
                 *self.rejections.entry(key).or_insert(0) += 1;
                 self.advance(*at);
@@ -226,6 +255,75 @@ impl SystemTelemetry {
         if self.keep_responses {
             self.responses.push(*response);
         }
+    }
+
+    /// Records a fleet fault: folds it into the determinism digest (fault
+    /// plans are part of the configuration, so two runs only compare equal
+    /// when their fault histories match) and keeps the availability record
+    /// that chaos experiments report per phase.
+    pub fn record_fault(
+        &mut self,
+        at: Timestamp,
+        kind: &FaultKind,
+        alive_gpus: u32,
+        total_gpus: u32,
+    ) {
+        self.digest_fold(3);
+        self.digest_fold(kind.digest_code());
+        self.digest_fold(u64::from(kind.worker()));
+        self.digest_fold(kind.aux());
+        self.digest_fold(at.as_nanos());
+        self.digest_fold(u64::from(alive_gpus));
+        self.faults.push(FaultRecord {
+            at,
+            kind: *kind,
+            alive_gpus,
+            total_gpus,
+        });
+        self.advance(at);
+    }
+
+    /// Every fault observed so far, in delivery order.
+    pub fn fault_records(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
+    /// The lowest fleet availability seen across all faults (1.0 if none).
+    pub fn min_availability(&self) -> f64 {
+        self.faults
+            .iter()
+            .map(FaultRecord::availability)
+            .fold(1.0, f64::min)
+    }
+
+    /// The fleet availability after the last fault (1.0 if none fired).
+    pub fn final_availability(&self) -> f64 {
+        self.faults
+            .last()
+            .map(FaultRecord::availability)
+            .unwrap_or(1.0)
+    }
+
+    fn series_count_between(series: &TimeSeries, from: Timestamp, to: Timestamp) -> u64 {
+        if to < from {
+            return 0;
+        }
+        let interval = series.interval().as_nanos().max(1);
+        let first = (from.as_nanos() / interval) as usize;
+        let last = (to.as_nanos() / interval) as usize;
+        (first..=last).map(|i| series.count_at(i)).sum()
+    }
+
+    /// SLO-met responses completed in `[from, to]`, at the resolution of the
+    /// per-second goodput series — the phase metric of the chaos harness.
+    pub fn goodput_between(&self, from: Timestamp, to: Timestamp) -> u64 {
+        Self::series_count_between(&self.goodput_series, from, to)
+    }
+
+    /// Requests that arrived at the controller in `[from, to]`, at the
+    /// resolution of the per-second arrival series.
+    pub fn arrivals_between(&self, from: Timestamp, to: Timestamp) -> u64 {
+        Self::series_count_between(&self.request_series, from, to)
     }
 
     /// All individual responses (empty if `keep_responses` was disabled).
@@ -335,6 +433,62 @@ mod tests {
         assert_eq!(m.satisfaction(), 0.0);
         assert_eq!(m.goodput_rate(), 0.0);
         assert_eq!(m.cold_start_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_records_fold_into_the_digest_and_track_availability() {
+        let mut quiet = SystemTelemetry::new(false);
+        let mut faulted = SystemTelemetry::new(false);
+        quiet.record_response(&success(0, 10, 100, false));
+        faulted.record_response(&success(0, 10, 100, false));
+        assert_eq!(quiet.response_digest(), faulted.response_digest());
+        faulted.record_fault(
+            Timestamp::from_millis(20),
+            &FaultKind::WorkerCrash { worker: 3 },
+            76,
+            80,
+        );
+        assert_ne!(
+            quiet.response_digest(),
+            faulted.response_digest(),
+            "a fault must change the digest"
+        );
+        faulted.record_fault(
+            Timestamp::from_millis(30),
+            &FaultKind::WorkerRestart { worker: 3 },
+            80,
+            80,
+        );
+        assert_eq!(faulted.fault_records().len(), 2);
+        assert!((faulted.min_availability() - 0.95).abs() < 1e-9);
+        assert!((faulted.final_availability() - 1.0).abs() < 1e-9);
+        assert!(faulted.fault_records()[0].kind.worker() == 3);
+    }
+
+    #[test]
+    fn phase_windows_sum_the_per_second_series() {
+        let mut t = SystemTelemetry::new(false);
+        for s in 0..10u64 {
+            t.record_arrival(Timestamp::from_secs(s));
+            t.record_response(&success(s * 1000, s * 1000 + 10, s * 1000 + 100, false));
+        }
+        assert_eq!(
+            t.goodput_between(Timestamp::ZERO, Timestamp::from_secs(9)),
+            10
+        );
+        assert_eq!(
+            t.goodput_between(Timestamp::from_secs(2), Timestamp::from_secs(4)),
+            3
+        );
+        assert_eq!(
+            t.arrivals_between(Timestamp::from_secs(5), Timestamp::from_secs(5)),
+            1
+        );
+        assert_eq!(
+            t.goodput_between(Timestamp::from_secs(9), Timestamp::from_secs(2)),
+            0,
+            "inverted windows are empty"
+        );
     }
 
     #[test]
