@@ -116,6 +116,8 @@ struct RunOutcome {
     events: u64,
     wall_secs: f64,
     drained: bool,
+    mix: EventMix,
+    live_events: u64,
 }
 
 fn run_once(scenario: &FleetScenario, plan: &FaultPlan, max_events: u64) -> RunOutcome {
@@ -176,6 +178,8 @@ fn run_once(scenario: &FleetScenario, plan: &FaultPlan, max_events: u64) -> RunO
         events: system.events_processed(),
         wall_secs,
         drained: system.events_processed() < max_events,
+        mix: telemetry.event_mix().clone(),
+        live_events: system.pending_events(),
     }
 }
 
@@ -310,6 +314,14 @@ fn main() {
     );
     println!("digest={:016x}", outcome.digest);
 
+    // Event-mix breakdown + conservation check; churn cancels wakes en
+    // masse (crashed workers never act again), so the cancelled column is
+    // part of the chaos story, not just perf hygiene.
+    if !bench::report_event_mix(&outcome.mix, outcome.live_events) {
+        failed = true;
+    }
+    let events_json = bench::event_mix_json(&outcome.mix, outcome.live_events);
+
     let json = format!(
         concat!(
             "{{\n",
@@ -354,6 +366,7 @@ fn main() {
             "    \"events_per_sec\": {eps:.0},\n",
             "    \"peak_rss_kb\": {rss}\n",
             "  }},\n",
+            "  \"events\": {events_json},\n",
             "  \"digest\": \"{digest:016x}\"\n",
             "}}\n",
         ),
@@ -402,6 +415,7 @@ fn main() {
         wall = outcome.wall_secs,
         eps = events_per_sec,
         rss = bench::peak_rss_kb(),
+        events_json = events_json,
         digest = outcome.digest,
     );
     std::fs::write(&args.out, &json).expect("write results json");

@@ -129,8 +129,16 @@ fn main() {
     );
     println!("digest={digest:016x}");
 
+    // Event-mix breakdown + conservation check: a wake-amplification
+    // regression shows up here as worker_wake dominating `delivered`, and a
+    // missing cancel shows up as a conservation violation.
+    let mix = system.telemetry().event_mix().clone();
+    let live = system.pending_events();
+    let mix_ok = bench::report_event_mix(&mix, live);
+    let events_json = bench::event_mix_json(&mix, live);
+
     let json = format!(
-        "{{\n  \"scenario\": {{\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+        "{{\n  \"scenario\": {{\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"events\": {events_json},\n  \"digest\": \"{digest:016x}\"\n}}\n",
         workers = scenario.workers,
         gpus = scenario.gpus_per_worker,
         models = scenario.models,
@@ -151,6 +159,10 @@ fn main() {
     println!("# wrote {}", args.out);
 
     let mut failed = false;
+    if !mix_ok {
+        // report_event_mix already printed the violation.
+        failed = true;
+    }
     if let Some(expected) = args.expect_digest {
         if expected != digest {
             eprintln!("DIGEST MISMATCH: expected {expected:016x}, got {digest:016x}");

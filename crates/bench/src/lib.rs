@@ -205,6 +205,70 @@ impl FleetScenario {
     }
 }
 
+/// Prints the event-mix summary (pushed/delivered/cancelled per event kind,
+/// plus the no-op-wake count) and checks the conservation identity
+/// `pushed == delivered + cancelled + live`. Returns `false` — after
+/// printing a loud violation — when the identity does not hold; the perf
+/// harnesses fold that into their exit status so CI fails on it.
+pub fn report_event_mix(mix: &EventMix, live: u64) -> bool {
+    section("event mix");
+    for e in mix.entries() {
+        if e.pushed == 0 && e.delivered == 0 && e.cancelled == 0 {
+            continue;
+        }
+        println!(
+            "{:<20} pushed={:<10} delivered={:<10} cancelled={}",
+            e.kind, e.pushed, e.delivered, e.cancelled
+        );
+    }
+    println!(
+        "total: pushed={} delivered={} cancelled={} live={} noop_wakes={}",
+        mix.pushed(),
+        mix.delivered(),
+        mix.cancelled(),
+        live,
+        mix.noop_wakes()
+    );
+    let ok = mix.pushed() == mix.delivered() + mix.cancelled() + live;
+    if !ok {
+        eprintln!(
+            "EVENT ACCOUNTING VIOLATION: pushed {} != delivered {} + cancelled {} + live {live}",
+            mix.pushed(),
+            mix.delivered(),
+            mix.cancelled(),
+        );
+    }
+    ok
+}
+
+/// Renders the event mix as the `"events"` object of the `BENCH_*.json`
+/// schemas (see `crates/bench/README.md`), indented to sit at the top level
+/// of the document.
+pub fn event_mix_json(mix: &EventMix, live: u64) -> String {
+    let mut by_kind = String::new();
+    let mut first = true;
+    for e in mix.entries() {
+        if e.pushed == 0 && e.delivered == 0 && e.cancelled == 0 {
+            continue;
+        }
+        if !first {
+            by_kind.push_str(",\n");
+        }
+        first = false;
+        by_kind.push_str(&format!(
+            "      \"{}\": {{ \"pushed\": {}, \"delivered\": {}, \"cancelled\": {} }}",
+            e.kind, e.pushed, e.delivered, e.cancelled
+        ));
+    }
+    format!(
+        "{{\n    \"pushed\": {},\n    \"delivered\": {},\n    \"cancelled\": {},\n    \"live\": {live},\n    \"noop_wakes\": {},\n    \"by_kind\": {{\n{by_kind}\n    }}\n  }}",
+        mix.pushed(),
+        mix.delivered(),
+        mix.cancelled(),
+        mix.noop_wakes(),
+    )
+}
+
 /// Peak resident-set size in kilobytes, read from `/proc/self/status`
 /// (`VmHWM`). Returns 0 where the proc filesystem is unavailable — the field
 /// is a proxy for memory footprint, not a portable measurement.

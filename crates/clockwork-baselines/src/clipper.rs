@@ -118,15 +118,27 @@ impl ClipperScheduler {
     }
 
     fn assign_home(&mut self, model: ModelId) -> Option<GpuRef> {
-        if self.tracker.is_empty() {
+        // An already-assigned home is always live — `on_fault` clears homes
+        // on dead capacity — so the common dispatch path pays no scan.
+        if let Some(home) = self.models.get(&model)?.home {
+            return Some(home);
+        }
+        // Homes are only handed out on live capacity; a model whose home GPU
+        // died had its home cleared by `on_fault` and re-lands here.
+        let alive: Vec<GpuRef> = self
+            .tracker
+            .gpus()
+            .iter()
+            .filter(|g| g.alive)
+            .map(|g| g.gpu_ref)
+            .collect();
+        if alive.is_empty() {
             return None;
         }
+        let idx = self.next_home % alive.len();
+        self.next_home = self.next_home.wrapping_add(1);
         let state = self.models.get_mut(&model)?;
-        if state.home.is_none() {
-            let idx = self.next_home % self.tracker.len();
-            self.next_home = self.next_home.wrapping_add(1);
-            state.home = Some(self.tracker.gpus()[idx].gpu_ref);
-        }
+        state.home = Some(alive[idx]);
         state.home
     }
 
@@ -283,22 +295,36 @@ impl Scheduler for ClipperScheduler {
         };
         match result.action_type {
             "LOAD" => {
-                if let Some(track) = self.tracker.get_mut(gpu_ref) {
-                    track.note_load_result(result.action_id, result.model, result.is_success());
-                }
-                if let Some(state) = self.models.get_mut(&result.model) {
-                    state.loaded = result.is_success();
-                    state.load_requested = result.is_success();
+                // A result whose action is no longer outstanding is stale —
+                // the GPU died (and was wiped) after producing it. Applying
+                // it anyway would mark the model loaded on a home that no
+                // longer exists and wedge every future dispatch.
+                let applied = self
+                    .tracker
+                    .get_mut(gpu_ref)
+                    .map(|t| {
+                        t.note_load_result(result.action_id, result.model, result.is_success())
+                    })
+                    .unwrap_or(false);
+                if applied {
+                    if let Some(state) = self.models.get_mut(&result.model) {
+                        state.loaded = result.is_success();
+                        state.load_requested = result.is_success();
+                    }
                 }
             }
             "INFER" => {
                 if let Some(track) = self.tracker.get_mut(gpu_ref) {
                     track.note_infer_result(result.action_id);
                 }
-                if let Some(state) = self.models.get_mut(&result.model) {
-                    state.outstanding = state.outstanding.saturating_sub(1);
-                }
                 if let Some(requests) = self.in_flight.remove(&result.action_id) {
+                    // The decrement sits behind the `in_flight` staleness
+                    // guard: a result from a batch that a fault already
+                    // resolved was decremented by `on_fault`, and counting
+                    // it twice would defeat the per-model outstanding cap.
+                    if let Some(state) = self.models.get_mut(&result.model) {
+                        state.outstanding = state.outstanding.saturating_sub(1);
+                    }
                     match &result.outcome {
                         ActionOutcome::Success(timing) => {
                             for r in &requests {
@@ -337,6 +363,44 @@ impl Scheduler for ClipperScheduler {
     }
 
     fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.dispatch(now, ctx);
+    }
+
+    fn on_fault(
+        &mut self,
+        now: Timestamp,
+        fault: &clockwork_sim::engine::FaultKind,
+        ctx: &mut SchedulerCtx,
+    ) {
+        // Minimal fault awareness: park the dead capacity, requeue the
+        // requests whose in-flight batches died with it, and evict any model
+        // home that pointed at it so `assign_home` re-places the model on
+        // live capacity (reloading from scratch).
+        let lost = self.tracker.apply_fault(now, fault);
+        for id in lost.iter().rev() {
+            if let Some(requests) = self.in_flight.remove(id) {
+                if let Some(first) = requests.first() {
+                    if let Some(state) = self.models.get_mut(&first.model) {
+                        state.outstanding = state.outstanding.saturating_sub(1);
+                        for r in requests.into_iter().rev() {
+                            state.queue.push_front(r);
+                        }
+                    }
+                }
+            }
+        }
+        let tracker = &self.tracker;
+        for state in self.models.values_mut() {
+            let home_dead = state
+                .home
+                .map(|h| tracker.get(h).map(|t| !t.alive).unwrap_or(true))
+                .unwrap_or(false);
+            if home_dead {
+                state.home = None;
+                state.loaded = false;
+                state.load_requested = false;
+            }
+        }
         self.dispatch(now, ctx);
     }
 
@@ -498,6 +562,64 @@ mod tests {
         }
         let shrunk = s.target_batch(ModelId(1)).unwrap();
         assert!(shrunk < grown, "batch should shrink after overshoot");
+    }
+
+    #[test]
+    fn faults_evict_dead_homes_and_rehome_on_live_capacity() {
+        use clockwork_sim::engine::FaultKind;
+        let mut s = ClipperScheduler::with_defaults();
+        s.add_gpu(gref(), 100, PAGE);
+        s.add_gpu(
+            GpuRef {
+                worker: WorkerId(1),
+                gpu: GpuId(0),
+            },
+            100,
+            PAGE,
+        );
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 0, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        let (home_worker, stale_load) = (actions[0].0, actions[0].1.clone());
+        assert_eq!(home_worker, WorkerId(0), "first home is the first GPU");
+        // The home worker crashes while its LOAD is in flight: the model is
+        // re-homed onto live capacity with a fresh LOAD.
+        s.on_fault(
+            Timestamp::from_millis(1),
+            &FaultKind::WorkerCrash { worker: 0 },
+            &mut ctx,
+        );
+        let actions = ctx.take_actions();
+        assert!(
+            actions.iter().all(|(w, _)| *w == WorkerId(1)),
+            "nothing may be placed on the dead worker: {actions:?}"
+        );
+        let reload = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "LOAD")
+            .expect("the re-homed model reloads from scratch");
+        // A stale success from the dead worker's LOAD must not mark the
+        // model loaded — only the new home's LOAD counts.
+        s.on_result(
+            Timestamp::from_millis(2),
+            &success(&stale_load, 2),
+            &mut ctx,
+        );
+        assert!(
+            ctx.take_actions().is_empty(),
+            "a stale LOAD result must not unblock dispatch"
+        );
+        let mut fresh = success(&reload.1, 9);
+        fresh.worker = WorkerId(1);
+        s.on_result(Timestamp::from_millis(9), &fresh, &mut ctx);
+        let actions = ctx.take_actions();
+        assert!(
+            actions
+                .iter()
+                .any(|(w, a)| *w == WorkerId(1) && a.kind.type_name() == "INFER"),
+            "the queued request is served from the new home: {actions:?}"
+        );
     }
 
     #[test]

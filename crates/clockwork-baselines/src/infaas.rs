@@ -197,16 +197,28 @@ impl InfaasScheduler {
                 .copied()
                 .collect()
         };
+        // Only live GPUs are replication targets; a dead GPU would swallow
+        // the LOAD without ever answering.
         let target = self
             .tracker
             .gpus()
             .iter()
-            .filter(|g| !existing.contains(&g.gpu_ref))
+            .filter(|g| g.alive && !existing.contains(&g.gpu_ref))
             .min_by_key(|g| (g.next_exec_slot(now), g.gpu_ref))
             .map(|g| g.gpu_ref)
             .or_else(|| {
-                let idx = self.next_gpu % self.tracker.len();
-                Some(self.tracker.gpus()[idx].gpu_ref)
+                let alive: Vec<GpuRef> = self
+                    .tracker
+                    .gpus()
+                    .iter()
+                    .filter(|g| g.alive)
+                    .map(|g| g.gpu_ref)
+                    .collect();
+                if alive.is_empty() {
+                    None
+                } else {
+                    Some(alive[self.next_gpu % alive.len()])
+                }
             });
         self.next_gpu = self.next_gpu.wrapping_add(1);
         if let Some(target) = target {
@@ -298,17 +310,27 @@ impl Scheduler for InfaasScheduler {
         };
         match result.action_type {
             "LOAD" => {
-                if let Some(track) = self.tracker.get_mut(gpu_ref) {
-                    track.note_load_result(result.action_id, result.model, result.is_success());
-                }
+                // A result whose action is no longer outstanding is stale —
+                // the GPU died (and was wiped) after producing it; it must
+                // not resurrect a replica on capacity that no longer holds
+                // the weights.
+                let applied = self
+                    .tracker
+                    .get_mut(gpu_ref)
+                    .map(|t| {
+                        t.note_load_result(result.action_id, result.model, result.is_success())
+                    })
+                    .unwrap_or(false);
                 let target = self
                     .load_targets
                     .remove(&result.action_id)
                     .unwrap_or(gpu_ref);
-                if let Some(state) = self.models.get_mut(&result.model) {
-                    state.loading.retain(|g| *g != target);
-                    if result.is_success() && !state.replicas.contains(&target) {
-                        state.replicas.push(target);
+                if applied {
+                    if let Some(state) = self.models.get_mut(&result.model) {
+                        state.loading.retain(|g| *g != target);
+                        if result.is_success() && !state.replicas.contains(&target) {
+                            state.replicas.push(target);
+                        }
                     }
                 }
             }
@@ -316,10 +338,14 @@ impl Scheduler for InfaasScheduler {
                 if let Some(track) = self.tracker.get_mut(gpu_ref) {
                     track.note_infer_result(result.action_id);
                 }
-                if let Some(state) = self.models.get_mut(&result.model) {
-                    state.outstanding = state.outstanding.saturating_sub(1);
-                }
                 if let Some(requests) = self.in_flight.remove(&result.action_id) {
+                    // The decrement sits behind the `in_flight` staleness
+                    // guard: a result from a batch that a fault already
+                    // resolved was decremented by `on_fault`, and counting
+                    // it twice would defeat the per-replica outstanding cap.
+                    if let Some(state) = self.models.get_mut(&result.model) {
+                        state.outstanding = state.outstanding.saturating_sub(1);
+                    }
                     match &result.outcome {
                         ActionOutcome::Success(timing) => {
                             for r in &requests {
@@ -354,6 +380,39 @@ impl Scheduler for InfaasScheduler {
     }
 
     fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.dispatch(now, ctx);
+    }
+
+    fn on_fault(
+        &mut self,
+        now: Timestamp,
+        fault: &clockwork_sim::engine::FaultKind,
+        ctx: &mut SchedulerCtx,
+    ) {
+        // Minimal fault awareness: park the dead capacity, drop it from every
+        // replica set (dispatch and replication only consider live replicas),
+        // and requeue the requests whose in-flight batches died with it. The
+        // replication path then rebuilds replicas on live GPUs on demand.
+        let lost = self.tracker.apply_fault(now, fault);
+        let tracker = &self.tracker;
+        for state in self.models.values_mut() {
+            let alive = |g: &GpuRef| tracker.get(*g).map(|t| t.alive).unwrap_or(false);
+            state.replicas.retain(alive);
+            state.loading.retain(alive);
+        }
+        for id in lost.iter().rev() {
+            self.load_targets.remove(id);
+            if let Some(requests) = self.in_flight.remove(id) {
+                if let Some(first) = requests.first() {
+                    if let Some(state) = self.models.get_mut(&first.model) {
+                        state.outstanding = state.outstanding.saturating_sub(1);
+                        for r in requests.into_iter().rev() {
+                            state.queue.push_front(r);
+                        }
+                    }
+                }
+            }
+        }
         self.dispatch(now, ctx);
     }
 
@@ -493,6 +552,62 @@ mod tests {
         assert!(
             load_workers.len() >= 2,
             "expected replication across GPUs, got {load_workers:?}"
+        );
+    }
+
+    #[test]
+    fn faults_drop_dead_replicas_and_rebuild_on_live_capacity() {
+        use clockwork_sim::engine::FaultKind;
+        let mut s = InfaasScheduler::with_defaults();
+        s.add_gpu(gref(0), 100, PAGE);
+        s.add_gpu(gref(1), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        // Establish one replica on worker 0.
+        s.on_request(Timestamp::ZERO, request(1, 100), &mut ctx);
+        let load = ctx.take_actions().remove(0);
+        assert_eq!(load.0, WorkerId(0));
+        s.on_result(
+            Timestamp::from_millis(9),
+            &success(&load.1, WorkerId(0), 9),
+            &mut ctx,
+        );
+        assert_eq!(s.replica_count(ModelId(1)), 1);
+        let _ = ctx.take_actions();
+        // The replica's worker dies: the replica set empties and the queued
+        // work triggers a rebuild on the surviving worker only.
+        s.on_request(Timestamp::from_millis(10), request(2, 100), &mut ctx);
+        let _ = ctx.take_actions();
+        s.on_fault(
+            Timestamp::from_millis(11),
+            &FaultKind::WorkerCrash { worker: 0 },
+            &mut ctx,
+        );
+        assert_eq!(s.replica_count(ModelId(1)), 0, "dead replicas are dropped");
+        let actions = ctx.take_actions();
+        assert!(
+            actions.iter().all(|(w, _)| *w == WorkerId(1)),
+            "rebuild must target live capacity: {actions:?}"
+        );
+        let reload = actions
+            .iter()
+            .find(|(_, a)| a.kind.type_name() == "LOAD")
+            .expect("a replacement LOAD is issued");
+        s.on_result(
+            Timestamp::from_millis(20),
+            &success(&reload.1, WorkerId(1), 20),
+            &mut ctx,
+        );
+        assert_eq!(
+            s.replica_count(ModelId(1)),
+            1,
+            "replica rebuilt on worker 1"
+        );
+        assert!(
+            ctx.take_actions()
+                .iter()
+                .any(|(w, a)| *w == WorkerId(1) && a.kind.type_name() == "INFER"),
+            "queued requests drain through the new replica"
         );
     }
 

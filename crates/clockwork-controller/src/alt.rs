@@ -72,7 +72,17 @@ impl FifoScheduler {
     }
 
     fn dispatch(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
-        if self.tracker.is_empty() {
+        // Round-robin only over live capacity; dead GPUs would swallow the
+        // action without ever answering. With no live GPU at all the queue
+        // simply waits for a recovery.
+        let alive: Vec<GpuRef> = self
+            .tracker
+            .gpus()
+            .iter()
+            .filter(|g| g.alive)
+            .map(|g| g.gpu_ref)
+            .collect();
+        if alive.is_empty() {
             return;
         }
         // Dispatch everything immediately, round-robin, one request per INFER.
@@ -90,9 +100,8 @@ impl FifoScheduler {
                 });
                 continue;
             };
-            let gpu_index = self.next_gpu % self.tracker.len();
+            let gpu_ref = alive[self.next_gpu % alive.len()];
             self.next_gpu = self.next_gpu.wrapping_add(1);
-            let gpu_ref = self.tracker.gpus()[gpu_index].gpu_ref;
             let exec_est = spec.exec_latency(1).unwrap_or(Nanos::from_millis(10));
             // Load on demand if the GPU does not already hold the model,
             // evicting LRU models until the load fits.
@@ -232,6 +241,25 @@ impl Scheduler for FifoScheduler {
         self.dispatch(now, ctx);
     }
 
+    fn on_fault(
+        &mut self,
+        now: Timestamp,
+        fault: &clockwork_sim::engine::FaultKind,
+        ctx: &mut SchedulerCtx,
+    ) {
+        // Minimal fault awareness: park dead capacity (dispatch skips it),
+        // re-admit recovered capacity cold, and requeue the requests whose
+        // in-flight actions died with the GPU. Reverse id order + push_front
+        // restores the lost requests at the head in their original order.
+        let lost = self.tracker.apply_fault(now, fault);
+        for id in lost.iter().rev() {
+            if let Some(request) = self.in_flight.remove(id) {
+                self.queue.push_front(request);
+            }
+        }
+        self.dispatch(now, ctx);
+    }
+
     fn next_tick(&self, now: Timestamp) -> Option<Timestamp> {
         if self.queue.is_empty() {
             None
@@ -350,6 +378,49 @@ mod tests {
         let responses = ctx.take_responses();
         assert_eq!(responses.len(), 1);
         assert!(responses[0].outcome.is_success());
+    }
+
+    #[test]
+    fn faults_drop_dead_gpus_from_placement_and_requeue_lost_work() {
+        use clockwork_sim::engine::FaultKind;
+        let mut s = FifoScheduler::new();
+        s.add_gpu(gref(0), 100, PAGE);
+        s.add_gpu(gref(1), 100, PAGE);
+        s.add_model(ModelId(1), resnet(), Nanos::from_millis(8));
+        let mut ctx = SchedulerCtx::new();
+        s.on_request(Timestamp::ZERO, request(1, 1), &mut ctx);
+        s.on_request(Timestamp::ZERO, request(2, 1), &mut ctx);
+        let _ = ctx.take_actions(); // one request per worker, round-robin
+                                    // Worker 0 dies: its in-flight request requeues and goes to worker 1.
+        s.on_fault(
+            Timestamp::from_millis(1),
+            &FaultKind::WorkerCrash { worker: 0 },
+            &mut ctx,
+        );
+        let actions = ctx.take_actions();
+        assert!(!actions.is_empty(), "the lost request is redispatched");
+        assert!(
+            actions.iter().all(|(w, _)| *w == WorkerId(1)),
+            "nothing may be placed on the dead worker"
+        );
+        // New requests also avoid the dead worker.
+        s.on_request(Timestamp::from_millis(2), request(3, 1), &mut ctx);
+        assert!(ctx.take_actions().iter().all(|(w, _)| *w == WorkerId(1)));
+        // The restart re-admits it into the rotation.
+        s.on_fault(
+            Timestamp::from_millis(3),
+            &FaultKind::WorkerRestart { worker: 0 },
+            &mut ctx,
+        );
+        let _ = ctx.take_actions();
+        s.on_request(Timestamp::from_millis(4), request(4, 1), &mut ctx);
+        s.on_request(Timestamp::from_millis(4), request(5, 1), &mut ctx);
+        let workers: std::collections::HashSet<WorkerId> =
+            ctx.take_actions().iter().map(|(w, _)| *w).collect();
+        assert!(
+            workers.contains(&WorkerId(0)),
+            "recovered worker is back in the round-robin: {workers:?}"
+        );
     }
 
     #[test]

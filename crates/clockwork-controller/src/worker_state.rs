@@ -12,6 +12,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use clockwork_model::ModelId;
+use clockwork_sim::engine::FaultKind;
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_worker::{ActionId, GpuId, WorkerId};
 
@@ -238,6 +239,10 @@ impl GpuTrack {
 pub struct WorkerStateTracker {
     gpus: Vec<GpuTrack>,
     index: HashMap<GpuRef, usize>,
+    /// Workers currently crashed. While a worker is down, a lone GPU
+    /// recovery cannot make its GPUs reachable — only the worker restart
+    /// re-admits them.
+    down_workers: HashSet<WorkerId>,
 }
 
 impl WorkerStateTracker {
@@ -314,6 +319,66 @@ impl WorkerStateTracker {
             .iter()
             .min_by_key(|g| (g.next_exec_slot(now), g.gpu_ref))
             .map(|g| g.gpu_ref)
+    }
+
+    /// Applies a fleet fault to the tracked GPUs — the minimal fault
+    /// awareness a scheduler needs to stop placing work on dead capacity and
+    /// to re-admit recovered capacity cold.
+    ///
+    /// Failures mark the affected GPU(s) dead (wiping residency and page
+    /// reservations) and return the ids of their outstanding actions, sorted,
+    /// which will never produce a result; the caller resolves them (requeue
+    /// or reject) in that deterministic order. Recoveries re-admit GPUs with
+    /// nothing resident. A GPU recovery naming a GPU of a crashed worker is
+    /// ignored — the machine is gone; only its restart brings the GPUs back.
+    /// Link faults are a transport matter and touch nothing here.
+    pub fn apply_fault(&mut self, now: Timestamp, fault: &FaultKind) -> Vec<ActionId> {
+        let worker = WorkerId(fault.worker());
+        let mut lost = Vec::new();
+        match *fault {
+            FaultKind::WorkerCrash { .. } => {
+                self.down_workers.insert(worker);
+                for track in &mut self.gpus {
+                    if track.gpu_ref.worker == worker {
+                        lost.extend(track.outstanding.keys().copied());
+                        track.note_fault(now);
+                    }
+                }
+            }
+            FaultKind::WorkerRestart { .. } => {
+                self.down_workers.remove(&worker);
+                for track in &mut self.gpus {
+                    if track.gpu_ref.worker == worker {
+                        track.note_recovered(now);
+                    }
+                }
+            }
+            FaultKind::GpuFail { gpu, .. } => {
+                if let Some(track) = self.get_mut(GpuRef {
+                    worker,
+                    gpu: GpuId(gpu),
+                }) {
+                    lost.extend(track.outstanding.keys().copied());
+                    track.note_fault(now);
+                }
+            }
+            FaultKind::GpuRecover { gpu, .. } => {
+                if !self.down_workers.contains(&worker) {
+                    if let Some(track) = self.get_mut(GpuRef {
+                        worker,
+                        gpu: GpuId(gpu),
+                    }) {
+                        track.note_recovered(now);
+                    }
+                }
+            }
+            FaultKind::LinkDegrade { .. }
+            | FaultKind::LinkRestore { .. }
+            | FaultKind::PartitionStart { .. }
+            | FaultKind::PartitionEnd { .. } => {}
+        }
+        lost.sort_unstable();
+        lost
     }
 }
 
@@ -576,6 +641,52 @@ mod tests {
         index.actionable_into(Timestamp::from_millis(10), &mut out);
         assert_eq!(out, vec![1, 2, 3]);
         assert_eq!(index.free_at(0), Timestamp::from_millis(50));
+    }
+
+    #[test]
+    fn apply_fault_parks_capacity_and_returns_lost_actions_sorted() {
+        let mut t = WorkerStateTracker::new();
+        t.add_gpu(gref(0, 0), 10, 16 * 1024 * 1024);
+        t.add_gpu(gref(0, 1), 10, 16 * 1024 * 1024);
+        t.add_gpu(gref(1, 0), 10, 16 * 1024 * 1024);
+        for (gpu, id) in [(gref(0, 0), 9u64), (gref(0, 0), 2), (gref(0, 1), 5)] {
+            t.get_mut(gpu).unwrap().note_infer_sent(
+                outstanding(id, 1, 50, false),
+                Timestamp::ZERO,
+                Nanos::from_millis(3),
+            );
+        }
+        let now = Timestamp::from_millis(10);
+        let lost = t.apply_fault(now, &FaultKind::WorkerCrash { worker: 0 });
+        assert_eq!(
+            lost,
+            vec![ActionId(2), ActionId(5), ActionId(9)],
+            "lost ids cover every GPU of the worker, sorted"
+        );
+        assert!(!t.get(gref(0, 0)).unwrap().alive);
+        assert!(!t.get(gref(0, 1)).unwrap().alive);
+        assert!(t.get(gref(1, 0)).unwrap().alive, "other workers untouched");
+        // A lone GPU recovery cannot revive a GPU of a crashed worker.
+        t.apply_fault(now, &FaultKind::GpuRecover { worker: 0, gpu: 0 });
+        assert!(!t.get(gref(0, 0)).unwrap().alive);
+        // The restart re-admits every GPU, cold.
+        let lost = t.apply_fault(now, &FaultKind::WorkerRestart { worker: 0 });
+        assert!(lost.is_empty());
+        assert!(t.get(gref(0, 0)).unwrap().alive);
+        assert!(t.get(gref(0, 1)).unwrap().alive);
+        // Single-GPU failure and standalone recovery.
+        let lost = t.apply_fault(now, &FaultKind::GpuFail { worker: 1, gpu: 0 });
+        assert!(lost.is_empty());
+        assert!(!t.get(gref(1, 0)).unwrap().alive);
+        t.apply_fault(now, &FaultKind::GpuRecover { worker: 1, gpu: 0 });
+        assert!(t.get(gref(1, 0)).unwrap().alive);
+        // Link faults touch nothing.
+        t.apply_fault(now, &FaultKind::PartitionStart { worker: 1 });
+        assert!(t.get(gref(1, 0)).unwrap().alive);
+        // Faults naming unknown capacity are ignored.
+        assert!(t
+            .apply_fault(now, &FaultKind::GpuFail { worker: 9, gpu: 9 })
+            .is_empty());
     }
 
     #[test]

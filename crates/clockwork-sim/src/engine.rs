@@ -215,6 +215,10 @@ pub struct EventQueue<E> {
     dead: Vec<u64>,
     /// Number of scheduled events that are neither delivered nor cancelled.
     live: usize,
+    /// Events delivered by `pop` so far.
+    delivered: u64,
+    /// Events cancelled before delivery so far.
+    cancelled: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -232,6 +236,8 @@ impl<E> EventQueue<E> {
             next_id: 0,
             dead: Vec::new(),
             live: 0,
+            delivered: 0,
+            cancelled: 0,
         }
     }
 
@@ -302,10 +308,25 @@ impl<E> EventQueue<E> {
         }
         if self.mark_dead(id) {
             self.live -= 1;
+            self.cancelled += 1;
             true
         } else {
             false
         }
+    }
+
+    /// Moves a scheduled event: cancels `prev` (a no-op if it was already
+    /// delivered or cancelled) and schedules `payload` at `at` in its place,
+    /// returning the new handle.
+    ///
+    /// This is the decrease-key of the tombstone scheme — the superseded
+    /// entry stays in the heap as a tombstone instead of being sifted out, so
+    /// a reschedule costs one bitset flip plus one push. Equivalent to
+    /// `cancel(prev)` followed by `push(at, payload)`; at most one of the two
+    /// entries is ever delivered.
+    pub fn reschedule(&mut self, prev: EventId, at: Timestamp, payload: E) -> EventId {
+        self.cancel(prev);
+        self.push(at, payload)
     }
 
     /// Removes and returns the earliest live event, or `None` if empty.
@@ -313,6 +334,7 @@ impl<E> EventQueue<E> {
         while let Some(ev) = self.heap.pop() {
             if self.mark_dead(ev.id) {
                 self.live -= 1;
+                self.delivered += 1;
                 return Some((ev.at, ev.payload));
             }
         }
@@ -348,6 +370,25 @@ impl<E> EventQueue<E> {
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Total events ever scheduled on this queue.
+    ///
+    /// The counters satisfy `pushed_total == delivered_total +
+    /// cancelled_total + len()` at every instant — the conservation identity
+    /// the perf harnesses assert over a whole run.
+    pub fn pushed_total(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Total events delivered by [`EventQueue::pop`].
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total events cancelled before delivery.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled
     }
 }
 
@@ -513,6 +554,42 @@ mod tests {
         assert!(!q.cancel(a), "delivered events cannot be cancelled");
         assert!(!q.cancel(EventId(u64::MAX)), "unknown ids are rejected");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reschedule_supersedes_the_previous_entry() {
+        let mut q = EventQueue::new();
+        let a = q.push(Timestamp::from_millis(50), "late");
+        q.push(Timestamp::from_millis(20), "other");
+        let b = q.reschedule(a, Timestamp::from_millis(5), "early");
+        assert_ne!(a, b);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap(), (Timestamp::from_millis(5), "early"));
+        assert_eq!(q.pop().unwrap().1, "other");
+        assert!(q.pop().is_none(), "the superseded entry is never delivered");
+        // Rescheduling a delivered event degenerates to a plain push.
+        let c = q.reschedule(b, Timestamp::from_millis(9), "again");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(c));
+    }
+
+    #[test]
+    fn counters_satisfy_conservation() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10u64)
+            .map(|i| q.push(Timestamp::from_millis(i), i))
+            .collect();
+        assert!(q.cancel(ids[3]));
+        let moved = q.reschedule(ids[7], Timestamp::from_millis(99), 77);
+        assert_eq!(q.pushed_total(), 11);
+        assert_eq!(q.cancelled_total(), 2);
+        while q.pop().is_some() {}
+        assert_eq!(q.delivered_total(), 9);
+        assert_eq!(
+            q.pushed_total(),
+            q.delivered_total() + q.cancelled_total() + q.len() as u64
+        );
+        assert!(!q.cancel(moved), "already delivered");
     }
 
     #[test]

@@ -174,6 +174,86 @@ proptest! {
     }
 
     #[test]
+    fn event_queue_reschedule_is_cancel_then_push(
+        times in proptest::collection::vec(0u64..DAY_NS, 1..100),
+        pick in any::<prop::sample::Index>(),
+        new_time in 0u64..DAY_NS,
+    ) {
+        // Two queues fed identically except one uses `reschedule` and the
+        // other the explicit cancel + push it is documented to equal.
+        let mut via_reschedule = EventQueue::new();
+        let mut via_cancel_push = EventQueue::new();
+        let mut ids_a = Vec::new();
+        let mut ids_b = Vec::new();
+        for (i, t) in times.iter().enumerate() {
+            ids_a.push(via_reschedule.push(Timestamp::from_nanos(*t), i));
+            ids_b.push(via_cancel_push.push(Timestamp::from_nanos(*t), i));
+        }
+        let victim = pick.index(times.len());
+        let moved = times.len();
+        let at = Timestamp::from_nanos(new_time);
+        via_reschedule.reschedule(ids_a[victim], at, moved);
+        via_cancel_push.cancel(ids_b[victim]);
+        via_cancel_push.push(at, moved);
+        prop_assert_eq!(via_reschedule.len(), via_cancel_push.len());
+        prop_assert_eq!(via_reschedule.cancelled_total(), via_cancel_push.cancelled_total());
+        // Exactly-once delivery: the superseded payload never surfaces, the
+        // replacement surfaces exactly once, everything else is untouched,
+        // and both queues drain in the identical order.
+        let drain = |q: &mut EventQueue<usize>| {
+            let mut seen = Vec::new();
+            while let Some((t, p)) = q.pop() {
+                seen.push((t, p));
+            }
+            seen
+        };
+        let seen_a = drain(&mut via_reschedule);
+        let seen_b = drain(&mut via_cancel_push);
+        prop_assert_eq!(&seen_a, &seen_b);
+        prop_assert_eq!(seen_a.len(), times.len());
+        prop_assert_eq!(seen_a.iter().filter(|(_, p)| *p == moved).count(), 1);
+        prop_assert_eq!(seen_a.iter().filter(|(_, p)| *p == victim).count(), 0);
+        prop_assert_eq!(
+            via_reschedule.pushed_total(),
+            via_reschedule.delivered_total() + via_reschedule.cancelled_total()
+        );
+    }
+
+    #[test]
+    fn event_queue_counters_conserve_under_arbitrary_ops(
+        ops in proptest::collection::vec((0u64..DAY_NS, 0u8..4), 1..200),
+    ) {
+        // Interleave pushes, pops, cancels and reschedules arbitrarily; the
+        // conservation identity pushed == delivered + cancelled + live must
+        // hold after every operation.
+        let mut q = EventQueue::new();
+        let mut live_ids: Vec<_> = Vec::new();
+        for (t, op) in ops {
+            let at = Timestamp::from_nanos(t);
+            match op {
+                0 => live_ids.push(q.push(at, ())),
+                1 => {
+                    q.pop();
+                }
+                2 => {
+                    if let Some(id) = live_ids.pop() {
+                        q.cancel(id);
+                    }
+                }
+                _ => {
+                    if let Some(id) = live_ids.pop() {
+                        live_ids.push(q.reschedule(id, at, ()));
+                    }
+                }
+            }
+            prop_assert_eq!(
+                q.pushed_total(),
+                q.delivered_total() + q.cancelled_total() + q.len() as u64
+            );
+        }
+    }
+
+    #[test]
     fn event_queue_pop_due_never_returns_future_events(
         times in proptest::collection::vec(0u64..DAY_NS, 1..100),
         cutoff in 0u64..DAY_NS,

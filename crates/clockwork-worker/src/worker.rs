@@ -484,11 +484,22 @@ impl Worker {
     /// contribute a wake-up time (the pending completion does). Reporting it
     /// anyway would make the driving event loop spin at the current instant
     /// without ever advancing virtual time.
+    ///
+    /// The driving event loop schedules exactly one wake per worker at this
+    /// time (superseding any previously queued wake), so the answer must be
+    /// tight: failed GPUs and GPUs whose executor queues have drained are
+    /// pruned from the ready-set here rather than waiting for the next poll,
+    /// and contribute no wake at all.
     pub fn next_wakeup(&mut self) -> Option<Timestamp> {
         if !self.alive {
             return None;
         }
         let mut best = self.completions.peek_time();
+        let gpus = &self.gpus;
+        self.active_gpus.retain(|&gi| {
+            let gpu = &gpus[gi as usize];
+            !(gpu.failed || gpu.load_executor.is_empty() && gpu.infer_executor.is_empty())
+        });
         for &gi in &self.active_gpus {
             let gpu = &self.gpus[gi as usize];
             let infer_blocked = match self.config.exec_mode {
@@ -525,10 +536,16 @@ impl Worker {
     /// steady-state poll allocation-free, and the ready-set of GPUs with
     /// queued work keeps each scan proportional to the GPUs that can actually
     /// make progress rather than to every executor on the worker.
-    pub fn poll_into(&mut self, now: Timestamp, results: &mut Vec<ActionResult>) {
+    ///
+    /// Returns the number of progress steps taken (actions started plus
+    /// completions finished). A zero return means the poll found nothing
+    /// actionable — the event loop counts such wakes to keep the no-op-wake
+    /// ratio visible in telemetry.
+    pub fn poll_into(&mut self, now: Timestamp, results: &mut Vec<ActionResult>) -> u64 {
         if !self.alive {
-            return;
+            return 0;
         }
+        let mut steps = 0u64;
         loop {
             // Completions due?
             let completion_time = self.completions.peek_time().filter(|&t| t <= now);
@@ -577,7 +594,9 @@ impl Worker {
                 (Some(_), None) => self.finish_completion(results),
                 (_, Some((st, gi, is_load))) => self.start_next_action(st, gi, is_load),
             }
+            steps += 1;
         }
+        steps
     }
 
     fn finish_completion(&mut self, results: &mut Vec<ActionResult>) {

@@ -45,13 +45,15 @@ pub mod telemetry;
 
 pub use config::{SchedulerKind, SystemConfig};
 pub use system::{ServingSystem, SystemBuilder};
-pub use telemetry::{ExperimentMetrics, FaultRecord, SystemTelemetry};
+pub use telemetry::{EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry};
 
 /// Convenience re-exports for examples, tests and benchmarks.
 pub mod prelude {
     pub use crate::config::{SchedulerKind, SystemConfig};
     pub use crate::system::{ServingSystem, SystemBuilder};
-    pub use crate::telemetry::{ExperimentMetrics, FaultRecord, SystemTelemetry};
+    pub use crate::telemetry::{
+        EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry,
+    };
     pub use clockwork_controller::{
         ClockworkScheduler, ClockworkSchedulerConfig, InferenceRequest, RequestId,
     };

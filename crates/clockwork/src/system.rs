@@ -22,7 +22,7 @@ use clockwork_controller::worker_state::GpuRef;
 use clockwork_controller::ClockworkScheduler;
 use clockwork_faults::FaultPlan;
 use clockwork_model::{ModelId, ModelSpec};
-use clockwork_sim::engine::{EventQueue, FaultKind};
+use clockwork_sim::engine::{EventId, EventQueue, FaultKind};
 use clockwork_sim::network::NetworkModel;
 use clockwork_sim::rng::SimRng;
 use clockwork_sim::time::{Nanos, Timestamp};
@@ -183,6 +183,48 @@ enum SystemEvent {
     Fault { kind: FaultKind },
 }
 
+// Dense event-kind indices for the telemetry event-mix counters. Kept as
+// consts (not an enum discriminant read) so the cancel paths, which know
+// their kind statically, pay no match.
+const KIND_CLIENT_SUBMIT: usize = 0;
+const KIND_CONTROLLER_REQUEST: usize = 1;
+const KIND_WORKER_ACTION: usize = 2;
+const KIND_WORKER_WAKE: usize = 3;
+const KIND_CONTROLLER_RESULT: usize = 4;
+const KIND_CLIENT_RESPONSE: usize = 5;
+const KIND_MODEL_UPLOAD: usize = 6;
+const KIND_SCHEDULER_TICK: usize = 7;
+const KIND_FAULT: usize = 8;
+
+impl SystemEvent {
+    /// Kind labels in `kind_index` order (the telemetry event-mix order).
+    const KIND_LABELS: [&'static str; 9] = [
+        "client_submit",
+        "controller_request",
+        "worker_action",
+        "worker_wake",
+        "controller_result",
+        "client_response",
+        "model_upload",
+        "scheduler_tick",
+        "fault",
+    ];
+
+    fn kind_index(&self) -> usize {
+        match self {
+            SystemEvent::ClientSubmit { .. } => KIND_CLIENT_SUBMIT,
+            SystemEvent::ControllerRequest { .. } => KIND_CONTROLLER_REQUEST,
+            SystemEvent::WorkerAction { .. } => KIND_WORKER_ACTION,
+            SystemEvent::WorkerWake { .. } => KIND_WORKER_WAKE,
+            SystemEvent::ControllerResult { .. } => KIND_CONTROLLER_RESULT,
+            SystemEvent::ClientResponse { .. } => KIND_CLIENT_RESPONSE,
+            SystemEvent::ModelUpload { .. } => KIND_MODEL_UPLOAD,
+            SystemEvent::SchedulerTick => KIND_SCHEDULER_TICK,
+            SystemEvent::Fault { .. } => KIND_FAULT,
+        }
+    }
+}
+
 /// Condition of one controller↔worker link, adjusted by fault events.
 struct LinkState {
     /// Delay multiplier in thousandths (1000 = healthy).
@@ -221,8 +263,13 @@ pub struct ServingSystem {
     scheduler: AnyScheduler,
     ctx: SchedulerCtx,
     workers: Vec<Worker>,
-    worker_wake_scheduled: Vec<Option<Timestamp>>,
-    tick_scheduled: Option<Timestamp>,
+    /// Handle of the one queued wake per worker: `(due, event id)`. A wake
+    /// that needs to move — earlier because new work arrived, later or away
+    /// because a fault took work with it — cancels this entry instead of
+    /// piling a duplicate onto the chain.
+    worker_wake_scheduled: Vec<Option<(Timestamp, EventId)>>,
+    /// Handle of the one queued scheduler tick, same discipline.
+    tick_scheduled: Option<(Timestamp, EventId)>,
     network: NetworkModel,
     queue: EventQueue<SystemEvent>,
     telemetry: SystemTelemetry,
@@ -280,7 +327,8 @@ impl ServingSystem {
                 );
             }
         }
-        let telemetry = SystemTelemetry::new(config.keep_responses);
+        let mut telemetry = SystemTelemetry::new(config.keep_responses);
+        telemetry.event_mix = crate::telemetry::EventMix::with_kinds(&SystemEvent::KIND_LABELS);
         let worker_count = workers.len();
         let worker_index = workers
             .iter()
@@ -291,6 +339,7 @@ impl ServingSystem {
         // is sorted, and same-time faults keep their plan order.
         let mut queue = EventQueue::new();
         for event in config.faults.events() {
+            telemetry.event_mix.note_pushed(KIND_FAULT);
             queue.push(event.at, SystemEvent::Fault { kind: event.kind });
         }
         ServingSystem {
@@ -370,8 +419,7 @@ impl ServingSystem {
         let spec = Arc::new(spec.clone());
         // Shipping the weights over the shared network dominates an upload.
         let delay = self.network.delay(spec.weights_bytes());
-        self.queue
-            .push(at + delay, SystemEvent::ModelUpload { id, spec });
+        self.push_event(at + delay, SystemEvent::ModelUpload { id, spec });
         id
     }
 
@@ -402,6 +450,9 @@ impl ServingSystem {
 
     /// Submits every request of a trace in one batched push.
     pub fn submit_trace(&mut self, trace: &Trace) {
+        self.telemetry
+            .event_mix
+            .note_pushed_n(KIND_CLIENT_SUBMIT, trace.len() as u64);
         self.queue.push_batch(trace.events().iter().map(|event| {
             (
                 event.at,
@@ -421,7 +472,7 @@ impl ServingSystem {
         let index = self.clients.len();
         self.clients.push(client);
         for (at, model, slo) in submissions {
-            self.queue.push(
+            self.push_event(
                 at,
                 SystemEvent::ClientSubmit {
                     model,
@@ -434,7 +485,7 @@ impl ServingSystem {
 
     /// Submits a single request at a given time (convenience for examples).
     pub fn submit_request(&mut self, at: Timestamp, model: ModelId, slo: Nanos) {
-        self.queue.push(
+        self.push_event(
             at,
             SystemEvent::ClientSubmit {
                 model,
@@ -444,23 +495,74 @@ impl ServingSystem {
         );
     }
 
+    /// Schedules an event and counts the push in the telemetry event mix.
+    /// Every push goes through here so the mix stays conservation-complete
+    /// (`pushed == delivered + cancelled + live`).
+    fn push_event(&mut self, at: Timestamp, event: SystemEvent) -> EventId {
+        self.telemetry.event_mix.note_pushed(event.kind_index());
+        self.queue.push(at, event)
+    }
+
+    /// Reconciles the single queued wake of a worker with the worker's
+    /// current `next_wakeup`.
+    ///
+    /// At most one `WorkerWake` per worker is ever live in the queue. When
+    /// the wanted wake time is unchanged, nothing is touched; when it moved
+    /// (earlier because new work arrived, later or away because work was
+    /// consumed or lost to a fault) the stale wake is cancelled and a fresh
+    /// one pushed. Before this discipline every "earlier wake" push left the
+    /// superseded later wake in the queue, and each of those no-op wakes
+    /// re-armed the chain on delivery — ~95 % of all simulation events in the
+    /// fleet scenario were such redundant wakes.
     fn schedule_worker_wake(&mut self, worker: usize) {
-        if let Some(wake) = self.workers[worker].next_wakeup() {
-            let due = wake.max(self.now);
-            let already = self.worker_wake_scheduled[worker];
-            if already.map(|t| due < t).unwrap_or(true) {
-                self.worker_wake_scheduled[worker] = Some(due);
-                self.queue.push(due, SystemEvent::WorkerWake { worker });
+        let desired = self.workers[worker].next_wakeup().map(|w| w.max(self.now));
+        match (desired, self.worker_wake_scheduled[worker]) {
+            (Some(due), Some((at, _))) if due == at => {}
+            (Some(due), prev) => {
+                if let Some((_, id)) = prev {
+                    let cancelled = self.queue.cancel(id);
+                    debug_assert!(cancelled, "wake handle out of lockstep with the queue");
+                    self.telemetry.event_mix.note_cancelled(KIND_WORKER_WAKE);
+                }
+                let id = self.push_event(due, SystemEvent::WorkerWake { worker });
+                self.worker_wake_scheduled[worker] = Some((due, id));
             }
+            (None, Some((_, id))) => {
+                let cancelled = self.queue.cancel(id);
+                debug_assert!(cancelled, "wake handle out of lockstep with the queue");
+                self.telemetry.event_mix.note_cancelled(KIND_WORKER_WAKE);
+                self.worker_wake_scheduled[worker] = None;
+            }
+            (None, None) => {}
         }
     }
 
+    /// Reconciles the single queued scheduler tick with `next_tick`.
+    ///
+    /// Unlike wakes, a tick never needs to move later: `next_tick` answers
+    /// `now + interval`, so an already-queued earlier tick is always still
+    /// wanted while work is pending. The tick is cancelled outright when the
+    /// scheduler reports no work left.
     fn schedule_tick(&mut self) {
-        if let Some(tick) = self.scheduler.as_scheduler().next_tick(self.now) {
-            if self.tick_scheduled.map(|t| tick < t).unwrap_or(true) {
-                self.tick_scheduled = Some(tick);
-                self.queue.push(tick, SystemEvent::SchedulerTick);
+        let desired = self.scheduler.as_scheduler().next_tick(self.now);
+        match (desired, self.tick_scheduled) {
+            (Some(tick), Some((at, _))) if at <= tick => {}
+            (Some(tick), prev) => {
+                if let Some((_, id)) = prev {
+                    let cancelled = self.queue.cancel(id);
+                    debug_assert!(cancelled, "tick handle out of lockstep with the queue");
+                    self.telemetry.event_mix.note_cancelled(KIND_SCHEDULER_TICK);
+                }
+                let id = self.push_event(tick, SystemEvent::SchedulerTick);
+                self.tick_scheduled = Some((tick, id));
             }
+            (None, Some((_, id))) => {
+                let cancelled = self.queue.cancel(id);
+                debug_assert!(cancelled, "tick handle out of lockstep with the queue");
+                self.telemetry.event_mix.note_cancelled(KIND_SCHEDULER_TICK);
+                self.tick_scheduled = None;
+            }
+            (None, None) => {}
         }
     }
 
@@ -471,7 +573,19 @@ impl ServingSystem {
         let mut actions = std::mem::take(&mut self.action_buf);
         self.ctx.drain_actions_into(&mut actions);
         for (worker_id, action) in actions.drain(..) {
-            let worker_index = self.worker_index.get(&worker_id).copied().unwrap_or(0);
+            // A scheduler emitting an action for a worker that does not exist
+            // is a routing bug; silently falling back to worker 0 would let
+            // it masquerade as worker-0 load.
+            let worker_index = self
+                .worker_index
+                .get(&worker_id)
+                .copied()
+                .unwrap_or_else(|| {
+                    panic!(
+                        "scheduler routed action {:?} to unknown {worker_id}",
+                        action.id
+                    )
+                });
             // INFER inputs are forwarded through the controller (§7), so the
             // message size includes the batch's input tensors.
             let bytes = match &action.kind {
@@ -492,7 +606,8 @@ impl ServingSystem {
             if self.links[worker_index].partitioned {
                 self.links[worker_index].held.push((delay, event));
             } else {
-                self.queue.push(self.now + delay, event);
+                let at = self.now + delay;
+                self.push_event(at, event);
             }
         }
         self.action_buf = actions;
@@ -508,10 +623,8 @@ impl ServingSystem {
                 .unwrap_or(1_000)
                 + 128;
             let delay = self.network.delay(bytes);
-            self.queue.push(
-                self.now + delay,
-                SystemEvent::ClientResponse { response, client },
-            );
+            let at = self.now + delay;
+            self.push_event(at, SystemEvent::ClientResponse { response, client });
         }
         self.response_buf = responses;
         self.schedule_tick();
@@ -538,8 +651,7 @@ impl ServingSystem {
                     arrival: at_controller,
                     slo,
                 };
-                self.queue
-                    .push(at_controller, SystemEvent::ControllerRequest { request });
+                self.push_event(at_controller, SystemEvent::ControllerRequest { request });
             }
             SystemEvent::ControllerRequest { request } => {
                 self.telemetry.record_arrival(self.now);
@@ -553,10 +665,15 @@ impl ServingSystem {
                 self.schedule_worker_wake(worker);
             }
             SystemEvent::WorkerWake { worker } => {
+                // The fired wake is the one queued wake this worker had; its
+                // handle is now spent.
                 self.worker_wake_scheduled[worker] = None;
                 let mut results = std::mem::take(&mut self.result_buf);
                 results.clear();
-                self.workers[worker].poll_into(self.now, &mut results);
+                let steps = self.workers[worker].poll_into(self.now, &mut results);
+                if steps == 0 {
+                    self.telemetry.event_mix.note_noop_wake();
+                }
                 for result in results.drain(..) {
                     let bytes = match result.action_type {
                         "INFER" => {
@@ -573,7 +690,8 @@ impl ServingSystem {
                     if self.links[worker].partitioned {
                         self.links[worker].held.push((delay, event));
                     } else {
-                        self.queue.push(self.now + delay, event);
+                        let at = self.now + delay;
+                        self.push_event(at, event);
                     }
                 }
                 self.result_buf = results;
@@ -588,7 +706,7 @@ impl ServingSystem {
             SystemEvent::ClientResponse { response, client } => {
                 if let Some(index) = client {
                     if let Some((at, model, slo)) = self.clients[index].on_response(self.now) {
-                        self.queue.push(
+                        self.push_event(
                             at,
                             SystemEvent::ClientSubmit {
                                 model,
@@ -624,19 +742,31 @@ impl ServingSystem {
             return;
         };
         match kind {
-            FaultKind::WorkerCrash { .. } => self.workers[idx].crash(self.now),
-            FaultKind::WorkerRestart { .. } => self.workers[idx].restart(self.now),
+            FaultKind::WorkerCrash { .. } => {
+                self.workers[idx].crash(self.now);
+                // The dead worker will never act again: its queued wake (if
+                // any) is cancelled rather than left to fire as a no-op.
+                self.schedule_worker_wake(idx);
+            }
+            FaultKind::WorkerRestart { .. } => {
+                self.workers[idx].restart(self.now);
+                self.schedule_worker_wake(idx);
+            }
             FaultKind::GpuFail { gpu, .. } => {
                 if gpu >= self.workers[idx].num_gpus() {
                     return;
                 }
                 self.workers[idx].fail_gpu(GpuId(gpu));
+                // The failure took that GPU's queued work and completions
+                // with it; the worker's wake moves later or goes away.
+                self.schedule_worker_wake(idx);
             }
             FaultKind::GpuRecover { gpu, .. } => {
                 if gpu >= self.workers[idx].num_gpus() {
                     return;
                 }
                 self.workers[idx].recover_gpu(GpuId(gpu));
+                self.schedule_worker_wake(idx);
             }
             FaultKind::LinkDegrade { factor_milli, .. } => {
                 self.links[idx].factor_milli = u64::from(factor_milli).max(1);
@@ -649,7 +779,8 @@ impl ServingSystem {
                 // residual delay from the heal instant.
                 let held = std::mem::take(&mut self.links[idx].held);
                 for (delay, event) in held {
-                    self.queue.push(self.now + delay, event);
+                    let at = self.now + delay;
+                    self.push_event(at, event);
                 }
             }
         }
@@ -665,7 +796,7 @@ impl ServingSystem {
     /// equivalent of one entry of a [`FaultPlan`] (see
     /// [`SystemBuilder::faults`] for whole-plan scheduling).
     pub fn inject_fault(&mut self, at: Timestamp, kind: FaultKind) {
-        self.queue.push(at, SystemEvent::Fault { kind });
+        self.push_event(at, SystemEvent::Fault { kind });
     }
 
     /// `(alive, total)` GPU counts across the fleet — the availability that
@@ -685,6 +816,23 @@ impl ServingSystem {
     /// elapsed host time to get events/sec).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Number of events still scheduled (pushed but neither delivered nor
+    /// cancelled) — the `live` term of the event-mix conservation identity.
+    pub fn pending_events(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// The event queue's own lifetime counters `(pushed, delivered,
+    /// cancelled)`, independent of the per-kind telemetry mix. Tests use
+    /// these to pin that the mix accounts for every push site.
+    pub fn queue_counters(&self) -> (u64, u64, u64) {
+        (
+            self.queue.pushed_total(),
+            self.queue.delivered_total(),
+            self.queue.cancelled_total(),
+        )
     }
 
     /// Runs the system until `until`, or until no events remain.
@@ -711,6 +859,7 @@ impl ServingSystem {
             }
             self.events_processed += 1;
             budget -= 1;
+            self.telemetry.event_mix.note_delivered(event.kind_index());
             self.handle_event(event);
         }
         let drained = self.queue.peek_time().map(|t| t > until).unwrap_or(true);

@@ -38,6 +38,108 @@ impl FaultRecord {
     }
 }
 
+/// Push/deliver/cancel counters for one kind of simulation event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EventMixEntry {
+    /// Snake-case label of the event kind (e.g. `worker_wake`).
+    pub kind: &'static str,
+    /// Events of this kind ever scheduled.
+    pub pushed: u64,
+    /// Events of this kind delivered to the loop.
+    pub delivered: u64,
+    /// Events of this kind cancelled before delivery (superseded wakes and
+    /// ticks).
+    pub cancelled: u64,
+}
+
+/// The event-mix breakdown of a run: how many simulation events of each kind
+/// were pushed, delivered and cancelled.
+///
+/// The perf harnesses report this next to events/sec so a wake-amplification
+/// regression (an event loop drowning in redundant self-scheduled events) is
+/// visible in CI artifacts, not just as a mysterious slowdown. The counters
+/// obey the conservation identity `pushed == delivered + cancelled + live`
+/// at every instant, where `live` is what is still queued.
+#[derive(Clone, Debug, Default)]
+pub struct EventMix {
+    entries: Vec<EventMixEntry>,
+    noop_wakes: u64,
+}
+
+impl EventMix {
+    /// Creates a mix with one zeroed entry per kind label.
+    pub fn with_kinds(kinds: &[&'static str]) -> Self {
+        EventMix {
+            entries: kinds
+                .iter()
+                .map(|&kind| EventMixEntry {
+                    kind,
+                    ..Default::default()
+                })
+                .collect(),
+            noop_wakes: 0,
+        }
+    }
+
+    pub(crate) fn note_pushed(&mut self, kind: usize) {
+        self.entries[kind].pushed += 1;
+    }
+
+    pub(crate) fn note_pushed_n(&mut self, kind: usize, n: u64) {
+        self.entries[kind].pushed += n;
+    }
+
+    pub(crate) fn note_delivered(&mut self, kind: usize) {
+        self.entries[kind].delivered += 1;
+    }
+
+    pub(crate) fn note_cancelled(&mut self, kind: usize) {
+        self.entries[kind].cancelled += 1;
+    }
+
+    pub(crate) fn note_noop_wake(&mut self) {
+        self.noop_wakes += 1;
+    }
+
+    /// Per-kind counters, in the event loop's kind order.
+    pub fn entries(&self) -> &[EventMixEntry] {
+        &self.entries
+    }
+
+    /// The entry for a kind label, if that kind exists.
+    pub fn entry(&self, kind: &str) -> Option<&EventMixEntry> {
+        self.entries.iter().find(|e| e.kind == kind)
+    }
+
+    /// Total events pushed across all kinds.
+    pub fn pushed(&self) -> u64 {
+        self.entries.iter().map(|e| e.pushed).sum()
+    }
+
+    /// Total events delivered across all kinds.
+    pub fn delivered(&self) -> u64 {
+        self.entries.iter().map(|e| e.delivered).sum()
+    }
+
+    /// Total events cancelled across all kinds.
+    pub fn cancelled(&self) -> u64 {
+        self.entries.iter().map(|e| e.cancelled).sum()
+    }
+
+    /// Events still scheduled (pushed but neither delivered nor cancelled).
+    pub fn live(&self) -> u64 {
+        self.pushed() - self.delivered() - self.cancelled()
+    }
+
+    /// Worker wakes that were delivered but found nothing actionable (no
+    /// action started, no completion finished). A healthy event loop keeps
+    /// this a small fraction of delivered events; before the wake-chain fix
+    /// it was ~95 % of all events in the fleet scenario.
+    pub fn noop_wakes(&self) -> u64 {
+        self.noop_wakes
+    }
+}
+
 /// Aggregated metrics of one experiment run.
 #[derive(Clone, Debug)]
 pub struct ExperimentMetrics {
@@ -126,6 +228,8 @@ pub struct SystemTelemetry {
     pub latency_series: TimeSeries,
     per_model_success: HashMap<ModelId, u64>,
     faults: Vec<FaultRecord>,
+    /// Event-mix counters, maintained by the driving event loop.
+    pub(crate) event_mix: EventMix,
     horizon: Timestamp,
     digest: u64,
 }
@@ -158,9 +262,16 @@ impl SystemTelemetry {
             latency_series: TimeSeries::per_second(),
             per_model_success: HashMap::new(),
             faults: Vec::new(),
+            event_mix: EventMix::default(),
             horizon: Timestamp::ZERO,
             digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
+    }
+
+    /// The event-mix breakdown (pushed/delivered/cancelled per event kind)
+    /// the driving event loop maintained during the run.
+    pub fn event_mix(&self) -> &EventMix {
+        &self.event_mix
     }
 
     fn digest_fold(&mut self, value: u64) {

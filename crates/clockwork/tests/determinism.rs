@@ -51,20 +51,30 @@ fn same_seed_same_digest() {
     assert!(events_a > 10_000, "scenario too small to be meaningful");
 }
 
+// The fixed-work cap must stay below the scenario's total event count for
+// smoke mode to be exercised. PR 4's wake-chain fix cut that total ~7×
+// (~300 k events → ~45 k: redundant WorkerWakes are now cancelled instead of
+// delivered), so the cap was refreshed from 50 000 alongside the golden
+// digests in the BENCH baselines. If an event-loop change shrinks the stream
+// again, re-measure `run_fleet_smoke(7, u64::MAX)` and lower this with it.
+const SMOKE_CAP: u64 = 20_000;
+
 #[test]
 fn smoke_mode_is_fixed_work_and_deterministic() {
-    let cap = 50_000;
-    let (digest_a, events_a) = run_fleet_smoke(7, cap);
-    let (digest_b, events_b) = run_fleet_smoke(7, cap);
-    assert_eq!(events_a, cap, "smoke mode must deliver exactly the cap");
-    assert_eq!(events_b, cap);
+    let (digest_a, events_a) = run_fleet_smoke(7, SMOKE_CAP);
+    let (digest_b, events_b) = run_fleet_smoke(7, SMOKE_CAP);
+    assert_eq!(
+        events_a, SMOKE_CAP,
+        "smoke mode must deliver exactly the cap"
+    );
+    assert_eq!(events_b, SMOKE_CAP);
     assert_eq!(digest_a, digest_b, "smoke runs with the same seed diverged");
 }
 
 #[test]
 fn different_seeds_explore_different_executions() {
-    let (digest_a, _) = run_fleet_smoke(7, 50_000);
-    let (digest_c, _) = run_fleet_smoke(8, 50_000);
+    let (digest_a, _) = run_fleet_smoke(7, SMOKE_CAP);
+    let (digest_c, _) = run_fleet_smoke(8, SMOKE_CAP);
     // Not a hard guarantee of the digest, but a collision here almost
     // certainly means the seed is being ignored somewhere.
     assert_ne!(digest_a, digest_c, "different seeds produced equal digests");

@@ -1,0 +1,106 @@
+//! The event-loop diet: wake-chain amplification must stay dead.
+//!
+//! Before PR 4, every "earlier wake" push left the superseded later wake in
+//! the queue, and each of those no-op wakes re-armed the chain on delivery —
+//! ~95 % of all simulation events in the fleet scenario were redundant
+//! `WorkerWake`s (~29 M of 30.5 M). With cancellable wake/tick handles the
+//! loop schedules at most one wake per worker and one tick, superseding
+//! stale entries via `EventQueue::cancel`. These tests pin the diet down:
+//! the no-op-wake ratio is bounded, wakes no longer dominate the event
+//! stream, and the event-mix counters obey their conservation identity.
+
+use clockwork::prelude::*;
+
+fn run_fleet_smoke(seed: u64) -> ServingSystem {
+    let zoo = ModelZoo::new();
+    let duration = Nanos::from_secs(10);
+    let config = AzureTraceConfig {
+        functions: 80,
+        models: 20,
+        duration,
+        target_rate: 400.0,
+        slo: Nanos::from_millis(100),
+        seed,
+    };
+    let trace = AzureTraceGenerator::new(config).generate();
+    let mut system = SystemBuilder::new()
+        .workers(4)
+        .gpus_per_worker(2)
+        .seed(seed)
+        .drop_raw_responses()
+        .build();
+    let varieties = zoo.all();
+    for i in 0..config.models {
+        system.register_model(&varieties[i % varieties.len()]);
+    }
+    system.submit_trace(&trace);
+    system.run_to_completion();
+    system
+}
+
+#[test]
+fn noop_wake_ratio_is_bounded() {
+    let system = run_fleet_smoke(7);
+    let mix = system.telemetry().event_mix();
+    let delivered = mix.delivered();
+    assert!(delivered > 10_000, "scenario too small to be meaningful");
+    // The satellite bound: WorkerWakes that found nothing actionable must be
+    // a small fraction of all delivered events, not the 95 % of the
+    // amplified chain.
+    let noop_ratio = mix.noop_wakes() as f64 / delivered as f64;
+    assert!(
+        noop_ratio < 0.10,
+        "no-op wakes are {:.1}% of {delivered} delivered events (limit 10%)",
+        noop_ratio * 100.0
+    );
+    // Wakes as a whole must no longer dominate the event stream.
+    let wakes = mix.entry("worker_wake").expect("wake kind exists");
+    let wake_ratio = wakes.delivered as f64 / delivered as f64;
+    assert!(
+        wake_ratio < 0.50,
+        "worker wakes are {:.1}% of delivered events — amplification is back",
+        wake_ratio * 100.0
+    );
+}
+
+#[test]
+fn event_mix_obeys_conservation_and_matches_the_queue() {
+    let system = run_fleet_smoke(7);
+    let mix = system.telemetry().event_mix();
+    // pushed == delivered + cancelled + live, per the mix...
+    assert_eq!(
+        mix.pushed(),
+        mix.delivered() + mix.cancelled() + system.pending_events(),
+        "event-mix conservation identity violated"
+    );
+    // ...and the per-kind mix must account for every push/pop/cancel the
+    // queue itself saw (no uninstrumented push site).
+    let (pushed, delivered, cancelled) = system.queue_counters();
+    assert_eq!(mix.pushed(), pushed, "a push site is missing from the mix");
+    assert_eq!(mix.delivered(), delivered);
+    assert_eq!(mix.cancelled(), cancelled);
+    assert_eq!(mix.delivered(), system.events_processed());
+    // Only self-scheduled events (wakes, ticks) are ever cancelled.
+    for entry in mix.entries() {
+        if entry.kind != "worker_wake" && entry.kind != "scheduler_tick" {
+            assert_eq!(entry.cancelled, 0, "{} events were cancelled", entry.kind);
+        }
+    }
+    // A drained run leaves nothing live.
+    assert_eq!(system.pending_events(), 0, "run_to_completion drained");
+}
+
+#[test]
+fn the_diet_does_not_change_serving_outcomes_accounting() {
+    // Cancelling redundant wakes removes events, not work: every request
+    // still gets exactly one response.
+    let system = run_fleet_smoke(7);
+    let m = system.telemetry().metrics();
+    let rejected: u64 = m.rejections.values().sum();
+    assert_eq!(
+        m.successes + rejected,
+        m.total_requests,
+        "successes + rejected must equal total"
+    );
+    assert!(m.satisfaction() > 0.5, "the fleet still serves its load");
+}
