@@ -7,11 +7,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use clockwork::prelude::*;
-use clockwork_baselines::{ClipperConfig, InfaasConfig};
+use clockwork_baselines::register_baselines;
 
-fn run_once(kind: SchedulerKind, seed: u64) -> u64 {
+fn run_once(factory: &dyn SchedulerFactory, seed: u64) -> u64 {
     let zoo = ModelZoo::new();
-    let mut system = SystemBuilder::new().scheduler(kind).seed(seed).build();
+    let mut system = ServingSystem::with_factory(
+        SystemConfig {
+            seed,
+            ..Default::default()
+        },
+        factory,
+    );
     let models = system.register_copies(zoo.resnet50(), 4);
     for (i, &m) in models.iter().enumerate() {
         system.add_closed_loop_client(
@@ -24,17 +30,18 @@ fn run_once(kind: SchedulerKind, seed: u64) -> u64 {
 }
 
 fn serving_systems(c: &mut Criterion) {
+    let mut registry = SchedulerRegistry::builtin();
+    register_baselines(&mut registry);
     let mut group = c.benchmark_group("serving_one_second");
     group.sample_size(10);
-    for (label, kind) in [
-        ("clockwork", SchedulerKind::default()),
-        ("fifo", SchedulerKind::Fifo),
-        ("clipper", SchedulerKind::Clipper(ClipperConfig::default())),
-        ("infaas", SchedulerKind::Infaas(InfaasConfig::default())),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, kind| {
-            b.iter(|| black_box(run_once(*kind, 7)));
-        });
+    for factory in registry.iter() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(factory.name()),
+            &factory,
+            |b, factory| {
+                b.iter(|| black_box(run_once(*factory, 7)));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,62 @@
+//! Compare Clockwork against the reactive baselines (a miniature Fig. 5).
+//!
+//! ```bash
+//! cargo run --release -p bench --example baseline_comparison
+//! ```
+//!
+//! Runs the same closed-loop workload (6 copies of ResNet50, 16 outstanding
+//! requests each, 50 ms SLO) against every discipline in the registry —
+//! Clockwork, the FIFO strawman, the Clipper-like baseline and the
+//! INFaaS-like baseline — and prints goodput and tail latency for each.
+//! This is the registry workflow in miniature: one spec, one loop, every
+//! registered discipline.
+
+use clockwork::prelude::*;
+use clockwork_baselines::register_baselines;
+
+fn main() {
+    let spec = ScenarioSpec {
+        name: "baseline_comparison".to_string(),
+        workers: 1,
+        gpus_per_worker: 1,
+        models: 6,
+        model_set: ModelSet::Resnet50Copies,
+        workload: WorkloadSpec::ClosedLoop { concurrency: 16 },
+        slo_ms: 50,
+        duration_secs: 10,
+        drain_secs: 0,
+        keep_responses: false,
+        ..ScenarioSpec::smoke(9)
+    };
+    let mut registry = SchedulerRegistry::builtin();
+    register_baselines(&mut registry);
+
+    println!(
+        "{:<12} {:>12} {:>14} {:>10}",
+        "system", "goodput r/s", "satisfaction", "p99 ms"
+    );
+    let experiment = Experiment::new(spec);
+    let mut clockwork_goodput = 0.0;
+    let mut best_baseline = 0.0f64;
+    for factory in registry.iter() {
+        let report = experiment.run(factory);
+        let m = report.metrics();
+        println!(
+            "{:<12} {:>12.0} {:>13.1}% {:>10.2}",
+            report.discipline,
+            m.goodput_rate(),
+            m.satisfaction() * 100.0,
+            m.latency.percentile(99.0).as_millis_f64()
+        );
+        if report.discipline == "clockwork" {
+            clockwork_goodput = m.goodput_rate();
+        } else {
+            best_baseline = best_baseline.max(m.goodput_rate());
+        }
+    }
+    println!();
+    println!(
+        "Clockwork goodput vs best baseline: {:.2}x",
+        clockwork_goodput / best_baseline.max(1.0)
+    );
+}

@@ -14,9 +14,13 @@ use bench::{run_closed_loop, RunSummary};
 use clockwork::prelude::*;
 use clockwork_controller::ClockworkSchedulerConfig;
 
-fn run(label: &str, kind: SchedulerKind, exec_override: Option<ExecMode>) -> RunSummary {
+fn run(
+    label: &str,
+    factory: Box<dyn SchedulerFactory>,
+    exec_override: Option<ExecMode>,
+) -> RunSummary {
     let zoo = ModelZoo::new();
-    let mut builder = SystemBuilder::new().scheduler(kind).seed(424);
+    let mut builder = SystemBuilder::new().discipline(factory).seed(424);
     if let Some(mode) = exec_override {
         builder = builder.exec_mode(mode);
     }
@@ -49,7 +53,12 @@ fn main() {
     let full = ClockworkSchedulerConfig::default();
     println!(
         "{}",
-        run("clockwork_full", SchedulerKind::Clockwork(full), None).csv_row()
+        run(
+            "clockwork_full",
+            Box::new(ClockworkFactory::new(full)),
+            None
+        )
+        .csv_row()
     );
 
     let no_admission = ClockworkSchedulerConfig {
@@ -60,7 +69,7 @@ fn main() {
         "{}",
         run(
             "no_admission_control",
-            SchedulerKind::Clockwork(no_admission),
+            Box::new(ClockworkFactory::new(no_admission)),
             None
         )
         .csv_row()
@@ -72,14 +81,19 @@ fn main() {
     };
     println!(
         "{}",
-        run("no_batching", SchedulerKind::Clockwork(no_batching), None).csv_row()
+        run(
+            "no_batching",
+            Box::new(ClockworkFactory::new(no_batching)),
+            None
+        )
+        .csv_row()
     );
 
     println!(
         "{}",
         run(
             "concurrent_exec",
-            SchedulerKind::Clockwork(ClockworkSchedulerConfig::default()),
+            Box::new(ClockworkFactory::default()),
             Some(ExecMode::Concurrent { max_concurrent: 8 })
         )
         .csv_row()
@@ -87,7 +101,7 @@ fn main() {
 
     println!(
         "{}",
-        run("fifo_strawman", SchedulerKind::Fifo, None).csv_row()
+        run("fifo_strawman", Box::new(FifoFactory), None).csv_row()
     );
 
     println!("# expected shape: removing admission control and batching hurts goodput under");

@@ -1,0 +1,282 @@
+//! The comparison figure the chaos work was building towards: every
+//! registered discipline under the *same* chaos scenario.
+//!
+//! One declarative `ScenarioSpec` — the fleet-scale cluster overlaid with
+//! the scripted churn schedule (two worker crashes, four GPU failures, a
+//! partition window, a degraded link) — is run through `Experiment::run`
+//! once per discipline in the registry: Clockwork, the FIFO strawman, the
+//! Clipper-like baseline and the INFaaS-like baseline. Because the scenario,
+//! the seed and the fault plan are byte-identical across runs, differences
+//! in the rows are *pure policy*: how much goodput each discipline retains
+//! while capacity is gone, how deep its availability-weighted goodput dips,
+//! and how quickly it returns to tracking offered load after the last
+//! repair.
+//!
+//! Per-discipline invariants are enforced, not just reported: exactly-once
+//! accounting (`successes + rejected == total`), no goodput entry past its
+//! SLO, and the event-mix conservation identity
+//! (`pushed == delivered + cancelled + live`). Any violation exits non-zero,
+//! which is what CI's smoke step relies on.
+//!
+//! Results go to `BENCH_chaos_compare.json`: one object per discipline with
+//! goodput, phase satisfaction, availability floor and recovery time (see
+//! `crates/bench/README.md` for the schema).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin chaos_compare -- \
+//!     [--duration-secs N] [--events N] [--out PATH] [--seed N]
+//! ```
+
+use clockwork::prelude::*;
+use clockwork_baselines::register_baselines;
+
+struct Args {
+    max_events: u64,
+    out: String,
+    seed: u64,
+    duration_secs: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        max_events: u64::MAX,
+        out: "BENCH_chaos_compare.json".to_string(),
+        seed: 2020,
+        duration_secs: 120,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--events" => args.max_events = value("--events").parse().expect("--events: integer"),
+            "--out" => args.out = value("--out"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--duration-secs" => {
+                args.duration_secs = value("--duration-secs")
+                    .parse()
+                    .expect("--duration-secs: integer")
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Everything the table and JSON need from one discipline's run, extracted
+/// so the run's full `ServingSystem` can be dropped before the next one.
+struct DisciplineRow {
+    discipline: String,
+    total: u64,
+    successes: u64,
+    rejected: u64,
+    goodput: u64,
+    goodput_rps: f64,
+    identity_ok: bool,
+    drained: bool,
+    live_events: u64,
+    events_processed: u64,
+    wall_secs: f64,
+    digest: u64,
+    analysis: bench::ChaosAnalysis,
+}
+
+impl DisciplineRow {
+    fn summarize(report: &RunReport, spec: &ScenarioSpec) -> Self {
+        let m = report.metrics();
+        DisciplineRow {
+            discipline: report.discipline.clone(),
+            total: m.total_requests,
+            successes: m.successes,
+            rejected: report.rejected(),
+            goodput: m.goodput,
+            goodput_rps: m.goodput_rate(),
+            identity_ok: report.identity_ok(),
+            drained: report.drained(),
+            live_events: report.live_events(),
+            events_processed: report.events_processed(),
+            wall_secs: report.wall_secs,
+            digest: report.digest(),
+            analysis: bench::analyze_chaos(report, spec),
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut spec = ScenarioSpec::fleet_scale()
+        .named("chaos_compare")
+        .with_seed(args.seed)
+        .with_duration_secs(args.duration_secs);
+    spec.faults = spec.scripted_churn();
+    let plan = spec.faults.clone();
+
+    let mut registry = SchedulerRegistry::builtin();
+    register_baselines(&mut registry);
+
+    println!(
+        "# chaos-compare: {} disciplines ({}) x one scenario ({} workers x {} GPUs, {} models, {}s, {} churn events)",
+        registry.len(),
+        registry.names().join(", "),
+        spec.workers,
+        spec.gpus_per_worker,
+        spec.models,
+        spec.duration_secs,
+        plan.len(),
+    );
+
+    let experiment = Experiment::new(spec.clone());
+    let mut failed = false;
+    // Each run's full ServingSystem (80 GPUs of telemetry and scheduler
+    // state) is summarized and dropped before the next discipline runs, so
+    // peak memory holds one system, not four.
+    let mut rows: Vec<DisciplineRow> = Vec::new();
+    for factory in registry.iter() {
+        let label = factory.name();
+        println!("# running {label}...");
+        let report = experiment.run_capped(factory, args.max_events);
+        if !bench::check_chaos_invariants(label, &report, &spec) {
+            failed = true;
+        }
+        if !report.mix_conserved() {
+            let mix = report.event_mix();
+            eprintln!(
+                "[{label}] EVENT ACCOUNTING VIOLATION: pushed {} != delivered {} + cancelled {} + live {}",
+                mix.pushed(),
+                mix.delivered(),
+                mix.cancelled(),
+                report.live_events()
+            );
+            failed = true;
+        }
+        rows.push(DisciplineRow::summarize(&report, &spec));
+    }
+
+    bench::section("chaos_compare results (same scenario, same seed, same churn)");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9} {:>10} {:>9} {:>8}",
+        "discipline",
+        "total",
+        "goodput",
+        "rejected",
+        "sat_pre",
+        "sat_churn",
+        "sat_post",
+        "retention",
+        "avail_min",
+        "recov_s",
+        "backlog"
+    );
+    for row in &rows {
+        let analysis = &row.analysis;
+        // "backlog" = requests still unanswered when the horizon cut the
+        // run off — nonzero for best-effort disciplines in collapse, whose
+        // queues outlive the trace.
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>8.4} {:>8.4} {:>8.4} {:>8.1}% {:>10.4} {:>9.1} {:>8}",
+            row.discipline,
+            row.total,
+            row.goodput,
+            row.rejected,
+            analysis.pre.satisfaction(),
+            analysis.churn.satisfaction(),
+            analysis.post.satisfaction(),
+            100.0 * analysis.retention(),
+            analysis.min_availability,
+            analysis.recovery_secs,
+            row.total
+                .saturating_sub(row.successes)
+                .saturating_sub(row.rejected),
+        );
+    }
+
+    let discipline_objects: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let analysis = &row.analysis;
+            format!(
+                concat!(
+                    "    \"{name}\": {{\n",
+                    "      \"total\": {total},\n",
+                    "      \"successes\": {successes},\n",
+                    "      \"rejected\": {rejected},\n",
+                    "      \"goodput\": {goodput},\n",
+                    "      \"goodput_rps\": {goodput_rps:.1},\n",
+                    "      \"satisfaction\": {{ \"pre\": {pre:.4}, \"churn\": {churn:.4}, \"post\": {post:.4}, \"retention\": {retention:.4} }},\n",
+                    "      \"availability\": {{ \"min\": {avail_min:.4}, \"final\": {avail_final:.4} }},\n",
+                    "      \"recovery_secs\": {recovery:.1},\n",
+                    "      \"identity_ok\": {identity_ok},\n",
+                    "      \"drained\": {drained},\n",
+                    "      \"live_events\": {live},\n",
+                    "      \"events_processed\": {events},\n",
+                    "      \"wall_secs\": {wall:.3},\n",
+                    "      \"digest\": \"{digest:016x}\"\n",
+                    "    }}"
+                ),
+                name = row.discipline,
+                total = row.total,
+                successes = row.successes,
+                rejected = row.rejected,
+                goodput = row.goodput,
+                goodput_rps = row.goodput_rps,
+                pre = analysis.pre.satisfaction(),
+                churn = analysis.churn.satisfaction(),
+                post = analysis.post.satisfaction(),
+                retention = analysis.retention(),
+                avail_min = analysis.min_availability,
+                avail_final = analysis.final_availability,
+                recovery = analysis.recovery_secs,
+                identity_ok = row.identity_ok,
+                drained = row.drained,
+                live = row.live_events,
+                events = row.events_processed,
+                wall = row.wall_secs,
+                digest = row.digest,
+            )
+        })
+        .collect();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": {scenario},\n",
+            "  \"churn\": {{\n",
+            "    \"worker_crashes\": {crashes},\n",
+            "    \"gpu_failures\": {gpu_failures},\n",
+            "    \"partitions\": {partitions},\n",
+            "    \"link_degradations\": {degradations},\n",
+            "    \"first_fault_secs\": {first_fault:.3},\n",
+            "    \"last_recovery_secs\": {last_recovery:.3}\n",
+            "  }},\n",
+            "  \"steady_fraction_of_arrivals\": {steady:.2},\n",
+            "  \"disciplines\": {{\n",
+            "{disciplines}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        scenario = bench::scenario_json(&spec, args.max_events),
+        crashes = plan.worker_crashes(),
+        gpu_failures = plan.gpu_failures(),
+        partitions = plan.partitions(),
+        degradations = plan.link_degradations(),
+        first_fault = plan
+            .first_at()
+            .map(|t| t.as_nanos() as f64 / 1e9)
+            .unwrap_or(0.0),
+        last_recovery = plan
+            .last_recovery_at()
+            .map(|t| t.as_nanos() as f64 / 1e9)
+            .unwrap_or(0.0),
+        steady = bench::STEADY_FRACTION,
+        disciplines = discipline_objects.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write results json");
+    println!("# wrote {}", args.out);
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,6 @@
 //! Chaos bench: the fleet-scale scenario overlaid with scripted fleet churn.
 //!
-//! Runs the exact `fleet_scale` cluster (see [`bench::FleetScenario`]) but
+//! Runs the exact `fleet_scale` cluster (`ScenarioSpec::fleet_scale`) but
 //! with a fault plan that kills two workers, fails four additional GPUs,
 //! partitions one worker and degrades another's link mid-run, then recovers
 //! everything. The point is the paper's central claim under *hard* faults
@@ -16,6 +16,9 @@
 //! absolute rate: a second counts as recovered when its goodput is ≥90 % of
 //! the requests that arrived in that second.
 //!
+//! For the same chaos scenario compared across *all* registered disciplines,
+//! see the `chaos_compare` binary.
+//!
 //! Usage:
 //! ```text
 //! cargo run --release -p bench --bin chaos_fleet -- \
@@ -27,13 +30,7 @@
 //! together); CI runs a short full run twice via `--check-determinism` so
 //! the accounting identity and digest stability are both exercised cheaply.
 
-use std::time::Instant;
-
-use bench::FleetScenario;
 use clockwork::prelude::*;
-
-/// Per-second goodput/arrivals fraction that counts as "recovered".
-const STEADY_FRACTION: f64 = 0.9;
 
 struct Args {
     max_events: u64,
@@ -81,261 +78,114 @@ fn parse_args() -> Args {
     args
 }
 
-/// The scripted churn schedule, scaled to the scenario duration: two worker
-/// crashes, four extra GPU failures, one partition window and one degraded
-/// link, all recovered by 60 % of the run so the tail measures recovery.
-fn churn_plan(scenario: &FleetScenario) -> FaultPlan {
-    let span = scenario.duration_secs as f64 * 1e9;
-    let at = |f: f64| Timestamp::from_nanos((f * span) as u64);
-    let lasting = |f: f64| Nanos::from_nanos((f * span) as u64);
-    let worker = |i: u32| i % scenario.workers.max(1);
-    let gpu = |g: u32| g % scenario.gpus_per_worker.max(1);
-    FaultPlan::new()
-        .crash_worker_for(at(0.20), worker(3), lasting(0.30))
-        .crash_worker_for(at(0.25), worker(11), lasting(0.30))
-        .fail_gpu_for(at(0.30), worker(0), gpu(1), lasting(0.30))
-        .fail_gpu_for(at(0.32), worker(5), gpu(2), lasting(0.26))
-        .fail_gpu_for(at(0.34), worker(8), gpu(0), lasting(0.24))
-        .fail_gpu_for(at(0.36), worker(14), gpu(3), lasting(0.22))
-        .partition(at(0.35), worker(7), lasting(0.10))
-        .degrade_link_for(at(0.40), worker(16), 4.0, lasting(0.15))
-}
-
-struct RunOutcome {
-    digest: u64,
-    metrics: ExperimentMetrics,
-    min_availability: f64,
-    final_availability: f64,
-    pre_goodput: u64,
-    pre_arrivals: u64,
-    churn_goodput: u64,
-    churn_arrivals: u64,
-    post_goodput: u64,
-    post_arrivals: u64,
-    recovery_secs: f64,
-    events: u64,
-    wall_secs: f64,
-    drained: bool,
-    mix: EventMix,
-    live_events: u64,
-}
-
-fn run_once(scenario: &FleetScenario, plan: &FaultPlan, max_events: u64) -> RunOutcome {
-    let trace = scenario.trace();
-    let mut system = scenario.build_system(plan.clone());
-    system.submit_trace(&trace);
-
-    let started = Instant::now();
-    system.run_until_events(scenario.horizon(), max_events);
-    let wall_secs = started.elapsed().as_secs_f64();
-
-    let telemetry = system.telemetry();
-    let first_fault = plan.first_at().unwrap_or(Timestamp::ZERO);
-    let last_recovery = plan.last_recovery_at().unwrap_or(first_fault);
-    let end = Timestamp::ZERO + scenario.duration();
-    let tick = Nanos::from_secs(1);
-
-    let pre_goodput = telemetry.goodput_between(Timestamp::ZERO, first_fault - tick);
-    let pre_arrivals = telemetry.arrivals_between(Timestamp::ZERO, first_fault - tick);
-    let churn_goodput = telemetry.goodput_between(first_fault, last_recovery - tick);
-    let churn_arrivals = telemetry.arrivals_between(first_fault, last_recovery - tick);
-    let post_goodput = telemetry.goodput_between(last_recovery, end);
-    let post_arrivals = telemetry.arrivals_between(last_recovery, end);
-
-    // Recovery time: from the last repair until a per-second bucket's
-    // goodput is back to >= STEADY_FRACTION of the requests that arrived in
-    // that bucket. The offered load is non-stationary, so steadiness is
-    // relative to arrivals rather than to an absolute pre-churn rate.
-    let goodput = &telemetry.goodput_series;
-    let arrivals = &telemetry.request_series;
-    let from_bucket = (last_recovery.as_nanos() / tick.as_nanos()) as usize;
-    let to_bucket = (end.as_nanos() / tick.as_nanos()) as usize;
-    let mut recovery_secs = -1.0;
-    for bucket in from_bucket..=to_bucket {
-        let offered = arrivals.count_at(bucket);
-        if offered == 0 {
-            continue;
-        }
-        if goodput.count_at(bucket) as f64 >= STEADY_FRACTION * offered as f64 {
-            let bucket_start = bucket as f64; // 1 s buckets
-            recovery_secs = (bucket_start - last_recovery.as_nanos() as f64 / 1e9).max(0.0);
-            break;
-        }
-    }
-
-    RunOutcome {
-        digest: telemetry.response_digest(),
-        min_availability: telemetry.min_availability(),
-        final_availability: telemetry.final_availability(),
-        metrics: telemetry.metrics(),
-        pre_goodput,
-        pre_arrivals,
-        churn_goodput,
-        churn_arrivals,
-        post_goodput,
-        post_arrivals,
-        recovery_secs,
-        events: system.events_processed(),
-        wall_secs,
-        drained: system.events_processed() < max_events,
-        mix: telemetry.event_mix().clone(),
-        live_events: system.pending_events(),
-    }
-}
-
 fn main() {
     let args = parse_args();
-    let scenario = FleetScenario {
-        seed: args.seed,
-        duration_secs: args.duration_secs,
-        ..Default::default()
-    };
-    let plan = churn_plan(&scenario);
+    // The chaos spec is the fleet spec plus a churn plan — duration first,
+    // so the scripted schedule scales with it.
+    let mut spec = ScenarioSpec::fleet_scale()
+        .named("chaos_fleet")
+        .with_seed(args.seed)
+        .with_duration_secs(args.duration_secs);
+    spec.faults = spec.scripted_churn();
+    let plan = spec.faults.clone();
     println!(
         "# chaos-fleet scenario: {} workers x {} GPUs, {} models, {}s, churn: {} worker crashes + {} GPU failures + {} partition(s) + {} degraded link(s)",
-        scenario.workers,
-        scenario.gpus_per_worker,
-        scenario.models,
-        scenario.duration_secs,
+        spec.workers,
+        spec.gpus_per_worker,
+        spec.models,
+        spec.duration_secs,
         plan.worker_crashes(),
         plan.gpu_failures(),
         plan.partitions(),
         plan.link_degradations(),
     );
 
-    let outcome = run_once(&scenario, &plan, args.max_events);
+    let experiment = Experiment::new(spec.clone());
+    let discipline = ClockworkFactory::default();
+    let report = experiment.run_capped(&discipline, args.max_events);
     let mut failed = false;
 
     if args.check_determinism {
-        let again = run_once(&scenario, &plan, args.max_events);
-        if again.digest != outcome.digest {
+        let again = experiment.run_capped(&discipline, args.max_events);
+        if again.digest() != report.digest() {
             eprintln!(
                 "DETERMINISM VIOLATION: same seed + same plan produced {:016x} then {:016x}",
-                outcome.digest, again.digest
+                report.digest(),
+                again.digest()
             );
             failed = true;
         } else {
             println!(
                 "# determinism: two same-seed runs agree ({:016x})",
-                outcome.digest
+                report.digest()
             );
         }
     }
     if let Some(expected) = args.expect_digest {
-        if expected != outcome.digest {
+        if expected != report.digest() {
             eprintln!(
                 "DIGEST MISMATCH: expected {expected:016x}, got {:016x}",
-                outcome.digest
+                report.digest()
             );
             failed = true;
         }
     }
 
-    let m = &outcome.metrics;
-    let rejected: u64 = m.rejections.values().sum();
-    let identity_ok = m.successes + rejected == m.total_requests;
-    if outcome.drained && !identity_ok {
-        eprintln!(
-            "ACCOUNTING VIOLATION: successes {} + rejected {} != total {}",
-            m.successes, rejected, m.total_requests
-        );
-        failed = true;
-    }
-    // Even an interrupted run must never answer a request twice.
-    if !outcome.drained && m.successes + rejected > m.total_requests {
-        eprintln!(
-            "DUPLICATE RESPONSES: successes {} + rejected {} > total {}",
-            m.successes, rejected, m.total_requests
-        );
-        failed = true;
-    }
-    // Goodput only counts on-time responses: nothing in the goodput latency
-    // histogram may exceed the SLO.
-    let slo = Nanos::from_millis(scenario.slo_ms);
-    if m.goodput > 0 && m.goodput_latency.max() > slo {
-        eprintln!(
-            "GOODPUT VIOLATION: a response counted as goodput took {} > SLO {}",
-            m.goodput_latency.max(),
-            slo
-        );
+    if !bench::check_chaos_invariants(&report.discipline, &report, &spec) {
         failed = true;
     }
 
-    let first_fault_secs = plan
-        .first_at()
-        .map(|t| t.as_nanos() as f64 / 1e9)
-        .unwrap_or(0.0);
-    let last_recovery_secs = plan
-        .last_recovery_at()
-        .map(|t| t.as_nanos() as f64 / 1e9)
-        .unwrap_or(0.0);
-    let pre_secs = first_fault_secs.max(1e-9);
-    let churn_secs = (last_recovery_secs - first_fault_secs).max(1e-9);
-    let post_secs = (scenario.duration_secs as f64 - last_recovery_secs).max(1e-9);
-    let pre_rate = outcome.pre_goodput as f64 / pre_secs;
-    let churn_rate = outcome.churn_goodput as f64 / churn_secs;
-    let post_rate = outcome.post_goodput as f64 / post_secs;
-    let phase_satisfaction =
-        |goodput: u64, arrivals: u64| goodput as f64 / (arrivals.max(1) as f64);
-    let pre_sat = phase_satisfaction(outcome.pre_goodput, outcome.pre_arrivals);
-    let churn_sat = phase_satisfaction(outcome.churn_goodput, outcome.churn_arrivals);
-    let post_sat = phase_satisfaction(outcome.post_goodput, outcome.post_arrivals);
-    // Retention compares satisfaction (goodput over offered load), which is
-    // meaningful even though the trace's offered rate varies over time.
-    let retention = if pre_sat > 0.0 {
-        churn_sat / pre_sat
-    } else {
-        0.0
-    };
-    let events_per_sec = if outcome.wall_secs > 0.0 {
-        outcome.events as f64 / outcome.wall_secs
-    } else {
-        0.0
-    };
+    let m = report.metrics();
+    let rejected = report.rejected();
+    let analysis = bench::analyze_chaos(&report, &spec);
+    let events_per_sec = report.events_per_sec();
 
     bench::section("chaos_fleet results");
     println!(
-        "requests={} successes={} rejected={} goodput={} identity_ok={}",
-        m.total_requests, m.successes, rejected, m.goodput, identity_ok
+        "discipline={} requests={} successes={} rejected={} goodput={} identity_ok={}",
+        report.discipline,
+        m.total_requests,
+        m.successes,
+        rejected,
+        m.goodput,
+        report.identity_ok()
     );
     println!(
-        "goodput_rps pre={pre_rate:.1} churn={churn_rate:.1} post={post_rate:.1}; satisfaction pre={pre_sat:.4} churn={churn_sat:.4} post={post_sat:.4} (churn retains {:.1}% of pre satisfaction)",
-        100.0 * retention
+        "goodput_rps pre={:.1} churn={:.1} post={:.1}; satisfaction pre={:.4} churn={:.4} post={:.4} (churn retains {:.1}% of pre satisfaction)",
+        analysis.pre.rate(),
+        analysis.churn.rate(),
+        analysis.post.rate(),
+        analysis.pre.satisfaction(),
+        analysis.churn.satisfaction(),
+        analysis.post.satisfaction(),
+        100.0 * analysis.retention()
     );
     println!(
         "availability min={:.4} final={:.4} recovery_secs={:.1}",
-        outcome.min_availability, outcome.final_availability, outcome.recovery_secs
+        analysis.min_availability, analysis.final_availability, analysis.recovery_secs
     );
     println!(
         "events={} wall_secs={:.2} events_per_sec={events_per_sec:.0} peak_rss_kb={}",
-        outcome.events,
-        outcome.wall_secs,
+        report.events_processed(),
+        report.wall_secs,
         bench::peak_rss_kb()
     );
-    println!("digest={:016x}", outcome.digest);
+    println!("digest={:016x}", report.digest());
 
     // Event-mix breakdown + conservation check; churn cancels wakes en
     // masse (crashed workers never act again), so the cancelled column is
     // part of the chaos story, not just perf hygiene.
-    if !bench::report_event_mix(&outcome.mix, outcome.live_events) {
+    let live = report.live_events();
+    if !bench::report_event_mix(report.event_mix(), live) {
         failed = true;
     }
-    let events_json = bench::event_mix_json(&outcome.mix, outcome.live_events);
+    let events_json = bench::event_mix_json(report.event_mix(), live);
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"scenario\": {{\n",
-            "    \"workers\": {workers},\n",
-            "    \"gpus_per_worker\": {gpus},\n",
-            "    \"models\": {models},\n",
-            "    \"functions\": {functions},\n",
-            "    \"duration_secs\": {duration},\n",
-            "    \"target_rate\": {rate},\n",
-            "    \"slo_ms\": {slo},\n",
-            "    \"seed\": {seed},\n",
-            "    \"max_events\": {max_events}\n",
-            "  }},\n",
+            "  \"scenario\": {scenario},\n",
+            "  \"discipline\": \"{discipline}\",\n",
             "  \"churn\": {{\n",
             "    \"worker_crashes\": {crashes},\n",
             "    \"gpu_failures\": {gpu_failures},\n",
@@ -370,53 +220,46 @@ fn main() {
             "  \"digest\": \"{digest:016x}\"\n",
             "}}\n",
         ),
-        workers = scenario.workers,
-        gpus = scenario.gpus_per_worker,
-        models = scenario.models,
-        functions = scenario.functions,
-        duration = scenario.duration_secs,
-        rate = scenario.target_rate,
-        slo = scenario.slo_ms,
-        seed = args.seed,
-        max_events = if args.max_events == u64::MAX { 0 } else { args.max_events },
+        scenario = bench::scenario_json(&spec, args.max_events),
+        discipline = report.discipline,
         crashes = plan.worker_crashes(),
         gpu_failures = plan.gpu_failures(),
         partitions = plan.partitions(),
         degradations = plan.link_degradations(),
-        first_fault = first_fault_secs,
-        last_recovery = last_recovery_secs,
-        pre_secs = pre_secs,
-        pre_arrivals = outcome.pre_arrivals,
-        pre_goodput = outcome.pre_goodput,
-        pre_rate = pre_rate,
-        pre_sat = pre_sat,
-        churn_secs = churn_secs,
-        churn_arrivals = outcome.churn_arrivals,
-        churn_goodput = outcome.churn_goodput,
-        churn_rate = churn_rate,
-        churn_sat = churn_sat,
-        post_secs = post_secs,
-        post_arrivals = outcome.post_arrivals,
-        post_goodput = outcome.post_goodput,
-        post_rate = post_rate,
-        post_sat = post_sat,
-        retention = retention,
-        avail_min = outcome.min_availability,
-        avail_final = outcome.final_availability,
-        recovery = outcome.recovery_secs,
-        steady = STEADY_FRACTION,
+        first_fault = analysis.first_fault_secs,
+        last_recovery = analysis.last_recovery_secs,
+        pre_secs = analysis.pre.secs,
+        pre_arrivals = analysis.pre.arrivals,
+        pre_goodput = analysis.pre.goodput,
+        pre_rate = analysis.pre.rate(),
+        pre_sat = analysis.pre.satisfaction(),
+        churn_secs = analysis.churn.secs,
+        churn_arrivals = analysis.churn.arrivals,
+        churn_goodput = analysis.churn.goodput,
+        churn_rate = analysis.churn.rate(),
+        churn_sat = analysis.churn.satisfaction(),
+        post_secs = analysis.post.secs,
+        post_arrivals = analysis.post.arrivals,
+        post_goodput = analysis.post.goodput,
+        post_rate = analysis.post.rate(),
+        post_sat = analysis.post.satisfaction(),
+        retention = analysis.retention(),
+        avail_min = analysis.min_availability,
+        avail_final = analysis.final_availability,
+        recovery = analysis.recovery_secs,
+        steady = bench::STEADY_FRACTION,
         total = m.total_requests,
         successes = m.successes,
         rejected = rejected,
         goodput = m.goodput,
-        identity_ok = identity_ok,
-        drained = outcome.drained,
-        events = outcome.events,
-        wall = outcome.wall_secs,
+        identity_ok = report.identity_ok(),
+        drained = report.drained(),
+        events = report.events_processed(),
+        wall = report.wall_secs,
         eps = events_per_sec,
         rss = bench::peak_rss_kb(),
         events_json = events_json,
-        digest = outcome.digest,
+        digest = report.digest(),
     );
     std::fs::write(&args.out, &json).expect("write results json");
     println!("# wrote {}", args.out);

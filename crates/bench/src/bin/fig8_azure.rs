@@ -13,42 +13,55 @@ use std::collections::HashSet;
 use clockwork::prelude::*;
 
 fn main() {
-    let zoo = ModelZoo::new();
     let minutes = 8u64;
-    let config = AzureTraceConfig {
-        functions: 800,
+    // The whole experiment is one declarative spec: 6 workers, 200 model
+    // instances cycling through the zoo varieties (the same heterogeneity as
+    // the paper's 61 x 66 instances), an 8-minute Azure-like trace.
+    let spec = ScenarioSpec {
+        name: "fig8_azure".to_string(),
+        workers: 6,
+        gpus_per_worker: 1,
         models: 200,
-        duration: Nanos::from_minutes(minutes),
-        target_rate: 800.0,
-        slo: Nanos::from_millis(100),
-        seed: 8,
+        model_set: ModelSet::ZooCycle,
+        workload: WorkloadSpec::Azure {
+            functions: 800,
+            target_rate: 800.0,
+        },
+        slo_ms: 100,
+        duration_secs: minutes * 60,
+        drain_secs: 2,
+        seed: 88,
+        workload_seed: 8,
+        variance: VarianceConfig::none(),
+        keep_responses: false,
+        faults: FaultPlan::new(),
     };
-    let generator = AzureTraceGenerator::new(config);
-    let trace = generator.generate();
+    // The generator is rebuilt from the spec's own workload parameters so
+    // the function-to-model mapping reported below can never diverge from
+    // the workload the experiment actually ran.
+    let WorkloadSpec::Azure {
+        functions,
+        target_rate,
+    } = spec.workload
+    else {
+        unreachable!("fig8 is an Azure-trace experiment");
+    };
+    let generator = AzureTraceGenerator::new(AzureTraceConfig {
+        functions,
+        models: spec.models,
+        duration: spec.duration(),
+        target_rate,
+        slo: spec.slo(),
+        seed: spec.workload_seed,
+    });
+
+    let report = Experiment::new(spec.clone()).run(&ClockworkFactory::default());
     println!(
-        "# azure-like trace: {} requests, {} model instances, {} functions, {} min",
-        trace.len(),
-        config.models,
-        config.functions,
-        minutes
+        "# azure-like trace: {} requests, {} model instances, {} min (discipline: {})",
+        report.submitted, spec.models, minutes, report.discipline
     );
 
-    let mut system = SystemBuilder::new()
-        .workers(6)
-        .seed(88)
-        .drop_raw_responses()
-        .build();
-    // Register `models` instances cycling through the 61 zoo varieties, the
-    // same heterogeneity as the paper's 61 x 66 instances.
-    let varieties = zoo.all();
-    for i in 0..config.models {
-        let spec = &varieties[i % varieties.len()];
-        system.register_model(spec);
-    }
-    system.submit_trace(&trace);
-    system.run_until(Timestamp::ZERO + config.duration + Nanos::from_secs(2));
-
-    let tel = system.telemetry();
+    let tel = report.telemetry();
     bench::section("Fig 8 (a)-(e): per-minute series");
     println!("minute,throughput_rps,goodput_rps,mean_batch,cold_start_rps");
     for minute in 0..minutes as usize {

@@ -34,35 +34,35 @@ fn error_summary(label: &str, errors_us: &[f64]) {
 }
 
 fn main() {
-    let zoo = ModelZoo::new();
+    // A tuned Clockwork factory — the registry pattern for configuring a
+    // discipline beyond its defaults.
     let scheduler_config = clockwork_controller::ClockworkSchedulerConfig {
         record_predictions: true,
         ..Default::default()
     };
+    let factory = ClockworkFactory::new(scheduler_config);
 
-    let config = AzureTraceConfig {
-        functions: 400,
+    let spec = ScenarioSpec {
+        name: "fig9_prediction_error".to_string(),
+        workers: 6,
+        gpus_per_worker: 1,
         models: 120,
-        duration: Nanos::from_minutes(5),
-        target_rate: 800.0,
-        slo: Nanos::from_millis(100),
-        seed: 9,
+        model_set: ModelSet::ZooCycle,
+        workload: WorkloadSpec::Azure {
+            functions: 400,
+            target_rate: 800.0,
+        },
+        slo_ms: 100,
+        duration_secs: 5 * 60,
+        drain_secs: 2,
+        seed: 99,
+        workload_seed: 9,
+        variance: VarianceConfig::default(),
+        keep_responses: false,
+        faults: FaultPlan::new(),
     };
-    let trace = AzureTraceGenerator::new(config).generate();
-
-    let mut system = SystemBuilder::new()
-        .workers(6)
-        .scheduler(SchedulerKind::Clockwork(scheduler_config))
-        .variance(VarianceConfig::default())
-        .seed(99)
-        .drop_raw_responses()
-        .build();
-    let varieties = zoo.all();
-    for i in 0..config.models {
-        system.register_model(&varieties[i % varieties.len()]);
-    }
-    system.submit_trace(&trace);
-    system.run_until(Timestamp::ZERO + config.duration + Nanos::from_secs(2));
+    let report = Experiment::new(spec).run(&factory);
+    let system = &report.system;
 
     let predictions: Vec<PredictionRecord> = system
         .clockwork_scheduler()
@@ -70,9 +70,10 @@ fn main() {
         .predictions()
         .to_vec();
     println!(
-        "# {} predictions recorded from {} requests",
+        "# {} predictions recorded from {} requests (discipline: {})",
         predictions.len(),
-        trace.len()
+        report.submitted,
+        report.discipline
     );
 
     bench::section("Fig 9 (top): action duration prediction error (microseconds)");

@@ -8,13 +8,14 @@
 //! wall-clock events per second — alongside the usual serving metrics
 //! (goodput, SLO violation rate) and a peak-RSS proxy. Results are written
 //! to `BENCH_fleet.json` at the repo root; CI's `perf-smoke` job replays a
-//! fixed-work prefix (`--events 2000000`) and fails the build if events/sec
+//! fixed-work prefix (`--events 500000`) and fails the build if events/sec
 //! regresses more than 30 % below the checked-in baseline
 //! (`crates/bench/baseline/BENCH_fleet.json`).
 //!
-//! The scenario itself lives in [`bench::FleetScenario`], shared with the
-//! `chaos_fleet` harness so a chaos run differs from this one only by its
-//! fault plan.
+//! The scenario itself is `ScenarioSpec::fleet_scale()`, shared with the
+//! `chaos_fleet` and `chaos_compare` harnesses so a chaos run differs from
+//! this one only by its fault plan; `Experiment::run` owns the whole
+//! build/submit/run loop.
 //!
 //! The run is deterministic: the telemetry layer folds every response into
 //! an order-sensitive FNV-1a digest, and two runs with the same seed must
@@ -27,9 +28,6 @@
 //!     [--events N] [--out PATH] [--baseline PATH] [--seed N] [--expect-digest HEX]
 //! ```
 
-use std::time::Instant;
-
-use bench::FleetScenario;
 use clockwork::prelude::*;
 
 /// Maximum tolerated drop of events/sec below the baseline (CI gate).
@@ -76,19 +74,14 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let scenario = FleetScenario {
-        seed: args.seed,
-        ..Default::default()
-    };
-    let trace = scenario.trace();
+    let spec = ScenarioSpec::fleet_scale().with_seed(args.seed);
     let smoke = args.max_events != u64::MAX;
     println!(
-        "# fleet-scale scenario: {} workers x {} GPUs, {} models, {} requests over {}s{}",
-        scenario.workers,
-        scenario.gpus_per_worker,
-        scenario.models,
-        trace.len(),
-        scenario.duration_secs,
+        "# fleet-scale scenario: {} workers x {} GPUs, {} models over {}s{}",
+        spec.workers,
+        spec.gpus_per_worker,
+        spec.models,
+        spec.duration_secs,
         if smoke {
             format!(" (smoke: first {} events)", args.max_events)
         } else {
@@ -96,27 +89,22 @@ fn main() {
         }
     );
 
-    let mut system = scenario.build_system(FaultPlan::new());
-    system.submit_trace(&trace);
+    let report =
+        Experiment::new(spec.clone()).run_capped(&ClockworkFactory::default(), args.max_events);
 
-    let started = Instant::now();
-    system.run_until_events(scenario.horizon(), args.max_events);
-    let wall_secs = started.elapsed().as_secs_f64();
-
-    let events = system.events_processed();
-    let events_per_sec = if wall_secs > 0.0 {
-        events as f64 / wall_secs
-    } else {
-        0.0
-    };
-    let digest = system.telemetry().response_digest();
-    let m = system.telemetry().metrics();
+    let events = report.events_processed();
+    let events_per_sec = report.events_per_sec();
+    let wall_secs = report.wall_secs;
+    let digest = report.digest();
+    let m = report.metrics();
     let slo_violation_rate = 1.0 - m.satisfaction();
     let rss_kb = bench::peak_rss_kb();
 
     bench::section("fleet_scale results");
     println!(
-        "requests={} goodput={} goodput_rps={:.1} slo_violation_rate={:.4} p50_ms={:.2} p99_ms={:.2}",
+        "discipline={} submitted={} requests={} goodput={} goodput_rps={:.1} slo_violation_rate={:.4} p50_ms={:.2} p99_ms={:.2}",
+        report.discipline,
+        report.submitted,
         m.total_requests,
         m.goodput,
         m.goodput_rate(),
@@ -132,22 +120,29 @@ fn main() {
     // Event-mix breakdown + conservation check: a wake-amplification
     // regression shows up here as worker_wake dominating `delivered`, and a
     // missing cancel shows up as a conservation violation.
-    let mix = system.telemetry().event_mix().clone();
-    let live = system.pending_events();
+    let mix = report.event_mix().clone();
+    let live = report.live_events();
     let mix_ok = bench::report_event_mix(&mix, live);
     let events_json = bench::event_mix_json(&mix, live);
 
     let json = format!(
-        "{{\n  \"scenario\": {{\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"events\": {events_json},\n  \"digest\": \"{digest:016x}\"\n}}\n",
-        workers = scenario.workers,
-        gpus = scenario.gpus_per_worker,
-        models = scenario.models,
-        functions = scenario.functions,
-        duration = scenario.duration_secs,
-        rate = scenario.target_rate,
-        slo = scenario.slo_ms,
+        "{{\n  \"scenario\": {{\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"discipline\": \"{discipline}\",\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"events\": {events_json},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+        workers = spec.workers,
+        gpus = spec.gpus_per_worker,
+        models = spec.models,
+        functions = match spec.workload {
+            WorkloadSpec::Azure { functions, .. } => functions,
+            _ => 0,
+        },
+        duration = spec.duration_secs,
+        rate = match spec.workload {
+            WorkloadSpec::Azure { target_rate, .. } => target_rate,
+            _ => 0.0,
+        },
+        slo = spec.slo_ms,
         seed = args.seed,
         max_events = if smoke { args.max_events } else { 0 },
+        discipline = report.discipline,
         requests = m.total_requests,
         goodput = m.goodput,
         goodput_rps = m.goodput_rate(),

@@ -10,30 +10,28 @@
 
 use clockwork::prelude::*;
 
-fn run(slo: Nanos) -> (f64, u64, u64, f64, f64, f64) {
-    let zoo = ModelZoo::new();
-    let config = AzureTraceConfig {
-        functions: 600,
+fn run(slo_ms: u64) -> (f64, u64, u64, f64, f64, f64) {
+    let spec = ScenarioSpec {
+        name: "table_scale".to_string(),
+        workers: 10,
+        gpus_per_worker: 2,
         models: 150,
-        duration: Nanos::from_minutes(4),
-        target_rate: 1_500.0,
-        slo,
-        seed: 65,
+        model_set: ModelSet::ZooCycle,
+        workload: WorkloadSpec::Azure {
+            functions: 600,
+            target_rate: 1_500.0,
+        },
+        slo_ms,
+        duration_secs: 4 * 60,
+        drain_secs: 2,
+        seed: 650,
+        workload_seed: 65,
+        variance: VarianceConfig::none(),
+        keep_responses: false,
+        faults: FaultPlan::new(),
     };
-    let trace = AzureTraceGenerator::new(config).generate();
-    let mut system = SystemBuilder::new()
-        .workers(10)
-        .gpus_per_worker(2)
-        .seed(650)
-        .drop_raw_responses()
-        .build();
-    let varieties = zoo.all();
-    for i in 0..config.models {
-        system.register_model(&varieties[i % varieties.len()]);
-    }
-    system.submit_trace(&trace);
-    system.run_until(Timestamp::ZERO + config.duration + Nanos::from_secs(2));
-    let m = system.telemetry().metrics();
+    let report = Experiment::new(spec).run(&ClockworkFactory::default());
+    let m = report.metrics();
     let missed_after_admission = m.successes - m.goodput;
     let rejected: u64 = m.rejections.values().sum();
     (
@@ -52,7 +50,7 @@ fn main() {
         "slo_ms,goodput_rps,missed_slo_after_admission,rejected_upfront,p50_ms,p9999_ms,max_ms"
     );
     for slo_ms in [100u64, 25] {
-        let (goodput, missed, rejected, p50, p9999, max) = run(Nanos::from_millis(slo_ms));
+        let (goodput, missed, rejected, p50, p9999, max) = run(slo_ms);
         println!("{slo_ms},{goodput:.0},{missed},{rejected},{p50:.2},{p9999:.2},{max:.2}");
     }
     println!("# paper: 100 ms -> 6174 r/s, 0 missed, P50 6.28 ms, P99.99 49.92 ms");

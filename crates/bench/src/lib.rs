@@ -1,9 +1,13 @@
 //! Shared helpers for the experiment binaries and Criterion benches.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md for the index and EXPERIMENTS.md for measured results). The
-//! helpers here keep the binaries small: building systems for a scenario,
-//! running a workload, and printing result rows as CSV.
+//! (see DESIGN.md for the index and EXPERIMENTS.md for measured results).
+//! Since the experiment-API redesign the heavy lifting lives in the facade:
+//! a declarative [`ScenarioSpec`] describes the experiment, a
+//! [`SchedulerRegistry`] names the disciplines, and [`Experiment::run`] owns
+//! the build/submit/run loop. What remains here is reporting: summary rows,
+//! chaos-phase analysis shared by `chaos_fleet` and `chaos_compare`, the
+//! event-mix printer, and the `BENCH_*.json` plumbing.
 
 use clockwork::prelude::*;
 
@@ -54,6 +58,11 @@ impl RunSummary {
         }
     }
 
+    /// Builds a summary from an [`Experiment`] run report.
+    pub fn from_report(label: impl Into<String>, report: &RunReport) -> Self {
+        RunSummary::from_system(label, &report.system)
+    }
+
     /// The CSV header matching [`RunSummary::csv_row`].
     pub fn csv_header() -> &'static str {
         "label,total,goodput,goodput_rps,satisfaction,p50_ms,p99_ms,p9999_ms,max_ms,cold_fraction,mean_batch"
@@ -78,26 +87,11 @@ impl RunSummary {
     }
 }
 
-/// Builds a system with `copies` instances of ResNet50 and a given scheduler,
-/// the configuration of the Fig. 5 comparison.
-pub fn resnet_system(
-    kind: SchedulerKind,
-    workers: u32,
-    copies: usize,
-    seed: u64,
-) -> (ServingSystem, Vec<ModelId>) {
-    let zoo = ModelZoo::new();
-    let mut system = SystemBuilder::new()
-        .workers(workers)
-        .scheduler(kind)
-        .seed(seed)
-        .build();
-    let models = system.register_copies(zoo.resnet50(), copies);
-    (system, models)
-}
-
 /// Runs a closed-loop workload (the §6.1 setup: `concurrency` requests in
-/// flight per model) against a system for a virtual duration.
+/// flight per model) against a system for a virtual duration. Used by the
+/// binaries whose workload mixes ad-hoc traffic on top of a trace; pure
+/// closed-loop scenarios express this as [`WorkloadSpec::ClosedLoop`]
+/// instead.
 pub fn run_closed_loop(
     system: &mut ServingSystem,
     models: &[ModelId],
@@ -121,88 +115,166 @@ pub fn section(title: &str) {
     println!("## {title}");
 }
 
-/// The fleet-scale scenario shared by the `fleet_scale` perf harness and the
-/// `chaos_fleet` chaos harness: 20 workers × 4 GPUs, 200 model instances
-/// cycling through the Appendix A zoo, and an open-loop Azure-derived trace.
-/// Both binaries build the same cluster from the same knobs so the chaos run
-/// differs from the perf run *only* by its fault plan.
-#[derive(Clone, Debug)]
-pub struct FleetScenario {
-    /// Number of worker machines.
-    pub workers: u32,
-    /// GPUs per worker.
-    pub gpus_per_worker: u32,
-    /// Model instances registered (cycling through the zoo).
-    pub models: usize,
-    /// Azure-like function workloads mapped onto the models.
-    pub functions: usize,
-    /// Virtual duration of the trace in seconds.
-    pub duration_secs: u64,
-    /// Aggregate request rate in requests/second.
-    pub target_rate: f64,
-    /// Per-request latency SLO in milliseconds.
-    pub slo_ms: u64,
-    /// Workload + system seed.
-    pub seed: u64,
+/// Per-second goodput/arrivals fraction that counts as "recovered" in the
+/// chaos analyses.
+pub const STEADY_FRACTION: f64 = 0.9;
+
+/// One phase (pre-churn / churn / post-churn) of a chaos run.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseStats {
+    /// Phase length in virtual seconds.
+    pub secs: f64,
+    /// Requests that arrived during the phase.
+    pub arrivals: u64,
+    /// SLO-met responses during the phase.
+    pub goodput: u64,
 }
 
-impl Default for FleetScenario {
-    fn default() -> Self {
-        FleetScenario {
-            workers: 20,
-            gpus_per_worker: 4,
-            models: 200,
-            functions: 800,
-            duration_secs: 120,
-            target_rate: 1_500.0,
-            slo_ms: 100,
-            seed: 2020,
+impl PhaseStats {
+    /// Goodput rate over the phase, in requests/second.
+    pub fn rate(&self) -> f64 {
+        self.goodput as f64 / self.secs.max(1e-9)
+    }
+
+    /// Goodput over offered load — satisfaction that is meaningful even
+    /// though the Azure-like offered rate is non-stationary.
+    pub fn satisfaction(&self) -> f64 {
+        self.goodput as f64 / (self.arrivals.max(1) as f64)
+    }
+}
+
+/// The chaos figures shared by `chaos_fleet` and `chaos_compare`: phase
+/// breakdown around the fault window, the availability floor, and the
+/// recovery time from the last repair until goodput tracks offered load.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosAnalysis {
+    /// When the first fault fires, in virtual seconds.
+    pub first_fault_secs: f64,
+    /// When the last recovery lands, in virtual seconds.
+    pub last_recovery_secs: f64,
+    /// Before the first fault.
+    pub pre: PhaseStats,
+    /// Between first fault and last recovery.
+    pub churn: PhaseStats,
+    /// After the last recovery.
+    pub post: PhaseStats,
+    /// Minimum fleet availability observed across the run.
+    pub min_availability: f64,
+    /// Fleet availability after the last fault event.
+    pub final_availability: f64,
+    /// Seconds from the last repair until a per-second bucket's goodput is
+    /// back to ≥ [`STEADY_FRACTION`] of that bucket's arrivals (−1.0 when
+    /// steady goodput is never reached within the run).
+    pub recovery_secs: f64,
+}
+
+impl ChaosAnalysis {
+    /// Churn-phase satisfaction retained relative to the pre-churn phase.
+    pub fn retention(&self) -> f64 {
+        let pre = self.pre.satisfaction();
+        if pre > 0.0 {
+            self.churn.satisfaction() / pre
+        } else {
+            0.0
         }
     }
 }
 
-impl FleetScenario {
-    /// The trace duration in virtual time.
-    pub fn duration(&self) -> Nanos {
-        Nanos::from_secs(self.duration_secs)
-    }
+/// Computes the chaos phase/availability/recovery analysis of a finished
+/// run against the scenario's fault plan.
+pub fn analyze_chaos(report: &RunReport, spec: &ScenarioSpec) -> ChaosAnalysis {
+    let telemetry = report.telemetry();
+    let plan = &spec.faults;
+    let first_fault = plan.first_at().unwrap_or(Timestamp::ZERO);
+    let last_recovery = plan.last_recovery_at().unwrap_or(first_fault);
+    let end = Timestamp::ZERO + spec.duration();
+    let tick = Nanos::from_secs(1);
 
-    /// The virtual horizon a run should be driven to: the trace duration
-    /// plus slack for in-flight tails to resolve.
-    pub fn horizon(&self) -> Timestamp {
-        Timestamp::ZERO + self.duration() + Nanos::from_secs(2)
-    }
+    let phase = |from: Timestamp, to: Timestamp, secs: f64| PhaseStats {
+        secs: secs.max(1e-9),
+        arrivals: telemetry.arrivals_between(from, to),
+        goodput: telemetry.goodput_between(from, to),
+    };
+    let first_fault_secs = first_fault.as_nanos() as f64 / 1e9;
+    let last_recovery_secs = last_recovery.as_nanos() as f64 / 1e9;
+    let pre = phase(Timestamp::ZERO, first_fault - tick, first_fault_secs);
+    let churn = phase(
+        first_fault,
+        last_recovery - tick,
+        last_recovery_secs - first_fault_secs,
+    );
+    let post = phase(
+        last_recovery,
+        end,
+        spec.duration_secs as f64 - last_recovery_secs,
+    );
 
-    /// Generates the scenario's Azure-derived open-loop trace.
-    pub fn trace(&self) -> Trace {
-        AzureTraceGenerator::new(AzureTraceConfig {
-            functions: self.functions,
-            models: self.models,
-            duration: self.duration(),
-            target_rate: self.target_rate,
-            slo: Nanos::from_millis(self.slo_ms),
-            seed: self.seed,
-        })
-        .generate()
-    }
-
-    /// Builds the cluster with the scenario's models registered and an
-    /// optional fault plan installed. The caller submits the trace.
-    pub fn build_system(&self, faults: FaultPlan) -> ServingSystem {
-        let zoo = ModelZoo::new();
-        let mut system = SystemBuilder::new()
-            .workers(self.workers)
-            .gpus_per_worker(self.gpus_per_worker)
-            .seed(self.seed)
-            .drop_raw_responses()
-            .faults(faults)
-            .build();
-        let varieties = zoo.all();
-        for i in 0..self.models {
-            system.register_model(&varieties[i % varieties.len()]);
+    // Recovery time: from the last repair until a per-second bucket's
+    // goodput is back to >= STEADY_FRACTION of the requests that arrived in
+    // that bucket. The offered load is non-stationary, so steadiness is
+    // relative to arrivals rather than to an absolute pre-churn rate.
+    let goodput = &telemetry.goodput_series;
+    let arrivals = &telemetry.request_series;
+    let from_bucket = (last_recovery.as_nanos() / tick.as_nanos()) as usize;
+    let to_bucket = (end.as_nanos() / tick.as_nanos()) as usize;
+    let mut recovery_secs = -1.0;
+    for bucket in from_bucket..=to_bucket {
+        let offered = arrivals.count_at(bucket);
+        if offered == 0 {
+            continue;
         }
-        system
+        if goodput.count_at(bucket) as f64 >= STEADY_FRACTION * offered as f64 {
+            let bucket_start = bucket as f64; // 1 s buckets
+            recovery_secs = (bucket_start - last_recovery.as_nanos() as f64 / 1e9).max(0.0);
+            break;
+        }
     }
+
+    ChaosAnalysis {
+        first_fault_secs,
+        last_recovery_secs,
+        pre,
+        churn,
+        post,
+        min_availability: telemetry.min_availability(),
+        final_availability: telemetry.final_availability(),
+        recovery_secs,
+    }
+}
+
+/// The invariants every chaos run must keep, discipline-independent. Prints
+/// a loud line per violation and returns `false` if any failed; the chaos
+/// binaries fold this into their exit status so CI fails on it.
+pub fn check_chaos_invariants(label: &str, report: &RunReport, spec: &ScenarioSpec) -> bool {
+    let m = report.metrics();
+    let rejected = report.rejected();
+    let mut ok = true;
+    if report.drained() && !report.identity_ok() {
+        eprintln!(
+            "[{label}] ACCOUNTING VIOLATION: successes {} + rejected {} != total {}",
+            m.successes, rejected, m.total_requests
+        );
+        ok = false;
+    }
+    // Even an interrupted run must never answer a request twice.
+    if report.overdelivered() {
+        eprintln!(
+            "[{label}] DUPLICATE RESPONSES: successes {} + rejected {} > total {}",
+            m.successes, rejected, m.total_requests
+        );
+        ok = false;
+    }
+    // Goodput only counts on-time responses: nothing in the goodput latency
+    // histogram may exceed the SLO.
+    if m.goodput > 0 && m.goodput_latency.max() > spec.slo() {
+        eprintln!(
+            "[{label}] GOODPUT VIOLATION: a response counted as goodput took {} > SLO {}",
+            m.goodput_latency.max(),
+            spec.slo()
+        );
+        ok = false;
+    }
+    ok
 }
 
 /// Prints the event-mix summary (pushed/delivered/cancelled per event kind,
@@ -269,6 +341,31 @@ pub fn event_mix_json(mix: &EventMix, live: u64) -> String {
     )
 }
 
+/// Renders a [`ScenarioSpec`] as the `"scenario"` object shared by the
+/// `BENCH_*.json` schemas. `max_events` is 0 for uncapped (full) runs.
+pub fn scenario_json(spec: &ScenarioSpec, max_events: u64) -> String {
+    let (functions, target_rate) = match spec.workload {
+        WorkloadSpec::Azure {
+            functions,
+            target_rate,
+        } => (functions, target_rate),
+        WorkloadSpec::OpenLoop { rate_per_model } => (0, rate_per_model * spec.models as f64),
+        WorkloadSpec::ClosedLoop { .. } => (0, 0.0),
+    };
+    format!(
+        "{{\n    \"name\": \"{name}\",\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"max_events\": {max_events}\n  }}",
+        name = spec.name,
+        workers = spec.workers,
+        gpus = spec.gpus_per_worker,
+        models = spec.models,
+        duration = spec.duration_secs,
+        rate = target_rate,
+        slo = spec.slo_ms,
+        seed = spec.seed,
+        max_events = if max_events == u64::MAX { 0 } else { max_events },
+    )
+}
+
 /// Peak resident-set size in kilobytes, read from `/proc/self/status`
 /// (`VmHWM`). Returns 0 where the proc filesystem is unavailable — the field
 /// is a proxy for memory footprint, not a portable measurement.
@@ -306,38 +403,44 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fleet_scenario_builds_and_generates_deterministic_traces() {
-        let scenario = FleetScenario {
+    fn chaos_analysis_and_invariants_on_a_tiny_chaos_run() {
+        let mut spec = ScenarioSpec {
             workers: 2,
             gpus_per_worker: 1,
             models: 4,
-            functions: 8,
-            duration_secs: 2,
-            target_rate: 50.0,
-            ..Default::default()
-        };
-        let a = scenario.trace();
-        let b = scenario.trace();
-        assert_eq!(a.len(), b.len(), "trace generation must be deterministic");
-        assert!(!a.is_empty());
-        let system = scenario.build_system(FaultPlan::new());
-        assert_eq!(system.config().workers, 2);
-        assert_eq!(system.config().gpus_per_worker, 1);
+            duration_secs: 5,
+            ..ScenarioSpec::smoke(5)
+        }
+        .named("tiny_chaos");
+        spec.faults =
+            FaultPlan::new().crash_worker_for(Timestamp::from_secs(1), 1, Nanos::from_secs(1));
+        let report = Experiment::new(spec.clone()).run(&ClockworkFactory::default());
+        assert!(check_chaos_invariants("tiny", &report, &spec));
+        let analysis = analyze_chaos(&report, &spec);
+        assert!((analysis.first_fault_secs - 1.0).abs() < 1e-9);
+        assert!((analysis.last_recovery_secs - 2.0).abs() < 1e-9);
+        assert!(analysis.min_availability <= 0.5 + 1e-9);
+        assert!(analysis.final_availability > 0.99);
+        assert!(analysis.pre.arrivals > 0);
+        assert!(analysis.retention() > 0.0);
         assert_eq!(json_number("{\"a\": 42.5, \"b\": 1}", "a"), Some(42.5));
         assert_eq!(json_number("{\"a\": 1}", "missing"), None);
     }
 
     #[test]
-    fn resnet_system_and_summary_round_trip() {
-        let (mut system, models) = resnet_system(SchedulerKind::default(), 1, 2, 1);
-        run_closed_loop(
-            &mut system,
-            &models,
-            4,
-            Nanos::from_millis(100),
-            Nanos::from_millis(500),
-        );
-        let summary = RunSummary::from_system("smoke", &system);
+    fn summary_round_trips_from_a_report() {
+        let spec = ScenarioSpec {
+            workers: 1,
+            gpus_per_worker: 1,
+            models: 2,
+            model_set: ModelSet::Resnet50Copies,
+            workload: WorkloadSpec::ClosedLoop { concurrency: 4 },
+            duration_secs: 1,
+            drain_secs: 0,
+            ..ScenarioSpec::smoke(1)
+        };
+        let report = Experiment::new(spec).run(&ClockworkFactory::default());
+        let summary = RunSummary::from_report("smoke", &report);
         assert!(summary.total > 0);
         assert!(summary.satisfaction > 0.5);
         assert!(summary.csv_row().starts_with("smoke,"));

@@ -1,41 +1,52 @@
 //! Integration tests comparing serving disciplines on the same substrate.
+//!
+//! These lived in the facade crate while it still linked the baselines;
+//! since the registry inversion the facade only knows the `Scheduler` trait,
+//! so the cross-discipline suites live here, where every discipline crate is
+//! in scope. The scenario is declarative: one `ScenarioSpec`, every
+//! discipline, via `Experiment::run`.
 
 use clockwork::prelude::*;
-use clockwork_baselines::{ClipperConfig, InfaasConfig};
+use clockwork_baselines::{ClipperFactory, InfaasFactory};
+
+fn closed_loop_spec(copies: usize, slo_ms: u64, seconds: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "baseline_integration".to_string(),
+        workers: 1,
+        gpus_per_worker: 1,
+        models: copies,
+        model_set: ModelSet::Resnet50Copies,
+        workload: WorkloadSpec::ClosedLoop { concurrency: 16 },
+        slo_ms,
+        duration_secs: seconds,
+        drain_secs: 0,
+        keep_responses: false,
+        ..ScenarioSpec::smoke(300)
+    }
+}
 
 fn run_closed_loop(
-    kind: SchedulerKind,
+    factory: &dyn SchedulerFactory,
     copies: usize,
     slo_ms: u64,
     seconds: u64,
 ) -> ExperimentMetrics {
-    let zoo = ModelZoo::new();
-    let mut system = SystemBuilder::new()
-        .scheduler(kind)
-        .seed(300)
-        .drop_raw_responses()
-        .build();
-    let ids = system.register_copies(zoo.resnet50(), copies);
-    for (i, &m) in ids.iter().enumerate() {
-        system.add_closed_loop_client(
-            ClosedLoopClient::new(m, 16, Nanos::from_millis(slo_ms)),
-            Timestamp::from_millis(i as u64),
-        );
-    }
-    system.run_until(Timestamp::from_secs(seconds));
-    system.telemetry().metrics()
+    Experiment::new(closed_loop_spec(copies, slo_ms, seconds))
+        .run(factory)
+        .metrics()
 }
 
 #[test]
 fn all_disciplines_serve_a_light_workload() {
-    for kind in [
-        SchedulerKind::default(),
-        SchedulerKind::Fifo,
-        SchedulerKind::Clipper(ClipperConfig::default()),
-        SchedulerKind::Infaas(InfaasConfig::default()),
-    ] {
-        let label = kind.label();
-        let m = run_closed_loop(kind, 2, 500, 3);
+    let mut registry = SchedulerRegistry::builtin();
+    clockwork_baselines::register_baselines(&mut registry);
+    assert_eq!(
+        registry.names(),
+        vec!["clockwork", "fifo", "clipper", "infaas"]
+    );
+    for factory in registry.iter() {
+        let label = factory.name();
+        let m = run_closed_loop(factory, 2, 500, 3);
         assert!(m.successes > 500, "{label}: successes {}", m.successes);
         assert!(
             m.satisfaction() > 0.5,
@@ -49,9 +60,9 @@ fn all_disciplines_serve_a_light_workload() {
 fn clockwork_beats_baselines_at_tight_slos() {
     // The Fig. 5 headline: below ~100 ms SLO the reactive baselines' goodput
     // collapses while Clockwork keeps serving.
-    let clockwork = run_closed_loop(SchedulerKind::default(), 15, 50, 8);
-    let clipper = run_closed_loop(SchedulerKind::Clipper(ClipperConfig::default()), 15, 50, 8);
-    let infaas = run_closed_loop(SchedulerKind::Infaas(InfaasConfig::default()), 15, 50, 8);
+    let clockwork = run_closed_loop(&ClockworkFactory::default(), 15, 50, 8);
+    let clipper = run_closed_loop(&ClipperFactory::default(), 15, 50, 8);
+    let infaas = run_closed_loop(&InfaasFactory::default(), 15, 50, 8);
     assert!(
         clockwork.goodput_rate() > clipper.goodput_rate(),
         "clockwork {} vs clipper {}",
@@ -77,13 +88,8 @@ fn baselines_tail_latency_exceeds_slo_under_pressure() {
     // Clipper keeps executing late requests, so its p99 blows through the SLO;
     // Clockwork's stays pinned near it.
     let slo_ms = 50u64;
-    let clockwork = run_closed_loop(SchedulerKind::default(), 15, slo_ms, 6);
-    let clipper = run_closed_loop(
-        SchedulerKind::Clipper(ClipperConfig::default()),
-        15,
-        slo_ms,
-        6,
-    );
+    let clockwork = run_closed_loop(&ClockworkFactory::default(), 15, slo_ms, 6);
+    let clipper = run_closed_loop(&ClipperFactory::default(), 15, slo_ms, 6);
     let cw_p99 = clockwork.latency.percentile(99.0).as_millis_f64();
     let cl_p99 = clipper.latency.percentile(99.0).as_millis_f64();
     assert!(

@@ -1,0 +1,58 @@
+//! Cross-discipline determinism: the same declarative scenario, run through
+//! `Experiment::run` for every registered discipline, twice each.
+//!
+//! Pins down that (a) each discipline is a pure function of the spec — two
+//! same-spec runs produce identical completion digests, which requires
+//! deterministic iteration everywhere policy touches shared capacity — and
+//! (b) the exactly-once accounting identity `successes + rejected == total`
+//! holds under every discipline, not just Clockwork.
+
+use std::collections::HashSet;
+
+use clockwork::prelude::*;
+
+#[test]
+fn every_discipline_is_deterministic_and_accounts_for_every_request() {
+    let mut registry = SchedulerRegistry::builtin();
+    clockwork_baselines::register_baselines(&mut registry);
+    assert_eq!(registry.len(), 4, "the four-discipline comparison set");
+
+    let experiment = Experiment::new(ScenarioSpec::smoke(7));
+    let mut digests = HashSet::new();
+    for factory in registry.iter() {
+        let label = factory.name();
+        let first = experiment.run(factory);
+        let second = experiment.run(factory);
+        assert_eq!(first.discipline, label, "report is labelled");
+        assert_eq!(
+            first.digest(),
+            second.digest(),
+            "{label}: two same-spec runs diverged ({:016x} vs {:016x})",
+            first.digest(),
+            second.digest()
+        );
+        assert_eq!(
+            first.events_processed(),
+            second.events_processed(),
+            "{label}: event counts diverged"
+        );
+        for report in [&first, &second] {
+            let m = report.metrics();
+            assert!(report.drained(), "{label}: run should drain");
+            assert!(m.total_requests > 0, "{label}: scenario submitted load");
+            assert!(
+                report.identity_ok(),
+                "{label}: successes {} + rejected {} != total {}",
+                m.successes,
+                report.rejected(),
+                m.total_requests
+            );
+            assert!(report.mix_conserved(), "{label}: event accounting broken");
+        }
+        digests.insert(first.digest());
+    }
+    assert!(
+        digests.len() > 1,
+        "different disciplines should produce different executions"
+    );
+}

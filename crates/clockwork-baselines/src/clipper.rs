@@ -14,7 +14,7 @@
 //! * dispatch is eager and best-effort, leaving ordering and concurrency
 //!   decisions to the lower layers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -64,7 +64,10 @@ struct ModelState {
 /// The Clipper-like scheduler.
 pub struct ClipperScheduler {
     config: ClipperConfig,
-    models: HashMap<ModelId, ModelState>,
+    // Ordered by ModelId: dispatch visits models in map order, and that
+    // order decides which model claims shared capacity first — a HashMap
+    // here would make the run a function of the hasher seed.
+    models: BTreeMap<ModelId, ModelState>,
     tracker: WorkerStateTracker,
     in_flight: HashMap<clockwork_worker::ActionId, Vec<InferenceRequest>>,
     next_home: usize,
@@ -76,7 +79,7 @@ impl ClipperScheduler {
     pub fn new(config: ClipperConfig) -> Self {
         ClipperScheduler {
             config,
-            models: HashMap::new(),
+            models: BTreeMap::new(),
             tracker: WorkerStateTracker::new(),
             in_flight: HashMap::new(),
             next_home: 0,
@@ -267,6 +270,18 @@ impl ClipperScheduler {
 }
 
 impl Scheduler for ClipperScheduler {
+    fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        ClipperScheduler::add_gpu(self, gpu_ref, total_pages, page_size);
+    }
+
+    fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_seed: Nanos) {
+        ClipperScheduler::add_model(self, id, spec, load_seed);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx) {
         let Some(state) = self.models.get_mut(&request.model) else {
             ctx.send_response(Response {
@@ -414,6 +429,36 @@ impl Scheduler for ClipperScheduler {
 
     fn name(&self) -> &'static str {
         "clipper"
+    }
+}
+
+/// Factory registering the Clipper-like discipline
+/// (see [`clockwork_controller::registry`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClipperFactory {
+    /// Configuration every built scheduler starts from.
+    pub config: ClipperConfig,
+}
+
+impl ClipperFactory {
+    /// A factory building Clipper schedulers with the given configuration.
+    pub fn new(config: ClipperConfig) -> Self {
+        ClipperFactory { config }
+    }
+}
+
+impl clockwork_controller::registry::SchedulerFactory for ClipperFactory {
+    fn name(&self) -> &'static str {
+        "clipper"
+    }
+
+    fn default_exec_mode(&self) -> clockwork_worker::ExecMode {
+        // Clipper runs atop frameworks that execute kernels concurrently.
+        clockwork_worker::ExecMode::Concurrent { max_concurrent: 16 }
+    }
+
+    fn build(&self) -> Box<dyn Scheduler> {
+        Box::new(ClipperScheduler::new(self.config))
     }
 }
 

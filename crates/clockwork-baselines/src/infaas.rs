@@ -13,7 +13,7 @@
 //! * like Clipper, **no admission control and no execution windows** — the
 //!   SLO steers policy but is never enforced per request.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -58,7 +58,11 @@ struct ModelState {
 /// The INFaaS-like scheduler.
 pub struct InfaasScheduler {
     config: InfaasConfig,
-    models: HashMap<ModelId, ModelState>,
+    // Ordered by ModelId: dispatch and replication visit models in map
+    // order, and that order decides which model claims shared capacity
+    // first — a HashMap here would make the run a function of the hasher
+    // seed.
+    models: BTreeMap<ModelId, ModelState>,
     tracker: WorkerStateTracker,
     in_flight: HashMap<clockwork_worker::ActionId, Vec<InferenceRequest>>,
     load_targets: HashMap<clockwork_worker::ActionId, GpuRef>,
@@ -71,7 +75,7 @@ impl InfaasScheduler {
     pub fn new(config: InfaasConfig) -> Self {
         InfaasScheduler {
             config,
-            models: HashMap::new(),
+            models: BTreeMap::new(),
             tracker: WorkerStateTracker::new(),
             in_flight: HashMap::new(),
             load_targets: HashMap::new(),
@@ -285,6 +289,18 @@ impl InfaasScheduler {
 }
 
 impl Scheduler for InfaasScheduler {
+    fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        InfaasScheduler::add_gpu(self, gpu_ref, total_pages, page_size);
+    }
+
+    fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_seed: Nanos) {
+        InfaasScheduler::add_model(self, id, spec, load_seed);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx) {
         let Some(state) = self.models.get_mut(&request.model) else {
             ctx.send_response(Response {
@@ -426,6 +442,36 @@ impl Scheduler for InfaasScheduler {
 
     fn name(&self) -> &'static str {
         "infaas"
+    }
+}
+
+/// Factory registering the INFaaS-like discipline
+/// (see [`clockwork_controller::registry`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InfaasFactory {
+    /// Configuration every built scheduler starts from.
+    pub config: InfaasConfig,
+}
+
+impl InfaasFactory {
+    /// A factory building INFaaS schedulers with the given configuration.
+    pub fn new(config: InfaasConfig) -> Self {
+        InfaasFactory { config }
+    }
+}
+
+impl clockwork_controller::registry::SchedulerFactory for InfaasFactory {
+    fn name(&self) -> &'static str {
+        "infaas"
+    }
+
+    fn default_exec_mode(&self) -> clockwork_worker::ExecMode {
+        // INFaaS runs atop frameworks that execute kernels concurrently.
+        clockwork_worker::ExecMode::Concurrent { max_concurrent: 16 }
+    }
+
+    fn build(&self) -> Box<dyn Scheduler> {
+        Box::new(InfaasScheduler::new(self.config))
     }
 }
 

@@ -21,10 +21,19 @@
 //!   grows, again without admission control or execution windows.
 //!
 //! Both implement the same [`clockwork_controller::Scheduler`] trait as the
-//! real scheduler, so the system harness can swap them in unchanged. They are
-//! intended to be paired with workers configured in
+//! real scheduler, so the system harness can swap them in unchanged, and both
+//! are fault-aware: churn events route through their worker-state tracker
+//! (dead capacity is parked, lost in-flight requests are requeued, recovered
+//! capacity re-admitted cold), so they run under the same chaos plans as
+//! Clockwork. They are intended to be paired with workers configured in
 //! [`clockwork_worker::ExecMode::Concurrent`] mode, which is how the
-//! underlying frameworks they model behave.
+//! underlying frameworks they model behave — their factories report exactly
+//! that as their default execution mode.
+//!
+//! The facade does not link this crate. Disciplines flow the other way:
+//! [`register_baselines`] adds [`ClipperFactory`] and [`InfaasFactory`] to a
+//! [`SchedulerRegistry`], and experiment harnesses build `Box<dyn Scheduler>`
+//! instances from the registry.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,5 +41,34 @@
 pub mod clipper;
 pub mod infaas;
 
-pub use clipper::{ClipperConfig, ClipperScheduler};
-pub use infaas::{InfaasConfig, InfaasScheduler};
+pub use clipper::{ClipperConfig, ClipperFactory, ClipperScheduler};
+pub use infaas::{InfaasConfig, InfaasFactory, InfaasScheduler};
+
+use clockwork_controller::registry::SchedulerRegistry;
+
+/// Registers the baseline disciplines (`clipper`, then `infaas`) with their
+/// default configurations. Call on top of [`SchedulerRegistry::builtin`] to
+/// obtain the paper's full four-discipline comparison set.
+pub fn register_baselines(registry: &mut SchedulerRegistry) {
+    registry.register(Box::new(ClipperFactory::default()));
+    registry.register(Box::new(InfaasFactory::default()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registering_baselines_yields_the_four_discipline_comparison_set() {
+        let mut registry = SchedulerRegistry::builtin();
+        register_baselines(&mut registry);
+        assert_eq!(
+            registry.names(),
+            vec!["clockwork", "fifo", "clipper", "infaas"]
+        );
+        for factory in registry.iter() {
+            let scheduler = factory.build();
+            assert_eq!(scheduler.name(), factory.name());
+        }
+    }
+}

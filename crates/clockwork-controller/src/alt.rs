@@ -189,6 +189,18 @@ impl FifoScheduler {
 }
 
 impl Scheduler for FifoScheduler {
+    fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        FifoScheduler::add_gpu(self, gpu_ref, total_pages, page_size);
+    }
+
+    fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_seed: Nanos) {
+        FifoScheduler::add_model(self, id, spec, load_seed);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx) {
         self.queue.push_back(request);
         self.dispatch(now, ctx);

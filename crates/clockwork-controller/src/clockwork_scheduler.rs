@@ -274,6 +274,11 @@ impl ClockworkScheduler {
         Self::new(ClockworkSchedulerConfig::default())
     }
 
+    /// The configuration this scheduler was built with.
+    pub fn config(&self) -> &ClockworkSchedulerConfig {
+        &self.config
+    }
+
     /// Registers a GPU the scheduler may place work on.
     pub fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
         self.tracker.add_gpu(gpu_ref, total_pages, page_size);
@@ -1144,6 +1149,18 @@ impl ClockworkScheduler {
 }
 
 impl Scheduler for ClockworkScheduler {
+    fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
+        ClockworkScheduler::add_gpu(self, gpu_ref, total_pages, page_size);
+    }
+
+    fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_seed: Nanos) {
+        ClockworkScheduler::add_model(self, id, spec, load_seed);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx) {
         if !self.models.contains_key(&request.model) {
             ctx.send_response(Response {
@@ -1271,6 +1288,10 @@ impl Scheduler for ClockworkScheduler {
             | FaultKind::LinkRestore { .. }
             | FaultKind::PartitionStart { .. }
             | FaultKind::PartitionEnd { .. } => {}
+            // The joined worker's GPUs were announced through `add_gpu`
+            // before this hook fired; the schedule() below starts placing
+            // work on the cold capacity.
+            FaultKind::WorkerJoin { .. } => {}
         }
         self.schedule(now, ctx);
     }

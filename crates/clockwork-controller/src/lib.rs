@@ -13,6 +13,9 @@
 //!   state, outstanding actions, and executor availability.
 //! * [`scheduler`] — the `Scheduler` trait and the context through which
 //!   schedulers emit actions and responses.
+//! * [`registry`] — open registration of disciplines: `SchedulerFactory`
+//!   and `SchedulerRegistry`, so experiment harnesses construct any
+//!   registered discipline as a `Box<dyn Scheduler>` by name.
 //! * [`clockwork_scheduler`] — the paper's scheduler: global strategy queue
 //!   with batching, 5 ms lookahead, demand-driven LOAD priorities, LRU
 //!   UNLOAD, and SLO admission control.
@@ -24,12 +27,14 @@
 pub mod alt;
 pub mod clockwork_scheduler;
 pub mod profile;
+pub mod registry;
 pub mod request;
 pub mod scheduler;
 pub mod worker_state;
 
 pub use clockwork_scheduler::{ClockworkScheduler, ClockworkSchedulerConfig};
 pub use profile::{ActionProfiler, ProfileKey, ProfileKind};
+pub use registry::{ClockworkFactory, FifoFactory, SchedulerFactory, SchedulerRegistry};
 pub use request::{InferenceRequest, RejectReason, RequestId, RequestOutcome, Response};
 pub use scheduler::{Scheduler, SchedulerCtx};
 pub use worker_state::{FreeAtIndex, GpuTrack, WorkerStateTracker};

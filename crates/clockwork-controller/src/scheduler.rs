@@ -8,12 +8,16 @@
 //! (the Clockwork scheduler, the ablation schedulers, the baseline
 //! disciplines) drop into the same harness.
 
+use std::sync::Arc;
+
+use clockwork_model::{ModelId, ModelSpec};
 use clockwork_sim::time::Timestamp;
 use clockwork_worker::{Action, ActionId, ActionKind, GpuId, TimeWindow, WorkerId};
 
 use clockwork_sim::time::Nanos;
 
 use crate::request::{InferenceRequest, Response};
+use crate::worker_state::GpuRef;
 
 /// The outbound channel a scheduler writes into during a callback.
 #[derive(Debug, Default)]
@@ -105,7 +109,25 @@ impl SchedulerCtx {
 }
 
 /// A scheduling policy plugged into the controller.
+///
+/// The harness owns mechanism (networking, timestamping, event delivery) and
+/// a scheduler owns policy. Disciplines are constructed behind this trait as
+/// `Box<dyn Scheduler>` — usually through a
+/// [`SchedulerFactory`](crate::registry::SchedulerFactory) looked up in a
+/// [`SchedulerRegistry`](crate::registry::SchedulerRegistry) — so the serving
+/// system never needs to know the concrete set of disciplines.
 pub trait Scheduler {
+    /// Registers a GPU the scheduler may place work on. Called once per GPU
+    /// at assembly time, and again at runtime when a new worker joins the
+    /// fleet (`FaultKind::WorkerJoin`): a joining GPU must become schedulable
+    /// as cold, empty capacity.
+    fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64);
+
+    /// Registers a model the scheduler may serve. `load_seed` is the initial
+    /// LOAD-duration estimate (typically the PCIe transfer time of the
+    /// weights) used until real measurements arrive.
+    fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_seed: Nanos);
+
     /// A client request arrived.
     fn on_request(&mut self, now: Timestamp, request: InferenceRequest, ctx: &mut SchedulerCtx);
 
@@ -120,29 +142,33 @@ pub trait Scheduler {
     /// Periodic opportunity to top up worker schedules and expire requests.
     fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx);
 
-    /// A fleet fault occurred (worker crash/restart, GPU failure/recovery,
-    /// link degradation/partition). The scheduler must drop its view of dead
-    /// capacity, resolve actions it will never hear back about, and re-admit
-    /// recovered capacity as cold.
-    ///
-    /// The default implementation ignores faults — appropriate only for the
-    /// baseline disciplines, which are never run under a fault plan.
+    /// A fleet fault occurred (worker crash/restart/join, GPU
+    /// failure/recovery, link degradation/partition). The scheduler must drop
+    /// its view of dead capacity, resolve actions it will never hear back
+    /// about, and re-admit recovered capacity as cold. Every discipline —
+    /// Clockwork and the baselines alike — is fault-aware; there is
+    /// deliberately no default implementation, so a new discipline cannot
+    /// silently ignore churn. (Capacity added by a `WorkerJoin` is announced
+    /// through [`Scheduler::add_gpu`] before this hook fires; most
+    /// disciplines only need to re-run their dispatch pass here.)
     fn on_fault(
         &mut self,
         now: Timestamp,
         fault: &clockwork_sim::engine::FaultKind,
         ctx: &mut SchedulerCtx,
-    ) {
-        let _ = (now, fault, ctx);
-    }
+    );
 
     /// When the scheduler next wants `on_tick` to run, if at all.
     fn next_tick(&self, now: Timestamp) -> Option<Timestamp>;
 
-    /// A short human-readable name (used in experiment output).
-    fn name(&self) -> &'static str {
-        "scheduler"
-    }
+    /// A short human-readable name (used in experiment output). Required so
+    /// experiment output can never show an anonymous discipline.
+    fn name(&self) -> &'static str;
+
+    /// The scheduler as `Any`, for experiment code that needs to reach a
+    /// concrete discipline's extra surface (e.g. the Clockwork scheduler's
+    /// recorded predictions) behind the trait object.
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 #[cfg(test)]

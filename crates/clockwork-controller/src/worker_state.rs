@@ -376,6 +376,9 @@ impl WorkerStateTracker {
             | FaultKind::LinkRestore { .. }
             | FaultKind::PartitionStart { .. }
             | FaultKind::PartitionEnd { .. } => {}
+            // A join loses nothing; the new GPUs were already registered
+            // through `add_gpu` and start alive and empty.
+            FaultKind::WorkerJoin { .. } => {}
         }
         lost.sort_unstable();
         lost

@@ -14,9 +14,15 @@
 //! same digest. That determinism is what turns "chaos testing" into a
 //! reproducible experiment.
 //!
-//! Fault handling is implemented by the Clockwork scheduler; the best-effort
-//! baseline disciplines ignore faults and should not be combined with a
-//! non-empty plan.
+//! Every serving discipline is fault-aware: the Clockwork scheduler resolves
+//! outstanding work on dead capacity and re-admits recovered capacity cold,
+//! and the baseline disciplines route the same events through their worker
+//! state tracker — so any plan can be combined with any discipline, which is
+//! what makes an apples-to-apples chaos comparison possible.
+//!
+//! Plans can also *grow* the fleet: [`FaultPlan::join_worker`] admits a
+//! brand-new cold worker at runtime (elastic scale-up), the inverse of the
+//! crash/recovery path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -101,6 +107,13 @@ impl FaultPlan {
     pub fn crash_worker_for(self, at: Timestamp, worker: u32, downtime: Nanos) -> Self {
         self.crash_worker(at, worker)
             .restart_worker(at + downtime, worker)
+    }
+
+    /// Admits a brand-new cold worker at `at` (elastic scale-up). `worker`
+    /// is the fleet index the new machine will occupy; a join naming an
+    /// index that already exists is ignored by the serving system.
+    pub fn join_worker(self, at: Timestamp, worker: u32) -> Self {
+        self.with(at, FaultKind::WorkerJoin { worker })
     }
 
     /// Fails one GPU at `at`.
@@ -190,6 +203,11 @@ impl FaultPlan {
     /// Number of `LinkDegrade` events.
     pub fn link_degradations(&self) -> usize {
         self.count(|k| matches!(k, FaultKind::LinkDegrade { .. }))
+    }
+
+    /// Number of `WorkerJoin` events.
+    pub fn worker_joins(&self) -> usize {
+        self.count(|k| matches!(k, FaultKind::WorkerJoin { .. }))
     }
 
     fn count(&self, pred: impl Fn(&FaultKind) -> bool) -> usize {

@@ -94,6 +94,13 @@ pub enum FaultKind {
         /// Fleet index of the partitioned worker.
         worker: u32,
     },
+    /// A brand-new worker joins the fleet at runtime (elastic scale-up). The
+    /// worker is admitted cold: empty page caches, no residency, no history.
+    /// Joins naming a fleet index that already exists are ignored.
+    WorkerJoin {
+        /// Fleet index the new worker will occupy.
+        worker: u32,
+    },
 }
 
 impl FaultKind {
@@ -107,7 +114,8 @@ impl FaultKind {
             | FaultKind::LinkDegrade { worker, .. }
             | FaultKind::LinkRestore { worker }
             | FaultKind::PartitionStart { worker }
-            | FaultKind::PartitionEnd { worker } => worker,
+            | FaultKind::PartitionEnd { worker }
+            | FaultKind::WorkerJoin { worker } => worker,
         }
     }
 
@@ -122,6 +130,7 @@ impl FaultKind {
             FaultKind::LinkRestore { .. } => "link_restore",
             FaultKind::PartitionStart { .. } => "partition_start",
             FaultKind::PartitionEnd { .. } => "partition_end",
+            FaultKind::WorkerJoin { .. } => "worker_join",
         }
     }
 
@@ -137,6 +146,7 @@ impl FaultKind {
             FaultKind::LinkRestore { .. } => 6,
             FaultKind::PartitionStart { .. } => 7,
             FaultKind::PartitionEnd { .. } => 8,
+            FaultKind::WorkerJoin { .. } => 9,
         }
     }
 

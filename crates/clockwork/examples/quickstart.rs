@@ -15,7 +15,7 @@ fn main() {
     //    driven by the Clockwork scheduler.
     let mut system = SystemBuilder::new()
         .workers(1)
-        .scheduler(SchedulerKind::default())
+        .discipline(Box::new(ClockworkFactory::default()))
         .seed(1)
         .build();
 

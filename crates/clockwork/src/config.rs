@@ -1,55 +1,17 @@
 //! System-level configuration.
+//!
+//! [`SystemConfig`] describes the *cluster*: machines, GPUs, memory, network,
+//! variance, faults and seed. It deliberately does not name a serving
+//! discipline — disciplines are constructed behind the
+//! [`Scheduler`](clockwork_controller::Scheduler) trait and handed to the
+//! [`SystemBuilder`](crate::SystemBuilder) via a
+//! [`SchedulerFactory`](clockwork_controller::SchedulerFactory), so the
+//! facade never depends on any concrete discipline crate.
 
-use clockwork_controller::ClockworkSchedulerConfig;
 use clockwork_faults::FaultPlan;
 use clockwork_sim::network::NetworkConfig;
 use clockwork_sim::variance::VarianceConfig;
 use clockwork_worker::ExecMode;
-
-use clockwork_baselines::{ClipperConfig, InfaasConfig};
-
-/// Which serving discipline drives the cluster.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum SchedulerKind {
-    /// The Clockwork scheduler (proactive, consolidated choice).
-    Clockwork(ClockworkSchedulerConfig),
-    /// The naive FIFO ablation scheduler.
-    Fifo,
-    /// The Clipper-like reactive baseline.
-    Clipper(ClipperConfig),
-    /// The INFaaS-like reactive baseline.
-    Infaas(InfaasConfig),
-}
-
-impl Default for SchedulerKind {
-    fn default() -> Self {
-        SchedulerKind::Clockwork(ClockworkSchedulerConfig::default())
-    }
-}
-
-impl SchedulerKind {
-    /// The execution discipline the paired workers should run with: Clockwork
-    /// and the FIFO ablation assume exclusive one-at-a-time execution, while
-    /// the reactive baselines run atop frameworks that execute concurrently.
-    pub fn default_exec_mode(&self) -> ExecMode {
-        match self {
-            SchedulerKind::Clockwork(_) | SchedulerKind::Fifo => ExecMode::Exclusive,
-            SchedulerKind::Clipper(_) | SchedulerKind::Infaas(_) => {
-                ExecMode::Concurrent { max_concurrent: 16 }
-            }
-        }
-    }
-
-    /// A short label used in experiment output.
-    pub fn label(&self) -> &'static str {
-        match self {
-            SchedulerKind::Clockwork(_) => "clockwork",
-            SchedulerKind::Fifo => "fifo",
-            SchedulerKind::Clipper(_) => "clipper",
-            SchedulerKind::Infaas(_) => "infaas",
-        }
-    }
-}
 
 /// Configuration of a serving cluster.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,22 +22,20 @@ pub struct SystemConfig {
     pub gpus_per_worker: u32,
     /// Device memory dedicated to the weights cache, per GPU, in bytes.
     pub weights_cache_bytes: u64,
-    /// Execution discipline override (defaults to the scheduler's natural
-    /// mode when `None`).
+    /// Execution discipline override. `None` defers to the scheduler
+    /// factory's natural mode (exclusive for Clockwork-style proactive
+    /// disciplines, concurrent for the reactive baselines).
     pub exec_mode: Option<ExecMode>,
     /// External interference profile applied to every worker.
     pub variance: VarianceConfig,
     /// Network model between clients, controller and workers.
     pub network: NetworkConfig,
-    /// The serving discipline.
-    pub scheduler: SchedulerKind,
     /// Keep every individual response in memory (disable for very large
     /// traces; aggregates are always collected).
     pub keep_responses: bool,
-    /// Scheduled fleet faults (worker crashes, GPU failures, link faults).
-    /// Empty by default. Fault handling is implemented by the Clockwork
-    /// scheduler; do not combine a non-empty plan with the baseline
-    /// disciplines, which ignore faults.
+    /// Scheduled fleet faults (worker crashes/joins, GPU failures, link
+    /// faults). Empty by default. Every discipline is fault-aware, so any
+    /// plan may be combined with any scheduler.
     pub faults: FaultPlan,
     /// RNG seed.
     pub seed: u64,
@@ -90,7 +50,6 @@ impl Default for SystemConfig {
             exec_mode: None,
             variance: VarianceConfig::none(),
             network: NetworkConfig::ideal(clockwork_sim::time::Nanos::from_micros(100)),
-            scheduler: SchedulerKind::default(),
             keep_responses: true,
             faults: FaultPlan::new(),
             seed: 0xc10c,
@@ -99,12 +58,7 @@ impl Default for SystemConfig {
 }
 
 impl SystemConfig {
-    /// The execution mode workers should use.
-    pub fn effective_exec_mode(&self) -> ExecMode {
-        self.exec_mode.unwrap_or(self.scheduler.default_exec_mode())
-    }
-
-    /// Total number of GPUs in the cluster.
+    /// Total number of GPUs in the cluster (before any runtime joins).
     pub fn total_gpus(&self) -> u32 {
         self.workers * self.gpus_per_worker
     }
@@ -119,34 +73,7 @@ mod tests {
         let c = SystemConfig::default();
         assert_eq!(c.workers, 1);
         assert_eq!(c.total_gpus(), 1);
-        assert_eq!(c.scheduler.label(), "clockwork");
-        assert_eq!(c.effective_exec_mode(), ExecMode::Exclusive);
-    }
-
-    #[test]
-    fn baselines_default_to_concurrent_execution() {
-        let clipper = SchedulerKind::Clipper(ClipperConfig::default());
-        assert!(matches!(
-            clipper.default_exec_mode(),
-            ExecMode::Concurrent { .. }
-        ));
-        assert_eq!(clipper.label(), "clipper");
-        assert_eq!(SchedulerKind::Fifo.label(), "fifo");
-        assert_eq!(
-            SchedulerKind::Infaas(InfaasConfig::default()).label(),
-            "infaas"
-        );
-    }
-
-    #[test]
-    fn exec_mode_override_wins() {
-        let c = SystemConfig {
-            exec_mode: Some(ExecMode::Concurrent { max_concurrent: 4 }),
-            ..Default::default()
-        };
-        assert_eq!(
-            c.effective_exec_mode(),
-            ExecMode::Concurrent { max_concurrent: 4 }
-        );
+        assert_eq!(c.exec_mode, None);
+        assert!(c.faults.is_empty());
     }
 }

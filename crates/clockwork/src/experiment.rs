@@ -1,0 +1,253 @@
+//! The one experiment runner behind every bench binary.
+//!
+//! [`Experiment::run`] takes a declarative [`ScenarioSpec`] and a discipline
+//! ([`SchedulerFactory`]) and owns the whole loop the bench binaries used to
+//! hand-roll: build the cluster, register the models, submit the workload,
+//! drive virtual time to the horizon, and package telemetry, digest and
+//! accounting checks into a [`RunReport`]. Running the *same* spec across
+//! *different* disciplines is exactly the paper's comparison methodology —
+//! and is one `for` loop over a
+//! [`SchedulerRegistry`](clockwork_controller::SchedulerRegistry).
+
+use std::time::Instant;
+
+use clockwork_controller::registry::SchedulerFactory;
+use clockwork_model::ModelId;
+use clockwork_sim::rng::SimRng;
+use clockwork_sim::time::Timestamp;
+use clockwork_workload::{ClosedLoopClient, OpenLoopClient};
+
+use crate::scenario::{ScenarioSpec, WorkloadSpec};
+use crate::system::ServingSystem;
+use crate::telemetry::{EventMix, ExperimentMetrics, SystemTelemetry};
+
+/// A scenario bound to the runner that executes it.
+pub struct Experiment {
+    spec: ScenarioSpec,
+}
+
+impl Experiment {
+    /// Wraps a spec.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        Experiment { spec }
+    }
+
+    /// The spec this experiment runs.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Runs the full scenario under the given discipline.
+    pub fn run(&self, factory: &dyn SchedulerFactory) -> RunReport {
+        self.run_capped(factory, u64::MAX)
+    }
+
+    /// Runs the scenario under the given discipline, stopping after at most
+    /// `max_events` delivered simulation events — the fixed-work smoke mode
+    /// perf gates rely on.
+    pub fn run_capped(&self, factory: &dyn SchedulerFactory, max_events: u64) -> RunReport {
+        let spec = &self.spec;
+        let mut system = ServingSystem::from_spec(spec, factory);
+        let models: Vec<ModelId> = (0..spec.models as u32).map(ModelId).collect();
+        let submitted;
+        match spec.workload {
+            WorkloadSpec::Azure { .. } => {
+                let trace = spec.azure_trace().expect("azure workload has a trace");
+                submitted = trace.len() as u64;
+                system.submit_trace(&trace);
+            }
+            WorkloadSpec::OpenLoop { rate_per_model } => {
+                let trace = OpenLoopClient::generate_many(
+                    &models,
+                    rate_per_model,
+                    spec.slo(),
+                    spec.duration(),
+                    &mut SimRng::seeded(spec.workload_seed),
+                );
+                submitted = trace.len() as u64;
+                system.submit_trace(&trace);
+            }
+            WorkloadSpec::ClosedLoop { concurrency } => {
+                // Clients start staggered by 1 µs so their first submissions
+                // have a deterministic order without landing synchronized.
+                for (i, &model) in models.iter().enumerate() {
+                    system.add_closed_loop_client(
+                        ClosedLoopClient::new(model, concurrency, spec.slo()),
+                        Timestamp::from_nanos(i as u64 * 1_000),
+                    );
+                }
+                submitted = 0;
+            }
+        }
+        let started = Instant::now();
+        system.run_until_events(spec.horizon(), max_events);
+        let wall_secs = started.elapsed().as_secs_f64();
+        RunReport {
+            discipline: system.scheduler_name().to_string(),
+            submitted,
+            wall_secs,
+            max_events,
+            system,
+        }
+    }
+}
+
+/// Everything a finished run produced: the final system (telemetry, workers,
+/// digest) plus run bookkeeping, with the derived figures and invariant
+/// checks the bench binaries report.
+pub struct RunReport {
+    /// Name of the discipline that drove the run.
+    pub discipline: String,
+    /// Requests submitted up front (0 for closed-loop workloads, which
+    /// generate load interactively).
+    pub submitted: u64,
+    /// Host wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// The event cap the run was given (`u64::MAX` for full runs).
+    pub max_events: u64,
+    /// The finished system, for telemetry and worker inspection.
+    pub system: ServingSystem,
+}
+
+impl RunReport {
+    /// The run's telemetry.
+    pub fn telemetry(&self) -> &SystemTelemetry {
+        self.system.telemetry()
+    }
+
+    /// The run's aggregate serving metrics.
+    pub fn metrics(&self) -> ExperimentMetrics {
+        self.telemetry().metrics()
+    }
+
+    /// The order-sensitive FNV-1a completion digest (determinism fingerprint).
+    pub fn digest(&self) -> u64 {
+        self.telemetry().response_digest()
+    }
+
+    /// Simulation events delivered.
+    pub fn events_processed(&self) -> u64 {
+        self.system.events_processed()
+    }
+
+    /// Events still scheduled when the run stopped.
+    pub fn live_events(&self) -> u64 {
+        self.system.pending_events()
+    }
+
+    /// Delivered events per host wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events_processed() as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the run ran out of work — no live events left, so nothing
+    /// further could ever happen — as opposed to stopping at its event cap
+    /// or at the horizon with work still pending. Only a drained run can be
+    /// held to the exactly-once accounting identity: a best-effort
+    /// discipline stopped mid-flight may legitimately still hold queued
+    /// requests it would eventually answer (it keeps its tick chain alive
+    /// exactly while requests are pending, so a discipline that silently
+    /// *dropped* a request empties its queue and still gets caught).
+    pub fn drained(&self) -> bool {
+        self.live_events() == 0
+    }
+
+    /// The per-kind event mix.
+    pub fn event_mix(&self) -> &EventMix {
+        self.telemetry().event_mix()
+    }
+
+    /// Total up-front rejections across all reject reasons.
+    pub fn rejected(&self) -> u64 {
+        self.metrics().rejections.values().sum()
+    }
+
+    /// The exactly-once accounting identity `successes + rejected == total`.
+    /// Only meaningful for drained runs; an event-capped run legitimately
+    /// leaves requests unanswered (but must never answer one twice, which
+    /// [`RunReport::overdelivered`] checks).
+    pub fn identity_ok(&self) -> bool {
+        let m = self.metrics();
+        m.successes + self.rejected() == m.total_requests
+    }
+
+    /// Whether more responses than requests were recorded — a violation even
+    /// for interrupted runs.
+    pub fn overdelivered(&self) -> bool {
+        let m = self.metrics();
+        m.successes + self.rejected() > m.total_requests
+    }
+
+    /// The event-mix conservation identity
+    /// `pushed == delivered + cancelled + live`.
+    pub fn mix_conserved(&self) -> bool {
+        let mix = self.event_mix();
+        mix.pushed() == mix.delivered() + mix.cancelled() + self.live_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_controller::registry::{ClockworkFactory, FifoFactory};
+
+    #[test]
+    fn experiment_runs_a_spec_end_to_end_and_reports() {
+        let spec = ScenarioSpec {
+            workers: 2,
+            gpus_per_worker: 1,
+            models: 4,
+            duration_secs: 2,
+            ..ScenarioSpec::smoke(11)
+        };
+        let report = Experiment::new(spec).run(&ClockworkFactory::default());
+        assert_eq!(report.discipline, "clockwork");
+        assert!(report.submitted > 0);
+        assert!(report.drained());
+        assert_eq!(report.metrics().total_requests, report.submitted);
+        assert!(report.identity_ok(), "successes + rejected == total");
+        assert!(report.mix_conserved(), "event accounting holds");
+        assert!(!report.overdelivered());
+        assert!(report.events_processed() > 0);
+    }
+
+    #[test]
+    fn same_spec_same_discipline_same_digest() {
+        let spec = ScenarioSpec {
+            workers: 2,
+            gpus_per_worker: 1,
+            models: 4,
+            duration_secs: 2,
+            ..ScenarioSpec::smoke(13)
+        };
+        let experiment = Experiment::new(spec);
+        let a = experiment.run(&ClockworkFactory::default());
+        let b = experiment.run(&ClockworkFactory::default());
+        assert_eq!(a.digest(), b.digest());
+        let fifo = experiment.run(&FifoFactory);
+        assert_eq!(fifo.discipline, "fifo");
+        assert!(fifo.metrics().total_requests > 0);
+    }
+
+    #[test]
+    fn closed_loop_workloads_generate_their_own_load() {
+        let spec = ScenarioSpec {
+            name: "closed".to_string(),
+            workers: 1,
+            gpus_per_worker: 1,
+            models: 2,
+            model_set: crate::scenario::ModelSet::Resnet50Copies,
+            workload: WorkloadSpec::ClosedLoop { concurrency: 4 },
+            duration_secs: 1,
+            drain_secs: 0,
+            ..ScenarioSpec::smoke(17)
+        };
+        let report = Experiment::new(spec).run(&ClockworkFactory::default());
+        assert_eq!(report.submitted, 0);
+        assert!(report.metrics().successes > 0, "clients sustained load");
+    }
+}

@@ -14,7 +14,7 @@
 //! // One worker with one (simulated) V100, the Clockwork scheduler.
 //! let mut system = SystemBuilder::new()
 //!     .workers(1)
-//!     .scheduler(SchedulerKind::Clockwork(Default::default()))
+//!     .discipline(Box::new(ClockworkFactory::default()))
 //!     .build();
 //!
 //! // Register 3 copies of ResNet50 from the Appendix A model zoo.
@@ -40,22 +40,31 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod experiment;
+pub mod scenario;
 pub mod system;
 pub mod telemetry;
 
-pub use config::{SchedulerKind, SystemConfig};
+pub use config::SystemConfig;
+pub use experiment::{Experiment, RunReport};
+pub use scenario::{ModelSet, ScenarioSpec, WorkloadSpec};
 pub use system::{ServingSystem, SystemBuilder};
 pub use telemetry::{EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry};
 
 /// Convenience re-exports for examples, tests and benchmarks.
 pub mod prelude {
-    pub use crate::config::{SchedulerKind, SystemConfig};
+    pub use crate::config::SystemConfig;
+    pub use crate::experiment::{Experiment, RunReport};
+    pub use crate::scenario::{ModelSet, ScenarioSpec, WorkloadSpec};
     pub use crate::system::{ServingSystem, SystemBuilder};
     pub use crate::telemetry::{
         EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry,
     };
+    pub use clockwork_controller::registry::{
+        ClockworkFactory, FifoFactory, SchedulerFactory, SchedulerRegistry,
+    };
     pub use clockwork_controller::{
-        ClockworkScheduler, ClockworkSchedulerConfig, InferenceRequest, RequestId,
+        ClockworkScheduler, ClockworkSchedulerConfig, InferenceRequest, RequestId, Scheduler,
     };
     pub use clockwork_faults::{ChurnConfig, FaultKind, FaultPlan};
     pub use clockwork_model::{zoo::ModelZoo, ModelId, ModelSpec};

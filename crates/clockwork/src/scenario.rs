@@ -1,0 +1,357 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`ScenarioSpec`] is pure data: cluster shape, model population, workload
+//! source (including the Azure-derived MAF-like load), SLO, fault plan,
+//! seeds and horizon. It says *what* to run; it deliberately does not say
+//! *which discipline* runs it — the discipline arrives separately as a
+//! [`SchedulerFactory`], which is what lets one spec drive the paper's
+//! headline comparison (the same chaos scenario across Clockwork, FIFO,
+//! Clipper and INFaaS).
+//!
+//! Specs are serde-serializable plain-old data, so they can be stored
+//! alongside results: a `BENCH_*.json` document that embeds its spec is a
+//! complete, replayable description of the experiment that produced it.
+//!
+//! [`ServingSystem::from_spec`] builds the cluster (discipline injected);
+//! [`Experiment`](crate::experiment::Experiment) owns the full
+//! submit/run/drain loop on top.
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_controller::registry::SchedulerFactory;
+use clockwork_faults::FaultPlan;
+use clockwork_model::zoo::ModelZoo;
+use clockwork_sim::time::{Nanos, Timestamp};
+use clockwork_sim::variance::VarianceConfig;
+use clockwork_workload::{AzureTraceConfig, AzureTraceGenerator, Trace};
+
+use crate::config::SystemConfig;
+use crate::system::ServingSystem;
+
+/// Which model population a scenario registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSet {
+    /// `models` instances cycling through the full Appendix A zoo — the
+    /// heterogeneous population of the fleet-scale and Azure experiments.
+    ZooCycle,
+    /// `models` copies of ResNet50 — the homogeneous population of the
+    /// Fig. 5 comparison.
+    Resnet50Copies,
+}
+
+/// Where a scenario's requests come from.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// An Azure-Functions-like open-loop trace (`AzureTraceGenerator`):
+    /// `functions` workloads with realistic popularity skew and burstiness
+    /// mapped onto the scenario's models, at an aggregate `target_rate`
+    /// requests/second.
+    Azure {
+        /// Number of function workloads mapped onto the models.
+        functions: usize,
+        /// Aggregate request rate in requests/second.
+        target_rate: f64,
+    },
+    /// Independent open-loop Poisson clients, one per model.
+    OpenLoop {
+        /// Per-model request rate in requests/second.
+        rate_per_model: f64,
+    },
+    /// Closed-loop clients, one per model, each keeping `concurrency`
+    /// requests in flight (the §6.1 setup).
+    ClosedLoop {
+        /// Requests kept in flight per model.
+        concurrency: u32,
+    },
+}
+
+/// A declarative, serializable experiment scenario.
+///
+/// Build one with a preset ([`ScenarioSpec::fleet_scale`],
+/// [`ScenarioSpec::chaos_fleet`], [`ScenarioSpec::smoke`]) or field by
+/// field, then hand it to [`Experiment`](crate::experiment::Experiment)
+/// together with any registered discipline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name, used in experiment output and result files.
+    pub name: String,
+    /// Number of worker machines.
+    pub workers: u32,
+    /// GPUs per worker.
+    pub gpus_per_worker: u32,
+    /// Model instances registered (see [`ScenarioSpec::model_set`]).
+    pub models: usize,
+    /// Which model population to register.
+    pub model_set: ModelSet,
+    /// Where requests come from.
+    pub workload: WorkloadSpec,
+    /// Per-request latency SLO in milliseconds.
+    pub slo_ms: u64,
+    /// Virtual duration of the workload in seconds.
+    pub duration_secs: u64,
+    /// Extra virtual time after the workload ends for in-flight tails to
+    /// resolve.
+    pub drain_secs: u64,
+    /// System seed (workers, network, variance).
+    pub seed: u64,
+    /// Workload-generation seed (kept separate so a workload can be replayed
+    /// against differently-seeded clusters; presets set both equal).
+    pub workload_seed: u64,
+    /// External interference profile applied to every worker
+    /// (`VarianceConfig::none()` for the deterministic-baseline scenarios).
+    pub variance: VarianceConfig,
+    /// Keep every individual response in memory (disable for large traces).
+    pub keep_responses: bool,
+    /// Scheduled fleet faults (empty for fault-free runs).
+    pub faults: FaultPlan,
+}
+
+impl ScenarioSpec {
+    /// The fleet-scale scenario shared by the `fleet_scale` perf harness,
+    /// the `chaos_fleet` chaos harness and the `chaos_compare` comparison:
+    /// 20 workers × 4 GPUs, 200 model instances cycling through the
+    /// Appendix A zoo, and an open-loop Azure-derived trace at 1 500 r/s for
+    /// 120 virtual seconds.
+    pub fn fleet_scale() -> Self {
+        ScenarioSpec {
+            name: "fleet_scale".to_string(),
+            workers: 20,
+            gpus_per_worker: 4,
+            models: 200,
+            model_set: ModelSet::ZooCycle,
+            workload: WorkloadSpec::Azure {
+                functions: 800,
+                target_rate: 1_500.0,
+            },
+            slo_ms: 100,
+            duration_secs: 120,
+            drain_secs: 2,
+            seed: 2020,
+            workload_seed: 2020,
+            variance: VarianceConfig::none(),
+            keep_responses: false,
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// The fleet-scale scenario overlaid with the scripted churn schedule
+    /// (see [`ScenarioSpec::scripted_churn`]); the chaos run differs from
+    /// the perf run *only* by its fault plan.
+    pub fn chaos_fleet() -> Self {
+        let mut spec = ScenarioSpec::fleet_scale();
+        spec.name = "chaos_fleet".to_string();
+        spec.faults = spec.scripted_churn();
+        spec
+    }
+
+    /// A small fleet for fast smoke and determinism tests: 4 workers ×
+    /// 2 GPUs, 20 zoo models, a 10 s Azure-like trace at 400 r/s.
+    pub fn smoke(seed: u64) -> Self {
+        ScenarioSpec {
+            name: "smoke".to_string(),
+            workers: 4,
+            gpus_per_worker: 2,
+            models: 20,
+            model_set: ModelSet::ZooCycle,
+            workload: WorkloadSpec::Azure {
+                functions: 80,
+                target_rate: 400.0,
+            },
+            slo_ms: 100,
+            duration_secs: 10,
+            drain_secs: 2,
+            seed,
+            workload_seed: seed,
+            variance: VarianceConfig::none(),
+            keep_responses: false,
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// Renames the scenario (builder style).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets both the system and workload seed (builder style) — the usual
+    /// meaning of an experiment's `--seed` flag.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.workload_seed = seed;
+        self
+    }
+
+    /// Scales the scenario duration (builder style). Call *before*
+    /// generating a churn plan so the plan scales with it.
+    pub fn with_duration_secs(mut self, duration_secs: u64) -> Self {
+        self.duration_secs = duration_secs;
+        self
+    }
+
+    /// Installs a fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The scripted churn schedule, scaled to the scenario duration: two
+    /// worker crashes, four extra GPU failures, one partition window and one
+    /// degraded link, all recovered by 60 % of the run so the tail measures
+    /// recovery.
+    pub fn scripted_churn(&self) -> FaultPlan {
+        let span = self.duration_secs as f64 * 1e9;
+        let at = |f: f64| Timestamp::from_nanos((f * span) as u64);
+        let lasting = |f: f64| Nanos::from_nanos((f * span) as u64);
+        let worker = |i: u32| i % self.workers.max(1);
+        let gpu = |g: u32| g % self.gpus_per_worker.max(1);
+        FaultPlan::new()
+            .crash_worker_for(at(0.20), worker(3), lasting(0.30))
+            .crash_worker_for(at(0.25), worker(11), lasting(0.30))
+            .fail_gpu_for(at(0.30), worker(0), gpu(1), lasting(0.30))
+            .fail_gpu_for(at(0.32), worker(5), gpu(2), lasting(0.26))
+            .fail_gpu_for(at(0.34), worker(8), gpu(0), lasting(0.24))
+            .fail_gpu_for(at(0.36), worker(14), gpu(3), lasting(0.22))
+            .partition(at(0.35), worker(7), lasting(0.10))
+            .degrade_link_for(at(0.40), worker(16), 4.0, lasting(0.15))
+    }
+
+    /// The workload duration in virtual time.
+    pub fn duration(&self) -> Nanos {
+        Nanos::from_secs(self.duration_secs)
+    }
+
+    /// The virtual horizon a run is driven to: the workload duration plus
+    /// the drain slack.
+    pub fn horizon(&self) -> Timestamp {
+        Timestamp::ZERO + self.duration() + Nanos::from_secs(self.drain_secs)
+    }
+
+    /// The SLO in virtual time.
+    pub fn slo(&self) -> Nanos {
+        Nanos::from_millis(self.slo_ms)
+    }
+
+    /// Generates the Azure-derived trace of an
+    /// [`WorkloadSpec::Azure`] scenario (`None` for other workloads, whose
+    /// requests are generated per model by the experiment runner).
+    pub fn azure_trace(&self) -> Option<Trace> {
+        match self.workload {
+            WorkloadSpec::Azure {
+                functions,
+                target_rate,
+            } => Some(
+                AzureTraceGenerator::new(AzureTraceConfig {
+                    functions,
+                    models: self.models,
+                    duration: self.duration(),
+                    target_rate,
+                    slo: self.slo(),
+                    seed: self.workload_seed,
+                })
+                .generate(),
+            ),
+            WorkloadSpec::OpenLoop { .. } | WorkloadSpec::ClosedLoop { .. } => None,
+        }
+    }
+
+    /// The cluster configuration this spec describes.
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig {
+            workers: self.workers,
+            gpus_per_worker: self.gpus_per_worker,
+            variance: self.variance,
+            keep_responses: self.keep_responses,
+            faults: self.faults.clone(),
+            seed: self.seed,
+            ..SystemConfig::default()
+        }
+    }
+}
+
+impl ServingSystem {
+    /// Builds the cluster a [`ScenarioSpec`] describes, driven by the given
+    /// discipline, with the scenario's model population registered and its
+    /// fault plan installed. The caller (usually
+    /// [`Experiment`](crate::experiment::Experiment)) submits the workload.
+    pub fn from_spec(spec: &ScenarioSpec, factory: &dyn SchedulerFactory) -> ServingSystem {
+        let mut system = ServingSystem::with_factory(spec.system_config(), factory);
+        let zoo = ModelZoo::new();
+        match spec.model_set {
+            ModelSet::ZooCycle => {
+                let varieties = zoo.all();
+                for i in 0..spec.models {
+                    system.register_model(&varieties[i % varieties.len()]);
+                }
+            }
+            ModelSet::Resnet50Copies => {
+                for _ in 0..spec.models {
+                    system.register_model(zoo.resnet50());
+                }
+            }
+        }
+        system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clockwork_controller::registry::ClockworkFactory;
+
+    #[test]
+    fn fleet_preset_matches_the_published_scenario() {
+        let spec = ScenarioSpec::fleet_scale();
+        assert_eq!(spec.workers, 20);
+        assert_eq!(spec.gpus_per_worker, 4);
+        assert_eq!(spec.models, 200);
+        assert_eq!(spec.slo_ms, 100);
+        assert_eq!(spec.seed, 2020);
+        assert!(spec.faults.is_empty());
+        assert_eq!(spec.horizon(), Timestamp::from_secs(122));
+    }
+
+    #[test]
+    fn chaos_preset_is_fleet_plus_scripted_churn_only() {
+        let chaos = ScenarioSpec::chaos_fleet();
+        let fleet = ScenarioSpec::fleet_scale()
+            .named("chaos_fleet")
+            .with_faults(chaos.scripted_churn());
+        assert_eq!(chaos, fleet, "chaos differs from fleet only by faults");
+        assert_eq!(chaos.faults.worker_crashes(), 2);
+        assert_eq!(chaos.faults.gpu_failures(), 4);
+        assert_eq!(chaos.faults.partitions(), 1);
+        assert_eq!(chaos.faults.link_degradations(), 1);
+    }
+
+    #[test]
+    fn churn_scales_with_duration() {
+        let short = ScenarioSpec::fleet_scale().with_duration_secs(10);
+        let plan = short.scripted_churn();
+        assert_eq!(plan.first_at(), Some(Timestamp::from_secs(2)));
+        assert!(plan.last_at().unwrap() <= Timestamp::from_secs(10));
+    }
+
+    #[test]
+    fn azure_traces_are_deterministic_functions_of_the_spec() {
+        let spec = ScenarioSpec::smoke(7);
+        let a = spec.azure_trace().expect("azure workload");
+        let b = spec.azure_trace().expect("azure workload");
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn from_spec_builds_the_described_cluster() {
+        let spec = ScenarioSpec {
+            workers: 2,
+            gpus_per_worker: 1,
+            models: 4,
+            ..ScenarioSpec::smoke(3)
+        };
+        let system = ServingSystem::from_spec(&spec, &ClockworkFactory::default());
+        assert_eq!(system.config().workers, 2);
+        assert_eq!(system.config().gpus_per_worker, 1);
+        assert_eq!(system.scheduler_name(), "clockwork");
+    }
+}

@@ -14,8 +14,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use clockwork_baselines::{ClipperScheduler, InfaasScheduler};
-use clockwork_controller::alt::FifoScheduler;
+use clockwork_controller::registry::{ClockworkFactory, SchedulerFactory};
 use clockwork_controller::request::{InferenceRequest, RequestId, Response};
 use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
 use clockwork_controller::worker_state::GpuRef;
@@ -26,30 +25,38 @@ use clockwork_sim::engine::{EventId, EventQueue, FaultKind};
 use clockwork_sim::network::NetworkModel;
 use clockwork_sim::rng::SimRng;
 use clockwork_sim::time::{Nanos, Timestamp};
-use clockwork_worker::{Action, ActionResult, GpuId, Worker, WorkerConfig, WorkerId};
+use clockwork_worker::{Action, ActionResult, ExecMode, GpuId, Worker, WorkerConfig, WorkerId};
 use clockwork_workload::{ClosedLoopClient, Trace};
 
-use crate::config::{SchedulerKind, SystemConfig};
+use crate::config::SystemConfig;
 use crate::telemetry::SystemTelemetry;
 
 /// Builder for a [`ServingSystem`].
-#[derive(Clone, Debug, Default)]
+///
+/// The discipline is supplied as a [`SchedulerFactory`] — the facade only
+/// knows the [`Scheduler`] trait, so any registered discipline (built-in,
+/// baseline, or user-provided) plugs in the same way. Without an explicit
+/// [`SystemBuilder::discipline`] call the Clockwork scheduler with its
+/// default configuration is used.
+#[derive(Default)]
 pub struct SystemBuilder {
     config: SystemConfig,
+    factory: Option<Box<dyn SchedulerFactory>>,
 }
 
 impl SystemBuilder {
     /// Starts from the default configuration (one worker, one GPU, the
     /// Clockwork scheduler, an ideal 100 µs network).
     pub fn new() -> Self {
-        SystemBuilder {
-            config: SystemConfig::default(),
-        }
+        SystemBuilder::default()
     }
 
     /// Starts from an explicit configuration.
     pub fn from_config(config: SystemConfig) -> Self {
-        SystemBuilder { config }
+        SystemBuilder {
+            config,
+            factory: None,
+        }
     }
 
     /// Sets the number of workers.
@@ -64,9 +71,9 @@ impl SystemBuilder {
         self
     }
 
-    /// Sets the serving discipline.
-    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
-        self.config.scheduler = scheduler;
+    /// Sets the serving discipline via its factory.
+    pub fn discipline(mut self, factory: Box<dyn SchedulerFactory>) -> Self {
+        self.factory = Some(factory);
         self
     }
 
@@ -101,9 +108,10 @@ impl SystemBuilder {
     }
 
     /// Schedules a fault plan: fleet churn (worker crashes, GPU failures,
-    /// link degradation and partitions) compiled into simulation events.
-    /// Requires the Clockwork scheduler — the baseline disciplines ignore
-    /// faults.
+    /// link degradation, partitions and elastic worker joins) compiled into
+    /// simulation events. Every discipline is fault-aware — Clockwork and
+    /// the baselines alike resolve dead capacity and re-admit recovered
+    /// capacity cold — so any plan may be combined with any scheduler.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.config.faults = plan;
         self
@@ -111,45 +119,9 @@ impl SystemBuilder {
 
     /// Builds the system.
     pub fn build(self) -> ServingSystem {
-        ServingSystem::new(self.config)
-    }
-}
-
-enum AnyScheduler {
-    // Boxed: the Clockwork scheduler's tracking state dwarfs the other
-    // disciplines, and one heap indirection here is invisible next to the
-    // per-tick scheduling work.
-    Clockwork(Box<ClockworkScheduler>),
-    Fifo(FifoScheduler),
-    Clipper(ClipperScheduler),
-    Infaas(InfaasScheduler),
-}
-
-impl AnyScheduler {
-    fn as_scheduler(&mut self) -> &mut dyn Scheduler {
-        match self {
-            AnyScheduler::Clockwork(s) => &mut **s,
-            AnyScheduler::Fifo(s) => s,
-            AnyScheduler::Clipper(s) => s,
-            AnyScheduler::Infaas(s) => s,
-        }
-    }
-
-    fn add_gpu(&mut self, gpu_ref: GpuRef, total_pages: u64, page_size: u64) {
-        match self {
-            AnyScheduler::Clockwork(s) => s.add_gpu(gpu_ref, total_pages, page_size),
-            AnyScheduler::Fifo(s) => s.add_gpu(gpu_ref, total_pages, page_size),
-            AnyScheduler::Clipper(s) => s.add_gpu(gpu_ref, total_pages, page_size),
-            AnyScheduler::Infaas(s) => s.add_gpu(gpu_ref, total_pages, page_size),
-        }
-    }
-
-    fn add_model(&mut self, id: ModelId, spec: Arc<ModelSpec>, load_seed: Nanos) {
-        match self {
-            AnyScheduler::Clockwork(s) => s.add_model(id, spec, load_seed),
-            AnyScheduler::Fifo(s) => s.add_model(id, spec, load_seed),
-            AnyScheduler::Clipper(s) => s.add_model(id, spec, load_seed),
-            AnyScheduler::Infaas(s) => s.add_model(id, spec, load_seed),
+        match self.factory {
+            Some(factory) => ServingSystem::with_factory(self.config, factory.as_ref()),
+            None => ServingSystem::new(self.config),
         }
     }
 }
@@ -260,7 +232,11 @@ impl LinkState {
 /// A running serving cluster in virtual time.
 pub struct ServingSystem {
     config: SystemConfig,
-    scheduler: AnyScheduler,
+    scheduler: Box<dyn Scheduler>,
+    /// The execution mode workers run with (resolved from the discipline's
+    /// default and any [`SystemConfig::exec_mode`] override); workers that
+    /// join at runtime are admitted with the same mode.
+    exec_mode: ExecMode,
     ctx: SchedulerCtx,
     workers: Vec<Worker>,
     /// Handle of the one queued wake per worker: `(due, event id)`. A wake
@@ -292,10 +268,27 @@ pub struct ServingSystem {
 }
 
 impl ServingSystem {
-    /// Creates a system from a configuration.
+    /// Creates a system from a configuration, with the default discipline
+    /// (the Clockwork scheduler in its default configuration).
     pub fn new(config: SystemConfig) -> Self {
+        ServingSystem::with_factory(config, &ClockworkFactory::default())
+    }
+
+    /// Creates a system from a configuration and a discipline factory. The
+    /// workers' execution mode is the factory's default unless
+    /// [`SystemConfig::exec_mode`] overrides it.
+    pub fn with_factory(config: SystemConfig, factory: &dyn SchedulerFactory) -> Self {
+        let exec_mode = config.exec_mode.unwrap_or(factory.default_exec_mode());
+        ServingSystem::assemble(config, factory.build(), exec_mode)
+    }
+
+    /// Assembles the cluster around an already-built scheduler.
+    fn assemble(
+        config: SystemConfig,
+        mut scheduler: Box<dyn Scheduler>,
+        exec_mode: ExecMode,
+    ) -> Self {
         let rng = SimRng::seeded(config.seed);
-        let exec_mode = config.effective_exec_mode();
         let workers: Vec<Worker> = (0..config.workers)
             .map(|w| {
                 let wc = WorkerConfig::new(WorkerId(w))
@@ -307,14 +300,6 @@ impl ServingSystem {
                 Worker::new(wc)
             })
             .collect();
-        let mut scheduler = match config.scheduler {
-            SchedulerKind::Clockwork(cfg) => {
-                AnyScheduler::Clockwork(Box::new(ClockworkScheduler::new(cfg)))
-            }
-            SchedulerKind::Fifo => AnyScheduler::Fifo(FifoScheduler::new()),
-            SchedulerKind::Clipper(cfg) => AnyScheduler::Clipper(ClipperScheduler::new(cfg)),
-            SchedulerKind::Infaas(cfg) => AnyScheduler::Infaas(InfaasScheduler::new(cfg)),
-        };
         for worker in &workers {
             for g in 0..worker.num_gpus() {
                 scheduler.add_gpu(
@@ -345,6 +330,7 @@ impl ServingSystem {
         ServingSystem {
             network: NetworkModel::new(config.network, rng.derive(1)),
             scheduler,
+            exec_mode,
             ctx: SchedulerCtx::new(),
             workers,
             worker_wake_scheduled: vec![None; worker_count],
@@ -387,13 +373,21 @@ impl ServingSystem {
         &self.workers
     }
 
+    /// The configured discipline's name (e.g. `"clockwork"`, `"clipper"`),
+    /// as reported by [`Scheduler::name`].
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// The execution mode the workers run with.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
     /// The Clockwork scheduler, if that is the configured discipline (used by
     /// the prediction-error experiment).
     pub fn clockwork_scheduler(&self) -> Option<&ClockworkScheduler> {
-        match &self.scheduler {
-            AnyScheduler::Clockwork(s) => Some(s),
-            _ => None,
-        }
+        self.scheduler.as_any().downcast_ref::<ClockworkScheduler>()
     }
 
     /// Registers one model instance and returns its id.
@@ -544,7 +538,7 @@ impl ServingSystem {
     /// wanted while work is pending. The tick is cancelled outright when the
     /// scheduler reports no work left.
     fn schedule_tick(&mut self) {
-        let desired = self.scheduler.as_scheduler().next_tick(self.now);
+        let desired = self.scheduler.next_tick(self.now);
         match (desired, self.tick_scheduled) {
             (Some(tick), Some((at, _))) if at <= tick => {}
             (Some(tick), prev) => {
@@ -655,9 +649,7 @@ impl ServingSystem {
             }
             SystemEvent::ControllerRequest { request } => {
                 self.telemetry.record_arrival(self.now);
-                self.scheduler
-                    .as_scheduler()
-                    .on_request(self.now, request, &mut self.ctx);
+                self.scheduler.on_request(self.now, request, &mut self.ctx);
                 self.drain_ctx();
             }
             SystemEvent::WorkerAction { worker, action } => {
@@ -698,9 +690,7 @@ impl ServingSystem {
                 self.schedule_worker_wake(worker);
             }
             SystemEvent::ControllerResult { result } => {
-                self.scheduler
-                    .as_scheduler()
-                    .on_result(self.now, &result, &mut self.ctx);
+                self.scheduler.on_result(self.now, &result, &mut self.ctx);
                 self.drain_ctx();
             }
             SystemEvent::ClientResponse { response, client } => {
@@ -723,9 +713,7 @@ impl ServingSystem {
             }
             SystemEvent::SchedulerTick => {
                 self.tick_scheduled = None;
-                self.scheduler
-                    .as_scheduler()
-                    .on_tick(self.now, &mut self.ctx);
+                self.scheduler.on_tick(self.now, &mut self.ctx);
                 self.drain_ctx();
             }
             SystemEvent::Fault { kind } => {
@@ -736,8 +724,16 @@ impl ServingSystem {
 
     /// Applies one fault atomically to the worker fleet, the transport layer
     /// and the controller, and folds it into the telemetry digest. Faults
-    /// naming a worker or GPU that does not exist are ignored.
+    /// naming a worker or GPU that does not exist are ignored, as is a
+    /// `WorkerJoin` naming a fleet index that already exists.
     fn apply_fault(&mut self, kind: FaultKind) {
+        if let FaultKind::WorkerJoin { worker } = kind {
+            if !self.admit_worker(worker) {
+                return;
+            }
+            self.finish_fault(kind);
+            return;
+        }
         let Some(&idx) = self.worker_index.get(&WorkerId(kind.worker())) else {
             return;
         };
@@ -783,13 +779,63 @@ impl ServingSystem {
                     self.push_event(at, event);
                 }
             }
+            FaultKind::WorkerJoin { .. } => unreachable!("handled above"),
         }
+        self.finish_fault(kind);
+    }
+
+    /// The tail every applied fault shares: fold it into the telemetry
+    /// digest with the post-fault availability, let the scheduler react, and
+    /// drain whatever it emitted.
+    fn finish_fault(&mut self, kind: FaultKind) {
         let (alive, total) = self.gpu_availability();
         self.telemetry.record_fault(self.now, &kind, alive, total);
-        self.scheduler
-            .as_scheduler()
-            .on_fault(self.now, &kind, &mut self.ctx);
+        self.scheduler.on_fault(self.now, &kind, &mut self.ctx);
         self.drain_ctx();
+    }
+
+    /// Admits a brand-new cold worker at runtime (elastic scale-up): builds
+    /// the machine with the cluster's GPU shape and execution mode, registers
+    /// every known model in its host memory, announces its GPUs to the
+    /// scheduler, and wires up its link and wake bookkeeping. Returns `false`
+    /// — admitting nothing — when the fleet index is already occupied.
+    fn admit_worker(&mut self, worker: u32) -> bool {
+        let id = WorkerId(worker);
+        if self.worker_index.contains_key(&id) {
+            return false;
+        }
+        let wc = WorkerConfig::new(id)
+            .with_gpus(self.config.gpus_per_worker)
+            .with_exec_mode(self.exec_mode)
+            .with_variance(self.config.variance)
+            .with_weights_cache(self.config.weights_cache_bytes)
+            .with_seed(self.config.seed ^ (u64::from(worker) << 16));
+        let mut joined = Worker::new(wc);
+        // Known models land in the newcomer's host memory in id order — the
+        // registration order is part of the deterministic execution.
+        let mut ids: Vec<ModelId> = self.models.keys().copied().collect();
+        ids.sort_unstable();
+        for model in ids {
+            joined
+                .register_model(model, Arc::clone(&self.models[&model]))
+                .expect("host memory exhausted while admitting a joined worker");
+        }
+        for g in 0..joined.num_gpus() {
+            self.scheduler.add_gpu(
+                GpuRef {
+                    worker: id,
+                    gpu: GpuId(g),
+                },
+                joined.total_pages(GpuId(g)),
+                joined.config().page_size,
+            );
+        }
+        let index = self.workers.len();
+        self.workers.push(joined);
+        self.worker_index.insert(id, index);
+        self.worker_wake_scheduled.push(None);
+        self.links.push(LinkState::healthy());
+        true
     }
 
     /// Schedules a fault at a virtual time while the system is running; the
@@ -978,9 +1024,10 @@ mod tests {
 
     #[test]
     fn fifo_ablation_serves_but_with_less_goodput_under_load() {
+        use clockwork_controller::registry::FifoFactory;
         let zoo = ModelZoo::new();
-        let run = |kind: SchedulerKind| {
-            let mut system = SystemBuilder::new().scheduler(kind).seed(17).build();
+        let run = |factory: Box<dyn SchedulerFactory>| {
+            let mut system = SystemBuilder::new().discipline(factory).seed(17).build();
             let models = system.register_copies(zoo.resnet50(), 4);
             let trace = OpenLoopClient::generate_many(
                 &models,
@@ -993,8 +1040,8 @@ mod tests {
             system.run_until(Timestamp::from_secs(4));
             system.telemetry().metrics()
         };
-        let clockwork = run(SchedulerKind::default());
-        let fifo = run(SchedulerKind::Fifo);
+        let clockwork = run(Box::<ClockworkFactory>::default());
+        let fifo = run(Box::new(FifoFactory));
         assert!(clockwork.satisfaction() >= fifo.satisfaction());
         assert!(fifo.successes > 0, "fifo still serves requests");
     }

@@ -9,34 +9,14 @@
 
 use clockwork::prelude::*;
 
+/// The smoke-fleet scenario is declarative now: `ScenarioSpec::smoke` holds
+/// the exact cluster/workload knobs this suite always pinned (4 workers ×
+/// 2 GPUs, 20 zoo models, a 10 s Azure-like trace at 400 r/s), and
+/// `Experiment` owns the submit/run loop.
 fn run_fleet_smoke(seed: u64, max_events: u64) -> (u64, u64) {
-    let zoo = ModelZoo::new();
-    let duration = Nanos::from_secs(10);
-    let config = AzureTraceConfig {
-        functions: 80,
-        models: 20,
-        duration,
-        target_rate: 400.0,
-        slo: Nanos::from_millis(100),
-        seed,
-    };
-    let trace = AzureTraceGenerator::new(config).generate();
-    let mut system = SystemBuilder::new()
-        .workers(4)
-        .gpus_per_worker(2)
-        .seed(seed)
-        .drop_raw_responses()
-        .build();
-    let varieties = zoo.all();
-    for i in 0..config.models {
-        system.register_model(&varieties[i % varieties.len()]);
-    }
-    system.submit_trace(&trace);
-    system.run_until_events(Timestamp::ZERO + duration + Nanos::from_secs(2), max_events);
-    (
-        system.telemetry().response_digest(),
-        system.events_processed(),
-    )
+    let report = Experiment::new(ScenarioSpec::smoke(seed))
+        .run_capped(&ClockworkFactory::default(), max_events);
+    (report.digest(), report.events_processed())
 }
 
 #[test]

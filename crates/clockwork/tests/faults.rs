@@ -337,3 +337,82 @@ fn link_degradation_degrades_goodput_not_accounting() {
     let m = system.telemetry().metrics();
     assert!(m.goodput_latency.max() <= Nanos::from_millis(100));
 }
+
+#[test]
+fn joined_worker_is_admitted_cold_and_serves_traffic() {
+    // Elastic scale-up: a single overloaded worker gets a second machine
+    // mid-run via `FaultPlan::join_worker`. The join must be reflected in
+    // fleet availability (2 GPUs after, from 1), the newcomer must actually
+    // execute work, and the accounting identity must hold throughout.
+    let zoo = ModelZoo::new();
+    let join_at = Timestamp::from_millis(800);
+    let plan = FaultPlan::new().join_worker(join_at, 1);
+    assert_eq!(plan.worker_joins(), 1);
+    let mut system = SystemBuilder::new()
+        .workers(1)
+        .seed(73)
+        .faults(plan)
+        .build();
+    let ids = system.register_copies(zoo.resnet50(), 6);
+    // Heavily overloaded for a single GPU (~2400 r/s offered), so the
+    // scheduler's demand-driven LOAD pass must replicate onto the joined
+    // capacity rather than just batching harder on the incumbent.
+    let trace = open_loop_trace(
+        &ids,
+        400.0,
+        Nanos::from_millis(100),
+        Nanos::from_secs(3),
+        51,
+    );
+    let submitted = trace.len() as u64;
+    system.submit_trace(&trace);
+    system.run_to_completion();
+
+    assert_eq!(
+        system.workers().len(),
+        2,
+        "the joined worker is in the fleet"
+    );
+    assert_eq!(system.gpu_availability(), (2, 2), "joined capacity counts");
+    let joined = &system.workers()[1];
+    assert_eq!(joined.id(), WorkerId(1));
+    let served = joined.telemetry().counters.requests_served;
+    assert!(served > 0, "the joined worker must serve traffic");
+    assert!(
+        joined.gpu_utilization(clockwork_worker::GpuId(0), system.now()) > 0.0,
+        "the joined worker's GPU must have executed"
+    );
+
+    let (total, successes, _goodput, rejected) = counts(&system);
+    assert_eq!(total, submitted);
+    assert_eq!(successes + rejected, total);
+
+    // The join is part of the recorded fault history, with capacity *added*.
+    let records = system.telemetry().fault_records();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].at, join_at);
+    assert_eq!(records[0].total_gpus, 2);
+    assert_eq!(records[0].alive_gpus, 2);
+}
+
+#[test]
+fn joining_an_occupied_fleet_index_is_ignored() {
+    // A WorkerJoin naming an existing worker must change nothing — no new
+    // machine, no double-registered GPUs, no fault record.
+    let zoo = ModelZoo::new();
+    let plan = FaultPlan::new().join_worker(Timestamp::from_millis(100), 0);
+    let mut system = SystemBuilder::new()
+        .workers(1)
+        .seed(74)
+        .faults(plan)
+        .build();
+    let ids = system.register_copies(zoo.resnet50(), 2);
+    let trace = open_loop_trace(&ids, 40.0, Nanos::from_millis(100), Nanos::from_secs(1), 52);
+    system.submit_trace(&trace);
+    system.run_to_completion();
+    assert_eq!(system.workers().len(), 1);
+    assert_eq!(system.gpu_availability(), (1, 1));
+    assert!(system.telemetry().fault_records().is_empty());
+    let (total, successes, _goodput, rejected) = counts(&system);
+    assert_eq!(successes + rejected, total);
+}

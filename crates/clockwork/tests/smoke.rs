@@ -11,7 +11,7 @@ use clockwork::prelude::*;
 fn single_worker_resnet50_open_loop_smoke() {
     let mut system = SystemBuilder::new()
         .workers(1)
-        .scheduler(SchedulerKind::Clockwork(Default::default()))
+        .discipline(Box::new(ClockworkFactory::default()))
         .seed(1)
         .build();
 
