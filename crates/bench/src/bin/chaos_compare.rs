@@ -25,8 +25,15 @@
 //! Usage:
 //! ```text
 //! cargo run --release -p bench --bin chaos_compare -- \
-//!     [--duration-secs N] [--events N] [--out PATH] [--seed N]
+//!     [--duration-secs N] [--events N] [--out PATH] [--seed N] \
+//!     [--max-clockwork-ratio X]
 //! ```
+//!
+//! `--max-clockwork-ratio X` turns the run into a perf gate: it exits
+//! non-zero when clockwork's wall time exceeds `X` times clipper's on the
+//! same scenario (0 disables; the default). CI's smoke step uses this to
+//! catch tick-pipeline regressions that an absolute wall cap would miss on
+//! slower runners.
 
 use clockwork::prelude::*;
 use clockwork_baselines::register_baselines;
@@ -36,6 +43,7 @@ struct Args {
     out: String,
     seed: u64,
     duration_secs: u64,
+    max_clockwork_ratio: f64,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +52,7 @@ fn parse_args() -> Args {
         out: "BENCH_chaos_compare.json".to_string(),
         seed: 2020,
         duration_secs: 120,
+        max_clockwork_ratio: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,6 +68,15 @@ fn parse_args() -> Args {
                 args.duration_secs = value("--duration-secs")
                     .parse()
                     .expect("--duration-secs: integer")
+            }
+            // Perf gate: fail if clockwork's wall time exceeds this multiple
+            // of clipper's (0 disables). Clipper is the natural yardstick —
+            // same per-request work, no strategy/load planning — so the ratio
+            // is robust to runner speed where an absolute wall cap is not.
+            "--max-clockwork-ratio" => {
+                args.max_clockwork_ratio = value("--max-clockwork-ratio")
+                    .parse()
+                    .expect("--max-clockwork-ratio: float")
             }
             other => panic!("unknown flag {other}"),
         }
@@ -81,6 +99,7 @@ struct DisciplineRow {
     events_processed: u64,
     wall_secs: f64,
     digest: u64,
+    sched: SchedProfile,
     analysis: bench::ChaosAnalysis,
 }
 
@@ -100,6 +119,7 @@ impl DisciplineRow {
             events_processed: report.events_processed(),
             wall_secs: report.wall_secs,
             digest: report.digest(),
+            sched: report.sched_stats(),
             analysis: bench::analyze_chaos(report, spec),
         }
     }
@@ -193,6 +213,33 @@ fn main() {
         );
     }
 
+    bench::section("scheduler self-profiling (ticks that did work vs early-outs)");
+    for row in &rows {
+        bench::report_sched_profile(&row.discipline, &row.sched);
+    }
+
+    if args.max_clockwork_ratio > 0.0 {
+        let wall_of = |name: &str| {
+            rows.iter()
+                .find(|r| r.discipline == name)
+                .map(|r| r.wall_secs)
+        };
+        if let (Some(clockwork), Some(clipper)) = (wall_of("clockwork"), wall_of("clipper")) {
+            let ratio = clockwork / clipper.max(1e-9);
+            println!(
+                "# perf gate: clockwork {clockwork:.3}s / clipper {clipper:.3}s = {ratio:.2}x (max {:.2}x)",
+                args.max_clockwork_ratio
+            );
+            if ratio > args.max_clockwork_ratio {
+                eprintln!(
+                    "PERF GATE VIOLATION: clockwork wall is {ratio:.2}x clipper's, above the {:.2}x cap",
+                    args.max_clockwork_ratio
+                );
+                failed = true;
+            }
+        }
+    }
+
     let discipline_objects: Vec<String> = rows
         .iter()
         .map(|row| {
@@ -213,6 +260,7 @@ fn main() {
                     "      \"live_events\": {live},\n",
                     "      \"events_processed\": {events},\n",
                     "      \"wall_secs\": {wall:.3},\n",
+                    "      \"sched\": {sched},\n",
                     "      \"digest\": \"{digest:016x}\"\n",
                     "    }}"
                 ),
@@ -234,6 +282,7 @@ fn main() {
                 live = row.live_events,
                 events = row.events_processed,
                 wall = row.wall_secs,
+                sched = bench::sched_json(&row.sched),
                 digest = row.digest,
             )
         })

@@ -172,6 +172,10 @@ fn main() {
     );
     println!("digest={:016x}", report.digest());
 
+    bench::section("scheduler self-profiling");
+    let sched = report.sched_stats();
+    bench::report_sched_profile(&report.discipline, &sched);
+
     // Event-mix breakdown + conservation check; churn cancels wakes en
     // masse (crashed workers never act again), so the cancelled column is
     // part of the chaos story, not just perf hygiene.
@@ -217,6 +221,7 @@ fn main() {
             "    \"peak_rss_kb\": {rss}\n",
             "  }},\n",
             "  \"events\": {events_json},\n",
+            "  \"sched\": {sched_json},\n",
             "  \"digest\": \"{digest:016x}\"\n",
             "}}\n",
         ),
@@ -259,6 +264,7 @@ fn main() {
         eps = events_per_sec,
         rss = bench::peak_rss_kb(),
         events_json = events_json,
+        sched_json = bench::sched_json(&sched),
         digest = report.digest(),
     );
     std::fs::write(&args.out, &json).expect("write results json");

@@ -25,8 +25,13 @@
 //! Usage:
 //! ```text
 //! cargo run --release -p bench --bin fleet_scale -- \
-//!     [--events N] [--out PATH] [--baseline PATH] [--seed N] [--expect-digest HEX]
+//!     [--events N] [--out PATH] [--baseline PATH] [--seed N] \
+//!     [--expect-digest HEX] [--tick-profile]
 //! ```
+//!
+//! `--tick-profile` additionally prints the per-full-tick work breakdown
+//! (candidates scanned, strategy rebuilds, load-priority recomputes) derived
+//! from the scheduler's self-profiling counters.
 
 use clockwork::prelude::*;
 
@@ -39,6 +44,7 @@ struct Args {
     baseline: Option<String>,
     seed: u64,
     expect_digest: Option<u64>,
+    tick_profile: bool,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +54,7 @@ fn parse_args() -> Args {
         baseline: None,
         seed: 2020,
         expect_digest: None,
+        tick_profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +73,7 @@ fn parse_args() -> Args {
                 args.expect_digest =
                     Some(u64::from_str_radix(hex, 16).expect("--expect-digest: hex u64"));
             }
+            "--tick-profile" => args.tick_profile = true,
             other => panic!("unknown flag {other}"),
         }
     }
@@ -125,8 +133,30 @@ fn main() {
     let mix_ok = bench::report_event_mix(&mix, live);
     let events_json = bench::event_mix_json(&mix, live);
 
+    let sched = report.sched_stats();
+    bench::section("scheduler self-profiling");
+    bench::report_sched_profile(&report.discipline, &sched);
+    if args.tick_profile {
+        // Per-tick breakdown of where scheduler passes spend their work —
+        // the knob for diagnosing a tick-pipeline regression without a
+        // profiler attached.
+        let full = sched.ticks_full.max(1) as f64;
+        println!(
+            "per full tick: candidates={:.2} strategy_rebuilds={:.3} load_prio_recomputes={:.3}",
+            sched.candidates_scanned as f64 / full,
+            sched.strategies_recomputed as f64 / full,
+            sched.load_prio_recomputes as f64 / full,
+        );
+        println!(
+            "tick density: {:.3} full ticks per 1k delivered events ({} full / {} delivered)",
+            1000.0 * sched.ticks_full as f64 / events.max(1) as f64,
+            sched.ticks_full,
+            events,
+        );
+    }
+
     let json = format!(
-        "{{\n  \"scenario\": {{\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"discipline\": \"{discipline}\",\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"events\": {events_json},\n  \"digest\": \"{digest:016x}\"\n}}\n",
+        "{{\n  \"scenario\": {{\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"smoke\": {smoke},\n    \"max_events\": {max_events}\n  }},\n  \"discipline\": \"{discipline}\",\n  \"serving\": {{\n    \"requests\": {requests},\n    \"goodput\": {goodput},\n    \"goodput_rps\": {goodput_rps:.1},\n    \"slo_violation_rate\": {slo_violation_rate:.6},\n    \"p50_ms\": {p50:.3},\n    \"p99_ms\": {p99:.3},\n    \"cold_start_fraction\": {cold:.6}\n  }},\n  \"perf\": {{\n    \"events_processed\": {events},\n    \"wall_secs\": {wall_secs:.3},\n    \"events_per_sec\": {events_per_sec:.0},\n    \"peak_rss_kb\": {rss_kb}\n  }},\n  \"events\": {events_json},\n  \"sched\": {sched_json},\n  \"digest\": \"{digest:016x}\"\n}}\n",
         workers = spec.workers,
         gpus = spec.gpus_per_worker,
         models = spec.models,
@@ -149,6 +179,7 @@ fn main() {
         p50 = m.latency.percentile(50.0).as_millis_f64(),
         p99 = m.latency.percentile(99.0).as_millis_f64(),
         cold = m.cold_start_fraction(),
+        sched_json = bench::sched_json(&sched),
     );
     std::fs::write(&args.out, &json).expect("write results json");
     println!("# wrote {}", args.out);

@@ -341,6 +341,44 @@ pub fn event_mix_json(mix: &EventMix, live: u64) -> String {
     )
 }
 
+/// Renders the scheduler self-profiling counters as the `"sched"` object of
+/// the `BENCH_*.json` schemas (see `crates/bench/README.md`), indented to
+/// nest one level deep (per-discipline rows) or at the top level.
+pub fn sched_json(sched: &SchedProfile) -> String {
+    format!(
+        "{{ \"ticks_full\": {}, \"ticks_skipped\": {}, \"candidates_scanned\": {}, \"strategies_recomputed\": {}, \"load_prio_recomputes\": {} }}",
+        sched.ticks_full,
+        sched.ticks_skipped,
+        sched.candidates_scanned,
+        sched.strategies_recomputed,
+        sched.load_prio_recomputes,
+    )
+}
+
+/// Prints one scheduler self-profiling row: how many ticks did real work vs
+/// early-outed, and how much the work-proportional stages actually scanned.
+/// The early-out fraction is the direct measure of the change-driven core —
+/// a rebuild-the-world scheduler would show `skipped=0`.
+pub fn report_sched_profile(label: &str, sched: &SchedProfile) {
+    let ticks = sched.ticks();
+    let skipped_frac = if ticks > 0 {
+        sched.ticks_skipped as f64 / ticks as f64
+    } else {
+        0.0
+    };
+    println!(
+        "{:<12} ticks={:<9} full={:<9} skipped={:<9} ({:>5.1}% early-out) candidates={:<11} strat_rebuilds={:<9} load_prio={}",
+        label,
+        ticks,
+        sched.ticks_full,
+        sched.ticks_skipped,
+        100.0 * skipped_frac,
+        sched.candidates_scanned,
+        sched.strategies_recomputed,
+        sched.load_prio_recomputes,
+    );
+}
+
 /// Renders a [`ScenarioSpec`] as the `"scenario"` object shared by the
 /// `BENCH_*.json` schemas. `max_events` is 0 for uncapped (full) runs.
 pub fn scenario_json(spec: &ScenarioSpec, max_events: u64) -> String {

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use clockwork_controller::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
-use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
+use clockwork_controller::scheduler::{Scheduler, SchedulerCtx, TickOutcome};
 use clockwork_controller::worker_state::{GpuRef, OutstandingAction, WorkerStateTracker};
 use clockwork_model::{ModelId, ModelSpec};
 use clockwork_sim::time::{Nanos, Timestamp};
@@ -377,8 +377,9 @@ impl Scheduler for ClipperScheduler {
         self.dispatch(now, ctx);
     }
 
-    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) -> TickOutcome {
         self.dispatch(now, ctx);
+        TickOutcome::Full
     }
 
     fn on_fault(

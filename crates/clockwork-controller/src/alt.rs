@@ -22,7 +22,7 @@ use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, TimeWindow};
 
 use crate::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
-use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::scheduler::{Scheduler, SchedulerCtx, TickOutcome};
 use crate::worker_state::{GpuRef, OutstandingAction, WorkerStateTracker};
 
 /// A deliberately naive scheduler: FIFO dispatch, batch size 1, round-robin
@@ -249,8 +249,9 @@ impl Scheduler for FifoScheduler {
         self.dispatch(now, ctx);
     }
 
-    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) -> TickOutcome {
         self.dispatch(now, ctx);
+        TickOutcome::Full
     }
 
     fn on_fault(

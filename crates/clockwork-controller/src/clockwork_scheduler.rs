@@ -19,7 +19,8 @@
 //! least-recently-used. Admission control rejects requests whose SLO cannot
 //! be met even in the best case, before any work is wasted on them.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -30,9 +31,10 @@ use clockwork_sim::pcie::PcieLink;
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, GpuId, TimeWindow, WorkerId};
 
+use crate::journal::{ChangeJournal, SchedProfile};
 use crate::profile::{ActionProfiler, ProfileKey};
 use crate::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
-use crate::scheduler::{Scheduler, SchedulerCtx};
+use crate::scheduler::{Scheduler, SchedulerCtx, TickOutcome};
 use crate::worker_state::{FreeAtIndex, GpuRef, OutstandingAction, WorkerStateTracker};
 
 /// Configuration of the Clockwork scheduler.
@@ -150,15 +152,24 @@ struct PendingRequest {
 struct ModelEntry {
     spec: Arc<ModelSpec>,
     queue: VecDeque<PendingRequest>,
-    /// Conservative lower bound on the earliest deadline in `queue`
-    /// (`Timestamp::MAX` when empty or all-unbounded). Never later than the
-    /// true minimum, so the expiry pass may skip the scan when `now` has not
-    /// reached it yet.
+    /// Multiset of the deadlines currently in `queue` (unbounded requests
+    /// contribute `Timestamp::MAX`), maintained incrementally on every
+    /// push/drain/expiry so the earliest deadline is the first key instead
+    /// of an O(queue-length) rescan.
+    deadlines: BTreeMap<Timestamp, u32>,
+    /// The earliest deadline in `queue` (`Timestamp::MAX` when empty or
+    /// all-unbounded); the cached first key of `deadlines`, always exact.
     min_deadline_hint: Timestamp,
-    /// Cached `(batch, required_start)` strategy candidates in ascending
-    /// batch order, mirroring Appendix B's strategy queue. Valid while
-    /// `cache_epoch` matches the profiler epoch and `cache_dirty` is unset.
-    strategies: Vec<(u32, Timestamp)>,
+    /// Cached `(batch, required_start, suffix_max_required_start)` strategy
+    /// candidates in ascending batch order, mirroring Appendix B's strategy
+    /// queue. The third element is the maximum `required_start` from this
+    /// entry to the end of the list — non-increasing by construction, which
+    /// is what lets [`ClockworkScheduler::strategy_for`] binary-search for
+    /// the last feasible entry (`required_start` itself is *usually*
+    /// non-increasing, but measured profiles can make a larger batch
+    /// faster). Valid while `cache_epoch` matches the profiler epoch and
+    /// `cache_dirty` is unset.
+    strategies: Vec<(u32, Timestamp, Timestamp)>,
     cache_epoch: u64,
     cache_dirty: bool,
 }
@@ -168,6 +179,7 @@ impl ModelEntry {
         ModelEntry {
             spec,
             queue: VecDeque::new(),
+            deadlines: BTreeMap::new(),
             min_deadline_hint: Timestamp::MAX,
             strategies: Vec::new(),
             cache_epoch: 0,
@@ -178,6 +190,32 @@ impl ModelEntry {
     /// Notes that `queue` changed, invalidating the strategy cache.
     fn note_queue_changed(&mut self) {
         self.cache_dirty = true;
+    }
+
+    /// Records a deadline entering `queue`.
+    fn deadline_added(&mut self, deadline: Timestamp) {
+        *self.deadlines.entry(deadline).or_insert(0) += 1;
+        if deadline < self.min_deadline_hint {
+            self.min_deadline_hint = deadline;
+        }
+    }
+
+    /// Records a deadline leaving `queue` (dispatch or expiry).
+    fn deadline_removed(&mut self, deadline: Timestamp) {
+        if let Some(count) = self.deadlines.get_mut(&deadline) {
+            *count -= 1;
+            if *count == 0 {
+                self.deadlines.remove(&deadline);
+            }
+        }
+        if deadline <= self.min_deadline_hint {
+            self.min_deadline_hint = self
+                .deadlines
+                .keys()
+                .next()
+                .copied()
+                .unwrap_or(Timestamp::MAX);
+        }
     }
 }
 
@@ -224,6 +262,28 @@ pub struct ClockworkScheduler {
     exec_ready: FreeAtIndex,
     /// The same index for the LOAD executor.
     load_ready: FreeAtIndex,
+    /// Change journal driving the early-out tick path: event-driven entry
+    /// points mark it dirty, a completed pass marks it clean until the
+    /// earliest instant pure time passage could change a decision.
+    journal: ChangeJournal,
+    /// Self-profiling counters exported through
+    /// [`Scheduler::sched_profile`].
+    profile: SchedProfile,
+    /// Per-model urgency index over the queued models:
+    /// `(min_deadline_hint, model)` kept in lock-step with the queues, so
+    /// the expiry pass visits only models whose earliest deadline is inside
+    /// the expiry window and the quiescence edge reads the global earliest
+    /// deadline in O(log n) — instead of rescanning every queued model.
+    urgency: BTreeSet<(Timestamp, ModelId)>,
+    /// Running upper bound on every model's batch-1 execution estimate
+    /// (never decreases), bounding how early any queued deadline can expire.
+    max_est1: Nanos,
+    /// Anchor of the legacy fixed-cadence tick grid, consulted from
+    /// `next_tick(&self)` (hence the interior mutability). `None` exactly
+    /// when the legacy tick chain would be stopped, so re-anchoring matches
+    /// the rebuild-every-tick scheduler's grid and productive passes land
+    /// on byte-identical tick times.
+    tick_anchor: Cell<Option<Timestamp>>,
     // Reusable scratch buffers: the steady-state scheduling pass moves these
     // out, refills them, and puts them back, so it allocates nothing once the
     // buffers have grown to the fleet's working-set size.
@@ -257,6 +317,11 @@ impl ClockworkScheduler {
             down_workers: BTreeSet::new(),
             exec_ready: FreeAtIndex::new(),
             load_ready: FreeAtIndex::new(),
+            journal: ChangeJournal::new(),
+            profile: SchedProfile::default(),
+            urgency: BTreeSet::new(),
+            max_est1: Nanos::ZERO,
+            tick_anchor: Cell::new(None),
             scratch_models: Vec::new(),
             scratch_gpus: Vec::new(),
             scratch_gpu_idx: Vec::new(),
@@ -285,6 +350,9 @@ impl ClockworkScheduler {
         self.avail_by_gpu.push(BTreeSet::new());
         self.exec_ready.push_gpu();
         self.load_ready.push_gpu();
+        // Fresh cold capacity is immediately actionable; the next tick must
+        // run a full pass (no `schedule()` runs on this path).
+        self.journal.note_change();
     }
 
     /// Records that `model` became resident-or-loading on `gpu_ref` in both
@@ -323,6 +391,8 @@ impl ClockworkScheduler {
         }
         self.profiler.seed(ProfileKey::load(id), load_seed);
         self.models.insert(id, ModelEntry::new(spec));
+        self.max_est1 = self.max_est1.max(self.exec_estimate(id, 1));
+        self.journal.note_change();
     }
 
     /// Registers a model, deriving the LOAD seed from a PCIe link model.
@@ -439,41 +509,58 @@ impl ClockworkScheduler {
                 !history.is_empty()
             });
         }
-        if self.queued_models.is_empty() {
+        if self.urgency.is_empty() {
             return;
         }
+        let allowance = self.config.network_allowance;
+        // Only models whose earliest deadline falls inside the conservative
+        // expiry window (`max_est1` bounds every per-model estimate) can have
+        // lapsed requests; the urgency index yields exactly those without
+        // touching the rest of the queued set. Rejections must still be
+        // emitted in ascending `ModelId` order — the order the full scan over
+        // the queued set produced — so the candidate list is re-sorted.
+        let global_cutoff = now + self.max_est1 + allowance;
         let mut model_ids = std::mem::take(&mut self.scratch_models);
         model_ids.clear();
-        model_ids.extend(self.queued_models.iter().copied());
+        model_ids.extend(
+            self.urgency
+                .iter()
+                .take_while(|&&(hint, _)| hint < global_cutoff)
+                .map(|&(_, model)| model),
+        );
+        model_ids.sort_unstable();
         let mut expired = std::mem::take(&mut self.scratch_expired);
-        let allowance = self.config.network_allowance;
         for &model_id in &model_ids {
             let min_exec = self.exec_estimate(model_id, 1);
-            let Some(entry) = self.models.get_mut(&model_id) else {
-                continue;
-            };
             let cutoff = now + min_exec + allowance;
-            if cutoff <= entry.min_deadline_hint {
-                // No queued deadline can have lapsed yet.
-                continue;
-            }
-            expired.clear();
-            let mut remaining_min = Timestamp::MAX;
-            entry.queue.retain(|p| {
-                let doomed = p.deadline != Timestamp::MAX && cutoff > p.deadline;
-                if doomed {
-                    expired.push(p.clone());
-                } else if p.deadline < remaining_min {
-                    remaining_min = p.deadline;
+            let (was_queued, old_hint) = {
+                let Some(entry) = self.models.get_mut(&model_id) else {
+                    continue;
+                };
+                if cutoff <= entry.min_deadline_hint {
+                    // No queued deadline can have lapsed yet.
+                    continue;
                 }
-                !doomed
-            });
-            entry.min_deadline_hint = remaining_min;
+                let was_queued = !entry.queue.is_empty();
+                let old_hint = entry.min_deadline_hint;
+                expired.clear();
+                entry.queue.retain(|p| {
+                    let doomed = p.deadline != Timestamp::MAX && cutoff > p.deadline;
+                    if doomed {
+                        expired.push(p.clone());
+                    }
+                    !doomed
+                });
+                if !expired.is_empty() {
+                    entry.note_queue_changed();
+                    for p in &expired {
+                        entry.deadline_removed(p.deadline);
+                    }
+                }
+                (was_queued, old_hint)
+            };
             if !expired.is_empty() {
-                entry.note_queue_changed();
-            }
-            if entry.queue.is_empty() {
-                self.queued_models.remove(&model_id);
+                self.resync_urgency(model_id, was_queued, old_hint);
             }
             for p in expired.drain(..) {
                 self.reject(&p, now, RejectReason::DeadlineElapsed, ctx);
@@ -481,6 +568,24 @@ impl ClockworkScheduler {
         }
         self.scratch_models = model_ids;
         self.scratch_expired = expired;
+    }
+
+    /// Re-syncs the urgency index and the queued-model set after `model`'s
+    /// queue or earliest deadline changed. `was_queued`/`old_hint` describe
+    /// the state *before* the mutation.
+    fn resync_urgency(&mut self, model: ModelId, was_queued: bool, old_hint: Timestamp) {
+        let entry = self.models.get(&model).expect("model exists");
+        let now_queued = !entry.queue.is_empty();
+        let new_hint = entry.min_deadline_hint;
+        if was_queued {
+            self.urgency.remove(&(old_hint, model));
+        }
+        if now_queued {
+            self.urgency.insert((new_hint, model));
+            self.queued_models.insert(model);
+        } else {
+            self.queued_models.remove(&model);
+        }
     }
 
     /// Estimated completion time of the LOAD currently in flight for a model
@@ -499,16 +604,17 @@ impl ClockworkScheduler {
     /// the queue changed or any profile estimate moved since the last build
     /// (Appendix B's strategy queue). The list is independent of the GPU: the
     /// per-GPU `exec_start` feasibility check happens at query time in
-    /// [`Self::strategy_for`].
+    /// [`Self::strategy_for`]. Returns whether a rebuild happened (the
+    /// self-profiling `strategies_recomputed` counter).
     fn ensure_strategies(
         config: &ClockworkSchedulerConfig,
         profiler: &ActionProfiler,
         model_id: ModelId,
         entry: &mut ModelEntry,
-    ) {
+    ) -> bool {
         let epoch = profiler.model_epoch(model_id);
         if !entry.cache_dirty && entry.cache_epoch == epoch {
-            return;
+            return false;
         }
         entry.cache_dirty = false;
         entry.cache_epoch = epoch;
@@ -521,7 +627,7 @@ impl ClockworkScheduler {
         strategies.clear();
         let queued = queue.len() as u32;
         if queued == 0 {
-            return;
+            return true;
         }
         let allowance = config.network_allowance;
         // Running minimum deadline over the queue prefix each batch would
@@ -551,24 +657,50 @@ impl ClockworkScheduler {
             } else {
                 min_deadline - est - allowance
             };
-            strategies.push((batch, required_start));
+            strategies.push((batch, required_start, required_start));
         }
+        // Backfill the suffix maximum of `required_start` so the feasibility
+        // binary search has a monotone key even when measured profiles make a
+        // larger batch faster than a smaller one.
+        let mut suffix_max = Timestamp::ZERO;
+        for s in strategies.iter_mut().rev() {
+            suffix_max = suffix_max.max(s.1);
+            s.2 = suffix_max;
+        }
+        true
     }
 
     /// Chooses the best (batch, required-start) strategy for a model given
     /// the earliest time an INFER could start: the largest batch whose
     /// required start has not passed (the paper drops strategies for batch
     /// sizes that are too small when larger ones fit).
+    ///
+    /// The search runs over the cached suffix maximum of `required_start`,
+    /// which is non-increasing by construction (raw `required_start` is
+    /// *usually* non-increasing too — each larger batch serves a superset
+    /// prefix of the queue with a longer estimate — but measured profiles can
+    /// invert that). `exec_start <= suffix_max[i]` holds exactly when some
+    /// entry at index `>= i` is feasible, so the partition boundary lands one
+    /// past the last feasible entry — the same entry the linear scan chose.
+    /// The debug assertion pins the monotone ordering the search relies on.
     fn strategy_for(entry: &ModelEntry, exec_start: Timestamp) -> Option<(u32, Timestamp)> {
-        let mut candidate: Option<(u32, Timestamp)> = None;
-        for &(batch, required_start) in &entry.strategies {
-            if exec_start > required_start {
-                // This batch size cannot meet the earliest deadline.
-                continue;
-            }
-            candidate = Some((batch, required_start));
+        debug_assert!(
+            entry.strategies.windows(2).all(|w| w[0].2 >= w[1].2),
+            "strategy suffix-max required_start must be non-increasing"
+        );
+        let n = entry
+            .strategies
+            .partition_point(|&(_, _, suffix_max)| exec_start <= suffix_max);
+        if n == 0 {
+            None
+        } else {
+            let (batch, required_start, suffix_max) = entry.strategies[n - 1];
+            debug_assert!(
+                required_start == suffix_max,
+                "last feasible entry must realize its own suffix maximum"
+            );
+            Some((batch, required_start))
         }
-        candidate
     }
 
     /// Tops up INFER schedules on every actionable GPU.
@@ -611,6 +743,7 @@ impl ClockworkScheduler {
                     }
                 }
                 let mut best: Option<(ModelId, u32, Timestamp, Timestamp)> = None;
+                self.profile.candidates_scanned += candidates.len() as u64;
                 for &model_id in &candidates {
                     let track = self.tracker.get(gpu_ref).expect("gpu exists");
                     let exec_start = if track.is_resident(model_id) {
@@ -626,7 +759,9 @@ impl ClockworkScheduler {
                     let Some(entry) = self.models.get_mut(&model_id) else {
                         continue;
                     };
-                    Self::ensure_strategies(&self.config, &self.profiler, model_id, entry);
+                    if Self::ensure_strategies(&self.config, &self.profiler, model_id, entry) {
+                        self.profile.strategies_recomputed += 1;
+                    }
                     if let Some((batch, required_start)) = Self::strategy_for(entry, exec_start) {
                         let better = match &best {
                             None => true,
@@ -659,18 +794,15 @@ impl ClockworkScheduler {
         let est = self.exec_estimate(model_id, batch);
         let allowance = self.config.network_allowance;
         let entry = self.models.get_mut(&model_id).expect("model exists");
+        let was_queued = !entry.queue.is_empty();
+        let old_hint = entry.min_deadline_hint;
         let serve = (batch as usize).min(entry.queue.len());
         let requests: Vec<PendingRequest> = entry.queue.drain(..serve).collect();
         entry.note_queue_changed();
-        entry.min_deadline_hint = entry
-            .queue
-            .iter()
-            .map(|p| p.deadline)
-            .min()
-            .unwrap_or(Timestamp::MAX);
-        if entry.queue.is_empty() {
-            self.queued_models.remove(&model_id);
+        for p in &requests {
+            entry.deadline_removed(p.deadline);
         }
+        self.resync_urgency(model_id, was_queued, old_hint);
         let min_deadline = requests
             .iter()
             .map(|p| p.deadline)
@@ -833,16 +965,29 @@ impl ClockworkScheduler {
         let mut priorities = std::mem::take(&mut self.scratch_priorities);
         let mut gpu_indices = std::mem::take(&mut self.scratch_gpu_idx);
         self.load_ready.actionable_into(horizon, &mut gpu_indices);
-        for &gpu_idx in &gpu_indices {
+        // Priorities depend only on `demands` (fixed for the pass) and on
+        // residency, so they are computed lazily once and reused across GPUs
+        // and slots — `dispatch_load` is the only thing that can change
+        // residency mid-pass (it evicts/loads even when it returns `false`),
+        // and it marks them stale. Recomputing from unchanged inputs yields
+        // the identical sorted list, so this is decision-preserving.
+        let mut priorities_fresh = false;
+        'gpus: for &gpu_idx in &gpu_indices {
             let gpu_ref = self.tracker.gpus()[gpu_idx].gpu_ref;
             while let Some(load_slot) = self.tracker.get(gpu_ref).map(|t| t.next_load_slot(now)) {
                 if load_slot >= horizon {
                     break;
                 }
-                // Dispatching a LOAD changes residency and therefore the
-                // allocation shares, so priorities are recomputed per slot —
-                // each recomputation is cheap against the persistent index.
-                self.load_priorities_into(&demands, &mut gpu_load, &mut priorities);
+                if !priorities_fresh {
+                    self.load_priorities_into(&demands, &mut gpu_load, &mut priorities);
+                    priorities_fresh = true;
+                    self.profile.load_prio_recomputes += 1;
+                    // Sorted descending: if even the top priority is not
+                    // positive, no GPU anywhere can receive a LOAD this pass.
+                    if priorities.first().is_none_or(|&(_, p)| p <= 0.0) {
+                        break 'gpus;
+                    }
+                }
                 // Highest-priority model with positive unfulfilled demand that
                 // is not already available on this GPU.
                 let avail = &self.avail_by_gpu[gpu_idx];
@@ -853,6 +998,7 @@ impl ClockworkScheduler {
                 let Some(model_id) = candidate else {
                     break;
                 };
+                priorities_fresh = false;
                 if !self.dispatch_load(now, gpu_ref, model_id, load_slot, ctx) {
                     break;
                 }
@@ -958,6 +1104,73 @@ impl ClockworkScheduler {
         self.schedule_loads(now, ctx);
         // Loading decisions may enable further INFERs (cold models).
         self.schedule_infers(now, ctx);
+        self.refresh_clean_until(now);
+    }
+
+    /// Runs one full scheduling pass unconditionally, bypassing the
+    /// early-out journal. This is the rebuild-per-tick oracle surface the
+    /// differential tests drive; production paths go through the trait
+    /// callbacks.
+    pub fn run_full_pass(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+        self.schedule(now, ctx);
+    }
+
+    /// Whether any queued request, in-flight INFER or in-flight LOAD exists
+    /// — the "busy" condition under which the rebuild-every-tick scheduler
+    /// kept its fixed-cadence chain alive. [`Scheduler::next_tick`] gates on
+    /// it, and the differential tests use it to replay the legacy cadence.
+    pub fn has_outstanding_work(&self) -> bool {
+        !self.queued_models.is_empty()
+            || !self.in_flight.is_empty()
+            || !self.in_flight_loads.is_empty()
+    }
+
+    /// Recomputes the journal's clean horizon after a completed pass: the
+    /// earliest future instant at which pure time passage — no request, no
+    /// result, no fault — could make another pass produce a decision. Every
+    /// time-driven enabler in the pass is covered by one edge below;
+    /// everything else is monotone in `now` (rising `exec_start` only
+    /// shrinks strategy feasibility; warm demand and residency only change
+    /// through journaled events). Edges err early, never late: a too-early
+    /// edge costs a no-op pass at a grid time the rebuild-every-tick
+    /// scheduler also ticked, a too-late edge would skip a decision.
+    fn refresh_clean_until(&mut self, now: Timestamp) {
+        if self.queued_models.is_empty() && self.cold_rejections.is_empty() {
+            // Every stage of the pass early-returns in this state, at any
+            // `now`: the scheduler is quiescent until an event arrives.
+            self.journal.mark_clean_until(Timestamp::MAX);
+            return;
+        }
+        let lookahead = self.config.lookahead;
+        let horizon = now + lookahead;
+        let mut edge = Timestamp::MAX;
+        if !self.queued_models.is_empty() {
+            // An INFER executor crossing into the lookahead horizon opens a
+            // slot for the queued work.
+            if let Some(free_at) = self.exec_ready.next_beyond(horizon) {
+                edge = edge.min(free_at - lookahead);
+            }
+            // The earliest queued deadline can lapse (`max_est1` bounds the
+            // per-model estimate the expiry cutoff uses).
+            if let Some(&(hint, _)) = self.urgency.iter().next() {
+                if hint != Timestamp::MAX {
+                    edge = edge.min(hint - self.max_est1 - self.config.network_allowance);
+                }
+            }
+        }
+        // A LOAD executor crossing into the horizon opens a load slot (cold
+        // demand alone is enough for the load pass to act).
+        if let Some(free_at) = self.load_ready.next_beyond(horizon) {
+            edge = edge.min(free_at - lookahead);
+        }
+        // Cold-rejection demand ages out of the priority horizon, which can
+        // reorder LOAD priorities.
+        for history in self.cold_rejections.values() {
+            if let Some(&front) = history.front() {
+                edge = edge.min(front + self.config.load_priority_horizon);
+            }
+        }
+        self.journal.mark_clean_until(edge);
     }
 
     fn handle_infer_result(
@@ -982,6 +1195,9 @@ impl ClockworkScheduler {
                     ProfileKey::exec(result.model, result.batch),
                     timing.device_duration,
                 );
+                // The batch-1 estimate may have moved; keep the expiry bound
+                // a running maximum over every model's current estimate.
+                self.max_est1 = self.max_est1.max(self.exec_estimate(result.model, 1));
                 if self.config.record_predictions {
                     self.predictions.push(PredictionRecord {
                         is_load: false,
@@ -1032,14 +1248,14 @@ impl ClockworkScheduler {
             let still_possible = pending.deadline == Timestamp::MAX
                 || now + min_exec + self.config.network_allowance < pending.deadline;
             if still_possible {
-                let entry = self
-                    .models
-                    .get_mut(&pending.request.model)
-                    .expect("model exists");
-                entry.min_deadline_hint = entry.min_deadline_hint.min(pending.deadline);
+                let model = pending.request.model;
+                let entry = self.models.get_mut(&model).expect("model exists");
+                let was_queued = !entry.queue.is_empty();
+                let old_hint = entry.min_deadline_hint;
                 entry.note_queue_changed();
-                entry.queue.push_front(pending.clone());
-                self.queued_models.insert(pending.request.model);
+                entry.deadline_added(pending.deadline);
+                entry.queue.push_front(pending);
+                self.resync_urgency(model, was_queued, old_hint);
             } else {
                 self.reject(&pending, at, reason, ctx);
             }
@@ -1215,10 +1431,12 @@ impl Scheduler for ClockworkScheduler {
         }
         self.stats.admitted += 1;
         let entry = self.models.get_mut(&request.model).expect("checked above");
-        entry.min_deadline_hint = entry.min_deadline_hint.min(pending.deadline);
+        let was_queued = !entry.queue.is_empty();
+        let old_hint = entry.min_deadline_hint;
         entry.note_queue_changed();
+        entry.deadline_added(pending.deadline);
         entry.queue.push_back(pending);
-        self.queued_models.insert(request.model);
+        self.resync_urgency(request.model, was_queued, old_hint);
         self.schedule(now, ctx);
     }
 
@@ -1231,8 +1449,16 @@ impl Scheduler for ClockworkScheduler {
         self.schedule(now, ctx);
     }
 
-    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) {
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) -> TickOutcome {
+        if !self.journal.needs_pass(now) {
+            // Nothing changed since the last pass and no time edge was
+            // crossed: the pass would be a provable no-op. O(1).
+            self.profile.ticks_skipped += 1;
+            return TickOutcome::Skipped;
+        }
+        self.profile.ticks_full += 1;
         self.schedule(now, ctx);
+        TickOutcome::Full
     }
 
     fn on_fault(&mut self, now: Timestamp, fault: &FaultKind, ctx: &mut SchedulerCtx) {
@@ -1296,15 +1522,65 @@ impl Scheduler for ClockworkScheduler {
         self.schedule(now, ctx);
     }
 
+    /// Ticks are scheduled only when (and exactly when) a pass could do
+    /// productive work, but always *on the legacy fixed-cadence grid*: the
+    /// rebuild-every-tick scheduler ticked at `anchor + k·tick_interval`
+    /// for as long as work was pending, with the anchor (re)set whenever
+    /// the chain started from idle. Deadline-expiry rejections are stamped
+    /// with the tick time they run at, so productive passes must land on
+    /// byte-identical instants — this returns only points of that grid,
+    /// skipping the prefix the journal proves would early-out, and `None`
+    /// when no grid point can ever be productive (quiescent, or settled
+    /// until the next event).
     fn next_tick(&self, now: Timestamp) -> Option<Timestamp> {
-        if self.queued_models.is_empty()
-            && self.in_flight.is_empty()
-            && self.in_flight_loads.is_empty()
-        {
-            None
-        } else {
-            Some(now + self.config.tick_interval)
+        if !self.has_outstanding_work() {
+            // The legacy chain stopped here; the anchor resets exactly as
+            // its grid did.
+            self.tick_anchor.set(None);
+            return None;
         }
+        let anchor = match self.tick_anchor.get() {
+            Some(anchor) => anchor,
+            None => {
+                // Work just appeared from idle: the legacy chain would have
+                // scheduled its first tick from this instant.
+                self.tick_anchor.set(Some(now));
+                now
+            }
+        };
+        let interval = self.config.tick_interval.as_nanos();
+        if interval == 0 {
+            return Some(now);
+        }
+        // Earliest instant a pass could be productive. A dirty journal means
+        // "the very next grid point"; a clean one lets the whole provably
+        // no-op prefix of the grid go unscheduled.
+        let earliest = if self.journal.is_dirty() {
+            now
+        } else {
+            let clean_until = self.journal.clean_until();
+            if clean_until == Timestamp::MAX {
+                // Busy but settled: every future tick would early-out until
+                // an event re-dirties the state — and that event's own pass
+                // restarts the chain.
+                return None;
+            }
+            clean_until
+        };
+        // First grid point strictly after `now` and not before `earliest`.
+        let base = earliest.max(now);
+        let elapsed = (base - anchor).as_nanos();
+        let k = elapsed / interval;
+        let next = if base > now && elapsed % interval == 0 {
+            k
+        } else {
+            k + 1
+        };
+        Some(anchor + self.config.tick_interval * next)
+    }
+
+    fn sched_profile(&self) -> SchedProfile {
+        self.profile
     }
 
     fn name(&self) -> &'static str {
@@ -1664,13 +1940,30 @@ mod tests {
     }
 
     #[test]
-    fn next_tick_only_fires_when_work_is_pending() {
+    fn next_tick_only_fires_when_a_tick_could_act() {
         let s = scheduler_with_one_gpu(100);
-        assert_eq!(s.next_tick(Timestamp::ZERO), None);
+        assert_eq!(s.next_tick(Timestamp::ZERO), None, "idle: no ticks");
         let mut s = scheduler_with_one_gpu(100);
         let mut ctx = SchedulerCtx::new();
         s.on_request(Timestamp::ZERO, request(1, 1, 0, 100), &mut ctx);
-        assert!(s.next_tick(Timestamp::ZERO).is_some());
+        // The request was fully planned (LOAD and a dependent INFER are in
+        // flight, the queue is empty): busy but settled, so no tick is
+        // wanted — the results will re-arm the chain.
+        assert!(s.in_flight_batches() >= 1);
+        assert_eq!(s.next_tick(Timestamp::ZERO), None, "settled: no ticks");
+        // A second request cannot be planned yet — the executor is committed
+        // past the lookahead horizon — so a tick is wanted, on the legacy
+        // 1 ms grid, no earlier than when the horizon reaches the
+        // executor's free time.
+        s.on_request(Timestamp::ZERO, request(2, 1, 0, 100), &mut ctx);
+        assert!(s.queued_requests() >= 1);
+        let tick = s.next_tick(Timestamp::ZERO).expect("queued work pending");
+        assert!(tick > Timestamp::ZERO);
+        assert_eq!(
+            tick.as_nanos() % s.config().tick_interval.as_nanos(),
+            0,
+            "ticks stay on the fixed-cadence grid"
+        );
         assert_eq!(s.name(), "clockwork");
     }
 

@@ -9,6 +9,8 @@
 //! * [`request`] — the client-facing request/response vocabulary.
 //! * [`profile`] — rolling per-(model, action, batch) duration estimates
 //!   (the last-10-measurements window of §5.3).
+//! * [`journal`] — the change journal and self-profiling counters behind
+//!   the incremental, early-out tick pipeline.
 //! * [`worker_state`] — the controller's mirror of each worker's memory
 //!   state, outstanding actions, and executor availability.
 //! * [`scheduler`] — the `Scheduler` trait and the context through which
@@ -26,6 +28,7 @@
 
 pub mod alt;
 pub mod clockwork_scheduler;
+pub mod journal;
 pub mod profile;
 pub mod registry;
 pub mod request;
@@ -33,8 +36,9 @@ pub mod scheduler;
 pub mod worker_state;
 
 pub use clockwork_scheduler::{ClockworkScheduler, ClockworkSchedulerConfig};
+pub use journal::{ChangeJournal, SchedProfile};
 pub use profile::{ActionProfiler, ProfileKey, ProfileKind};
 pub use registry::{ClockworkFactory, FifoFactory, SchedulerFactory, SchedulerRegistry};
 pub use request::{InferenceRequest, RejectReason, RequestId, RequestOutcome, Response};
-pub use scheduler::{Scheduler, SchedulerCtx};
+pub use scheduler::{Scheduler, SchedulerCtx, TickOutcome};
 pub use worker_state::{FreeAtIndex, GpuTrack, WorkerStateTracker};

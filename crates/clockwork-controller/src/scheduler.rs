@@ -16,8 +16,20 @@ use clockwork_worker::{Action, ActionId, ActionKind, GpuId, TimeWindow, WorkerId
 
 use clockwork_sim::time::Nanos;
 
+use crate::journal::SchedProfile;
 use crate::request::{InferenceRequest, Response};
 use crate::worker_state::GpuRef;
+
+/// What a tick actually did, reported back to the harness so telemetry can
+/// distinguish productive passes from early-outs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// The tick ran the full scheduling pass.
+    Full,
+    /// The tick returned immediately: nothing changed since the last pass
+    /// and no time edge was crossed.
+    Skipped,
+}
 
 /// The outbound channel a scheduler writes into during a callback.
 #[derive(Debug, Default)]
@@ -140,7 +152,9 @@ pub trait Scheduler {
     );
 
     /// Periodic opportunity to top up worker schedules and expire requests.
-    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx);
+    /// Returns whether the tick did real work or early-outed; schedulers
+    /// without an incremental core simply return [`TickOutcome::Full`].
+    fn on_tick(&mut self, now: Timestamp, ctx: &mut SchedulerCtx) -> TickOutcome;
 
     /// A fleet fault occurred (worker crash/restart/join, GPU
     /// failure/recovery, link degradation/partition). The scheduler must drop
@@ -158,8 +172,16 @@ pub trait Scheduler {
         ctx: &mut SchedulerCtx,
     );
 
-    /// When the scheduler next wants `on_tick` to run, if at all.
+    /// When the scheduler next wants `on_tick` to run, if at all. An
+    /// incremental scheduler returns `None` while quiescent so idle ticks
+    /// are never scheduled.
     fn next_tick(&self, now: Timestamp) -> Option<Timestamp>;
+
+    /// The scheduler's self-profiling counters. Disciplines without an
+    /// incremental core report the default (all-zero) profile.
+    fn sched_profile(&self) -> SchedProfile {
+        SchedProfile::default()
+    }
 
     /// A short human-readable name (used in experiment output). Required so
     /// experiment output can never show an anonymous discipline.

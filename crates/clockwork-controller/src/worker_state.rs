@@ -453,6 +453,16 @@ impl FreeAtIndex {
         );
         out.sort_unstable();
     }
+
+    /// The earliest indexed free time at or after `horizon`, skipping the
+    /// [`Timestamp::MAX`] parked sentinel: the next instant at which pure
+    /// time passage makes a currently non-actionable GPU actionable.
+    pub fn next_beyond(&self, horizon: Timestamp) -> Option<Timestamp> {
+        self.by_time
+            .range((horizon, 0u32)..)
+            .map(|&(t, _)| t)
+            .find(|&t| t != Timestamp::MAX)
+    }
 }
 
 #[cfg(test)]
@@ -644,6 +654,29 @@ mod tests {
         index.actionable_into(Timestamp::from_millis(10), &mut out);
         assert_eq!(out, vec![1, 2, 3]);
         assert_eq!(index.free_at(0), Timestamp::from_millis(50));
+    }
+
+    #[test]
+    fn free_at_index_next_beyond_skips_parked_gpus() {
+        let mut index = FreeAtIndex::new();
+        for _ in 0..3 {
+            index.push_gpu();
+        }
+        index.update(0, Timestamp::from_millis(50));
+        index.update(1, Timestamp::from_millis(5));
+        index.update(2, Timestamp::MAX); // dead GPU never becomes actionable
+        assert_eq!(
+            index.next_beyond(Timestamp::from_millis(10)),
+            Some(Timestamp::from_millis(50))
+        );
+        // Inclusive at the horizon: a GPU free exactly at the horizon is the
+        // first to become actionable once time passes it.
+        assert_eq!(
+            index.next_beyond(Timestamp::from_millis(5)),
+            Some(Timestamp::from_millis(5))
+        );
+        assert_eq!(index.next_beyond(Timestamp::from_millis(51)), None);
+        assert_eq!(FreeAtIndex::new().next_beyond(Timestamp::ZERO), None);
     }
 
     #[test]

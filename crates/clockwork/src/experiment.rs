@@ -161,6 +161,13 @@ impl RunReport {
         self.telemetry().event_mix()
     }
 
+    /// Scheduler self-profiling counters (ticks run, early-outs, candidates
+    /// scanned, strategies recomputed) — the `sched` object of the bench
+    /// JSON artifacts.
+    pub fn sched_stats(&self) -> clockwork_controller::SchedProfile {
+        self.system.sched_profile()
+    }
+
     /// Total up-front rejections across all reject reasons.
     pub fn rejected(&self) -> u64 {
         self.metrics().rejections.values().sum()

@@ -64,7 +64,8 @@ pub mod prelude {
         ClockworkFactory, FifoFactory, SchedulerFactory, SchedulerRegistry,
     };
     pub use clockwork_controller::{
-        ClockworkScheduler, ClockworkSchedulerConfig, InferenceRequest, RequestId, Scheduler,
+        ClockworkScheduler, ClockworkSchedulerConfig, InferenceRequest, RequestId, SchedProfile,
+        Scheduler, TickOutcome,
     };
     pub use clockwork_faults::{ChurnConfig, FaultKind, FaultPlan};
     pub use clockwork_model::{zoo::ModelZoo, ModelId, ModelSpec};

@@ -16,9 +16,10 @@ use std::sync::Arc;
 
 use clockwork_controller::registry::{ClockworkFactory, SchedulerFactory};
 use clockwork_controller::request::{InferenceRequest, RequestId, Response};
-use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
+use clockwork_controller::scheduler::{Scheduler, SchedulerCtx, TickOutcome};
 use clockwork_controller::worker_state::GpuRef;
 use clockwork_controller::ClockworkScheduler;
+use clockwork_controller::SchedProfile;
 use clockwork_faults::FaultPlan;
 use clockwork_model::{ModelId, ModelSpec};
 use clockwork_sim::engine::{EventId, EventQueue, FaultKind};
@@ -384,6 +385,19 @@ impl ServingSystem {
         self.exec_mode
     }
 
+    /// The scheduler's self-profiling counters with the facade's
+    /// authoritative tick counts folded in: the scheduler reports what its
+    /// passes scanned and recomputed, the facade counts every delivered
+    /// tick by its [`TickOutcome`] (which also covers disciplines without
+    /// an incremental core).
+    pub fn sched_profile(&self) -> SchedProfile {
+        SchedProfile {
+            ticks_full: self.telemetry.sched_ticks_full(),
+            ticks_skipped: self.telemetry.sched_ticks_skipped(),
+            ..self.scheduler.sched_profile()
+        }
+    }
+
     /// The Clockwork scheduler, if that is the configured discipline (used by
     /// the prediction-error experiment).
     pub fn clockwork_scheduler(&self) -> Option<&ClockworkScheduler> {
@@ -533,10 +547,12 @@ impl ServingSystem {
 
     /// Reconciles the single queued scheduler tick with `next_tick`.
     ///
-    /// Unlike wakes, a tick never needs to move later: `next_tick` answers
-    /// `now + interval`, so an already-queued earlier tick is always still
-    /// wanted while work is pending. The tick is cancelled outright when the
-    /// scheduler reports no work left.
+    /// Unlike wakes, a tick never needs to move later: an incremental
+    /// scheduler may answer with a *later* grid point after new work
+    /// settled, but the already-queued earlier tick is kept — it lands on
+    /// the same tick grid and at worst early-outs (an O(1) skipped tick the
+    /// telemetry counts). The tick is cancelled outright when the scheduler
+    /// reports quiescence (`next_tick` of `None`).
     fn schedule_tick(&mut self) {
         let desired = self.scheduler.next_tick(self.now);
         match (desired, self.tick_scheduled) {
@@ -713,7 +729,9 @@ impl ServingSystem {
             }
             SystemEvent::SchedulerTick => {
                 self.tick_scheduled = None;
-                self.scheduler.on_tick(self.now, &mut self.ctx);
+                let outcome = self.scheduler.on_tick(self.now, &mut self.ctx);
+                self.telemetry
+                    .note_tick_outcome(outcome == TickOutcome::Full);
                 self.drain_ctx();
             }
             SystemEvent::Fault { kind } => {

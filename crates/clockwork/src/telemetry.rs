@@ -230,6 +230,12 @@ pub struct SystemTelemetry {
     faults: Vec<FaultRecord>,
     /// Event-mix counters, maintained by the driving event loop.
     pub(crate) event_mix: EventMix,
+    /// Scheduler ticks that ran a full pass, counted from the
+    /// [`TickOutcome`](clockwork_controller::TickOutcome) each delivered
+    /// tick reports.
+    sched_ticks_full: u64,
+    /// Scheduler ticks answered by the early-out.
+    sched_ticks_skipped: u64,
     horizon: Timestamp,
     digest: u64,
 }
@@ -263,6 +269,8 @@ impl SystemTelemetry {
             per_model_success: HashMap::new(),
             faults: Vec::new(),
             event_mix: EventMix::default(),
+            sched_ticks_full: 0,
+            sched_ticks_skipped: 0,
             horizon: Timestamp::ZERO,
             digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
@@ -272,6 +280,30 @@ impl SystemTelemetry {
     /// the driving event loop maintained during the run.
     pub fn event_mix(&self) -> &EventMix {
         &self.event_mix
+    }
+
+    /// Counts one delivered scheduler tick by what it did (`full` ran the
+    /// whole pass, otherwise it early-outed).
+    pub(crate) fn note_tick_outcome(&mut self, full: bool) {
+        if full {
+            self.sched_ticks_full += 1;
+        } else {
+            self.sched_ticks_skipped += 1;
+        }
+    }
+
+    /// Delivered scheduler ticks that ran a full pass.
+    pub fn sched_ticks_full(&self) -> u64 {
+        self.sched_ticks_full
+    }
+
+    /// Delivered scheduler ticks answered by the early-out. A healthy
+    /// incremental scheduler keeps this small: most skippable ticks are
+    /// never scheduled at all (`next_tick` returns the first productive
+    /// grid point), so only races between a queued tick and an intervening
+    /// event land here.
+    pub fn sched_ticks_skipped(&self) -> u64 {
+        self.sched_ticks_skipped
     }
 
     fn digest_fold(&mut self, value: u64) {
