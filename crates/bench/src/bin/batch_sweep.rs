@@ -1,0 +1,362 @@
+//! The batching figure: goodput and tail latency vs offered load, with and
+//! without batch-aware scheduling.
+//!
+//! The fleet-scale scenario (20 workers x 4 GPUs, 200 models, Azure-like
+//! arrivals at a 1,500 r/s nominal rate) is swept across offered-load
+//! multipliers — 1x, 2x, 5x and 10x — and at every load each registered
+//! discipline runs the *same* trace: Clockwork with batch formation and
+//! batch-amortized admission, `clockwork-nobatch` (the identical scheduler
+//! pinned to batch size 1 — the honest before/after comparator), the FIFO
+//! strawman, and the Clipper- and INFaaS-like baselines. Because the only
+//! difference between `clockwork` and `clockwork-nobatch` is batch-aware
+//! scheduling, the gap between their goodput columns *is* the value of
+//! batching, and the load where each one's goodput stops tracking offered
+//! load is its saturation knee. Batch-amortized execution moves that knee
+//! to the right; this binary is the proof and `BENCH_batch.json` the
+//! artifact (schema in `crates/bench/README.md`).
+//!
+//! Invariants are enforced per run, not just reported: event-mix
+//! conservation (`pushed == delivered + cancelled + live`) always,
+//! exactly-once accounting (`successes + rejected == total`) whenever the
+//! run drained, no goodput entry past its SLO, and — the point of the
+//! figure — clockwork's goodput must strictly exceed `clockwork-nobatch`'s
+//! at every overloaded multiplier (>= 2x). Any violation exits non-zero.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin batch_sweep -- \
+//!     [--duration-secs N] [--events N] [--out PATH] [--seed N] \
+//!     [--base-rate R] [--check-determinism]
+//! ```
+//!
+//! `--check-determinism` reruns every (discipline, load) cell and fails the
+//! process when any response digest differs between the two runs — the same
+//! run-to-run guarantee the facade's determinism tests pin, exercised here
+//! at full sweep scale. CI's smoke step runs the sweep at `--duration-secs
+//! 10` with this flag on.
+
+use clockwork::prelude::*;
+use clockwork_baselines::register_baselines;
+
+/// The offered-load multipliers swept over the base rate.
+const MULTIPLIERS: [f64; 4] = [1.0, 2.0, 5.0, 10.0];
+
+struct Args {
+    max_events: u64,
+    out: String,
+    seed: u64,
+    duration_secs: u64,
+    base_rate: f64,
+    check_determinism: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        max_events: u64::MAX,
+        out: "BENCH_batch.json".to_string(),
+        seed: 2020,
+        duration_secs: 30,
+        base_rate: 1_500.0,
+        check_determinism: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--events" => args.max_events = value("--events").parse().expect("--events: integer"),
+            "--out" => args.out = value("--out"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--duration-secs" => {
+                args.duration_secs = value("--duration-secs")
+                    .parse()
+                    .expect("--duration-secs: integer")
+            }
+            "--base-rate" => {
+                args.base_rate = value("--base-rate").parse().expect("--base-rate: float")
+            }
+            "--check-determinism" => args.check_determinism = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// One (discipline, load) cell of the sweep, extracted so each run's full
+/// `ServingSystem` drops before the next one starts.
+struct SweepRow {
+    discipline: String,
+    summary: bench::RunSummary,
+    successes: u64,
+    rejected: u64,
+    identity_ok: bool,
+    drained: bool,
+    live_events: u64,
+    events_processed: u64,
+    wall_secs: f64,
+    digest: u64,
+    sched: SchedProfile,
+}
+
+impl SweepRow {
+    fn summarize(report: &RunReport) -> Self {
+        let m = report.metrics();
+        SweepRow {
+            discipline: report.discipline.clone(),
+            summary: bench::RunSummary::from_report(report.discipline.clone(), report),
+            successes: m.successes,
+            rejected: report.rejected(),
+            identity_ok: report.identity_ok(),
+            drained: report.drained(),
+            live_events: report.live_events(),
+            events_processed: report.events_processed(),
+            wall_secs: report.wall_secs,
+            digest: report.digest(),
+            sched: report.sched_stats(),
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut registry = SchedulerRegistry::builtin();
+    registry.register(Box::new(ClockworkNoBatchFactory::default()));
+    register_baselines(&mut registry);
+
+    let base = ScenarioSpec::fleet_scale()
+        .named("batch_sweep")
+        .with_seed(args.seed)
+        .with_duration_secs(args.duration_secs);
+    let base_rate = match base.workload {
+        WorkloadSpec::Azure { target_rate, .. } => target_rate,
+        _ => unreachable!("fleet_scale is an Azure workload"),
+    };
+    let scale = args.base_rate / base_rate;
+
+    println!(
+        "# batch-sweep: {} disciplines ({}) x {} loads ({} r/s base, {}s each{})",
+        registry.len(),
+        registry.names().join(", "),
+        MULTIPLIERS.len(),
+        args.base_rate,
+        args.duration_secs,
+        if args.check_determinism {
+            ", determinism checked"
+        } else {
+            ""
+        },
+    );
+
+    let mut failed = false;
+    // rows[i] holds all discipline rows for MULTIPLIERS[i].
+    let mut rows: Vec<Vec<SweepRow>> = Vec::new();
+    for &multiplier in &MULTIPLIERS {
+        let spec = base.clone().with_rate_multiplier(scale * multiplier);
+        let experiment = Experiment::new(spec.clone());
+        let mut load_rows: Vec<SweepRow> = Vec::new();
+        for factory in registry.iter() {
+            let label = factory.name();
+            println!("# running {label} at {multiplier}x...");
+            let report = experiment.run_capped(factory, args.max_events);
+            if !bench::check_chaos_invariants(label, &report, &spec) {
+                failed = true;
+            }
+            if !report.mix_conserved() {
+                let mix = report.event_mix();
+                eprintln!(
+                    "[{label} @{multiplier}x] EVENT ACCOUNTING VIOLATION: pushed {} != delivered {} + cancelled {} + live {}",
+                    mix.pushed(),
+                    mix.delivered(),
+                    mix.cancelled(),
+                    report.live_events()
+                );
+                failed = true;
+            }
+            if args.check_determinism {
+                let rerun = experiment.run_capped(factory, args.max_events);
+                if rerun.digest() != report.digest() {
+                    eprintln!(
+                        "[{label} @{multiplier}x] DETERMINISM VIOLATION: digest {:016x} != rerun {:016x}",
+                        report.digest(),
+                        rerun.digest()
+                    );
+                    failed = true;
+                }
+            }
+            load_rows.push(SweepRow::summarize(&report));
+        }
+        rows.push(load_rows);
+    }
+
+    bench::section("batch_sweep results (same trace per load, policy is the only difference)");
+    for (i, load_rows) in rows.iter().enumerate() {
+        let multiplier = MULTIPLIERS[i];
+        println!();
+        println!(
+            "-- {multiplier}x offered load ({:.0} r/s) --",
+            args.base_rate * multiplier
+        );
+        println!(
+            "{:<18} {:>9} {:>9} {:>9} {:>9} {:>6} {:>9} {:>9} {:>7}",
+            "discipline",
+            "total",
+            "goodput",
+            "rejected",
+            "good_rps",
+            "sat",
+            "p99_ms",
+            "mean_b",
+            "backlog"
+        );
+        for row in load_rows {
+            let s = &row.summary;
+            println!(
+                "{:<18} {:>9} {:>9} {:>9} {:>9.1} {:>6.3} {:>9.2} {:>9.2} {:>7}",
+                row.discipline,
+                s.total,
+                s.goodput,
+                row.rejected,
+                s.goodput_rate,
+                s.satisfaction,
+                s.p99_ms,
+                s.mean_batch,
+                s.total
+                    .saturating_sub(row.successes)
+                    .saturating_sub(row.rejected),
+            );
+        }
+    }
+
+    // The knee gate: batching must buy strictly more goodput than batch-1
+    // dispatch at every overloaded multiplier. At 1x the cluster is below
+    // saturation and the two are expected to tie (often digest-identical),
+    // so only >= 2x is gated.
+    bench::section("saturation knee (clockwork vs clockwork-nobatch goodput)");
+    for (i, load_rows) in rows.iter().enumerate() {
+        let multiplier = MULTIPLIERS[i];
+        let goodput_of = |name: &str| {
+            load_rows
+                .iter()
+                .find(|r| r.discipline == name)
+                .map(|r| r.summary.goodput)
+        };
+        let (Some(batched), Some(unbatched)) =
+            (goodput_of("clockwork"), goodput_of("clockwork-nobatch"))
+        else {
+            eprintln!("KNEE GATE: clockwork or clockwork-nobatch missing from the registry");
+            failed = true;
+            break;
+        };
+        let verdict = if multiplier < 2.0 {
+            "ungated"
+        } else if batched > unbatched {
+            "ok"
+        } else {
+            failed = true;
+            "VIOLATION"
+        };
+        println!(
+            "{multiplier:>4}x: batched {batched} vs unbatched {unbatched} ({:+.1}%) {verdict}",
+            100.0 * (batched as f64 - unbatched as f64) / (unbatched.max(1) as f64),
+        );
+        if verdict == "VIOLATION" {
+            eprintln!(
+                "KNEE GATE VIOLATION at {multiplier}x: batching goodput {batched} <= batch-1 goodput {unbatched}"
+            );
+        }
+    }
+
+    let load_objects: Vec<String> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, load_rows)| {
+            let discipline_objects: Vec<String> = load_rows
+                .iter()
+                .map(|row| {
+                    let s = &row.summary;
+                    format!(
+                        concat!(
+                            "        \"{name}\": {{\n",
+                            "          \"total\": {total},\n",
+                            "          \"successes\": {successes},\n",
+                            "          \"rejected\": {rejected},\n",
+                            "          \"goodput\": {goodput},\n",
+                            "          \"goodput_rps\": {goodput_rps:.1},\n",
+                            "          \"satisfaction\": {satisfaction:.4},\n",
+                            "          \"p50_ms\": {p50:.2},\n",
+                            "          \"p99_ms\": {p99:.2},\n",
+                            "          \"mean_batch\": {mean_batch:.3},\n",
+                            "          \"cold_fraction\": {cold:.4},\n",
+                            "          \"identity_ok\": {identity_ok},\n",
+                            "          \"drained\": {drained},\n",
+                            "          \"live_events\": {live},\n",
+                            "          \"events_processed\": {events},\n",
+                            "          \"wall_secs\": {wall:.3},\n",
+                            "          \"sched\": {sched},\n",
+                            "          \"digest\": \"{digest:016x}\"\n",
+                            "        }}"
+                        ),
+                        name = row.discipline,
+                        total = s.total,
+                        successes = row.successes,
+                        rejected = row.rejected,
+                        goodput = s.goodput,
+                        goodput_rps = s.goodput_rate,
+                        satisfaction = s.satisfaction,
+                        p50 = s.p50_ms,
+                        p99 = s.p99_ms,
+                        mean_batch = s.mean_batch,
+                        cold = s.cold_fraction,
+                        identity_ok = row.identity_ok,
+                        drained = row.drained,
+                        live = row.live_events,
+                        events = row.events_processed,
+                        wall = row.wall_secs,
+                        sched = bench::sched_json(&row.sched),
+                        digest = row.digest,
+                    )
+                })
+                .collect();
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"multiplier\": {multiplier},\n",
+                    "      \"offered_rps\": {offered:.1},\n",
+                    "      \"disciplines\": {{\n",
+                    "{disciplines}\n",
+                    "      }}\n",
+                    "    }}"
+                ),
+                multiplier = MULTIPLIERS[i],
+                offered = args.base_rate * MULTIPLIERS[i],
+                disciplines = discipline_objects.join(",\n"),
+            )
+        })
+        .collect();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": {scenario},\n",
+            "  \"base_rate_rps\": {base_rate:.1},\n",
+            "  \"multipliers\": [1.0, 2.0, 5.0, 10.0],\n",
+            "  \"determinism_checked\": {determinism},\n",
+            "  \"loads\": [\n",
+            "{loads}\n",
+            "  ]\n",
+            "}}\n",
+        ),
+        scenario = bench::scenario_json(&base, args.max_events),
+        base_rate = args.base_rate,
+        determinism = args.check_determinism,
+        loads = load_objects.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write results json");
+    println!("# wrote {}", args.out);
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -6,12 +6,16 @@
 //! * **per-model queues** with **adaptive batching**: the batch size grows
 //!   (additively) while observed latency stays under the SLO and shrinks
 //!   (multiplicatively) when it overshoots — the SLO is a long-term average
-//!   target, not a per-request bound;
+//!   target, not a per-request bound. Dispatch *accumulates*: while fewer
+//!   than `target_batch` requests are queued, the queue is held up to
+//!   [`ClipperConfig::batch_timeout`] (measured from the oldest request's
+//!   arrival) so the adaptive target actually translates into formed
+//!   batches instead of a stream of singletons;
 //! * **static model placement**: each model is pinned to a worker/GPU
 //!   (Clipper containers do not migrate), loaded on first use;
 //! * **no admission control** and **no execution windows**: every request is
 //!   eventually executed, however late; and
-//! * dispatch is eager and best-effort, leaving ordering and concurrency
+//! * dispatch is otherwise best-effort, leaving ordering and concurrency
 //!   decisions to the lower layers.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -37,6 +41,12 @@ pub struct ClipperConfig {
     pub batch_decrease: f64,
     /// Maximum INFER actions in flight per model (pipeline depth).
     pub max_outstanding_per_model: usize,
+    /// How long the queue may be held waiting for `target_batch` requests
+    /// to accumulate, measured from the oldest queued request's arrival.
+    /// Once the oldest request has waited this long — or the queue reaches
+    /// the target — whatever is queued is dispatched. Zero disables
+    /// accumulation (the pre-batching eager dispatch).
+    pub batch_timeout: Nanos,
 }
 
 impl Default for ClipperConfig {
@@ -46,6 +56,7 @@ impl Default for ClipperConfig {
             batch_increase: 1,
             batch_decrease: 0.5,
             max_outstanding_per_model: 4,
+            batch_timeout: Nanos::from_millis(2),
         }
     }
 }
@@ -201,6 +212,23 @@ impl ClipperScheduler {
                 if !state.loaded
                     || state.queue.is_empty()
                     || state.outstanding >= self.config.max_outstanding_per_model
+                {
+                    break;
+                }
+                // Accumulation window: when the adaptive target wants a
+                // bigger batch than is queued, hold the queue until the
+                // oldest request has waited out the timeout. The 1 ms tick
+                // grid (`next_tick`) guarantees a held queue is revisited,
+                // so the hold releases within a tick of the deadline.
+                let target = state
+                    .target_batch
+                    .min(self.config.max_batch)
+                    .min(state.spec.max_batch())
+                    .max(1);
+                let oldest = state.queue.front().expect("queue non-empty").arrival;
+                if target > 1
+                    && (state.queue.len() as u32) < target
+                    && now < oldest + self.config.batch_timeout
                 {
                     break;
                 }
@@ -595,8 +623,11 @@ mod tests {
         }
         let grown = s.target_batch(ModelId(1)).unwrap();
         assert!(grown > 1, "batch should have grown, is {grown}");
-        // A slow response (over SLO) shrinks it multiplicatively.
+        // A slow response (over SLO) shrinks it multiplicatively. The lone
+        // request is held by the accumulation window at first; the next
+        // tick past the timeout flushes it.
         s.on_request(Timestamp::from_millis(t), request(next_id, t, 10), &mut ctx);
+        let _ = s.on_tick(Timestamp::from_millis(t + 3), &mut ctx);
         for (_, a) in ctx.take_actions() {
             if a.kind.type_name() == "INFER" {
                 s.on_result(
@@ -608,6 +639,57 @@ mod tests {
         }
         let shrunk = s.target_batch(ModelId(1)).unwrap();
         assert!(shrunk < grown, "batch should shrink after overshoot");
+    }
+
+    #[test]
+    fn accumulates_queue_until_target_or_timeout() {
+        let mut s = scheduler();
+        let mut ctx = SchedulerCtx::new();
+        // Warm up: load, serve one request fast so the target grows to 2.
+        s.on_request(Timestamp::ZERO, request(1, 0, 100), &mut ctx);
+        let load = ctx.take_actions().remove(0);
+        s.on_result(Timestamp::from_millis(9), &success(&load.1, 9), &mut ctx);
+        for (_, a) in ctx.take_actions() {
+            s.on_result(Timestamp::from_millis(12), &success(&a, 12), &mut ctx);
+        }
+        let _ = ctx.take_responses();
+        assert_eq!(s.target_batch(ModelId(1)), Some(2));
+        // A single request is held: fewer than target queued, inside the
+        // accumulation window.
+        s.on_request(Timestamp::from_millis(20), request(2, 20, 100), &mut ctx);
+        assert!(ctx.take_actions().is_empty(), "queue held to accumulate");
+        // A second arrival fills the target: one batch-2 INFER goes out.
+        s.on_request(Timestamp::from_millis(21), request(3, 21, 100), &mut ctx);
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 1);
+        match &actions[0].1.kind {
+            ActionKind::Infer {
+                batch, request_ids, ..
+            } => {
+                assert_eq!(*batch, 2);
+                assert_eq!(request_ids, &vec![2, 3]);
+            }
+            other => panic!("expected INFER, got {other:?}"),
+        }
+        s.on_result(
+            Timestamp::from_millis(25),
+            &success(&actions[0].1, 25),
+            &mut ctx,
+        );
+        let _ = ctx.take_responses();
+        // A lone request that never reaches the target is still released
+        // once the oldest arrival has waited out the timeout.
+        s.on_request(Timestamp::from_millis(30), request(4, 30, 100), &mut ctx);
+        assert!(ctx.take_actions().is_empty(), "held again");
+        let _ = s.on_tick(Timestamp::from_millis(31), &mut ctx);
+        assert!(ctx.take_actions().is_empty(), "still inside the window");
+        let _ = s.on_tick(Timestamp::from_millis(33), &mut ctx);
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 1, "timeout flushes the partial batch");
+        match &actions[0].1.kind {
+            ActionKind::Infer { batch, .. } => assert_eq!(*batch, 1),
+            other => panic!("expected INFER, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Batch formation and batch-amortized cost, as pure functions.
+//!
+//! Clockwork's throughput-under-SLO story rests on batch-amortized
+//! execution: a batch-8 ResNet50 kernel takes nowhere near 8× the batch-1
+//! latency, so coalescing queued requests multiplies goodput — *if* the
+//! scheduler can prove every member of the formed batch still meets its
+//! deadline at the profiled batch cost. This module holds that logic in
+//! isolation from the scheduler's bookkeeping so it can be unit- and
+//! property-tested directly:
+//!
+//! * [`build_strategies`] — turn a model's queue (deadlines in FIFO order)
+//!   and its per-batch execution estimates into Appendix B's strategy
+//!   queue: one `(batch, required_start)` entry per compiled batch size the
+//!   queue can fill, where `required_start` is the latest instant an INFER
+//!   of that size may start and still meet the *earliest* member deadline.
+//! * [`largest_feasible`] — given the strategy queue and the earliest
+//!   instant a GPU could start executing, pick the largest batch whose
+//!   required start has not passed. Measured profiles make the raw
+//!   `required_start` sequence non-monotone (a bigger batch can profile
+//!   *faster* than a smaller one), so the search runs over a precomputed
+//!   suffix maximum, which is monotone by construction.
+//! * [`amortized_drain_cost`] — the admission-control side of the same
+//!   coin: the cost of a queued request is not the batch-1 kernel latency
+//!   but its share of draining the whole backlog with the largest compiled
+//!   kernels, spread over the GPUs currently holding the model's weights.
+//!
+//! All three are deterministic, allocation-free (callers own the output
+//! buffers) and independent of scheduler state; `ClockworkScheduler`
+//! delegates to them verbatim.
+
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// One strategy-queue entry: `(batch, required_start, suffix_max)`.
+///
+/// `batch` is a compiled batch size the current queue can fill,
+/// `required_start` the latest execution start that still meets every
+/// member's deadline at the estimated cost, and `suffix_max` the maximum
+/// `required_start` over this entry and all larger-batch entries — the
+/// monotone key [`largest_feasible`] binary-searches.
+pub type Strategy = (u32, Timestamp, Timestamp);
+
+/// Builds the strategy queue for one model into `out` (cleared first).
+///
+/// `deadlines` yields the queued requests' deadlines in FIFO order;
+/// `batches` the model's compiled batch sizes in ascending order; `est`
+/// maps a batch size to its estimated execution duration (rolling profile
+/// or compiled latency). For each batch size `b ≤ queued`, the entry's
+/// `required_start` is `min(deadline over first b requests) - est(b) -
+/// allowance` — the batch serves the queue *prefix*, so the earliest
+/// deadline among its members bounds the start. With `batching == false`
+/// only the batch-1 entry is built (the ablation and the PR 6 comparator).
+///
+/// The queue is walked once across all batch sizes (running minimum), and
+/// the suffix maximum is backfilled so [`largest_feasible`] has its
+/// monotone key even when `est` makes a larger batch faster.
+pub fn build_strategies<D, B, F>(
+    deadlines: D,
+    batches: B,
+    queued: u32,
+    allowance: Nanos,
+    batching: bool,
+    mut est: F,
+    out: &mut Vec<Strategy>,
+) where
+    D: IntoIterator<Item = Timestamp>,
+    B: IntoIterator<Item = u32>,
+    F: FnMut(u32) -> Nanos,
+{
+    out.clear();
+    if queued == 0 {
+        return;
+    }
+    let mut min_deadline = Timestamp::MAX;
+    let mut taken = 0u32;
+    let mut prefix = deadlines.into_iter();
+    for batch in batches {
+        if !batching && batch > 1 {
+            break;
+        }
+        if batch > queued {
+            // Not enough requests for this batch size.
+            continue;
+        }
+        while taken < batch {
+            let d = prefix.next().expect("batch <= queue length");
+            if d < min_deadline {
+                min_deadline = d;
+            }
+            taken += 1;
+        }
+        let e = est(batch);
+        let required_start = if min_deadline == Timestamp::MAX {
+            Timestamp::MAX
+        } else {
+            min_deadline - e - allowance
+        };
+        out.push((batch, required_start, required_start));
+    }
+    let mut suffix_max = Timestamp::ZERO;
+    for s in out.iter_mut().rev() {
+        suffix_max = suffix_max.max(s.1);
+        s.2 = suffix_max;
+    }
+}
+
+/// The largest feasible batch for an INFER starting at `exec_start`: the
+/// biggest strategy entry whose `required_start` has not passed (the paper
+/// drops strategies for batch sizes that are too small when larger ones
+/// fit). Returns `(batch, required_start)`, or `None` when even batch 1
+/// cannot meet its deadline from `exec_start`.
+///
+/// The binary search runs over the suffix maximum of `required_start`:
+/// `exec_start <= suffix_max[i]` holds exactly when some entry at index
+/// `>= i` is feasible, so the partition boundary lands one past the last
+/// feasible entry — the same entry a linear last-feasible scan would
+/// choose. The debug assertions pin the monotone ordering the search
+/// relies on and that the chosen entry realizes its own suffix maximum
+/// (i.e. is genuinely feasible, not shadowed by a larger sibling).
+pub fn largest_feasible(
+    strategies: &[Strategy],
+    exec_start: Timestamp,
+) -> Option<(u32, Timestamp)> {
+    debug_assert!(
+        strategies.windows(2).all(|w| w[0].2 >= w[1].2),
+        "strategy suffix-max required_start must be non-increasing"
+    );
+    let n = strategies.partition_point(|&(_, _, suffix_max)| exec_start <= suffix_max);
+    if n == 0 {
+        None
+    } else {
+        let (batch, required_start, suffix_max) = strategies[n - 1];
+        debug_assert!(
+            required_start == suffix_max,
+            "last feasible entry must realize its own suffix maximum"
+        );
+        Some((batch, required_start))
+    }
+}
+
+/// Batch-amortized cost of absorbing one more request into a backlog of
+/// `backlog` queued requests (the new request included), for admission
+/// control.
+///
+/// The backlog is covered greedily with the largest compiled kernels
+/// (`batches` ascending): whole largest-size batches while the remainder
+/// exceeds the largest size, then the smallest compiled size covering the
+/// rest — the same shape the dispatch path's strategy queue produces under
+/// load. The summed execution estimate is then divided by `holders`, the
+/// number of GPUs currently holding the model's weights, since they drain
+/// the queue in parallel.
+///
+/// Callers should floor the result at `est(1)`: a request can never cost
+/// less than one batch-1 kernel, and the floor keeps the empty-backlog
+/// warm-model case byte-identical to pricing at the size-1 cost (so low
+/// load is unaffected by admission's batch-awareness).
+pub fn amortized_drain_cost<F>(backlog: u32, batches: &[u32], holders: u32, mut est: F) -> Nanos
+where
+    F: FnMut(u32) -> Nanos,
+{
+    debug_assert!(
+        batches.windows(2).all(|w| w[0] < w[1]),
+        "compiled batch sizes must be ascending and distinct"
+    );
+    let mut total = Nanos::ZERO;
+    let mut remaining = backlog;
+    let largest = batches.last().copied().unwrap_or(1).max(1);
+    while remaining > 0 {
+        if let Some(&cover) = batches.iter().find(|&&b| b >= remaining) {
+            // One kernel covers everything left.
+            total += est(cover);
+            break;
+        }
+        // Largest kernel, then keep going on the remainder.
+        total += est(largest);
+        remaining -= largest.min(remaining);
+    }
+    total / u64::from(holders.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    fn at(v: u64) -> Timestamp {
+        Timestamp::from_millis(v)
+    }
+
+    /// `est` curve of a typical compiled model: sublinear in batch size.
+    fn amortized_est(batch: u32) -> Nanos {
+        match batch {
+            1 => ms(4),
+            2 => ms(6),
+            4 => ms(10),
+            8 => ms(18),
+            _ => ms(40),
+        }
+    }
+
+    #[test]
+    fn builds_one_entry_per_fillable_batch_size() {
+        let mut out = Vec::new();
+        build_strategies(
+            [at(100), at(90), at(120)],
+            [1u32, 2, 4, 8],
+            3,
+            Nanos::ZERO,
+            true,
+            amortized_est,
+            &mut out,
+        );
+        // Batch 4 and 8 need more requests than are queued.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[1].0, 2);
+        // Batch 1 serves only the front request (deadline 100);
+        // batch 2's prefix includes the tighter deadline 90.
+        assert_eq!(out[0].1, at(100) - ms(4));
+        assert_eq!(out[1].1, at(90) - ms(6));
+    }
+
+    #[test]
+    fn batching_disabled_stops_at_batch_one() {
+        let mut out = Vec::new();
+        build_strategies(
+            [at(100), at(100), at(100), at(100)],
+            [1u32, 2, 4],
+            4,
+            Nanos::ZERO,
+            false,
+            amortized_est,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 1);
+    }
+
+    #[test]
+    fn picks_largest_feasible_batch() {
+        let mut out = Vec::new();
+        build_strategies(
+            [at(100); 8],
+            [1u32, 2, 4, 8],
+            8,
+            Nanos::ZERO,
+            true,
+            amortized_est,
+            &mut out,
+        );
+        // Early enough for anything: the largest batch wins.
+        assert_eq!(largest_feasible(&out, at(0)).unwrap().0, 8);
+        // Batch 8 must start by 100-18=82, batch 4 by 90: at 85 only 4 fits.
+        assert_eq!(largest_feasible(&out, at(85)).unwrap().0, 4);
+        // At 97 even batch 1 (required by 96) is infeasible.
+        assert_eq!(largest_feasible(&out, at(97)), None);
+    }
+
+    #[test]
+    fn non_monotone_measured_profiles_still_pick_a_feasible_entry() {
+        // Measured estimates where batch 4 profiles FASTER than batch 2
+        // (warm cache, variance): required_start is non-monotone in batch.
+        let est = |b: u32| match b {
+            1 => ms(5),
+            2 => ms(12),
+            _ => ms(6),
+        };
+        let mut out = Vec::new();
+        build_strategies(
+            [at(100); 4],
+            [1u32, 2, 4],
+            4,
+            Nanos::ZERO,
+            true,
+            est,
+            &mut out,
+        );
+        // required_start: batch1=95, batch2=88, batch4=94 — non-monotone.
+        assert_eq!(out[1].1, at(88));
+        assert_eq!(out[2].1, at(94));
+        // Suffix max restores a monotone key without losing feasibility.
+        assert!(out.windows(2).all(|w| w[0].2 >= w[1].2));
+        // At 90, batch 2's own required_start (88) has passed but batch 4's
+        // has not: the search must land on 4, not give up at 2.
+        let (batch, required) = largest_feasible(&out, at(90)).unwrap();
+        assert_eq!(batch, 4);
+        assert_eq!(required, at(94));
+        // At 95 only batch 1 remains feasible.
+        assert_eq!(largest_feasible(&out, at(95)).unwrap().0, 1);
+        assert_eq!(largest_feasible(&out, at(96)), None);
+    }
+
+    #[test]
+    fn chosen_entry_meets_every_member_deadline_at_profiled_cost() {
+        // The safety property behind batch formation, checked directly:
+        // whatever entry the search returns, exec_start + est + allowance
+        // fits the earliest deadline of the prefix the batch would serve.
+        let deadlines = [at(50), at(41), at(60), at(44)];
+        let allowance = Nanos::from_micros(500);
+        let mut out = Vec::new();
+        build_strategies(
+            deadlines,
+            [1u32, 2, 4],
+            deadlines.len() as u32,
+            allowance,
+            true,
+            amortized_est,
+            &mut out,
+        );
+        for probe_us in (0..60_000u64).step_by(700) {
+            let exec_start = Timestamp::ZERO + Nanos::from_micros(probe_us);
+            if let Some((batch, _)) = largest_feasible(&out, exec_start) {
+                let members = &deadlines[..batch as usize];
+                let done = exec_start + amortized_est(batch) + allowance;
+                for d in members {
+                    assert!(
+                        done <= *d,
+                        "batch {batch} at {exec_start:?} misses member deadline {d:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drain_cost_covers_backlog_with_largest_kernels() {
+        let batches = [1u32, 2, 4, 8];
+        // 11 requests on one holder: 8 + (smallest cover of 3 = 4).
+        let cost = amortized_drain_cost(11, &batches, 1, amortized_est);
+        assert_eq!(cost, ms(18) + ms(10));
+        // Same backlog over two holders: half.
+        let cost2 = amortized_drain_cost(11, &batches, 2, amortized_est);
+        assert_eq!(cost2, (ms(18) + ms(10)) / 2);
+    }
+
+    #[test]
+    fn drain_cost_of_single_request_is_one_kernel() {
+        let batches = [1u32, 2, 4, 8];
+        assert_eq!(amortized_drain_cost(1, &batches, 1, amortized_est), ms(4));
+        // More holders can only lower it — callers floor at est(1).
+        assert!(amortized_drain_cost(1, &batches, 3, amortized_est) <= ms(4));
+    }
+
+    #[test]
+    fn drain_cost_without_batching_kernels_is_linear() {
+        // A model compiled only at batch 1 degenerates to size-1 pricing.
+        let cost = amortized_drain_cost(5, &[1], 1, amortized_est);
+        assert_eq!(cost, ms(4) * 5);
+    }
+}

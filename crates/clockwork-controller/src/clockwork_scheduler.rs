@@ -31,6 +31,7 @@ use clockwork_sim::pcie::PcieLink;
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_worker::{ActionKind, ActionOutcome, ActionResult, GpuId, TimeWindow, WorkerId};
 
+use crate::batching;
 use crate::journal::{ChangeJournal, SchedProfile};
 use crate::profile::{ActionProfiler, ProfileKey};
 use crate::request::{InferenceRequest, RejectReason, RequestOutcome, Response};
@@ -172,10 +173,14 @@ struct ModelEntry {
     strategies: Vec<(u32, Timestamp, Timestamp)>,
     cache_epoch: u64,
     cache_dirty: bool,
+    /// The model's compiled batch sizes, ascending — cached off the spec so
+    /// the admission path's amortized-cost cover never allocates.
+    supported: Vec<u32>,
 }
 
 impl ModelEntry {
     fn new(spec: Arc<ModelSpec>) -> Self {
+        let supported = spec.supported_batches();
         ModelEntry {
             spec,
             queue: VecDeque::new(),
@@ -184,6 +189,7 @@ impl ModelEntry {
             strategies: Vec::new(),
             cache_epoch: 0,
             cache_dirty: true,
+            supported,
         }
     }
 
@@ -467,6 +473,30 @@ impl ClockworkScheduler {
         Nanos::from_millis(10)
     }
 
+    /// Admission price of one more request for a *warm* model: its share of
+    /// draining the backlog it joins (queue + itself), covered greedily by
+    /// the largest compiled kernels and split across the GPUs currently
+    /// holding the weights, floored at the batch-1 estimate (`est1`). The
+    /// floor makes the empty-queue case exactly the legacy size-1 price, so
+    /// batch-aware admission changes nothing until a backlog actually forms.
+    fn amortized_admission_estimate(&self, model: ModelId, est1: Nanos) -> Nanos {
+        let Some(entry) = self.models.get(&model) else {
+            return est1;
+        };
+        let backlog = entry.queue.len() as u32 + 1;
+        let holders = self
+            .holders
+            .get(&model)
+            .map(|h| h.len() as u32)
+            .unwrap_or(0);
+        let spec = entry.spec.as_ref();
+        let profiler = &self.profiler;
+        batching::amortized_drain_cost(backlog, &entry.supported, holders, |batch| {
+            Self::exec_estimate_with(profiler, Some(spec), model, batch)
+        })
+        .max(est1)
+    }
+
     fn load_estimate(&self, model: ModelId) -> Nanos {
         self.profiler
             .estimate_or(ProfileKey::load(model), Nanos::from_millis(10))
@@ -624,49 +654,15 @@ impl ClockworkScheduler {
             strategies,
             ..
         } = entry;
-        strategies.clear();
-        let queued = queue.len() as u32;
-        if queued == 0 {
-            return true;
-        }
-        let allowance = config.network_allowance;
-        // Running minimum deadline over the queue prefix each batch would
-        // serve; the queue is walked once across all batch sizes.
-        let mut min_deadline = Timestamp::MAX;
-        let mut taken = 0u32;
-        let mut prefix = queue.iter();
-        for profile in &spec.batch_profiles {
-            let batch = profile.batch;
-            if !config.batching && batch > 1 {
-                break;
-            }
-            if batch > queued {
-                // Not enough requests for this batch size.
-                continue;
-            }
-            while taken < batch {
-                let p = prefix.next().expect("batch <= queue length");
-                if p.deadline < min_deadline {
-                    min_deadline = p.deadline;
-                }
-                taken += 1;
-            }
-            let est = Self::exec_estimate_with(profiler, Some(spec), model_id, batch);
-            let required_start = if min_deadline == Timestamp::MAX {
-                Timestamp::MAX
-            } else {
-                min_deadline - est - allowance
-            };
-            strategies.push((batch, required_start, required_start));
-        }
-        // Backfill the suffix maximum of `required_start` so the feasibility
-        // binary search has a monotone key even when measured profiles make a
-        // larger batch faster than a smaller one.
-        let mut suffix_max = Timestamp::ZERO;
-        for s in strategies.iter_mut().rev() {
-            suffix_max = suffix_max.max(s.1);
-            s.2 = suffix_max;
-        }
+        batching::build_strategies(
+            queue.iter().map(|p| p.deadline),
+            spec.batch_profiles.iter().map(|p| p.batch),
+            queue.len() as u32,
+            config.network_allowance,
+            config.batching,
+            |batch| Self::exec_estimate_with(profiler, Some(spec), model_id, batch),
+            strategies,
+        );
         true
     }
 
@@ -675,32 +671,14 @@ impl ClockworkScheduler {
     /// required start has not passed (the paper drops strategies for batch
     /// sizes that are too small when larger ones fit).
     ///
-    /// The search runs over the cached suffix maximum of `required_start`,
-    /// which is non-increasing by construction (raw `required_start` is
-    /// *usually* non-increasing too — each larger batch serves a superset
-    /// prefix of the queue with a longer estimate — but measured profiles can
-    /// invert that). `exec_start <= suffix_max[i]` holds exactly when some
-    /// entry at index `>= i` is feasible, so the partition boundary lands one
-    /// past the last feasible entry — the same entry the linear scan chose.
-    /// The debug assertion pins the monotone ordering the search relies on.
+    /// The search itself lives in [`batching::largest_feasible`]: it runs
+    /// over the cached suffix maximum of `required_start`, which is
+    /// non-increasing by construction (raw `required_start` is *usually*
+    /// non-increasing too — each larger batch serves a superset prefix of
+    /// the queue with a longer estimate — but measured profiles can invert
+    /// that).
     fn strategy_for(entry: &ModelEntry, exec_start: Timestamp) -> Option<(u32, Timestamp)> {
-        debug_assert!(
-            entry.strategies.windows(2).all(|w| w[0].2 >= w[1].2),
-            "strategy suffix-max required_start must be non-increasing"
-        );
-        let n = entry
-            .strategies
-            .partition_point(|&(_, _, suffix_max)| exec_start <= suffix_max);
-        if n == 0 {
-            None
-        } else {
-            let (batch, required_start, suffix_max) = entry.strategies[n - 1];
-            debug_assert!(
-                required_start == suffix_max,
-                "last feasible entry must realize its own suffix maximum"
-            );
-            Some((batch, required_start))
-        }
+        batching::largest_feasible(&entry.strategies, exec_start)
     }
 
     /// Tops up INFER schedules on every actionable GPU.
@@ -1401,7 +1379,16 @@ impl Scheduler for ClockworkScheduler {
             deadline,
             cold,
         };
-        // Admission control: can this request possibly meet its SLO?
+        // Admission control: can this request possibly meet its SLO? Warm
+        // models are priced against the batch-amortized cost of draining the
+        // backlog this request joins (its share of covering the queue with
+        // the largest compiled kernels, split across the GPUs holding the
+        // weights), not the optimistic batch-1 kernel — so under overload a
+        // request doomed by queueing is shed up front instead of polluting
+        // the FIFO prefix every formed batch must serve. With an empty queue
+        // the amortized price IS the batch-1 estimate, so light load admits
+        // identically; with `batching` off the pricing stays pure batch-1
+        // (the PR 6 comparator behavior).
         if self.config.admission_control && deadline != Timestamp::MAX {
             let exec = self.exec_estimate(request.model, 1);
             let load = if cold {
@@ -1409,7 +1396,12 @@ impl Scheduler for ClockworkScheduler {
             } else {
                 Nanos::ZERO
             };
-            let best_case = exec + load + self.config.network_allowance;
+            let priced_exec = if cold || !self.config.batching {
+                exec
+            } else {
+                self.amortized_admission_estimate(request.model, exec)
+            };
+            let best_case = priced_exec + load + self.config.network_allowance;
             if now + best_case > deadline {
                 let warm_case = exec + self.config.network_allowance;
                 let doomed_only_by_cold_start = cold && now + warm_case <= deadline;
@@ -1584,7 +1576,13 @@ impl Scheduler for ClockworkScheduler {
     }
 
     fn name(&self) -> &'static str {
-        "clockwork"
+        // The batching switch is a policy difference large enough to be its
+        // own discipline: reports and benches must never conflate the two.
+        if self.config.batching {
+            "clockwork"
+        } else {
+            "clockwork-nobatch"
+        }
     }
 }
 

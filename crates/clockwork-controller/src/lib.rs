@@ -18,15 +18,20 @@
 //! * [`registry`] — open registration of disciplines: `SchedulerFactory`
 //!   and `SchedulerRegistry`, so experiment harnesses construct any
 //!   registered discipline as a `Box<dyn Scheduler>` by name.
+//! * [`batching`] — batch formation as pure functions: the strategy-queue
+//!   build, the largest-feasible-batch search, and the batch-amortized
+//!   drain cost that admission prices requests against.
 //! * [`clockwork_scheduler`] — the paper's scheduler: global strategy queue
-//!   with batching, 5 ms lookahead, demand-driven LOAD priorities, LRU
-//!   UNLOAD, and SLO admission control.
+//!   with batch formation, 5 ms lookahead, demand-driven LOAD priorities,
+//!   LRU UNLOAD, and SLO admission control priced on the amortized cost
+//!   curve.
 //! * [`alt`] — deliberately simpler schedulers used for ablation studies.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod alt;
+pub mod batching;
 pub mod clockwork_scheduler;
 pub mod journal;
 pub mod profile;
@@ -38,7 +43,9 @@ pub mod worker_state;
 pub use clockwork_scheduler::{ClockworkScheduler, ClockworkSchedulerConfig};
 pub use journal::{ChangeJournal, SchedProfile};
 pub use profile::{ActionProfiler, ProfileKey, ProfileKind};
-pub use registry::{ClockworkFactory, FifoFactory, SchedulerFactory, SchedulerRegistry};
+pub use registry::{
+    ClockworkFactory, ClockworkNoBatchFactory, FifoFactory, SchedulerFactory, SchedulerRegistry,
+};
 pub use request::{InferenceRequest, RejectReason, RequestId, RequestOutcome, Response};
 pub use scheduler::{Scheduler, SchedulerCtx, TickOutcome};
 pub use worker_state::{FreeAtIndex, GpuTrack, WorkerStateTracker};

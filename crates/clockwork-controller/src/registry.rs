@@ -143,6 +143,41 @@ impl SchedulerFactory for ClockworkFactory {
     }
 }
 
+/// Factory for the Clockwork scheduler with batch formation disabled: every
+/// INFER runs at batch size 1 and admission prices requests at the size-1
+/// kernel cost, exactly the pre-batching behavior. This is the honest
+/// comparator for the batching figure (`batch_sweep`) and the ablation knob
+/// behind it — register it alongside [`ClockworkFactory`] to measure what
+/// batch-amortized execution alone buys.
+#[derive(Clone, Copy, Debug)]
+pub struct ClockworkNoBatchFactory {
+    /// Configuration every built scheduler starts from (`batching` is
+    /// forced off in [`Default`], and callers should keep it off — the
+    /// name would lie otherwise).
+    pub config: ClockworkSchedulerConfig,
+}
+
+impl Default for ClockworkNoBatchFactory {
+    fn default() -> Self {
+        ClockworkNoBatchFactory {
+            config: ClockworkSchedulerConfig {
+                batching: false,
+                ..ClockworkSchedulerConfig::default()
+            },
+        }
+    }
+}
+
+impl SchedulerFactory for ClockworkNoBatchFactory {
+    fn name(&self) -> &'static str {
+        "clockwork-nobatch"
+    }
+
+    fn build(&self) -> Box<dyn Scheduler> {
+        Box::new(ClockworkScheduler::new(self.config))
+    }
+}
+
 /// Factory for the FIFO ablation scheduler.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FifoFactory;

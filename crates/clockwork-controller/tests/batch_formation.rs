@@ -1,0 +1,125 @@
+//! Property tests for batch formation (`clockwork_controller::batching`).
+//!
+//! The safety claim behind SLO-aware batching is absolute: *no formed batch
+//! may violate any member's deadline at the profiled batch cost*. The
+//! strategy-queue build encodes that via the running minimum deadline over
+//! the queue prefix each batch would serve, and the feasibility search must
+//! preserve it even when measured profiles invert the usual
+//! bigger-batch-takes-longer ordering. These tests drive both functions
+//! with arbitrary queues, arbitrary (deliberately non-monotone) per-batch
+//! estimates, and arbitrary probe instants, and check the deadline property
+//! directly — plus the structural invariants the scheduler's binary search
+//! relies on.
+
+use proptest::prelude::*;
+
+use clockwork_controller::batching::{amortized_drain_cost, build_strategies, largest_feasible};
+use clockwork_sim::time::{Nanos, Timestamp};
+
+/// Compiled batch-size ladders seen in the model zoo (always including 1).
+fn batch_ladder() -> impl Strategy<Value = Vec<u32>> {
+    (0usize..4).prop_map(|pick| match pick {
+        0 => vec![1],
+        1 => vec![1, 2],
+        2 => vec![1, 2, 4, 8],
+        _ => vec![1, 2, 4, 8, 16],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever entry the search returns, starting then and running for the
+    /// estimated duration (plus the network allowance) meets the deadline
+    /// of every request in the prefix the batch serves.
+    #[test]
+    fn no_formed_batch_violates_a_member_deadline(
+        deadlines_us in proptest::collection::vec(1_000u64..200_000, 1..24),
+        ladder in batch_ladder(),
+        // Per-batch estimate factors: est(batch) = base * factor, where the
+        // factor sequence is arbitrary — so larger batches may profile
+        // FASTER than smaller ones (the non-monotone measured case).
+        est_us in proptest::collection::vec(100u64..30_000, 5),
+        probe_us in 0u64..250_000,
+        allowance_us in 0u64..2_000,
+    ) {
+        let deadlines: Vec<Timestamp> = deadlines_us
+            .iter()
+            .map(|&us| Timestamp::ZERO + Nanos::from_micros(us))
+            .collect();
+        let est = |batch: u32| {
+            // Index the factor table by the batch's position in the ladder.
+            let idx = ladder.iter().position(|&b| b == batch).unwrap_or(0);
+            Nanos::from_micros(est_us[idx.min(est_us.len() - 1)])
+        };
+        let allowance = Nanos::from_micros(allowance_us);
+        let mut strategies = Vec::new();
+        build_strategies(
+            deadlines.iter().copied(),
+            ladder.iter().copied(),
+            deadlines.len() as u32,
+            allowance,
+            true,
+            est,
+            &mut strategies,
+        );
+
+        // Structural invariants the binary search needs.
+        prop_assert!(
+            strategies.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries ascend by batch size"
+        );
+        prop_assert!(
+            strategies.windows(2).all(|w| w[0].2 >= w[1].2),
+            "suffix-max key is non-increasing"
+        );
+        prop_assert!(
+            strategies.iter().all(|&(b, _, _)| b as usize <= deadlines.len()),
+            "no entry needs more requests than are queued"
+        );
+
+        let exec_start = Timestamp::ZERO + Nanos::from_micros(probe_us);
+        if let Some((batch, required_start)) = largest_feasible(&strategies, exec_start) {
+            prop_assert!(exec_start <= required_start, "chosen entry is feasible");
+            let done = exec_start + est(batch) + allowance;
+            for d in &deadlines[..batch as usize] {
+                prop_assert!(
+                    done <= *d,
+                    "batch {} started at {:?} finishes {:?}, past member deadline {:?}",
+                    batch, exec_start, done, d
+                );
+            }
+        } else {
+            // None means even batch 1 misses the front request's deadline.
+            if let Some(&(b1, r1, _)) = strategies.first() {
+                prop_assert_eq!(b1, 1);
+                prop_assert!(exec_start > r1, "search refused a feasible batch 1");
+            }
+        }
+    }
+
+    /// The admission price never undercounts work: the greedy cover of the
+    /// backlog costs at least one kernel per ceil(backlog / max_batch), and
+    /// splitting it across more holders never increases it.
+    #[test]
+    fn amortized_cost_is_monotone_in_holders(
+        backlog in 1u32..200,
+        ladder in batch_ladder(),
+        est_us in proptest::collection::vec(100u64..30_000, 5),
+        holders in 1u32..8,
+    ) {
+        let est = |batch: u32| {
+            let idx = ladder.iter().position(|&b| b == batch).unwrap_or(0);
+            Nanos::from_micros(est_us[idx.min(est_us.len() - 1)])
+        };
+        let one = amortized_drain_cost(backlog, &ladder, holders, est);
+        let more = amortized_drain_cost(backlog, &ladder, holders + 1, est);
+        prop_assert!(more <= one, "extra holders must not raise the price");
+        let single = amortized_drain_cost(backlog, &ladder, 1, est);
+        let cheapest_kernel = ladder.iter().map(|&b| est(b)).min().unwrap();
+        prop_assert!(
+            single >= cheapest_kernel,
+            "draining a non-empty backlog costs at least one kernel"
+        );
+    }
+}

@@ -7,9 +7,12 @@
 //! counts — which the evaluation harness reads to produce Fig. 6 (d)/(e) and
 //! the summary tables.
 
+use std::collections::VecDeque;
+
 use serde::{Deserialize, Serialize};
 
-use clockwork_metrics::{LatencyHistogram, UtilizationTracker};
+use clockwork_metrics::{LatencyHistogram, Summary, UtilizationTracker};
+use clockwork_model::ModelId;
 use clockwork_sim::time::{Nanos, Timestamp};
 
 /// Aggregate counters for one worker.
@@ -21,7 +24,11 @@ pub struct WorkerCounters {
     pub unloads_completed: u64,
     /// INFER actions completed successfully.
     pub infers_completed: u64,
-    /// Individual requests served (sum of batch sizes of successful INFERs).
+    /// Successful INFER actions that carried two or more requests.
+    pub batched_infers: u64,
+    /// Individual requests served (sum of members of successful INFERs).
+    /// Always the sum of [`MemberCompletion`]s recorded — exactly-once
+    /// accounting stays per-request even when the action was batched.
     pub requests_served: u64,
     /// Actions rejected because their window elapsed.
     pub window_rejections: u64,
@@ -43,6 +50,29 @@ impl WorkerCounters {
     }
 }
 
+/// One request's completion inside a (possibly batched) INFER action.
+///
+/// Batched execution must not blur per-request accounting: every member of
+/// every successful INFER produces one of these, carrying the identity the
+/// controller's exactly-once bookkeeping and the response digest key off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberCompletion {
+    /// The request served.
+    pub request_id: u64,
+    /// The model the batch executed.
+    pub model: ModelId,
+    /// Size of the batch this member rode in.
+    pub batch: u32,
+    /// When the action's outputs finished copying back to the host.
+    pub completed: Timestamp,
+}
+
+/// How many recent [`MemberCompletion`]s each worker retains. A bounded
+/// ring, not a full log: the lifetime sums live in [`WorkerCounters`], the
+/// ring exists so tests and post-mortems can inspect exactly which
+/// requests the latest batches carried.
+pub const MEMBER_LOG_CAP: usize = 1024;
+
 /// Utilization and latency telemetry for one worker.
 #[derive(Clone, Debug)]
 pub struct WorkerTelemetry {
@@ -56,6 +86,10 @@ pub struct WorkerTelemetry {
     pub exec_durations: LatencyHistogram,
     /// Measured LOAD durations.
     pub load_durations: LatencyHistogram,
+    /// Batch size of every successful INFER (count/mean/min/max).
+    pub batch_occupancy: Summary,
+    /// The most recent [`MEMBER_LOG_CAP`] per-member completion records.
+    member_log: VecDeque<MemberCompletion>,
 }
 
 impl WorkerTelemetry {
@@ -71,7 +105,46 @@ impl WorkerTelemetry {
                 .collect(),
             exec_durations: LatencyHistogram::new(),
             load_durations: LatencyHistogram::new(),
+            batch_occupancy: Summary::new(),
+            member_log: VecDeque::new(),
         }
+    }
+
+    /// Records the completion of a successful INFER: one
+    /// [`MemberCompletion`] per request in the batch, the batch-occupancy
+    /// sample, and the per-request counters. `request_ids` is the action's
+    /// member list in submission order; an empty list (a probe INFER with
+    /// no attached requests) still counts as one served request, matching
+    /// the controller's accounting.
+    pub fn record_infer_completion(
+        &mut self,
+        model: ModelId,
+        batch: u32,
+        request_ids: &[u64],
+        completed: Timestamp,
+    ) {
+        self.counters.infers_completed += 1;
+        self.counters.requests_served += request_ids.len().max(1) as u64;
+        if request_ids.len() >= 2 {
+            self.counters.batched_infers += 1;
+        }
+        self.batch_occupancy.record(batch as f64);
+        for &request_id in request_ids {
+            if self.member_log.len() == MEMBER_LOG_CAP {
+                self.member_log.pop_front();
+            }
+            self.member_log.push_back(MemberCompletion {
+                request_id,
+                model,
+                batch,
+                completed,
+            });
+        }
+    }
+
+    /// The retained per-member completion records, oldest first.
+    pub fn member_log(&self) -> impl Iterator<Item = &MemberCompletion> {
+        self.member_log.iter()
     }
 
     /// Records a completed EXEC on `gpu` busy over `[start, end)`.

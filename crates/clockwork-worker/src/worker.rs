@@ -924,8 +924,8 @@ impl Worker {
                 .output_link
                 .schedule(exec_end, output_duration, output_bytes);
 
-        self.telemetry.counters.infers_completed += 1;
-        self.telemetry.counters.requests_served += request_ids.len().max(1) as u64;
+        self.telemetry
+            .record_infer_completion(model, batch, &request_ids, output_done);
 
         let timing = ActionTiming {
             received,
@@ -1325,6 +1325,49 @@ mod tests {
         assert_eq!(counters.loads_completed, 1);
         assert_eq!(counters.infers_completed, 2);
         assert_eq!(counters.requests_served, 2);
+        assert_eq!(counters.batched_infers, 0, "two singleton INFERs");
+    }
+
+    #[test]
+    fn batched_infer_records_one_member_completion_per_request() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        w.submit(
+            Timestamp::ZERO,
+            infer_action(2, ModelId(1), 4, vec![10, 11, 12, 13]),
+        );
+        w.submit(Timestamp::ZERO, infer_action(3, ModelId(1), 1, vec![14]));
+        let results = drain(&mut w, Timestamp::from_secs(1));
+        let telemetry = w.telemetry();
+        // Exactly-once accounting stays per-request: the batch-4 action is
+        // one INFER but four served requests, each with its own record
+        // carrying the batch it rode in and the action's completion time.
+        assert_eq!(telemetry.counters.infers_completed, 2);
+        assert_eq!(telemetry.counters.batched_infers, 1);
+        assert_eq!(telemetry.counters.requests_served, 5);
+        let members: Vec<_> = telemetry.member_log().collect();
+        assert_eq!(members.len() as u64, telemetry.counters.requests_served);
+        assert_eq!(
+            members.iter().map(|m| m.request_id).collect::<Vec<_>>(),
+            vec![10, 11, 12, 13, 14]
+        );
+        assert!(members[..4].iter().all(|m| m.batch == 4));
+        assert_eq!(members[4].batch, 1);
+        // Every member of one batch shares the action's completion instant,
+        // and it matches the ActionResult the controller sees.
+        let batch_result = results
+            .iter()
+            .find(|r| r.request_ids.len() == 4)
+            .expect("batch result present");
+        let end = match &batch_result.outcome {
+            ActionOutcome::Success(t) => t.end,
+            other => panic!("expected success, got {other:?}"),
+        };
+        assert!(members[..4].iter().all(|m| m.completed == end));
+        // Occupancy summary saw both batch sizes.
+        assert_eq!(telemetry.batch_occupancy.count(), 2);
+        assert_eq!(telemetry.batch_occupancy.max(), 4.0);
     }
 
     #[test]

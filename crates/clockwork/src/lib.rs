@@ -61,7 +61,7 @@ pub mod prelude {
         EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry,
     };
     pub use clockwork_controller::registry::{
-        ClockworkFactory, FifoFactory, SchedulerFactory, SchedulerRegistry,
+        ClockworkFactory, ClockworkNoBatchFactory, FifoFactory, SchedulerFactory, SchedulerRegistry,
     };
     pub use clockwork_controller::{
         ClockworkScheduler, ClockworkSchedulerConfig, InferenceRequest, RequestId, SchedProfile,

@@ -195,6 +195,22 @@ impl ScenarioSpec {
         self
     }
 
+    /// Scales the offered load by `multiplier` (builder style): the Azure
+    /// aggregate target rate, the open-loop per-model rate, or the
+    /// closed-loop client count (rounded, floored at 1). This is the knob
+    /// behind load sweeps — the workload *shape* (trace mixture, model
+    /// popularity, seeds) is untouched, only its intensity moves.
+    pub fn with_rate_multiplier(mut self, multiplier: f64) -> Self {
+        match &mut self.workload {
+            WorkloadSpec::Azure { target_rate, .. } => *target_rate *= multiplier,
+            WorkloadSpec::OpenLoop { rate_per_model } => *rate_per_model *= multiplier,
+            WorkloadSpec::ClosedLoop { concurrency } => {
+                *concurrency = (((*concurrency as f64) * multiplier).round() as u32).max(1);
+            }
+        }
+        self
+    }
+
     /// The scripted churn schedule, scaled to the scenario duration: two
     /// worker crashes, four extra GPU failures, one partition window and one
     /// degraded link, all recovered by 60 % of the run so the tail measures
