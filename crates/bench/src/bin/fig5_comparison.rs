@@ -33,6 +33,7 @@ fn cell_spec(copies: usize, slo_ms: u64, duration_secs: u64, seed: u64) -> Scena
         variance: VarianceConfig::none(),
         keep_responses: true,
         faults: FaultPlan::new(),
+        ..ScenarioSpec::smoke(seed)
     }
 }
 

@@ -35,6 +35,7 @@ fn main() {
         variance: VarianceConfig::none(),
         keep_responses: false,
         faults: FaultPlan::new(),
+        ..ScenarioSpec::smoke(88)
     };
     // The generator is rebuilt from the spec's own workload parameters so
     // the function-to-model mapping reported below can never diverge from

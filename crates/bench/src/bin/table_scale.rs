@@ -29,6 +29,7 @@ fn run(slo_ms: u64) -> (f64, u64, u64, f64, f64, f64) {
         variance: VarianceConfig::none(),
         keep_responses: false,
         faults: FaultPlan::new(),
+        ..ScenarioSpec::smoke(650)
     };
     let report = Experiment::new(spec).run(&ClockworkFactory::default());
     let m = report.metrics();

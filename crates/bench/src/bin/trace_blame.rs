@@ -1,0 +1,620 @@
+//! SLO-blame attribution: *why* did each request miss, per discipline.
+//!
+//! The aggregate metrics say how many requests violated their SLO; this
+//! binary answers the question they cannot: which lifecycle stage ate the
+//! budget. Every (scenario × discipline) cell runs with request-lifecycle
+//! tracing on, the recorded spans are reassembled into per-request span
+//! trees, each completed request's latency is decomposed into stages —
+//! queue wait, cold load, batch wait, execution, network — and every SLO
+//! violation is blamed on its dominant stage. Rejections are blamed by
+//! their recorded reason (admission estimate, queue deadline expiry,
+//! unknown model, fleet fault). Two scenarios are covered: the fleet
+//! scenario at 5× its nominal rate (pure overload) and the scripted-churn
+//! chaos scenario (faults), across every registered discipline.
+//!
+//! Conservation is enforced, not assumed: when no spans were dropped, the
+//! terminal spans must equal the run's successes, the `rejected` spans its
+//! rejections, and at most 1 % of violations+rejections may remain
+//! unattributed — any violation exits non-zero. `--check-determinism`
+//! reruns every cell and requires identical trace digests and response
+//! digests.
+//!
+//! Results go to `BENCH_blame.json` (schema in `crates/bench/README.md`).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin trace_blame -- \
+//!     [--duration-secs N] [--seed N] [--out PATH] \
+//!     [--trace-capacity N] [--check-determinism]
+//! ```
+
+use std::collections::HashMap;
+
+use clockwork::prelude::*;
+use clockwork::scenario::DEFAULT_TRACE_CAPACITY;
+use clockwork_baselines::register_baselines;
+
+struct Args {
+    duration_secs: u64,
+    seed: u64,
+    out: String,
+    trace_capacity: usize,
+    check_determinism: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        duration_secs: 10,
+        seed: 2020,
+        out: "BENCH_blame.json".to_string(),
+        trace_capacity: DEFAULT_TRACE_CAPACITY,
+        check_determinism: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--duration-secs" => {
+                args.duration_secs = value("--duration-secs")
+                    .parse()
+                    .expect("--duration-secs: integer")
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--out" => args.out = value("--out"),
+            "--trace-capacity" => {
+                args.trace_capacity = value("--trace-capacity")
+                    .parse()
+                    .expect("--trace-capacity: integer")
+            }
+            "--check-determinism" => args.check_determinism = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// The blame stages a completed request's latency decomposes into, in the
+/// fixed tie-break order used when two stages are equally dominant.
+const STAGES: [&str; 5] = [
+    "queue_wait",
+    "cold_load",
+    "batch_wait",
+    "execution",
+    "network",
+];
+
+/// One completed request's reconstructed stage breakdown, all nanoseconds.
+#[derive(Clone, Copy, Default)]
+struct StageBreakdown {
+    queue_wait: u64,
+    cold_load: u64,
+    batch_wait: u64,
+    execution: u64,
+    network: u64,
+}
+
+impl StageBreakdown {
+    fn stage(&self, name: &str) -> u64 {
+        match name {
+            "queue_wait" => self.queue_wait,
+            "cold_load" => self.cold_load,
+            "batch_wait" => self.batch_wait,
+            "execution" => self.execution,
+            "network" => self.network,
+            _ => unreachable!("unknown stage {name}"),
+        }
+    }
+
+    /// The dominant stage, ties resolved in [`STAGES`] order.
+    fn dominant(&self) -> &'static str {
+        let mut best = STAGES[0];
+        for &name in &STAGES[1..] {
+            if self.stage(name) > self.stage(best) {
+                best = name;
+            }
+        }
+        best
+    }
+}
+
+/// Running mean/max over one stage across a cell's completed requests.
+#[derive(Clone, Copy, Default)]
+struct StageStats {
+    sum: u64,
+    max: u64,
+    count: u64,
+}
+
+impl StageStats {
+    fn record(&mut self, v: u64) {
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64 / 1e6
+        }
+    }
+
+    fn max_ms(&self) -> f64 {
+        self.max as f64 / 1e6
+    }
+}
+
+/// Everything one (scenario, discipline) cell contributes to the table and
+/// the JSON, extracted so the run's `ServingSystem` drops before the next.
+struct BlameCell {
+    discipline: String,
+    total: u64,
+    successes: u64,
+    rejected: u64,
+    goodput: u64,
+    violations: u64,
+    spans: u64,
+    dropped_spans: u64,
+    trace_digest: u64,
+    response_digest: u64,
+    terminal_spans: u64,
+    rejected_spans: u64,
+    stages: [StageStats; 5],
+    /// Dominant-stage counts over SLO violations, [`STAGES`] order.
+    violation_blame: [u64; 5],
+    /// Violations whose span tree was too incomplete to decompose.
+    unattributed: u64,
+    /// Rejection counts by blame category.
+    rejection_blame: Vec<(&'static str, u64)>,
+    mix_conserved: bool,
+}
+
+/// Maps a rejection reason key to its blame category.
+fn rejection_category(reason: &str) -> &'static str {
+    match reason {
+        "cannot_meet_slo" => "admission_estimate",
+        "deadline_elapsed" => "queue_deadline",
+        "unknown_model" => "unknown_model",
+        // Worker-side rejection is backpressure under overload but can
+        // also follow a crash; the mid-flight failure case is separate.
+        "worker_rejected" => "worker_backpressure",
+        "worker_failed" => "fault",
+        _ => "other",
+    }
+}
+
+fn analyze_cell(report: &RunReport) -> BlameCell {
+    let tracer = report.trace().expect("trace_blame runs are always traced");
+    let m = report.metrics();
+
+    // First pass: index the span stream by request and action.
+    let mut enqueued_at: HashMap<u64, u64> = HashMap::new();
+    let mut member_action: HashMap<u64, u64> = HashMap::new();
+    let mut batch_members: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut infer_issued_at: HashMap<u64, u64> = HashMap::new();
+    let mut infer_actual: HashMap<u64, u64> = HashMap::new();
+    // (worker, gpu, model) -> completed LOADs as (end, actual), record order
+    // (so ends are non-decreasing per key).
+    let mut loads: HashMap<(u32, u32, u32), Vec<(u64, u64)>> = HashMap::new();
+    let mut terminal_spans = 0u64;
+    let mut rejected_spans = 0u64;
+    let mut rejection_counts: HashMap<&'static str, u64> = HashMap::new();
+    for record in tracer.records() {
+        match &record.event {
+            LifecycleEvent::Enqueued { request, .. } => {
+                enqueued_at.insert(*request, record.at);
+            }
+            LifecycleEvent::BatchFormed {
+                action, members, ..
+            } => {
+                for member in members {
+                    member_action.insert(*member, *action);
+                }
+                batch_members.insert(*action, members.clone());
+            }
+            LifecycleEvent::InferIssued { action, .. } => {
+                infer_issued_at.insert(*action, record.at);
+            }
+            LifecycleEvent::InferDone {
+                action,
+                actual,
+                ok: true,
+                ..
+            } => {
+                infer_actual.insert(*action, *actual);
+            }
+            LifecycleEvent::LoadDone {
+                model,
+                worker,
+                gpu,
+                actual,
+                end,
+                ok: true,
+                ..
+            } => {
+                loads
+                    .entry((*worker, *gpu, *model))
+                    .or_default()
+                    .push((*end, *actual));
+            }
+            LifecycleEvent::Rejected { reason, .. } => {
+                rejected_spans += 1;
+                *rejection_counts
+                    .entry(rejection_category(reason))
+                    .or_insert(0) += 1;
+            }
+            LifecycleEvent::Completed { .. } | LifecycleEvent::DeadlineMissed { .. } => {
+                terminal_spans += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Second pass: decompose every terminal span, blaming violations on
+    // their dominant stage. Spans are visited in record order, which is
+    // deterministic for a given seed.
+    let mut stages = [StageStats::default(); 5];
+    let mut violation_blame = [0u64; 5];
+    let mut violations = 0u64;
+    let mut unattributed = 0u64;
+    for record in tracer.records() {
+        let (request, model, arrival, completed, deadline, worker, gpu, cold, missed) =
+            match &record.event {
+                LifecycleEvent::Completed {
+                    request,
+                    model,
+                    arrival,
+                    completed,
+                    deadline,
+                    worker,
+                    gpu,
+                    cold,
+                    ..
+                } => (
+                    *request, *model, *arrival, *completed, *deadline, *worker, *gpu, *cold, false,
+                ),
+                LifecycleEvent::DeadlineMissed {
+                    request,
+                    model,
+                    arrival,
+                    completed,
+                    deadline,
+                    worker,
+                    gpu,
+                    cold,
+                    ..
+                } => (
+                    *request, *model, *arrival, *completed, *deadline, *worker, *gpu, *cold, true,
+                ),
+                _ => continue,
+            };
+        let _ = deadline;
+        if missed {
+            violations += 1;
+        }
+        // Reassemble the span tree; a hole (evicted span) leaves the
+        // request unattributable.
+        let tree = (|| {
+            let t0 = *enqueued_at.get(&request)?;
+            let action = *member_action.get(&request)?;
+            let t1 = *infer_issued_at.get(&action)?;
+            let execution = *infer_actual.get(&action)?;
+            // Batch wait: the part of [t0, t1] spent waiting for the
+            // batch's last member to arrive; the rest is queue/executor
+            // wait.
+            let last_arrival = batch_members
+                .get(&action)
+                .into_iter()
+                .flatten()
+                .filter_map(|member| enqueued_at.get(member))
+                .copied()
+                .max()
+                .unwrap_or(t0);
+            let dispatch_wait = t1.saturating_sub(t0);
+            let batch_wait = last_arrival.min(t1).saturating_sub(t0);
+            let queue_wait = dispatch_wait - batch_wait;
+            // Cold load: the most recent completed LOAD of this model on
+            // the serving executor that finished by the completion instant.
+            let cold_load = if cold {
+                loads
+                    .get(&(worker, gpu, model))
+                    .and_then(|ends| {
+                        ends.iter()
+                            .rev()
+                            .find(|(end, _)| *end <= completed)
+                            .map(|(_, actual)| *actual)
+                    })
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            let total = completed.saturating_sub(arrival);
+            let network = total
+                .saturating_sub(queue_wait)
+                .saturating_sub(batch_wait)
+                .saturating_sub(execution)
+                .saturating_sub(cold_load);
+            Some(StageBreakdown {
+                queue_wait,
+                cold_load,
+                batch_wait,
+                execution,
+                network,
+            })
+        })();
+        match tree {
+            Some(breakdown) => {
+                for (i, &name) in STAGES.iter().enumerate() {
+                    stages[i].record(breakdown.stage(name));
+                }
+                if missed {
+                    let dominant = breakdown.dominant();
+                    let i = STAGES.iter().position(|&s| s == dominant).expect("stage");
+                    violation_blame[i] += 1;
+                }
+            }
+            None => {
+                if missed {
+                    unattributed += 1;
+                }
+            }
+        }
+    }
+
+    let mut rejection_blame: Vec<(&'static str, u64)> = rejection_counts.into_iter().collect();
+    rejection_blame.sort_unstable();
+
+    BlameCell {
+        discipline: report.discipline.clone(),
+        total: m.total_requests,
+        successes: m.successes,
+        rejected: report.rejected(),
+        goodput: m.goodput,
+        violations,
+        spans: tracer.len() as u64,
+        dropped_spans: tracer.dropped_spans(),
+        trace_digest: tracer.digest(),
+        response_digest: report.digest(),
+        terminal_spans,
+        rejected_spans,
+        stages,
+        violation_blame,
+        unattributed,
+        rejection_blame,
+        mix_conserved: report.mix_conserved(),
+    }
+}
+
+/// The conservation and attribution gates one cell must pass. Prints a loud
+/// line per violation and returns `false` if any failed.
+fn check_cell(scenario: &str, cell: &BlameCell) -> bool {
+    let label = format!("{scenario}/{}", cell.discipline);
+    let mut ok = true;
+    if !cell.mix_conserved {
+        eprintln!("[{label}] EVENT ACCOUNTING VIOLATION: event mix not conserved");
+        ok = false;
+    }
+    if cell.dropped_spans > 0 {
+        // Attribution is best-effort once the ring wrapped; the drop count
+        // is reported, never hidden, and the hard checks below need the
+        // full stream.
+        println!(
+            "# [{label}] {} spans dropped (capacity) -- conservation checks skipped",
+            cell.dropped_spans
+        );
+        return ok;
+    }
+    if cell.terminal_spans != cell.successes {
+        eprintln!(
+            "[{label}] TRACE CONSERVATION VIOLATION: {} terminal spans != {} successes",
+            cell.terminal_spans, cell.successes
+        );
+        ok = false;
+    }
+    if cell.rejected_spans != cell.rejected {
+        eprintln!(
+            "[{label}] TRACE CONSERVATION VIOLATION: {} rejected spans != {} rejections",
+            cell.rejected_spans, cell.rejected
+        );
+        ok = false;
+    }
+    let outcomes = cell.violations + cell.rejected;
+    if outcomes > 0 {
+        let unattributed_frac = cell.unattributed as f64 / outcomes as f64;
+        if unattributed_frac > 0.01 {
+            eprintln!(
+                "[{label}] ATTRIBUTION VIOLATION: {:.2}% of violations+rejections unattributed (max 1%)",
+                100.0 * unattributed_frac
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn cell_json(cell: &BlameCell) -> String {
+    let stage_objects: Vec<String> = STAGES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            format!(
+                "        \"{name}\": {{ \"mean_ms\": {:.3}, \"max_ms\": {:.3} }}",
+                cell.stages[i].mean_ms(),
+                cell.stages[i].max_ms()
+            )
+        })
+        .collect();
+    let blame_fields: Vec<String> = STAGES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| format!("\"{name}\": {}", cell.violation_blame[i]))
+        .collect();
+    let rejection_fields: Vec<String> = cell
+        .rejection_blame
+        .iter()
+        .map(|(category, count)| format!("\"{category}\": {count}"))
+        .collect();
+    format!(
+        concat!(
+            "    \"{name}\": {{\n",
+            "      \"total\": {total},\n",
+            "      \"successes\": {successes},\n",
+            "      \"rejected\": {rejected},\n",
+            "      \"goodput\": {goodput},\n",
+            "      \"violations\": {violations},\n",
+            "      \"trace\": {{ \"spans\": {spans}, \"dropped_spans\": {dropped}, \"digest\": \"{tdigest:016x}\" }},\n",
+            "      \"stages\": {{\n{stages}\n      }},\n",
+            "      \"violation_blame\": {{ {blame}, \"unattributed\": {unattributed} }},\n",
+            "      \"rejection_blame\": {{{rejections}}},\n",
+            "      \"digest\": \"{digest:016x}\"\n",
+            "    }}"
+        ),
+        name = cell.discipline,
+        total = cell.total,
+        successes = cell.successes,
+        rejected = cell.rejected,
+        goodput = cell.goodput,
+        violations = cell.violations,
+        spans = cell.spans,
+        dropped = cell.dropped_spans,
+        tdigest = cell.trace_digest,
+        stages = stage_objects.join(",\n"),
+        blame = blame_fields.join(", "),
+        unattributed = cell.unattributed,
+        rejections = if rejection_fields.is_empty() {
+            String::new()
+        } else {
+            format!(" {} ", rejection_fields.join(", "))
+        },
+        digest = cell.response_digest,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+
+    let base = |name: &str, multiplier: f64, churn: bool| {
+        let mut spec = ScenarioSpec::fleet_scale()
+            .named(name)
+            .with_seed(args.seed)
+            .with_duration_secs(args.duration_secs)
+            .with_rate_multiplier(multiplier)
+            .with_trace(true)
+            .with_trace_capacity(args.trace_capacity);
+        if churn {
+            spec.faults = spec.scripted_churn();
+        }
+        spec
+    };
+    let scenarios = [base("overload_5x", 5.0, false), base("chaos", 1.0, true)];
+
+    let mut registry = SchedulerRegistry::builtin();
+    registry.register(Box::new(ClockworkNoBatchFactory::default()));
+    register_baselines(&mut registry);
+
+    println!(
+        "# trace-blame: {} disciplines ({}) x {} scenarios, {}s, seed {}, trace capacity {}",
+        registry.len(),
+        registry.names().join(", "),
+        scenarios.len(),
+        args.duration_secs,
+        args.seed,
+        args.trace_capacity,
+    );
+
+    let mut failed = false;
+    let mut scenario_objects: Vec<String> = Vec::new();
+    for spec in &scenarios {
+        let experiment = Experiment::new(spec.clone());
+        bench::section(&format!(
+            "{}: dominant-stage blame per discipline",
+            spec.name
+        ));
+        println!(
+            "{:<18} {:>8} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            "discipline",
+            "total",
+            "viol",
+            "rejected",
+            "queue",
+            "cold",
+            "batch",
+            "exec",
+            "net",
+            "unattr",
+            "spans"
+        );
+        let mut cells: Vec<BlameCell> = Vec::new();
+        for factory in registry.iter() {
+            let report = experiment.run(factory);
+            let cell = analyze_cell(&report);
+            if !check_cell(&spec.name, &cell) {
+                failed = true;
+            }
+            if args.check_determinism {
+                let rerun = experiment.run(factory);
+                let recell = analyze_cell(&rerun);
+                if recell.trace_digest != cell.trace_digest
+                    || recell.response_digest != cell.response_digest
+                {
+                    eprintln!(
+                        "[{}/{}] DETERMINISM VIOLATION: trace {:016x} vs {:016x}, responses {:016x} vs {:016x}",
+                        spec.name,
+                        cell.discipline,
+                        cell.trace_digest,
+                        recell.trace_digest,
+                        cell.response_digest,
+                        recell.response_digest,
+                    );
+                    failed = true;
+                }
+            }
+            println!(
+                "{:<18} {:>8} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+                cell.discipline,
+                cell.total,
+                cell.violations,
+                cell.rejected,
+                cell.violation_blame[0],
+                cell.violation_blame[1],
+                cell.violation_blame[2],
+                cell.violation_blame[3],
+                cell.violation_blame[4],
+                cell.unattributed,
+                cell.spans,
+            );
+            cells.push(cell);
+        }
+        let discipline_objects: Vec<String> = cells.iter().map(cell_json).collect();
+        scenario_objects.push(format!(
+            "  \"{name}\": {{\n  \"scenario\": {scenario},\n  \"disciplines\": {{\n{cells}\n  }}\n  }}",
+            name = spec.name,
+            scenario = bench::scenario_json(spec, u64::MAX),
+            cells = discipline_objects.join(",\n"),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"stages\": [\"queue_wait\", \"cold_load\", \"batch_wait\", \"execution\", \"network\"],\n",
+            "  \"trace_capacity\": {capacity},\n",
+            "  \"determinism_checked\": {checked},\n",
+            "{scenarios}\n",
+            "}}\n",
+        ),
+        capacity = args.trace_capacity,
+        checked = args.check_determinism,
+        scenarios = scenario_objects.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write results json");
+    println!("# wrote {}", args.out);
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use clockwork_metrics::trace::TraceEvent;
 use clockwork_model::{ModelId, ModelSpec};
 use clockwork_sim::engine::FaultKind;
 use clockwork_sim::pcie::PcieLink;
@@ -1405,6 +1406,16 @@ impl Scheduler for ClockworkScheduler {
             if now + best_case > deadline {
                 let warm_case = exec + self.config.network_allowance;
                 let doomed_only_by_cold_start = cold && now + warm_case <= deadline;
+                // Estimate-bearing rejection span: only the admission path
+                // knows the best-case serving estimate that doomed the
+                // request, so the facade defers to this span instead of
+                // synthesizing an estimate-free one from the response.
+                ctx.trace(TraceEvent::Rejected {
+                    request: request.id.0,
+                    model: request.model.0,
+                    reason: RejectReason::CannotMeetSlo.as_str(),
+                    estimate: best_case.as_nanos(),
+                });
                 self.reject(&pending, now, RejectReason::CannotMeetSlo, ctx);
                 if doomed_only_by_cold_start {
                     // The rejection is an SLO violation caused purely by the
@@ -1422,6 +1433,24 @@ impl Scheduler for ClockworkScheduler {
             }
         }
         self.stats.admitted += 1;
+        if ctx.tracing() {
+            // The best-case serving estimate that justified admission
+            // (batch-1 execution + any pending cold load + network
+            // allowance). Recomputed only under tracing so the off path
+            // stays untouched.
+            let exec = self.exec_estimate(request.model, 1);
+            let load = if cold {
+                self.load_estimate(request.model)
+            } else {
+                Nanos::ZERO
+            };
+            let estimate = exec + load + self.config.network_allowance;
+            ctx.trace(TraceEvent::Admitted {
+                request: request.id.0,
+                model: request.model.0,
+                estimate: estimate.as_nanos(),
+            });
+        }
         let entry = self.models.get_mut(&request.model).expect("checked above");
         let was_queued = !entry.queue.is_empty();
         let old_hint = entry.min_deadline_hint;
@@ -1430,6 +1459,19 @@ impl Scheduler for ClockworkScheduler {
         entry.queue.push_back(pending);
         self.resync_urgency(request.model, was_queued, old_hint);
         self.schedule(now, ctx);
+        if ctx.tracing() {
+            // If the dispatch pass left this request queued, the urgency
+            // index deferred it — record when the model's queue next turns
+            // urgent (its earliest queued deadline).
+            let entry = self.models.get(&request.model).expect("checked above");
+            if entry.queue.back().map(|p| p.request.id) == Some(request.id) {
+                ctx.trace(TraceEvent::Deferred {
+                    request: request.id.0,
+                    model: request.model.0,
+                    until: entry.min_deadline_hint.as_nanos(),
+                });
+            }
+        }
     }
 
     fn on_result(&mut self, now: Timestamp, result: &ActionResult, ctx: &mut SchedulerCtx) {

@@ -73,6 +73,21 @@ pub enum RejectReason {
     WorkerFailed,
 }
 
+impl RejectReason {
+    /// The stable snake_case key for this reason, shared by telemetry
+    /// reject-reason counters and lifecycle trace spans so the two always
+    /// reconcile by string equality.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::CannotMeetSlo => "cannot_meet_slo",
+            RejectReason::DeadlineElapsed => "deadline_elapsed",
+            RejectReason::UnknownModel => "unknown_model",
+            RejectReason::WorkerRejected => "worker_rejected",
+            RejectReason::WorkerFailed => "worker_failed",
+        }
+    }
+}
+
 impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -236,5 +251,24 @@ mod tests {
         assert!(RejectReason::DeadlineElapsed
             .to_string()
             .contains("deadline"));
+    }
+
+    #[test]
+    fn reject_reason_keys_are_snake_case_and_distinct() {
+        let all = [
+            RejectReason::CannotMeetSlo,
+            RejectReason::DeadlineElapsed,
+            RejectReason::UnknownModel,
+            RejectReason::WorkerRejected,
+            RejectReason::WorkerFailed,
+        ];
+        let keys: Vec<&str> = all.iter().map(|r| r.as_str()).collect();
+        for key in &keys {
+            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        let mut unique = keys.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), all.len());
     }
 }

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use clockwork_metrics::trace::TraceEvent;
 use clockwork_model::{ModelId, ModelSpec};
 use clockwork_sim::time::Timestamp;
 use clockwork_worker::{Action, ActionId, ActionKind, GpuId, TimeWindow, WorkerId};
@@ -37,6 +38,8 @@ pub struct SchedulerCtx {
     actions: Vec<(WorkerId, Action)>,
     responses: Vec<Response>,
     next_action_id: u64,
+    tracing: bool,
+    trace: Vec<TraceEvent>,
 }
 
 impl SchedulerCtx {
@@ -117,6 +120,35 @@ impl SchedulerCtx {
     pub fn drain_responses_into(&mut self, out: &mut Vec<Response>) {
         out.clear();
         std::mem::swap(&mut self.responses, out);
+    }
+
+    /// Enables or disables lifecycle tracing. Off by default; the harness
+    /// flips this on when the experiment requests a trace.
+    pub fn set_tracing(&mut self, tracing: bool) {
+        self.tracing = tracing;
+    }
+
+    /// Whether lifecycle tracing is on. Schedulers check this before building
+    /// a [`TraceEvent`], so the off path is one predictable branch.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Queues a lifecycle trace event. No-op while tracing is off, so call
+    /// sites that pass a cheap event need no guard of their own.
+    #[inline]
+    pub fn trace(&mut self, event: TraceEvent) {
+        if self.tracing {
+            self.trace.push(event);
+        }
+    }
+
+    /// Drains the queued trace events into a caller-provided buffer, reusing
+    /// its capacity.
+    pub fn drain_trace_into(&mut self, out: &mut Vec<TraceEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.trace, out);
     }
 }
 

@@ -14,6 +14,9 @@
 //! * [`percentile`] — exact percentiles over small sample vectors.
 //! * [`csv`] — a tiny CSV writer used by the benchmark harness so results can
 //!   be plotted without extra dependencies.
+//! * [`trace`] — structured request-lifecycle spans ([`TraceEvent`]) behind a
+//!   zero-cost-when-off [`Tracer`] trait, with a bounded [`RingTracer`] and
+//!   deterministic JSONL export for SLO-blame attribution.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,10 +27,12 @@ pub mod orderstat;
 pub mod percentile;
 pub mod summary;
 pub mod timeseries;
+pub mod trace;
 pub mod utilization;
 
 pub use histogram::LatencyHistogram;
 pub use orderstat::OrderStatWindow;
 pub use summary::Summary;
 pub use timeseries::TimeSeries;
+pub use trace::{NoopTracer, RingTracer, TraceEvent, TraceRecord, Tracer};
 pub use utilization::UtilizationTracker;

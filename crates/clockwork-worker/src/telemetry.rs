@@ -90,6 +90,9 @@ pub struct WorkerTelemetry {
     pub batch_occupancy: Summary,
     /// The most recent [`MEMBER_LOG_CAP`] per-member completion records.
     member_log: VecDeque<MemberCompletion>,
+    /// Lifetime count of member completions ever recorded (including those
+    /// the bounded ring has since evicted).
+    members_total: u64,
 }
 
 impl WorkerTelemetry {
@@ -107,6 +110,7 @@ impl WorkerTelemetry {
             load_durations: LatencyHistogram::new(),
             batch_occupancy: Summary::new(),
             member_log: VecDeque::new(),
+            members_total: 0,
         }
     }
 
@@ -139,12 +143,29 @@ impl WorkerTelemetry {
                 batch,
                 completed,
             });
+            self.members_total += 1;
         }
     }
 
     /// The retained per-member completion records, oldest first.
     pub fn member_log(&self) -> impl Iterator<Item = &MemberCompletion> {
         self.member_log.iter()
+    }
+
+    /// Lifetime member completions recorded, including records the bounded
+    /// ring has evicted. A cursor over this count lets a consumer detect how
+    /// many records it lost between polls.
+    pub fn members_recorded(&self) -> u64 {
+        self.members_total
+    }
+
+    /// The most recent `n` member completions, oldest first. Callers polling
+    /// with a [`WorkerTelemetry::members_recorded`] cursor read exactly the
+    /// records added since their last poll (clamped to what the ring still
+    /// holds).
+    pub fn member_log_tail(&self, n: usize) -> impl Iterator<Item = &MemberCompletion> {
+        let start = self.member_log.len().saturating_sub(n);
+        self.member_log.iter().skip(start)
     }
 
     /// Records a completed EXEC on `gpu` busy over `[start, end)`.
@@ -242,5 +263,28 @@ mod tests {
     fn empty_telemetry_reports_zero_utilization() {
         let t = WorkerTelemetry::new(0);
         assert_eq!(t.mean_gpu_utilization(Timestamp::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn member_cursor_survives_ring_eviction() {
+        let mut t = WorkerTelemetry::new(1);
+        let ids: Vec<u64> = (0..MEMBER_LOG_CAP as u64 + 10).collect();
+        t.record_infer_completion(ModelId(1), 4, &ids, Timestamp::from_millis(1));
+        assert_eq!(t.members_recorded(), ids.len() as u64);
+        assert_eq!(t.member_log().count(), MEMBER_LOG_CAP, "ring stays bounded");
+        // A consumer whose cursor lags by 3 reads exactly the last 3 records.
+        let tail: Vec<u64> = t.member_log_tail(3).map(|m| m.request_id).collect();
+        assert_eq!(
+            tail,
+            vec![
+                ids.len() as u64 - 3,
+                ids.len() as u64 - 2,
+                ids.len() as u64 - 1
+            ]
+        );
+        // A consumer who fell further behind than the ring holds can tell:
+        // members_recorded - cursor exceeds the ring length.
+        let lost = t.members_recorded() - t.member_log().count() as u64;
+        assert_eq!(lost, 10);
     }
 }

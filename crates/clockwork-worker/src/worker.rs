@@ -316,17 +316,26 @@ impl Worker {
     }
 
     /// Free pages in a GPU's weights cache.
+    ///
+    /// Panics on an unknown GPU id: capacity queries for a GPU this worker
+    /// does not have are controller routing bugs, and a silent `0` would let
+    /// them masquerade as a full cache.
     pub fn free_pages(&self, gpu: GpuId) -> u64 {
         self.gpu(gpu)
-            .map(|g| g.page_cache.free_pages())
-            .unwrap_or(0)
+            .unwrap_or_else(|| panic!("free_pages for unknown {gpu:?} on worker {:?}", self.id()))
+            .page_cache
+            .free_pages()
     }
 
     /// Total pages in a GPU's weights cache.
+    ///
+    /// Panics on an unknown GPU id, like [`Worker::free_pages`]: a `0` total
+    /// would silently convince the scheduler this executor can hold nothing.
     pub fn total_pages(&self, gpu: GpuId) -> u64 {
         self.gpu(gpu)
-            .map(|g| g.page_cache.total_pages())
-            .unwrap_or(0)
+            .unwrap_or_else(|| panic!("total_pages for unknown {gpu:?} on worker {:?}", self.id()))
+            .page_cache
+            .total_pages()
     }
 
     /// Whether a model's weights are resident on a GPU.
@@ -1025,6 +1034,20 @@ mod tests {
             Err(WorkerError::DuplicateModel(ModelId(1)))
         );
         assert!(w.host_memory_available() < w.config().host_memory_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "free_pages for unknown")]
+    fn free_pages_panics_on_unknown_gpu() {
+        let w = Worker::new(quiet_config());
+        let _ = w.free_pages(GpuId(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "total_pages for unknown")]
+    fn total_pages_panics_on_unknown_gpu() {
+        let w = Worker::new(quiet_config());
+        let _ = w.total_pages(GpuId(99));
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct SystemConfig {
     /// faults). Empty by default. Every discipline is fault-aware, so any
     /// plan may be combined with any scheduler.
     pub faults: FaultPlan,
+    /// Request-lifecycle tracing: `Some(capacity)` wires a bounded
+    /// [`RingTracer`](clockwork_metrics::RingTracer) retaining at most
+    /// `capacity` spans (oldest dropped first, drops counted). `None` — the
+    /// default — uses the no-op tracer: no events are built anywhere and
+    /// run digests are byte-identical to an untraced build.
+    pub trace_capacity: Option<usize>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -52,6 +58,7 @@ impl Default for SystemConfig {
             network: NetworkConfig::ideal(clockwork_sim::time::Nanos::from_micros(100)),
             keep_responses: true,
             faults: FaultPlan::new(),
+            trace_capacity: None,
             seed: 0xc10c,
         }
     }
@@ -75,5 +82,6 @@ mod tests {
         assert_eq!(c.total_gpus(), 1);
         assert_eq!(c.exec_mode, None);
         assert!(c.faults.is_empty());
+        assert_eq!(c.trace_capacity, None, "tracing is off by default");
     }
 }

@@ -161,6 +161,13 @@ impl RunReport {
         self.telemetry().event_mix()
     }
 
+    /// The request-lifecycle tracer, when the spec asked for one
+    /// ([`ScenarioSpec::with_trace`](crate::scenario::ScenarioSpec::with_trace)).
+    /// `None` on untraced runs.
+    pub fn trace(&self) -> Option<&clockwork_metrics::RingTracer> {
+        self.system.tracer()
+    }
+
     /// Scheduler self-profiling counters (ticks run, early-outs, candidates
     /// scanned, strategies recomputed) — the `sched` object of the bench
     /// JSON artifacts.

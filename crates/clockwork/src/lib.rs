@@ -50,6 +50,11 @@ pub use experiment::{Experiment, RunReport};
 pub use scenario::{ModelSet, ScenarioSpec, WorkloadSpec};
 pub use system::{ServingSystem, SystemBuilder};
 pub use telemetry::{EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry};
+// Request-lifecycle tracing surface (the workload crate's `TraceEvent` — a
+// *workload* trace entry — already owns that name in the prelude, so the
+// lifecycle span enum is re-exported here as `LifecycleEvent`).
+pub use clockwork_metrics::trace::TraceEvent as LifecycleEvent;
+pub use clockwork_metrics::trace::{RingTracer, TraceRecord, Tracer};
 
 /// Convenience re-exports for examples, tests and benchmarks.
 pub mod prelude {
@@ -68,6 +73,8 @@ pub mod prelude {
         Scheduler, TickOutcome,
     };
     pub use clockwork_faults::{ChurnConfig, FaultKind, FaultPlan};
+    pub use clockwork_metrics::trace::TraceEvent as LifecycleEvent;
+    pub use clockwork_metrics::trace::{RingTracer, TraceRecord, Tracer};
     pub use clockwork_model::{zoo::ModelZoo, ModelId, ModelSpec};
     pub use clockwork_sim::rng::SimRng;
     pub use clockwork_sim::time::{Nanos, Timestamp};

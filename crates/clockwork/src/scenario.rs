@@ -104,7 +104,22 @@ pub struct ScenarioSpec {
     pub keep_responses: bool,
     /// Scheduled fleet faults (empty for fault-free runs).
     pub faults: FaultPlan,
+    /// Record request-lifecycle trace spans (admission, batch formation,
+    /// LOAD/INFER issue and completion, terminal outcomes). Off by default:
+    /// the no-op tracer compiles away and the run is byte-identical to an
+    /// untraced one — presets all ship with `trace: false` so goldens never
+    /// move. Enable with [`ScenarioSpec::with_trace`].
+    pub trace: bool,
+    /// Span retention when `trace` is on: the wired
+    /// [`RingTracer`](clockwork_metrics::RingTracer) keeps at most this many
+    /// spans, dropping oldest first and counting every drop. Ignored while
+    /// `trace` is off.
+    pub trace_capacity: usize,
 }
+
+/// Default span retention of a traced scenario (~2 M spans; a traced
+/// 10-second smoke emits well under half that, so smokes never wrap).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 21;
 
 impl ScenarioSpec {
     /// The fleet-scale scenario shared by the `fleet_scale` perf harness,
@@ -131,6 +146,8 @@ impl ScenarioSpec {
             variance: VarianceConfig::none(),
             keep_responses: false,
             faults: FaultPlan::new(),
+            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -165,6 +182,8 @@ impl ScenarioSpec {
             variance: VarianceConfig::none(),
             keep_responses: false,
             faults: FaultPlan::new(),
+            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -192,6 +211,23 @@ impl ScenarioSpec {
     /// Installs a fault plan (builder style).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Turns request-lifecycle tracing on or off (builder style). A traced
+    /// run wires a bounded ring tracer (capacity
+    /// [`ScenarioSpec::trace_capacity`]) whose JSONL export and digest are
+    /// reachable through
+    /// [`RunReport::trace`](crate::experiment::RunReport::trace).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the traced-run span retention (builder style); implies nothing
+    /// about [`ScenarioSpec::trace`] itself.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -279,6 +315,7 @@ impl ScenarioSpec {
             variance: self.variance,
             keep_responses: self.keep_responses,
             faults: self.faults.clone(),
+            trace_capacity: self.trace.then_some(self.trace_capacity),
             seed: self.seed,
             ..SystemConfig::default()
         }
@@ -355,6 +392,17 @@ mod tests {
         let b = spec.azure_trace().expect("azure workload");
         assert_eq!(a.len(), b.len());
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn tracing_knobs_flow_into_the_system_config() {
+        let off = ScenarioSpec::smoke(3);
+        assert!(!off.trace, "presets ship untraced");
+        assert_eq!(off.system_config().trace_capacity, None);
+        let on = ScenarioSpec::smoke(3)
+            .with_trace(true)
+            .with_trace_capacity(512);
+        assert_eq!(on.system_config().trace_capacity, Some(512));
     }
 
     #[test]

@@ -15,18 +15,22 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use clockwork_controller::registry::{ClockworkFactory, SchedulerFactory};
-use clockwork_controller::request::{InferenceRequest, RequestId, Response};
+use clockwork_controller::request::{InferenceRequest, RequestId, RequestOutcome, Response};
 use clockwork_controller::scheduler::{Scheduler, SchedulerCtx, TickOutcome};
 use clockwork_controller::worker_state::GpuRef;
-use clockwork_controller::ClockworkScheduler;
 use clockwork_controller::SchedProfile;
 use clockwork_faults::FaultPlan;
+use clockwork_metrics::trace::{RingTracer, TraceEvent, Tracer};
 use clockwork_model::{ModelId, ModelSpec};
 use clockwork_sim::engine::{EventId, EventQueue, FaultKind};
 use clockwork_sim::network::NetworkModel;
 use clockwork_sim::rng::SimRng;
 use clockwork_sim::time::{Nanos, Timestamp};
-use clockwork_worker::{Action, ActionResult, ExecMode, GpuId, Worker, WorkerConfig, WorkerId};
+use clockwork_worker::telemetry::MemberCompletion;
+use clockwork_worker::{
+    Action, ActionKind, ActionOutcome, ActionResult, ExecMode, GpuId, Worker, WorkerConfig,
+    WorkerId,
+};
 use clockwork_workload::{ClosedLoopClient, Trace};
 
 use crate::config::SystemConfig;
@@ -262,6 +266,24 @@ pub struct ServingSystem {
     action_buf: Vec<(WorkerId, Action)>,
     response_buf: Vec<Response>,
     result_buf: Vec<ActionResult>,
+    /// The lifecycle tracer, when [`SystemConfig::trace_capacity`] asked for
+    /// one. `None` is the no-op path: no event is ever built and the run is
+    /// byte-identical to an untraced build.
+    tracer: Option<Box<RingTracer>>,
+    /// Per-worker cursor into [`WorkerTelemetry::members_recorded`]
+    /// (`clockwork_worker::telemetry`): how many member completions of that
+    /// worker the tracer has already observed. The gap between a poll's
+    /// count and this cursor is the tail to emit; any part of the gap the
+    /// bounded member ring no longer holds is counted as dropped spans.
+    member_seen: Vec<u64>,
+    /// Reusable drain buffers for scheduler-emitted trace events and member
+    /// completion tails (only touched on traced runs).
+    trace_buf: Vec<TraceEvent>,
+    member_buf: Vec<MemberCompletion>,
+    /// Request ids whose estimate-bearing `Rejected` span the scheduler
+    /// emitted in the current drain pass; the facade skips its own
+    /// estimate-free span for these so every rejection traces exactly once.
+    sched_rejected: Vec<u64>,
     events_processed: u64,
     next_model_id: u32,
     next_request_id: u64,
@@ -328,11 +350,16 @@ impl ServingSystem {
             telemetry.event_mix.note_pushed(KIND_FAULT);
             queue.push(event.at, SystemEvent::Fault { kind: event.kind });
         }
+        let tracer = config
+            .trace_capacity
+            .map(|cap| Box::new(RingTracer::new(cap)));
+        let mut ctx = SchedulerCtx::new();
+        ctx.set_tracing(tracer.is_some());
         ServingSystem {
             network: NetworkModel::new(config.network, rng.derive(1)),
             scheduler,
             exec_mode,
-            ctx: SchedulerCtx::new(),
+            ctx,
             workers,
             worker_wake_scheduled: vec![None; worker_count],
             tick_scheduled: None,
@@ -346,6 +373,11 @@ impl ServingSystem {
             action_buf: Vec::new(),
             response_buf: Vec::new(),
             result_buf: Vec::new(),
+            tracer,
+            member_seen: vec![0; worker_count],
+            trace_buf: Vec::new(),
+            member_buf: Vec::new(),
+            sched_rejected: Vec::new(),
             events_processed: 0,
             next_model_id: 0,
             next_request_id: 0,
@@ -398,10 +430,195 @@ impl ServingSystem {
         }
     }
 
-    /// The Clockwork scheduler, if that is the configured discipline (used by
-    /// the prediction-error experiment).
-    pub fn clockwork_scheduler(&self) -> Option<&ClockworkScheduler> {
-        self.scheduler.as_any().downcast_ref::<ClockworkScheduler>()
+    /// The lifecycle tracer, when this run was assembled with
+    /// [`SystemConfig::trace_capacity`] set. Experiments read the recorded
+    /// spans, JSONL export and drop counter through this.
+    pub fn tracer(&self) -> Option<&RingTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Records one lifecycle span at the current virtual time. A single
+    /// `Option` branch when tracing is off — every emission site that must
+    /// *build* something (clone a member list, walk a log) additionally
+    /// guards on `self.tracer.is_some()` so the untraced path allocates
+    /// nothing.
+    #[inline]
+    fn trace(&mut self, event: TraceEvent) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.record(self.now.as_nanos(), event);
+        }
+    }
+
+    /// Emits the issue-side spans of an action leaving the controller:
+    /// `BatchFormed` + `InferIssued` for INFERs, `LoadIssued` for LOADs.
+    /// Only called on traced runs.
+    fn trace_action_issue(&mut self, worker: WorkerId, action: &Action) {
+        match &action.kind {
+            ActionKind::Infer {
+                model,
+                batch,
+                request_ids,
+            } => {
+                self.trace(TraceEvent::BatchFormed {
+                    action: action.id.0,
+                    model: model.0,
+                    worker: worker.0,
+                    gpu: action.gpu.0,
+                    size: *batch,
+                    members: request_ids.clone(),
+                });
+                self.trace(TraceEvent::InferIssued {
+                    action: action.id.0,
+                    model: model.0,
+                    worker: worker.0,
+                    gpu: action.gpu.0,
+                    batch: *batch,
+                    est: action.expected_duration.as_nanos(),
+                });
+            }
+            ActionKind::Load { model } => {
+                self.trace(TraceEvent::LoadIssued {
+                    action: action.id.0,
+                    model: model.0,
+                    worker: worker.0,
+                    gpu: action.gpu.0,
+                    est: action.expected_duration.as_nanos(),
+                });
+            }
+            ActionKind::Unload { .. } => {}
+        }
+    }
+
+    /// Emits the completion-side span of a worker result reaching the
+    /// controller (`InferDone`/`LoadDone` with the est-vs-actual pair).
+    /// Only called on traced runs.
+    fn trace_result(&mut self, result: &ActionResult) {
+        let (actual, start, end, ok) = match &result.outcome {
+            ActionOutcome::Success(t) => (
+                t.device_duration.as_nanos(),
+                t.start.as_nanos(),
+                t.end.as_nanos(),
+                true,
+            ),
+            ActionOutcome::Error { .. } => (0, 0, 0, false),
+        };
+        match result.action_type {
+            "INFER" => self.trace(TraceEvent::InferDone {
+                action: result.action_id.0,
+                model: result.model.0,
+                worker: result.worker.0,
+                gpu: result.gpu.0,
+                batch: result.batch,
+                est: result.expected_duration.as_nanos(),
+                actual,
+                start,
+                end,
+                ok,
+            }),
+            "LOAD" => self.trace(TraceEvent::LoadDone {
+                action: result.action_id.0,
+                model: result.model.0,
+                worker: result.worker.0,
+                gpu: result.gpu.0,
+                est: result.expected_duration.as_nanos(),
+                actual,
+                end,
+                cold: true,
+                ok,
+            }),
+            _ => {}
+        }
+    }
+
+    /// Emits the terminal span of a response leaving the controller:
+    /// `Completed`/`DeadlineMissed` for successes, `Rejected` for rejections
+    /// the scheduler did not already trace with an estimate. Only called on
+    /// traced runs.
+    fn trace_response(&mut self, response: &Response) {
+        match response.outcome {
+            RequestOutcome::Success {
+                completed,
+                batch,
+                worker,
+                gpu,
+                cold_start,
+            } => {
+                let request = response.request.0;
+                let model = response.model.0;
+                let arrival = response.arrival.as_nanos();
+                let completed = completed.as_nanos();
+                let deadline = response.deadline.as_nanos();
+                let event = if response.met_slo() {
+                    TraceEvent::Completed {
+                        request,
+                        model,
+                        arrival,
+                        completed,
+                        deadline,
+                        batch,
+                        worker: worker.0,
+                        gpu: gpu.0,
+                        cold: cold_start,
+                    }
+                } else {
+                    TraceEvent::DeadlineMissed {
+                        request,
+                        model,
+                        arrival,
+                        completed,
+                        deadline,
+                        batch,
+                        worker: worker.0,
+                        gpu: gpu.0,
+                        cold: cold_start,
+                    }
+                };
+                self.trace(event);
+            }
+            RequestOutcome::Rejected { reason, .. } => {
+                if self.sched_rejected.contains(&response.request.0) {
+                    return;
+                }
+                self.trace(TraceEvent::Rejected {
+                    request: response.request.0,
+                    model: response.model.0,
+                    reason: reason.as_str(),
+                    estimate: 0,
+                });
+            }
+        }
+    }
+
+    /// Emits the per-member batch spans a worker's completion ring recorded
+    /// since the last poll, advancing this worker's cursor. Members the
+    /// bounded ring evicted before this poll are counted as dropped spans
+    /// rather than silently lost. Only called on traced runs.
+    fn trace_members(&mut self, worker: usize) {
+        let telemetry = self.workers[worker].telemetry();
+        let total = telemetry.members_recorded();
+        let new = total - self.member_seen[worker];
+        if new == 0 {
+            return;
+        }
+        self.member_seen[worker] = total;
+        let mut members = std::mem::take(&mut self.member_buf);
+        members.clear();
+        members.extend(telemetry.member_log_tail(new as usize).copied());
+        let lost = new - members.len() as u64;
+        if lost > 0 {
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.note_dropped(lost);
+            }
+        }
+        for member in members.drain(..) {
+            self.trace(TraceEvent::MemberDone {
+                request: member.request_id,
+                model: member.model.0,
+                batch: member.batch,
+                completed: member.completed.as_nanos(),
+            });
+        }
+        self.member_buf = members;
     }
 
     /// Registers one model instance and returns its id.
@@ -580,6 +797,22 @@ impl ServingSystem {
     /// responses go back to clients (over the network). The drain buffers are
     /// reused across calls so the steady-state loop allocates nothing here.
     fn drain_ctx(&mut self) {
+        if self.tracer.is_some() {
+            // The scheduler's own spans drain first: they were decided
+            // before the actions/responses below, and any estimate-bearing
+            // `Rejected` among them suppresses the facade's estimate-free
+            // duplicate for the same request in this pass.
+            let mut events = std::mem::take(&mut self.trace_buf);
+            self.ctx.drain_trace_into(&mut events);
+            self.sched_rejected.clear();
+            for event in events.drain(..) {
+                if let TraceEvent::Rejected { request, .. } = &event {
+                    self.sched_rejected.push(*request);
+                }
+                self.trace(event);
+            }
+            self.trace_buf = events;
+        }
         let mut actions = std::mem::take(&mut self.action_buf);
         self.ctx.drain_actions_into(&mut actions);
         for (worker_id, action) in actions.drain(..) {
@@ -608,7 +841,18 @@ impl ServingSystem {
                 }
                 _ => 256,
             };
-            let delay = self.links[worker_index].scale(self.network.delay(bytes));
+            if self.tracer.is_some() {
+                self.trace_action_issue(worker_id, &action);
+            }
+            let base = self.network.delay(bytes);
+            let delay = self.links[worker_index].scale(base);
+            if self.tracer.is_some() && delay != base {
+                self.trace(TraceEvent::LinkDelay {
+                    worker: worker_id.0,
+                    base: base.as_nanos(),
+                    actual: delay.as_nanos(),
+                });
+            }
             let event = SystemEvent::WorkerAction {
                 worker: worker_index,
                 action,
@@ -625,6 +869,9 @@ impl ServingSystem {
         self.ctx.drain_responses_into(&mut responses);
         for response in responses.drain(..) {
             self.telemetry.record_response(&response);
+            if self.tracer.is_some() {
+                self.trace_response(&response);
+            }
             let client = self.request_owner.remove(&response.request);
             let bytes = self
                 .models
@@ -665,6 +912,13 @@ impl ServingSystem {
             }
             SystemEvent::ControllerRequest { request } => {
                 self.telemetry.record_arrival(self.now);
+                if self.tracer.is_some() {
+                    self.trace(TraceEvent::Enqueued {
+                        request: request.id.0,
+                        model: request.model.0,
+                        deadline: request.deadline().as_nanos(),
+                    });
+                }
                 self.scheduler.on_request(self.now, request, &mut self.ctx);
                 self.drain_ctx();
             }
@@ -682,6 +936,9 @@ impl ServingSystem {
                 if steps == 0 {
                     self.telemetry.event_mix.note_noop_wake();
                 }
+                if self.tracer.is_some() {
+                    self.trace_members(worker);
+                }
                 for result in results.drain(..) {
                     let bytes = match result.action_type {
                         "INFER" => {
@@ -693,7 +950,15 @@ impl ServingSystem {
                         }
                         _ => 128,
                     };
-                    let delay = self.links[worker].scale(self.network.delay(bytes));
+                    let base = self.network.delay(bytes);
+                    let delay = self.links[worker].scale(base);
+                    if self.tracer.is_some() && delay != base {
+                        self.trace(TraceEvent::LinkDelay {
+                            worker: self.workers[worker].id().0,
+                            base: base.as_nanos(),
+                            actual: delay.as_nanos(),
+                        });
+                    }
                     let event = SystemEvent::ControllerResult { result };
                     if self.links[worker].partitioned {
                         self.links[worker].held.push((delay, event));
@@ -706,6 +971,9 @@ impl ServingSystem {
                 self.schedule_worker_wake(worker);
             }
             SystemEvent::ControllerResult { result } => {
+                if self.tracer.is_some() {
+                    self.trace_result(&result);
+                }
                 self.scheduler.on_result(self.now, &result, &mut self.ctx);
                 self.drain_ctx();
             }
@@ -853,6 +1121,7 @@ impl ServingSystem {
         self.worker_index.insert(id, index);
         self.worker_wake_scheduled.push(None);
         self.links.push(LinkState::healthy());
+        self.member_seen.push(0);
         true
     }
 

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use clockwork_controller::request::{RejectReason, RequestOutcome, Response};
+use clockwork_controller::request::{RequestOutcome, Response};
 use clockwork_metrics::{LatencyHistogram, Summary, TimeSeries};
 use clockwork_model::ModelId;
 use clockwork_sim::engine::FaultKind;
@@ -384,14 +384,7 @@ impl SystemTelemetry {
                 self.digest_fold(2);
                 self.digest_fold(at.as_nanos());
                 self.digest_fold(*reason as u64);
-                let key = match reason {
-                    RejectReason::CannotMeetSlo => "cannot_meet_slo",
-                    RejectReason::DeadlineElapsed => "deadline_elapsed",
-                    RejectReason::UnknownModel => "unknown_model",
-                    RejectReason::WorkerRejected => "worker_rejected",
-                    RejectReason::WorkerFailed => "worker_failed",
-                };
-                *self.rejections.entry(key).or_insert(0) += 1;
+                *self.rejections.entry(reason.as_str()).or_insert(0) += 1;
                 self.advance(*at);
             }
         }
@@ -508,7 +501,7 @@ impl SystemTelemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clockwork_controller::request::RequestId;
+    use clockwork_controller::request::{RejectReason, RequestId};
     use clockwork_worker::{GpuId, WorkerId};
 
     fn success(arrival_ms: u64, completed_ms: u64, deadline_ms: u64, cold: bool) -> Response {
