@@ -11,7 +11,7 @@ use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
 use clockwork_controller::worker_state::GpuRef;
 use clockwork_controller::ClockworkScheduler;
 use clockwork_model::zoo::ModelZoo;
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_worker::{GpuId, WorkerId};
 
@@ -42,6 +42,7 @@ fn scheduler_hot_path(c: &mut Criterion) {
                 model: ModelId((i % 16) as u32),
                 arrival: Timestamp::from_micros_like(i),
                 slo: Nanos::from_millis(100),
+                tier: Tier::Strict,
             };
             i += 1;
             s.on_request(request.arrival, black_box(request), &mut ctx);

@@ -160,28 +160,13 @@ fn main() {
             let label = factory.name();
             println!("# running {label} at {multiplier}x...");
             let report = experiment.run_capped(factory, args.max_events);
-            if !bench::check_chaos_invariants(label, &report, &spec) {
-                failed = true;
-            }
-            if !report.mix_conserved() {
-                let mix = report.event_mix();
-                eprintln!(
-                    "[{label} @{multiplier}x] EVENT ACCOUNTING VIOLATION: pushed {} != delivered {} + cancelled {} + live {}",
-                    mix.pushed(),
-                    mix.delivered(),
-                    mix.cancelled(),
-                    report.live_events()
-                );
+            let cell = format!("{label} @{multiplier}x");
+            if !bench::invariants::check_run(&cell, &report, &spec) {
                 failed = true;
             }
             if args.check_determinism {
                 let rerun = experiment.run_capped(factory, args.max_events);
-                if rerun.digest() != report.digest() {
-                    eprintln!(
-                        "[{label} @{multiplier}x] DETERMINISM VIOLATION: digest {:016x} != rerun {:016x}",
-                        report.digest(),
-                        rerun.digest()
-                    );
+                if !bench::invariants::check_determinism(&cell, &report, &rerun) {
                     failed = true;
                 }
             }

@@ -158,18 +158,7 @@ fn main() {
         let label = factory.name();
         println!("# running {label}...");
         let report = experiment.run_capped(factory, args.max_events);
-        if !bench::check_chaos_invariants(label, &report, &spec) {
-            failed = true;
-        }
-        if !report.mix_conserved() {
-            let mix = report.event_mix();
-            eprintln!(
-                "[{label}] EVENT ACCOUNTING VIOLATION: pushed {} != delivered {} + cancelled {} + live {}",
-                mix.pushed(),
-                mix.delivered(),
-                mix.cancelled(),
-                report.live_events()
-            );
+        if !bench::invariants::check_run(label, &report, &spec) {
             failed = true;
         }
         rows.push(DisciplineRow::summarize(&report, &spec));

@@ -51,6 +51,7 @@ fn main() {
                     at: Timestamp::from_nanos((t * 1e9) as u64),
                     model,
                     slo,
+                    tier: Tier::Strict,
                 });
             }
         }

@@ -1,0 +1,287 @@
+//! The workload-zoo matrix: every zoo scenario under every registered
+//! discipline, with tiered graceful degradation gated, not just reported.
+//!
+//! The zoo (`ScenarioSpec::zoo()`) spans the diversity the single
+//! fleet-scale trace cannot: a diurnal load cycle, a 10× flash crowd on a
+//! tiered client population, Zipf model popularity with a drifting hot set,
+//! an even multi-tenant SLO split, and elastic autoscale under churn
+//! (workers joining mid-run while others crash). Each cell runs through the
+//! same declarative `Experiment` path as every other harness, so the
+//! universal invariants (`bench::invariants`) apply unchanged.
+//!
+//! Two gates fold into the exit status:
+//!
+//! - Every cell must pass accounting, over-delivery, goodput-honesty and
+//!   event-conservation checks (plus digest stability under
+//!   `--check-determinism`).
+//! - **Tier retention**: on the tiered overload scenario (`flash_crowd`)
+//!   the Clockwork discipline must retain at least as much strict-tier
+//!   traffic as best-effort traffic — graceful degradation means the shed
+//!   order is honored, strict before best-effort never.
+//!
+//! Results go to `BENCH_scenarios.json` (see `crates/bench/README.md` for
+//! the schema): one object per scenario × discipline with totals and the
+//! per-tier outcome breakdown.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin scenario_matrix -- \
+//!     [--duration-secs N] [--seed N] [--out PATH] [--check-determinism]
+//! ```
+
+use clockwork::prelude::*;
+use clockwork_baselines::register_baselines;
+
+struct Args {
+    duration_secs: Option<u64>,
+    seed: Option<u64>,
+    out: String,
+    check_determinism: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        duration_secs: None,
+        seed: None,
+        out: "BENCH_scenarios.json".to_string(),
+        check_determinism: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--duration-secs" => {
+                args.duration_secs = Some(
+                    value("--duration-secs")
+                        .parse()
+                        .expect("--duration-secs: integer"),
+                )
+            }
+            "--seed" => args.seed = Some(value("--seed").parse().expect("--seed: integer")),
+            "--out" => args.out = value("--out"),
+            "--check-determinism" => args.check_determinism = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// The zoo presets with the CLI overrides applied. Fault plans that scale
+/// with duration are regenerated after the override, mirroring how
+/// `chaos_fleet` rescales its scripted churn.
+fn scenarios(args: &Args) -> Vec<ScenarioSpec> {
+    ScenarioSpec::zoo()
+        .into_iter()
+        .map(|mut spec| {
+            if let Some(secs) = args.duration_secs {
+                let rescale_churn = !spec.faults.is_empty();
+                spec = spec.with_duration_secs(secs);
+                if rescale_churn {
+                    spec.faults = spec.elastic_churn();
+                }
+            }
+            if let Some(seed) = args.seed {
+                spec = spec.with_seed(seed);
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Everything one (scenario, discipline) cell contributes, extracted so the
+/// run's `ServingSystem` drops before the next cell runs.
+struct MatrixCell {
+    discipline: String,
+    total: u64,
+    successes: u64,
+    rejected: u64,
+    goodput: u64,
+    satisfaction: f64,
+    tiers: [TierOutcomes; Tier::COUNT],
+    drained: bool,
+    wall_secs: f64,
+    digest: u64,
+}
+
+impl MatrixCell {
+    fn summarize(report: &RunReport) -> Self {
+        let m = report.metrics();
+        MatrixCell {
+            discipline: report.discipline.clone(),
+            total: m.total_requests,
+            successes: m.successes,
+            rejected: report.rejected(),
+            goodput: m.goodput,
+            satisfaction: m.satisfaction(),
+            tiers: m.tiers,
+            drained: report.drained(),
+            wall_secs: report.wall_secs,
+            digest: report.digest(),
+        }
+    }
+
+    fn strict(&self) -> &TierOutcomes {
+        &self.tiers[Tier::Strict.index()]
+    }
+
+    fn best_effort(&self) -> &TierOutcomes {
+        &self.tiers[Tier::BestEffort.index()]
+    }
+}
+
+fn tier_json(t: &TierOutcomes) -> String {
+    format!(
+        "{{ \"submitted\": {}, \"successes\": {}, \"goodput\": {}, \"rejected\": {}, \"shed\": {}, \"retention\": {:.4} }}",
+        t.submitted,
+        t.successes,
+        t.goodput,
+        t.rejected,
+        t.shed,
+        t.retention(),
+    )
+}
+
+fn cell_json(cell: &MatrixCell) -> String {
+    format!(
+        concat!(
+            "      \"{name}\": {{\n",
+            "        \"total\": {total},\n",
+            "        \"successes\": {successes},\n",
+            "        \"rejected\": {rejected},\n",
+            "        \"goodput\": {goodput},\n",
+            "        \"satisfaction\": {satisfaction:.4},\n",
+            "        \"drained\": {drained},\n",
+            "        \"wall_secs\": {wall:.3},\n",
+            "        \"tiers\": {{\n",
+            "          \"strict\": {strict},\n",
+            "          \"best_effort\": {best_effort}\n",
+            "        }},\n",
+            "        \"digest\": \"{digest:016x}\"\n",
+            "      }}"
+        ),
+        name = cell.discipline,
+        total = cell.total,
+        successes = cell.successes,
+        rejected = cell.rejected,
+        goodput = cell.goodput,
+        satisfaction = cell.satisfaction,
+        drained = cell.drained,
+        wall = cell.wall_secs,
+        strict = tier_json(cell.strict()),
+        best_effort = tier_json(cell.best_effort()),
+        digest = cell.digest,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let scenarios = scenarios(&args);
+
+    let mut registry = SchedulerRegistry::builtin();
+    registry.register(Box::new(ClockworkNoBatchFactory::default()));
+    register_baselines(&mut registry);
+
+    println!(
+        "# scenario-matrix: {} disciplines ({}) x {} zoo scenarios ({}){}",
+        registry.len(),
+        registry.names().join(", "),
+        scenarios.len(),
+        scenarios
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+        if args.check_determinism {
+            ", determinism checked"
+        } else {
+            ""
+        },
+    );
+
+    let mut failed = false;
+    let mut scenario_objects: Vec<String> = Vec::new();
+    for spec in &scenarios {
+        let experiment = Experiment::new(spec.clone());
+        bench::section(&format!("{}: per-discipline outcomes", spec.name));
+        println!(
+            "{:<18} {:>8} {:>8} {:>9} {:>6} {:>10} {:>10} {:>8}",
+            "discipline", "total", "goodput", "rejected", "shed", "ret_strict", "ret_be", "sat"
+        );
+        let mut cells: Vec<MatrixCell> = Vec::new();
+        for factory in registry.iter() {
+            let label = format!("{}/{}", spec.name, factory.name());
+            let report = experiment.run(factory);
+            if !bench::invariants::check_run(&label, &report, spec) {
+                failed = true;
+            }
+            if args.check_determinism {
+                let rerun = experiment.run(factory);
+                if !bench::invariants::check_determinism(&label, &report, &rerun) {
+                    failed = true;
+                }
+            }
+            let cell = MatrixCell::summarize(&report);
+            println!(
+                "{:<18} {:>8} {:>8} {:>9} {:>6} {:>10.4} {:>10.4} {:>8.4}",
+                cell.discipline,
+                cell.total,
+                cell.goodput,
+                cell.rejected,
+                cell.best_effort().shed,
+                cell.strict().retention(),
+                cell.best_effort().retention(),
+                cell.satisfaction,
+            );
+            cells.push(cell);
+        }
+
+        // The graceful-degradation gate: on the tiered overload scenario the
+        // Clockwork discipline must keep strict-tier retention at or above
+        // best-effort retention — shedding order honored under pressure.
+        if spec.name == "flash_crowd" {
+            if let Some(cell) = cells.iter().find(|c| c.discipline == "clockwork") {
+                let strict = cell.strict().retention();
+                let best_effort = cell.best_effort().retention();
+                println!(
+                    "# tier gate (clockwork): strict {strict:.4} >= best_effort {best_effort:.4}"
+                );
+                if strict < best_effort {
+                    eprintln!(
+                        "[{}/clockwork] TIER RETENTION VIOLATION: strict {strict:.4} < best-effort {best_effort:.4}",
+                        spec.name
+                    );
+                    failed = true;
+                }
+                if cell.best_effort().shed == 0 && cell.best_effort().submitted > 0 {
+                    eprintln!(
+                        "[{}/clockwork] DEGRADATION INERT: a 10x flash crowd shed no best-effort traffic",
+                        spec.name
+                    );
+                    failed = true;
+                }
+            }
+        }
+
+        let discipline_objects: Vec<String> = cells.iter().map(cell_json).collect();
+        scenario_objects.push(format!(
+            "    \"{name}\": {{\n      \"scenario\": {scenario},\n      \"disciplines\": {{\n{cells}\n      }}\n    }}",
+            name = spec.name,
+            scenario = bench::scenario_json(spec, u64::MAX),
+            cells = discipline_objects.join(",\n"),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        scenario_objects.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write results json");
+    println!("# wrote {}", args.out);
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -170,7 +170,6 @@ struct BlameCell {
     unattributed: u64,
     /// Rejection counts by blame category.
     rejection_blame: Vec<(&'static str, u64)>,
-    mix_conserved: bool,
 }
 
 /// Maps a rejection reason key to its blame category.
@@ -183,6 +182,9 @@ fn rejection_category(reason: &str) -> &'static str {
         // also follow a crash; the mid-flight failure case is separate.
         "worker_rejected" => "worker_backpressure",
         "worker_failed" => "fault",
+        // Tier-aware graceful degradation: best-effort traffic shed to
+        // protect strict-tier SLOs.
+        "best_effort_shed" => "shed",
         _ => "other",
     }
 }
@@ -385,19 +387,15 @@ fn analyze_cell(report: &RunReport) -> BlameCell {
         violation_blame,
         unattributed,
         rejection_blame,
-        mix_conserved: report.mix_conserved(),
     }
 }
 
-/// The conservation and attribution gates one cell must pass. Prints a loud
-/// line per violation and returns `false` if any failed.
+/// The span-conservation and attribution gates one cell must pass, on top
+/// of the universal checks in `bench::invariants`. Prints a loud line per
+/// violation and returns `false` if any failed.
 fn check_cell(scenario: &str, cell: &BlameCell) -> bool {
     let label = format!("{scenario}/{}", cell.discipline);
     let mut ok = true;
-    if !cell.mix_conserved {
-        eprintln!("[{label}] EVENT ACCOUNTING VIOLATION: event mix not conserved");
-        ok = false;
-    }
     if cell.dropped_spans > 0 {
         // Attribution is best-effort once the ring wrapped; the drop count
         // is reported, never hidden, and the hard checks below need the
@@ -552,23 +550,23 @@ fn main() {
         for factory in registry.iter() {
             let report = experiment.run(factory);
             let cell = analyze_cell(&report);
+            let label = format!("{}/{}", spec.name, cell.discipline);
+            if !bench::invariants::check_run(&label, &report, spec) {
+                failed = true;
+            }
             if !check_cell(&spec.name, &cell) {
                 failed = true;
             }
             if args.check_determinism {
                 let rerun = experiment.run(factory);
                 let recell = analyze_cell(&rerun);
-                if recell.trace_digest != cell.trace_digest
-                    || recell.response_digest != cell.response_digest
-                {
+                if !bench::invariants::check_determinism(&label, &report, &rerun) {
+                    failed = true;
+                }
+                if recell.trace_digest != cell.trace_digest {
                     eprintln!(
-                        "[{}/{}] DETERMINISM VIOLATION: trace {:016x} vs {:016x}, responses {:016x} vs {:016x}",
-                        spec.name,
-                        cell.discipline,
-                        cell.trace_digest,
-                        recell.trace_digest,
-                        cell.response_digest,
-                        recell.response_digest,
+                        "[{label}] DETERMINISM VIOLATION: trace digest {:016x} != rerun {:016x}",
+                        cell.trace_digest, recell.trace_digest,
                     );
                     failed = true;
                 }

@@ -11,6 +11,8 @@
 
 use clockwork::prelude::*;
 
+pub mod invariants;
+
 /// The result row shared by most experiments.
 #[derive(Clone, Debug)]
 pub struct RunSummary {
@@ -242,39 +244,12 @@ pub fn analyze_chaos(report: &RunReport, spec: &ScenarioSpec) -> ChaosAnalysis {
     }
 }
 
-/// The invariants every chaos run must keep, discipline-independent. Prints
-/// a loud line per violation and returns `false` if any failed; the chaos
-/// binaries fold this into their exit status so CI fails on it.
+/// The invariants every chaos run must keep, discipline-independent.
+/// Delegates to [`invariants::check_accounting`] — kept as a named entry
+/// point because "the chaos invariants" is how the chaos binaries and their
+/// docs refer to it.
 pub fn check_chaos_invariants(label: &str, report: &RunReport, spec: &ScenarioSpec) -> bool {
-    let m = report.metrics();
-    let rejected = report.rejected();
-    let mut ok = true;
-    if report.drained() && !report.identity_ok() {
-        eprintln!(
-            "[{label}] ACCOUNTING VIOLATION: successes {} + rejected {} != total {}",
-            m.successes, rejected, m.total_requests
-        );
-        ok = false;
-    }
-    // Even an interrupted run must never answer a request twice.
-    if report.overdelivered() {
-        eprintln!(
-            "[{label}] DUPLICATE RESPONSES: successes {} + rejected {} > total {}",
-            m.successes, rejected, m.total_requests
-        );
-        ok = false;
-    }
-    // Goodput only counts on-time responses: nothing in the goodput latency
-    // histogram may exceed the SLO.
-    if m.goodput > 0 && m.goodput_latency.max() > spec.slo() {
-        eprintln!(
-            "[{label}] GOODPUT VIOLATION: a response counted as goodput took {} > SLO {}",
-            m.goodput_latency.max(),
-            spec.slo()
-        );
-        ok = false;
-    }
-    ok
+    invariants::check_accounting(label, report, spec)
 }
 
 /// Prints the event-mix summary (pushed/delivered/cancelled per event kind,
@@ -389,6 +364,7 @@ pub fn scenario_json(spec: &ScenarioSpec, max_events: u64) -> String {
         } => (functions, target_rate),
         WorkloadSpec::OpenLoop { rate_per_model } => (0, rate_per_model * spec.models as f64),
         WorkloadSpec::ClosedLoop { .. } => (0, 0.0),
+        WorkloadSpec::Shaped { base_rate, .. } => (0, base_rate),
     };
     format!(
         "{{\n    \"name\": \"{name}\",\n    \"workers\": {workers},\n    \"gpus_per_worker\": {gpus},\n    \"models\": {models},\n    \"functions\": {functions},\n    \"duration_secs\": {duration},\n    \"target_rate\": {rate},\n    \"slo_ms\": {slo},\n    \"seed\": {seed},\n    \"max_events\": {max_events}\n  }}",

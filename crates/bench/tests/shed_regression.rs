@@ -1,0 +1,74 @@
+//! Regression test for a scenario-zoo-found admission bug, pinned through
+//! the minimized-repro path.
+//!
+//! **The bug**: Clockwork's batch-amortized admission estimate is computed
+//! per model, so it is blind to cross-model GPU contention. Under the
+//! flash-crowd zoo scenario (40 models sharing 16 GPUs, a 10x burst on a
+//! tiered client population) every model's own queue stays shallow while
+//! the fleet drowns in aggregate backlog: every lost request died of
+//! `deadline_elapsed` *inside the queue* and not a single best-effort
+//! request was shed at admission — tier-aware graceful degradation was
+//! inert exactly when it mattered.
+//!
+//! **The fix** (`clockwork-controller/src/clockwork_scheduler.rs`): the
+//! best-effort shed bar folds in a fleet-pressure term — the aggregate
+//! queued backlog's fair drain share across alive GPUs — so the discount
+//! tier is shed up-front under fleet-wide bursts while strict admission is
+//! untouched (all-strict digests stay frozen).
+//!
+//! The spec below is the minimized repro exactly as the fuzz/matrix
+//! harnesses would serialize it (`ScenarioSpec::to_json`), and is loaded
+//! through `ScenarioSpec::from_json` so the repro machinery itself stays
+//! exercised end to end.
+
+use clockwork::prelude::*;
+
+/// `ScenarioSpec::flash_crowd()` minimized to 10 simulated seconds —
+/// the shortest run that still reproduces the inert-degradation failure
+/// against the pre-fix scheduler.
+const MINIMIZED_REPRO: &str = r#"{"name":"flash_crowd","workers":8,"gpus_per_worker":2,"models":40,"model_set":"zoo_cycle","workload":{"kind":"shaped","base_rate":300,"profile":{"kind":"flash_crowd","start_frac":0.4,"len_frac":0.1,"multiplier":10},"popularity":{"kind":"uniform"},"tiers":{"strict_share_milli":600,"best_effort_slo_ms":250}},"slo_ms":100,"duration_secs":10,"drain_secs":2,"seed":2020,"workload_seed":2020,"variance":{"spike_probability":0,"max_spike_ns":0,"throttle_mean_interval_ns":null,"throttle_duration_ns":0,"throttle_factor":1},"keep_responses":false,"faults":[],"trace":false,"trace_capacity":2097152}"#;
+
+#[test]
+fn flash_crowd_sheds_best_effort_before_strict() {
+    let spec = ScenarioSpec::from_json(MINIMIZED_REPRO).expect("minimized repro parses");
+    // The embedded repro must stay in sync with the preset it minimizes.
+    assert_eq!(
+        spec.to_json(),
+        ScenarioSpec::flash_crowd().with_duration_secs(10).to_json(),
+        "minimized repro drifted from ScenarioSpec::flash_crowd()"
+    );
+
+    let report = Experiment::new(spec.clone()).run(&ClockworkFactory::default());
+    assert!(
+        bench::invariants::check_run("shed_regression/clockwork", &report, &spec),
+        "universal invariants violated; repro spec:\n{}",
+        spec.to_json()
+    );
+
+    let tiers = report.metrics().tiers;
+    let strict = &tiers[Tier::Strict.index()];
+    let best_effort = &tiers[Tier::BestEffort.index()];
+    assert!(
+        strict.submitted > 0 && best_effort.submitted > 0,
+        "tiered population expected; repro spec:\n{}",
+        spec.to_json()
+    );
+    // Pre-fix behavior: shed == 0 (every loss was a queue-deadline miss).
+    assert!(
+        best_effort.shed > 0,
+        "degradation inert again: a 10x flash crowd shed no best-effort \
+         traffic; repro spec:\n{}",
+        spec.to_json()
+    );
+    // The point of graceful degradation: the strict tier keeps at least the
+    // retention of the tier being sacrificed for it.
+    assert!(
+        strict.retention() >= best_effort.retention(),
+        "tier inversion: strict retention {:.4} < best-effort {:.4}; repro spec:\n{}",
+        strict.retention(),
+        best_effort.retention(),
+        spec.to_json()
+    );
+    // Strict traffic is never shed — the branch is best-effort-only.
+    assert_eq!(strict.shed, 0, "strict requests must never be tier-shed");
+}

@@ -496,6 +496,7 @@ mod tests {
     use super::*;
     use clockwork_controller::request::RequestId;
     use clockwork_model::zoo::ModelZoo;
+    use clockwork_model::Tier;
     use clockwork_worker::{ActionTiming, GpuId, WorkerId};
 
     const PAGE: u64 = 16 * 1024 * 1024;
@@ -517,6 +518,7 @@ mod tests {
             model: ModelId(1),
             arrival: Timestamp::from_millis(arrival_ms),
             slo: Nanos::from_millis(slo_ms),
+            tier: Tier::Strict,
         }
     }
 
@@ -759,6 +761,7 @@ mod tests {
             model: ModelId(42),
             arrival: Timestamp::ZERO,
             slo: Nanos::from_millis(10),
+            tier: Tier::Strict,
         };
         s.on_request(Timestamp::ZERO, r, &mut ctx);
         let responses = ctx.take_responses();

@@ -481,6 +481,7 @@ mod tests {
     use super::*;
     use clockwork_controller::request::RequestId;
     use clockwork_model::zoo::ModelZoo;
+    use clockwork_model::Tier;
     use clockwork_worker::{ActionTiming, GpuId, WorkerId};
 
     const PAGE: u64 = 16 * 1024 * 1024;
@@ -502,6 +503,7 @@ mod tests {
             model: ModelId(1),
             arrival: Timestamp::ZERO,
             slo: Nanos::from_millis(slo_ms),
+            tier: Tier::Strict,
         }
     }
 
@@ -679,6 +681,7 @@ mod tests {
             model: ModelId(9),
             arrival: Timestamp::ZERO,
             slo: Nanos::from_millis(50),
+            tier: Tier::Strict,
         };
         s.on_request(Timestamp::ZERO, r, &mut ctx);
         assert_eq!(ctx.take_responses().len(), 1);

@@ -291,6 +291,7 @@ mod tests {
     use super::*;
     use crate::request::RequestId;
     use clockwork_model::zoo::ModelZoo;
+    use clockwork_model::Tier;
     use clockwork_worker::{ActionTiming, GpuId, WorkerId};
 
     const PAGE: u64 = 16 * 1024 * 1024;
@@ -312,6 +313,7 @@ mod tests {
             model: ModelId(model),
             arrival: Timestamp::ZERO,
             slo: Nanos::from_millis(100),
+            tier: Tier::Strict,
         }
     }
 

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use clockwork_metrics::trace::TraceEvent;
-use clockwork_model::{ModelId, ModelSpec};
+use clockwork_model::{ModelId, ModelSpec, Tier};
 use clockwork_sim::engine::FaultKind;
 use clockwork_sim::pcie::PcieLink;
 use clockwork_sim::time::{Nanos, Timestamp};
@@ -68,6 +68,20 @@ pub struct ClockworkSchedulerConfig {
     pub profile_percentile: f64,
     /// Record per-action prediction errors (needed for Fig. 9).
     pub record_predictions: bool,
+    /// Whether admission distinguishes service tiers. When set, best-effort
+    /// requests must clear a stricter admission bar (see
+    /// `best_effort_headroom_milli`) so they are shed before strict-tier
+    /// traffic as pressure builds. Inert for all-strict workloads: the tier
+    /// check never fires, so legacy scenarios are byte-identical.
+    pub tier_aware: bool,
+    /// Headroom multiplier (in thousandths) applied to the pressure-adjusted
+    /// best-case serving estimate of best-effort requests at admission: with
+    /// 6000, a best-effort request is admitted only if *six times* its best
+    /// case — including its fair share of the fleet-wide backlog's drain
+    /// time — still meets its deadline. Under pressure that bar crosses
+    /// while strict admission is still open, so graceful degradation sheds
+    /// the discount tier first.
+    pub best_effort_headroom_milli: u64,
 }
 
 impl Default for ClockworkSchedulerConfig {
@@ -84,6 +98,8 @@ impl Default for ClockworkSchedulerConfig {
             profile_window: 10,
             profile_percentile: 99.0,
             record_predictions: false,
+            tier_aware: true,
+            best_effort_headroom_milli: 6000,
         }
     }
 }
@@ -131,6 +147,8 @@ pub struct SchedulerStats {
     /// Requests rejected because their worker died mid-flight with no time
     /// left to reissue the work elsewhere.
     pub rejected_worker_failed: u64,
+    /// Best-effort requests shed by tier-aware admission.
+    pub rejected_shed: u64,
     /// Requests completed successfully.
     pub completed: u64,
     /// INFER actions issued.
@@ -516,6 +534,7 @@ impl ClockworkScheduler {
             RejectReason::DeadlineElapsed => self.stats.rejected_deadline += 1,
             RejectReason::WorkerRejected => self.stats.rejected_worker += 1,
             RejectReason::WorkerFailed => self.stats.rejected_worker_failed += 1,
+            RejectReason::BestEffortShed => self.stats.rejected_shed += 1,
             RejectReason::UnknownModel => {}
         }
         ctx.send_response(Response {
@@ -1431,6 +1450,46 @@ impl Scheduler for ClockworkScheduler {
                 }
                 return;
             }
+            // Graceful degradation: best-effort requests must clear the same
+            // bar with headroom to spare. The amortized `best_case` grows
+            // with the backlog, so under flash-crowd or churn pressure the
+            // scaled bar crosses first and the discount tier is shed while
+            // strict traffic is still admitted. All-strict workloads never
+            // reach this branch.
+            if self.config.tier_aware && request.tier == Tier::BestEffort {
+                // The per-model amortized estimate is blind to cross-model
+                // GPU contention: under a fleet-wide burst every model's own
+                // queue stays shallow while the GPUs drown in aggregate
+                // backlog (found by the flash-crowd zoo scenario — every
+                // loss was a queue-deadline miss and not one request was
+                // shed). Fold the aggregate backlog's fair drain share into
+                // the best-effort bar; strict admission is untouched.
+                let queued: u64 = self.models.values().map(|e| e.queue.len() as u64).sum();
+                let alive = self
+                    .tracker
+                    .gpus()
+                    .iter()
+                    .filter(|g| g.alive)
+                    .count()
+                    .max(1) as u64;
+                let pressure = Nanos::from_nanos(exec.as_nanos().saturating_mul(queued) / alive);
+                let scaled = Nanos::from_nanos(
+                    (best_case + pressure)
+                        .as_nanos()
+                        .saturating_mul(self.config.best_effort_headroom_milli)
+                        / 1000,
+                );
+                if now + scaled > deadline {
+                    ctx.trace(TraceEvent::Rejected {
+                        request: request.id.0,
+                        model: request.model.0,
+                        reason: RejectReason::BestEffortShed.as_str(),
+                        estimate: scaled.as_nanos(),
+                    });
+                    self.reject(&pending, now, RejectReason::BestEffortShed, ctx);
+                    return;
+                }
+            }
         }
         self.stats.admitted += 1;
         if ctx.tracing() {
@@ -1661,6 +1720,7 @@ mod tests {
             model: ModelId(model),
             arrival: Timestamp::from_millis(arrival_ms),
             slo: Nanos::from_millis(slo_ms),
+            tier: Tier::Strict,
         }
     }
 
@@ -2050,6 +2110,7 @@ mod tests {
             model: ModelId(1),
             arrival: Timestamp::ZERO,
             slo: Nanos::MAX,
+            tier: Tier::Strict,
         };
         s.on_request(Timestamp::ZERO, r, &mut ctx);
         assert_eq!(s.stats().admitted, 1);
@@ -2203,5 +2264,77 @@ mod tests {
             "warm model with a feasible SLO must be scheduled, got {actions:?}"
         );
         assert_eq!(s.stats().rejected_admission, 1);
+    }
+
+    #[test]
+    fn best_effort_is_shed_under_fleet_pressure_while_strict_admits() {
+        let mut s = scheduler_with_one_gpu(200);
+        let mut ctx = SchedulerCtx::new();
+        // Occupy the single GPU with a cold-start request, then pile a
+        // backlog into the model queue behind it. Generous SLOs keep plain
+        // admission open while the aggregate queue grows.
+        s.on_request(Timestamp::ZERO, request(1, 1, 0, 10_000), &mut ctx);
+        for i in 0..24 {
+            s.on_request(
+                Timestamp::from_millis(1),
+                request(10 + i, 1, 1, 10_000),
+                &mut ctx,
+            );
+        }
+        ctx.take_actions();
+        ctx.take_responses();
+
+        // A strict request with a moderate SLO still clears admission: the
+        // amortized best case fits inside its deadline.
+        let admitted_before = s.stats().admitted;
+        s.on_request(Timestamp::from_millis(2), request(100, 1, 2, 300), &mut ctx);
+        assert_eq!(
+            s.stats().admitted,
+            admitted_before + 1,
+            "strict request must be admitted under the same backlog"
+        );
+        assert_eq!(s.stats().rejected_shed, 0);
+
+        // The *identical* request at the best-effort tier is shed: the
+        // fleet-pressure bar (aggregate backlog's fair drain share, scaled
+        // by the headroom factor) crosses its deadline first.
+        let mut be = request(101, 1, 2, 300);
+        be.tier = Tier::BestEffort;
+        s.on_request(Timestamp::from_millis(2), be, &mut ctx);
+        assert_eq!(s.stats().rejected_shed, 1, "best-effort twin must be shed");
+        let responses = ctx.take_responses();
+        assert!(
+            responses.iter().any(|r| matches!(
+                r.outcome,
+                RequestOutcome::Rejected {
+                    reason: RejectReason::BestEffortShed,
+                    ..
+                }
+            )),
+            "shed response must carry the BestEffortShed reason"
+        );
+
+        // With tier-awareness off the same best-effort request is admitted:
+        // the shed branch is opt-out without touching plain admission.
+        let mut blind = ClockworkScheduler::new(ClockworkSchedulerConfig {
+            tier_aware: false,
+            ..ClockworkSchedulerConfig::default()
+        });
+        blind.add_gpu(gref(), 200, PAGE);
+        blind.add_model(ModelId(1), resnet(), Nanos::from_millis_f64(8.33));
+        let mut ctx = SchedulerCtx::new();
+        blind.on_request(Timestamp::ZERO, request(1, 1, 0, 10_000), &mut ctx);
+        for i in 0..24 {
+            blind.on_request(
+                Timestamp::from_millis(1),
+                request(10 + i, 1, 1, 10_000),
+                &mut ctx,
+            );
+        }
+        let mut be = request(101, 1, 2, 300);
+        be.tier = Tier::BestEffort;
+        blind.on_request(Timestamp::from_millis(2), be, &mut ctx);
+        assert_eq!(blind.stats().rejected_shed, 0);
+        assert_eq!(blind.stats().admitted, 26);
     }
 }

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_worker::{GpuId, WorkerId};
 
@@ -36,6 +36,9 @@ pub struct InferenceRequest {
     /// The latency SLO, relative to arrival. [`Nanos::MAX`] means "no SLO"
     /// (batch clients in §6.4).
     pub slo: Nanos,
+    /// The service tier of the issuing client. Strict traffic keeps its SLO
+    /// under pressure; best-effort traffic is shed first.
+    pub tier: Tier,
 }
 
 impl InferenceRequest {
@@ -71,6 +74,13 @@ pub enum RejectReason {
     /// Appended after the other variants so their discriminants — which feed
     /// the determinism digest — are unchanged.
     WorkerFailed,
+    /// Graceful degradation: a best-effort request was shed because the
+    /// fleet is under enough pressure that admitting it would endanger
+    /// strict-tier traffic.
+    ///
+    /// Appended last for the same discriminant-stability reason as
+    /// [`RejectReason::WorkerFailed`].
+    BestEffortShed,
 }
 
 impl RejectReason {
@@ -84,6 +94,7 @@ impl RejectReason {
             RejectReason::UnknownModel => "unknown_model",
             RejectReason::WorkerRejected => "worker_rejected",
             RejectReason::WorkerFailed => "worker_failed",
+            RejectReason::BestEffortShed => "best_effort_shed",
         }
     }
 }
@@ -96,6 +107,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::UnknownModel => "unknown model",
             RejectReason::WorkerRejected => "worker rejected action",
             RejectReason::WorkerFailed => "worker failed mid-flight",
+            RejectReason::BestEffortShed => "best-effort traffic shed under pressure",
         };
         f.write_str(s)
     }
@@ -182,6 +194,7 @@ mod tests {
             model: ModelId(2),
             arrival: Timestamp::from_millis(100),
             slo: Nanos::from_millis(slo_ms),
+            tier: Tier::Strict,
         }
     }
 
@@ -261,6 +274,7 @@ mod tests {
             RejectReason::UnknownModel,
             RejectReason::WorkerRejected,
             RejectReason::WorkerFailed,
+            RejectReason::BestEffortShed,
         ];
         let keys: Vec<&str> = all.iter().map(|r| r.as_str()).collect();
         for key in &keys {

@@ -27,7 +27,7 @@ use clockwork_controller::request::{InferenceRequest, RequestId};
 use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
 use clockwork_controller::worker_state::GpuRef;
 use clockwork_model::zoo::ModelZoo;
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::engine::FaultKind;
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_worker::{
@@ -144,6 +144,7 @@ fn run_side(cadence: Cadence, workers: u32, gpus: u32, ops: &[(u64, ExternalOp)]
                             model: ModelId(model),
                             arrival: now,
                             slo: Nanos::from_micros(slo_us),
+                            tier: Tier::Strict,
                         },
                         &mut ctx,
                     );

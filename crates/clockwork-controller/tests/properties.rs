@@ -19,7 +19,7 @@ use clockwork_controller::request::{InferenceRequest, RejectReason, RequestId, R
 use clockwork_controller::scheduler::{Scheduler, SchedulerCtx};
 use clockwork_controller::worker_state::{GpuRef, GpuTrack, OutstandingAction, WorkerStateTracker};
 use clockwork_model::zoo::ModelZoo;
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_worker::{ActionId, ActionKind, GpuId, WorkerId};
 
@@ -363,6 +363,7 @@ fn drive_scheduler(
                 model: ModelId(model),
                 arrival,
                 slo,
+                tier: Tier::Strict,
             },
             &mut ctx,
         );

@@ -27,8 +27,10 @@ pub mod compiler;
 pub mod profiler;
 pub mod source;
 pub mod spec;
+pub mod tier;
 pub mod zoo;
 
 pub use compiler::{CompiledModel, Compiler};
 pub use spec::{BatchProfile, ModelId, ModelSpec};
+pub use tier::Tier;
 pub use zoo::ModelZoo;

@@ -1,0 +1,91 @@
+//! Client service tiers.
+//!
+//! Multi-tenant serving distinguishes *strict* clients — interactive traffic
+//! whose SLO is a promise — from *best-effort* clients that tolerate shedding
+//! when the fleet is under pressure. The tier travels with each request from
+//! workload generation through admission to telemetry, so graceful
+//! degradation (shed best-effort before strict) is a per-request decision,
+//! not a global mode.
+
+use serde::{Deserialize, Serialize};
+
+/// The service class of a request.
+///
+/// `Strict` is the default everywhere: a workload that never mentions tiers
+/// behaves exactly as before tiers existed.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Tier {
+    /// Interactive traffic; its SLO is honored as long as physically
+    /// possible.
+    #[default]
+    Strict,
+    /// Discount traffic; shed first under flash-crowd or churn pressure.
+    BestEffort,
+}
+
+impl Tier {
+    /// Every tier, in index order (`Strict` first).
+    pub const ALL: [Tier; 2] = [Tier::Strict, Tier::BestEffort];
+
+    /// Number of tiers.
+    pub const COUNT: usize = 2;
+
+    /// Stable snake_case key for telemetry breakdowns and JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Tier::Strict => "strict",
+            Tier::BestEffort => "best_effort",
+        }
+    }
+
+    /// Dense index for per-tier counter arrays (`Strict` = 0).
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
+    /// The inverse of [`Tier::index`]; out-of-range values fall back to
+    /// `Strict` (the compatible reading of traces written before tiers).
+    pub fn from_index(index: u64) -> Tier {
+        match index {
+            1 => Tier::BestEffort,
+            _ => Tier::Strict,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_strict() {
+        assert_eq!(Tier::default(), Tier::Strict);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for tier in Tier::ALL {
+            assert_eq!(Tier::from_index(tier.index() as u64), tier);
+        }
+        assert_eq!(Tier::from_index(99), Tier::Strict, "unknown reads strict");
+        assert_eq!(Tier::ALL.len(), Tier::COUNT);
+    }
+
+    #[test]
+    fn keys_are_snake_case_and_distinct() {
+        let keys: Vec<&str> = Tier::ALL.iter().map(|t| t.as_str()).collect();
+        for key in &keys {
+            assert!(key.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        assert_ne!(keys[0], keys[1]);
+        assert_eq!(Tier::BestEffort.to_string(), "best_effort");
+    }
+}

@@ -14,7 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::rng::SimRng;
 use clockwork_sim::time::{Nanos, Timestamp};
 
@@ -198,6 +198,7 @@ impl AzureTraceGenerator {
                             at,
                             model: f.model,
                             slo: self.config.slo,
+                            tier: Tier::Strict,
                         });
                     }
                 }

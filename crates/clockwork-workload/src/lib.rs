@@ -14,6 +14,10 @@
 //!   [`azure`] provides a synthetic generator that reproduces those workload
 //!   classes — see DESIGN.md for the substitution rationale — plus a trace
 //!   container ([`trace`]) that can also parse externally supplied traces.
+//!
+//! Beyond the paper's experiments, [`shapes`] provides the scenario-zoo
+//! generator: diurnal and flash-crowd rate profiles, Zipf model popularity
+//! with drift, and multi-tenant SLO tiers.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,9 +25,11 @@
 pub mod azure;
 pub mod closed_loop;
 pub mod open_loop;
+pub mod shapes;
 pub mod trace;
 
 pub use azure::{AzureTraceConfig, AzureTraceGenerator, FunctionClass};
 pub use closed_loop::ClosedLoopClient;
 pub use open_loop::OpenLoopClient;
+pub use shapes::{PopularityModel, RateProfile, ShapedWorkload, TierMix};
 pub use trace::{Trace, TraceEvent};

@@ -6,7 +6,7 @@
 //! violations under overload. [`OpenLoopClient`] pre-generates a [`Trace`]
 //! so experiments remain deterministic for a given seed.
 
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::rng::SimRng;
 use clockwork_sim::time::{Nanos, Timestamp};
 
@@ -46,6 +46,7 @@ impl OpenLoopClient {
                 at: t,
                 model: self.model,
                 slo: self.slo,
+                tier: Tier::Strict,
             });
             t += rng.poisson_gap(self.rate_per_sec);
         }

@@ -1,0 +1,450 @@
+//! Shaped workload generator: rate profiles, popularity skew, SLO tiers.
+//!
+//! The open-loop and Azure generators cover the paper's own experiments;
+//! this module covers the *scenario zoo* beyond them — diurnal load cycles,
+//! flash crowds, Zipf-distributed model popularity with drift, and
+//! multi-tenant SLO tiers. A [`ShapedWorkload`] is a small composable spec:
+//! a base Poisson rate shaped over time by a [`RateProfile`], spread over
+//! models by a [`PopularityModel`], and split into client classes by a
+//! [`TierMix`].
+//!
+//! Generation is segmented: time is cut into one-second segments and each
+//! segment draws from an RNG derived via a splitmix step from the workload
+//! seed (`rng.derive(segment_index)`), so every segment is independently
+//! reproducible — extending the duration of a spec leaves all earlier
+//! segments byte-identical, and a flash-crowd window can be regenerated in
+//! isolation.
+
+use serde::{Deserialize, Serialize};
+
+use clockwork_model::{ModelId, Tier};
+use clockwork_sim::rng::SimRng;
+use clockwork_sim::time::{Nanos, Timestamp};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// How the aggregate request rate evolves over the trace duration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// Flat rate for the whole duration.
+    Constant,
+    /// A smooth day/night cycle: rate swings sinusoidally between
+    /// `(1 - amplitude)` and `(1 + amplitude)` times the base rate, with
+    /// `cycles` full periods over the trace duration.
+    Diurnal {
+        /// Relative swing around the base rate, in `[0, 1]`.
+        amplitude: f64,
+        /// Number of full day/night periods across the duration.
+        cycles: f64,
+    },
+    /// A flash crowd: baseline rate everywhere except a window
+    /// `[start_frac, start_frac + len_frac)` of the duration where the rate
+    /// jumps to `multiplier` times the base.
+    FlashCrowd {
+        /// Start of the spike window as a fraction of the duration.
+        start_frac: f64,
+        /// Length of the spike window as a fraction of the duration.
+        len_frac: f64,
+        /// Rate multiplier inside the window (the zoo preset uses 10×).
+        multiplier: f64,
+    },
+}
+
+impl RateProfile {
+    /// The rate multiplier at time `frac` (fraction of the duration elapsed).
+    pub fn multiplier_at(&self, frac: f64) -> f64 {
+        match *self {
+            RateProfile::Constant => 1.0,
+            RateProfile::Diurnal { amplitude, cycles } => {
+                let amp = amplitude.clamp(0.0, 1.0);
+                // Start at the trough so short runs see the ramp-up.
+                (1.0 - amp * (frac * cycles * std::f64::consts::TAU).cos()).max(0.0)
+            }
+            RateProfile::FlashCrowd {
+                start_frac,
+                len_frac,
+                multiplier,
+            } => {
+                if frac >= start_frac && frac < start_frac + len_frac {
+                    multiplier.max(0.0)
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// How requests are spread across the model set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PopularityModel {
+    /// Every model gets the same share.
+    Uniform,
+    /// Zipf-distributed popularity: the model of rank `k` (1-based) gets a
+    /// share proportional to `k^-exponent`. With `drift_segments > 0` the
+    /// rank order rotates by one every that many seconds, so the hot set
+    /// moves over time (popularity drift).
+    Zipf {
+        /// Skew exponent in thousandths (1000 = classic Zipf `s = 1`).
+        /// Stored as an integer so the spec stays `Eq`-friendly and
+        /// JSON-exact.
+        exponent_milli: u32,
+        /// Seconds between one-step rotations of the popularity ranking;
+        /// zero disables drift.
+        drift_segments: u32,
+    },
+}
+
+impl PopularityModel {
+    /// The cumulative distribution over `models` ranks at `segment`
+    /// (used for inverse-CDF sampling). Returns an empty vector for an
+    /// empty model set.
+    fn cdf(&self, models: usize, segment: u64) -> Vec<f64> {
+        if models == 0 {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = match *self {
+            PopularityModel::Uniform => vec![1.0; models],
+            PopularityModel::Zipf {
+                exponent_milli,
+                drift_segments,
+            } => {
+                let s = exponent_milli as f64 / 1000.0;
+                let shift = if drift_segments == 0 {
+                    0
+                } else {
+                    (segment / drift_segments as u64) as usize % models
+                };
+                // Model `(rank + shift) % models` holds rank `rank` in this
+                // segment; rotating the assignment drifts the hot set.
+                let mut w = vec![0.0; models];
+                for rank in 0..models {
+                    w[(rank + shift) % models] = 1.0 / ((rank + 1) as f64).powf(s);
+                }
+                w
+            }
+        };
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// The split of traffic into SLO tiers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TierMix {
+    /// Share of requests issued by strict-tier clients, in thousandths
+    /// (1000 = everything strict, the tier-less behaviour).
+    pub strict_share_milli: u32,
+    /// SLO of best-effort requests, in milliseconds. Typically looser than
+    /// the scenario's strict SLO.
+    pub best_effort_slo_ms: u64,
+}
+
+impl TierMix {
+    /// All traffic strict — the tier-less default.
+    pub const ALL_STRICT: TierMix = TierMix {
+        strict_share_milli: 1000,
+        best_effort_slo_ms: 0,
+    };
+
+    /// Whether this mix actually produces best-effort traffic.
+    pub fn is_tiered(&self) -> bool {
+        self.strict_share_milli < 1000
+    }
+}
+
+/// A shaped open-loop workload: Poisson arrivals at `base_rate` requests per
+/// second, shaped by a rate profile, spread by a popularity model, split by
+/// a tier mix.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShapedWorkload {
+    /// Baseline aggregate request rate (requests per second).
+    pub base_rate: f64,
+    /// Rate shape over time.
+    pub profile: RateProfile,
+    /// Popularity distribution over models.
+    pub popularity: PopularityModel,
+    /// Tier split.
+    pub tiers: TierMix,
+}
+
+impl ShapedWorkload {
+    /// A flat, uniform, all-strict workload — equivalent in law to
+    /// [`crate::OpenLoopClient`] aggregated over the model set.
+    pub fn constant(base_rate: f64) -> Self {
+        ShapedWorkload {
+            base_rate,
+            profile: RateProfile::Constant,
+            popularity: PopularityModel::Uniform,
+            tiers: TierMix::ALL_STRICT,
+        }
+    }
+
+    /// Generates the trace over `[0, duration)`.
+    ///
+    /// `strict_slo` is attached to strict-tier requests; best-effort
+    /// requests carry the mix's `best_effort_slo_ms`. Each one-second
+    /// segment uses `rng.derive(segment_index)`, so segment `k` of a longer
+    /// run is identical to segment `k` of a shorter one.
+    pub fn generate(
+        &self,
+        models: &[ModelId],
+        strict_slo: Nanos,
+        duration: Nanos,
+        rng: &SimRng,
+    ) -> Trace {
+        let mut events = Vec::new();
+        if models.is_empty() || self.base_rate <= 0.0 || duration == Nanos::ZERO {
+            return Trace::new(events);
+        }
+        let total_secs = duration.as_secs_f64();
+        let segments = total_secs.ceil() as u64;
+        let be_slo = Nanos::from_millis(self.tiers.best_effort_slo_ms);
+        for segment in 0..segments {
+            // Splitmix-derived sub-seed per segment: independent streams.
+            let mut seg_rng = rng.derive(segment);
+            let seg_start = Timestamp::from_secs(segment);
+            let seg_len = (total_secs - segment as f64).min(1.0);
+            // Rate sampled at the segment midpoint.
+            let frac = (segment as f64 + 0.5 * seg_len) / total_secs;
+            let rate = self.base_rate * self.profile.multiplier_at(frac);
+            let count = seg_rng.poisson_count(rate * seg_len);
+            let cdf = self.popularity.cdf(models.len(), segment);
+            for _ in 0..count {
+                let at = seg_start + Nanos::from_secs_f64(seg_rng.uniform() * seg_len);
+                if at >= Timestamp::ZERO + duration {
+                    continue;
+                }
+                let pick = seg_rng.uniform();
+                let idx = cdf.partition_point(|&c| c < pick).min(models.len() - 1);
+                let strict = seg_rng.uniform() * 1000.0 < self.tiers.strict_share_milli as f64;
+                let (tier, slo) = if strict || !self.tiers.is_tiered() {
+                    (Tier::Strict, strict_slo)
+                } else {
+                    (Tier::BestEffort, be_slo)
+                };
+                events.push(TraceEvent {
+                    at,
+                    model: models[idx],
+                    slo,
+                    tier,
+                });
+            }
+        }
+        Trace::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models(n: u32) -> Vec<ModelId> {
+        (0..n).map(ModelId).collect()
+    }
+
+    fn gen(shape: &ShapedWorkload, secs: u64, seed: u64) -> Trace {
+        shape.generate(
+            &models(8),
+            Nanos::from_millis(100),
+            Nanos::from_secs(secs),
+            &SimRng::seeded(seed),
+        )
+    }
+
+    #[test]
+    fn constant_rate_is_respected() {
+        let trace = gen(&ShapedWorkload::constant(500.0), 20, 1);
+        let rate = trace.len() as f64 / 20.0;
+        assert!((rate - 500.0).abs() < 50.0, "rate {rate}");
+        assert!(trace.events().iter().all(|e| e.tier == Tier::Strict));
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let shape = ShapedWorkload {
+            base_rate: 300.0,
+            profile: RateProfile::FlashCrowd {
+                start_frac: 0.4,
+                len_frac: 0.2,
+                multiplier: 10.0,
+            },
+            popularity: PopularityModel::Zipf {
+                exponent_milli: 900,
+                drift_segments: 5,
+            },
+            tiers: TierMix {
+                strict_share_milli: 600,
+                best_effort_slo_ms: 250,
+            },
+        };
+        assert_eq!(gen(&shape, 10, 42), gen(&shape, 10, 42));
+        assert_ne!(gen(&shape, 10, 42), gen(&shape, 10, 43));
+    }
+
+    #[test]
+    fn segments_are_prefix_stable() {
+        // Extending the duration must not perturb earlier segments: segment
+        // RNGs are derived per segment, not threaded through the whole run.
+        let shape = ShapedWorkload::constant(200.0);
+        let short = gen(&shape, 5, 7);
+        let long = gen(&shape, 10, 7);
+        let cutoff = Timestamp::from_secs(5);
+        let long_prefix: Vec<TraceEvent> = long
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| e.at < cutoff)
+            .collect();
+        assert_eq!(short.events(), long_prefix.as_slice());
+    }
+
+    #[test]
+    fn flash_crowd_spikes_inside_the_window() {
+        let shape = ShapedWorkload {
+            base_rate: 200.0,
+            profile: RateProfile::FlashCrowd {
+                start_frac: 0.5,
+                len_frac: 0.25,
+                multiplier: 10.0,
+            },
+            popularity: PopularityModel::Uniform,
+            tiers: TierMix::ALL_STRICT,
+        };
+        let trace = gen(&shape, 40, 9);
+        let window = |from: u64, to: u64| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.at >= Timestamp::from_secs(from) && e.at < Timestamp::from_secs(to))
+                .count() as f64
+        };
+        let baseline = window(0, 20) / 20.0;
+        let spike = window(20, 30) / 10.0;
+        assert!(
+            spike > baseline * 5.0,
+            "spike {spike} r/s vs baseline {baseline} r/s"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_swings() {
+        let shape = ShapedWorkload {
+            base_rate: 400.0,
+            profile: RateProfile::Diurnal {
+                amplitude: 0.8,
+                cycles: 1.0,
+            },
+            popularity: PopularityModel::Uniform,
+            tiers: TierMix::ALL_STRICT,
+        };
+        let trace = gen(&shape, 40, 11);
+        let count = |from: u64, to: u64| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.at >= Timestamp::from_secs(from) && e.at < Timestamp::from_secs(to))
+                .count() as f64
+        };
+        // Trough at the start/end, peak in the middle.
+        let trough = count(0, 8);
+        let peak = count(16, 24);
+        assert!(peak > trough * 2.0, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn zipf_concentrates_and_drifts() {
+        let mut per_model = [0usize; 8];
+        let shape = ShapedWorkload {
+            base_rate: 1000.0,
+            profile: RateProfile::Constant,
+            popularity: PopularityModel::Zipf {
+                exponent_milli: 1200,
+                drift_segments: 0,
+            },
+            tiers: TierMix::ALL_STRICT,
+        };
+        let trace = gen(&shape, 10, 13);
+        for e in trace.events() {
+            per_model[e.model.0 as usize] += 1;
+        }
+        let hottest = *per_model.iter().max().unwrap() as f64;
+        assert!(
+            hottest > trace.len() as f64 * 0.3,
+            "hottest model got {hottest} of {}",
+            trace.len()
+        );
+        // With drift the hot model changes between early and late segments.
+        let drifting = ShapedWorkload {
+            popularity: PopularityModel::Zipf {
+                exponent_milli: 1200,
+                drift_segments: 2,
+            },
+            ..shape
+        };
+        let trace = gen(&drifting, 16, 13);
+        let hot_in = |from: u64, to: u64| {
+            let mut counts = [0usize; 8];
+            for e in trace.events() {
+                if e.at >= Timestamp::from_secs(from) && e.at < Timestamp::from_secs(to) {
+                    counts[e.model.0 as usize] += 1;
+                }
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(m, _)| m)
+                .unwrap()
+        };
+        assert_ne!(hot_in(0, 2), hot_in(14, 16), "popularity should drift");
+    }
+
+    #[test]
+    fn tier_mix_splits_and_assigns_slos() {
+        let shape = ShapedWorkload {
+            base_rate: 800.0,
+            profile: RateProfile::Constant,
+            popularity: PopularityModel::Uniform,
+            tiers: TierMix {
+                strict_share_milli: 700,
+                best_effort_slo_ms: 250,
+            },
+        };
+        let trace = gen(&shape, 20, 17);
+        let strict = trace
+            .events()
+            .iter()
+            .filter(|e| e.tier == Tier::Strict)
+            .count() as f64;
+        let share = strict / trace.len() as f64;
+        assert!((share - 0.7).abs() < 0.05, "strict share {share}");
+        for e in trace.events() {
+            match e.tier {
+                Tier::Strict => assert_eq!(e.slo, Nanos::from_millis(100)),
+                Tier::BestEffort => assert_eq!(e.slo, Nanos::from_millis(250)),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_traces() {
+        let shape = ShapedWorkload::constant(100.0);
+        let empty_models = shape.generate(
+            &[],
+            Nanos::from_millis(100),
+            Nanos::from_secs(5),
+            &SimRng::seeded(1),
+        );
+        assert!(empty_models.is_empty());
+        let zero_rate = gen(&ShapedWorkload::constant(0.0), 5, 1);
+        assert!(zero_rate.is_empty());
+    }
+}

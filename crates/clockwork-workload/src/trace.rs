@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::time::{Nanos, Timestamp};
 
 /// One request arrival in a trace.
@@ -20,6 +20,9 @@ pub struct TraceEvent {
     pub model: ModelId,
     /// The latency SLO for this request ([`Nanos::MAX`] = no SLO).
     pub slo: Nanos,
+    /// The service tier of the issuing client ([`Tier::Strict`] unless the
+    /// workload models multi-tenant classes).
+    pub tier: Tier,
 }
 
 /// A time-ordered sequence of request arrivals.
@@ -109,21 +112,25 @@ impl Trace {
         Trace::new(events)
     }
 
-    /// Serialises the trace to a simple CSV (`at_ns,model,slo_ns`).
+    /// Serialises the trace to a simple CSV (`at_ns,model,slo_ns,tier`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("at_ns,model,slo_ns\n");
+        let mut out = String::from("at_ns,model,slo_ns,tier\n");
         for e in &self.events {
             out.push_str(&format!(
-                "{},{},{}\n",
+                "{},{},{},{}\n",
                 e.at.as_nanos(),
                 e.model.0,
-                e.slo.as_nanos()
+                e.slo.as_nanos(),
+                e.tier.index()
             ));
         }
         out
     }
 
     /// Parses a trace from the CSV format produced by [`Trace::to_csv`].
+    ///
+    /// The `tier` column is optional: three-field lines (the pre-tier
+    /// format) parse as [`Tier::Strict`].
     pub fn from_csv(text: &str) -> Result<Trace, String> {
         let mut events = Vec::new();
         for (i, line) in text.lines().enumerate() {
@@ -131,9 +138,9 @@ impl Trace {
                 continue;
             }
             let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() != 3 {
+            if fields.len() != 3 && fields.len() != 4 {
                 return Err(format!(
-                    "line {}: expected 3 fields, got {}",
+                    "line {}: expected 3 or 4 fields, got {}",
                     i + 1,
                     fields.len()
                 ));
@@ -150,10 +157,19 @@ impl Trace {
                 .trim()
                 .parse()
                 .map_err(|e| format!("line {}: bad slo: {e}", i + 1))?;
+            let tier = match fields.get(3) {
+                Some(raw) => Tier::from_index(
+                    raw.trim()
+                        .parse()
+                        .map_err(|e| format!("line {}: bad tier: {e}", i + 1))?,
+                ),
+                None => Tier::Strict,
+            };
             events.push(TraceEvent {
                 at: Timestamp::from_nanos(at),
                 model: ModelId(model),
                 slo: Nanos::from_nanos(slo),
+                tier,
             });
         }
         Ok(Trace::new(events))
@@ -169,6 +185,7 @@ mod tests {
             at: Timestamp::from_millis(ms),
             model: ModelId(model),
             slo: Nanos::from_millis(100),
+            tier: Tier::Strict,
         }
     }
 
@@ -219,16 +236,26 @@ mod tests {
 
     #[test]
     fn csv_round_trip() {
-        let t = Trace::new(vec![event(10, 1), event(20, 2)]);
+        let mut tiered = event(20, 2);
+        tiered.tier = Tier::BestEffort;
+        let t = Trace::new(vec![event(10, 1), tiered]);
         let csv = t.to_csv();
         let parsed = Trace::from_csv(&csv).unwrap();
         assert_eq!(parsed, t);
     }
 
     #[test]
+    fn csv_without_tier_column_reads_strict() {
+        let parsed = Trace::from_csv("at_ns,model,slo_ns\n1000,2,3000\n").unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.events()[0].tier, Tier::Strict);
+    }
+
+    #[test]
     fn csv_parse_errors_are_reported() {
         assert!(Trace::from_csv("at_ns,model,slo_ns\n1,2\n").is_err());
         assert!(Trace::from_csv("at_ns,model,slo_ns\nx,2,3\n").is_err());
+        assert!(Trace::from_csv("at_ns,model,slo_ns,tier\n1,2,3,x\n").is_err());
         let empty = Trace::from_csv("at_ns,model,slo_ns\n").unwrap();
         assert!(empty.is_empty());
     }

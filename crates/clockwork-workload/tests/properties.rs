@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::rng::SimRng;
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_workload::azure::{AzureTraceConfig, AzureTraceGenerator};
@@ -25,6 +25,7 @@ fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
                     at: Timestamp::from_nanos(at),
                     model: ModelId(model),
                     slo: Nanos::from_nanos(slo),
+                    tier: Tier::Strict,
                 })
                 .collect()
         },

@@ -51,8 +51,10 @@ impl Experiment {
         let models: Vec<ModelId> = (0..spec.models as u32).map(ModelId).collect();
         let submitted;
         match spec.workload {
-            WorkloadSpec::Azure { .. } => {
-                let trace = spec.azure_trace().expect("azure workload has a trace");
+            WorkloadSpec::Azure { .. } | WorkloadSpec::Shaped { .. } => {
+                let trace = spec
+                    .generated_trace()
+                    .expect("pre-generated workload has a trace");
                 submitted = trace.len() as u64;
                 system.submit_trace(&trace);
             }

@@ -49,7 +49,9 @@ pub use config::SystemConfig;
 pub use experiment::{Experiment, RunReport};
 pub use scenario::{ModelSet, ScenarioSpec, WorkloadSpec};
 pub use system::{ServingSystem, SystemBuilder};
-pub use telemetry::{EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry};
+pub use telemetry::{
+    EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry, TierOutcomes,
+};
 // Request-lifecycle tracing surface (the workload crate's `TraceEvent` — a
 // *workload* trace entry — already owns that name in the prelude, so the
 // lifecycle span enum is re-exported here as `LifecycleEvent`).
@@ -63,7 +65,7 @@ pub mod prelude {
     pub use crate::scenario::{ModelSet, ScenarioSpec, WorkloadSpec};
     pub use crate::system::{ServingSystem, SystemBuilder};
     pub use crate::telemetry::{
-        EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry,
+        EventMix, EventMixEntry, ExperimentMetrics, FaultRecord, SystemTelemetry, TierOutcomes,
     };
     pub use clockwork_controller::registry::{
         ClockworkFactory, ClockworkNoBatchFactory, FifoFactory, SchedulerFactory, SchedulerRegistry,
@@ -75,12 +77,13 @@ pub mod prelude {
     pub use clockwork_faults::{ChurnConfig, FaultKind, FaultPlan};
     pub use clockwork_metrics::trace::TraceEvent as LifecycleEvent;
     pub use clockwork_metrics::trace::{RingTracer, TraceRecord, Tracer};
-    pub use clockwork_model::{zoo::ModelZoo, ModelId, ModelSpec};
+    pub use clockwork_model::{zoo::ModelZoo, ModelId, ModelSpec, Tier};
     pub use clockwork_sim::rng::SimRng;
     pub use clockwork_sim::time::{Nanos, Timestamp};
     pub use clockwork_sim::variance::VarianceConfig;
     pub use clockwork_worker::{ExecMode, WorkerConfig, WorkerId};
     pub use clockwork_workload::{
-        AzureTraceConfig, AzureTraceGenerator, ClosedLoopClient, OpenLoopClient, Trace, TraceEvent,
+        AzureTraceConfig, AzureTraceGenerator, ClosedLoopClient, OpenLoopClient, PopularityModel,
+        RateProfile, ShapedWorkload, TierMix, Trace, TraceEvent,
     };
 }

@@ -21,9 +21,14 @@ use serde::{Deserialize, Serialize};
 use clockwork_controller::registry::SchedulerFactory;
 use clockwork_faults::FaultPlan;
 use clockwork_model::zoo::ModelZoo;
+use clockwork_model::ModelId;
+use clockwork_sim::rng::SimRng;
 use clockwork_sim::time::{Nanos, Timestamp};
 use clockwork_sim::variance::VarianceConfig;
-use clockwork_workload::{AzureTraceConfig, AzureTraceGenerator, Trace};
+use clockwork_workload::{
+    AzureTraceConfig, AzureTraceGenerator, PopularityModel, RateProfile, ShapedWorkload, TierMix,
+    Trace,
+};
 
 use crate::config::SystemConfig;
 use crate::system::ServingSystem;
@@ -62,6 +67,21 @@ pub enum WorkloadSpec {
     ClosedLoop {
         /// Requests kept in flight per model.
         concurrency: u32,
+    },
+    /// A shaped open-loop workload ([`ShapedWorkload`]): Poisson arrivals at
+    /// an aggregate `base_rate`, shaped over time by a [`RateProfile`]
+    /// (diurnal cycles, flash crowds), spread over models by a
+    /// [`PopularityModel`] (Zipf skew with drift) and split into SLO tiers
+    /// by a [`TierMix`]. The workload zoo presets are all of this kind.
+    Shaped {
+        /// Baseline aggregate request rate in requests/second.
+        base_rate: f64,
+        /// How the rate evolves over the duration.
+        profile: RateProfile,
+        /// How requests spread across the model set.
+        popularity: PopularityModel,
+        /// Strict/best-effort client split.
+        tiers: TierMix,
     },
 }
 
@@ -187,6 +207,166 @@ impl ScenarioSpec {
         }
     }
 
+    /// The shared shell of the workload-zoo presets: a mid-sized fleet of
+    /// 8 workers × 2 GPUs serving 40 zoo models for 60 virtual seconds at a
+    /// 100 ms strict SLO, seed 2020. Each preset swaps in its own workload
+    /// (and, for the churn preset, fault plan).
+    fn zoo_base(name: &str, workload: WorkloadSpec) -> Self {
+        ScenarioSpec {
+            name: name.to_string(),
+            workers: 8,
+            gpus_per_worker: 2,
+            models: 40,
+            model_set: ModelSet::ZooCycle,
+            workload,
+            slo_ms: 100,
+            duration_secs: 60,
+            drain_secs: 2,
+            seed: 2020,
+            workload_seed: 2020,
+            variance: VarianceConfig::none(),
+            keep_responses: false,
+            faults: FaultPlan::new(),
+            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+
+    /// Workload-zoo preset: a smooth day/night load cycle — the rate swings
+    /// sinusoidally between 0.2× and 1.8× of 600 r/s over two full periods,
+    /// so the run sees two troughs and two peaks.
+    pub fn diurnal() -> Self {
+        ScenarioSpec::zoo_base(
+            "diurnal",
+            WorkloadSpec::Shaped {
+                base_rate: 600.0,
+                profile: RateProfile::Diurnal {
+                    amplitude: 0.8,
+                    cycles: 2.0,
+                },
+                popularity: PopularityModel::Uniform,
+                tiers: TierMix::ALL_STRICT,
+            },
+        )
+    }
+
+    /// Workload-zoo preset: a flash crowd — baseline 300 r/s with a 10×
+    /// spike over `[40 %, 50 %)` of the run, on a tiered client population
+    /// (60 % strict at the scenario SLO, 40 % best-effort at 250 ms). This
+    /// is the graceful-degradation scenario: inside the spike the fleet is
+    /// far over capacity and tier-aware admission must shed best-effort
+    /// traffic first, keeping strict-tier retention at or above best-effort
+    /// retention.
+    pub fn flash_crowd() -> Self {
+        ScenarioSpec::zoo_base(
+            "flash_crowd",
+            WorkloadSpec::Shaped {
+                base_rate: 300.0,
+                profile: RateProfile::FlashCrowd {
+                    start_frac: 0.4,
+                    len_frac: 0.1,
+                    multiplier: 10.0,
+                },
+                popularity: PopularityModel::Uniform,
+                tiers: TierMix {
+                    strict_share_milli: 600,
+                    best_effort_slo_ms: 250,
+                },
+            },
+        )
+    }
+
+    /// Workload-zoo preset: heavy-tailed model popularity — Zipf with
+    /// exponent 1.1 over the 40 models, with the ranking rotating one step
+    /// every 10 seconds so the hot set drifts across the zoo over the run.
+    pub fn zipf_drift() -> Self {
+        ScenarioSpec::zoo_base(
+            "zipf_drift",
+            WorkloadSpec::Shaped {
+                base_rate: 600.0,
+                profile: RateProfile::Constant,
+                popularity: PopularityModel::Zipf {
+                    exponent_milli: 1100,
+                    drift_segments: 10,
+                },
+                tiers: TierMix::ALL_STRICT,
+            },
+        )
+    }
+
+    /// Workload-zoo preset: multi-tenant SLO tiers — a flat uniform load
+    /// split evenly between strict clients at the scenario's 100 ms SLO and
+    /// best-effort clients at 250 ms, with no overload. Under nominal load
+    /// both tiers should retain essentially everything; the preset exists to
+    /// pin that tier-aware admission is inert without pressure.
+    pub fn multi_tenant() -> Self {
+        ScenarioSpec::zoo_base(
+            "multi_tenant",
+            WorkloadSpec::Shaped {
+                base_rate: 600.0,
+                profile: RateProfile::Constant,
+                popularity: PopularityModel::Uniform,
+                tiers: TierMix {
+                    strict_share_milli: 500,
+                    best_effort_slo_ms: 250,
+                },
+            },
+        )
+    }
+
+    /// Workload-zoo preset: autoscale under churn — the Azure-derived trace
+    /// at 700 r/s while the fleet both grows and breaks: two brand-new cold
+    /// workers join at indices beyond the initial fleet, interleaved with
+    /// two worker crashes and a GPU failure, all recovered by 70 % of the
+    /// run.
+    pub fn autoscale_churn() -> Self {
+        let mut spec = ScenarioSpec::zoo_base(
+            "autoscale_churn",
+            WorkloadSpec::Azure {
+                functions: 160,
+                target_rate: 700.0,
+            },
+        );
+        spec.faults = spec.elastic_churn();
+        spec
+    }
+
+    /// The autoscale-under-churn schedule, scaled to the scenario duration
+    /// (see [`ScenarioSpec::autoscale_churn`]): two cold workers join at
+    /// indices beyond the current fleet size, interleaved with two worker
+    /// crashes and a GPU failure, everything recovered by 70 % of the run.
+    /// Like [`ScenarioSpec::scripted_churn`], call this *after* any duration
+    /// change so the plan scales with it.
+    pub fn elastic_churn(&self) -> FaultPlan {
+        let span = self.duration_secs as f64 * 1e9;
+        let at = |f: f64| Timestamp::from_nanos((f * span) as u64);
+        let lasting = |f: f64| Nanos::from_nanos((f * span) as u64);
+        let worker = |i: u32| i % self.workers.max(1);
+        FaultPlan::new()
+            .join_worker(at(0.15), self.workers)
+            .crash_worker_for(at(0.25), worker(2), lasting(0.20))
+            .fail_gpu_for(
+                at(0.35),
+                worker(1),
+                1 % self.gpus_per_worker.max(1),
+                lasting(0.20),
+            )
+            .join_worker(at(0.40), self.workers + 1)
+            .crash_worker_for(at(0.50), worker(5), lasting(0.20))
+    }
+
+    /// Every workload-zoo preset, in a stable order — the scenario matrix
+    /// iterates this against every registered discipline.
+    pub fn zoo() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::diurnal(),
+            ScenarioSpec::flash_crowd(),
+            ScenarioSpec::zipf_drift(),
+            ScenarioSpec::multi_tenant(),
+            ScenarioSpec::autoscale_churn(),
+        ]
+    }
+
     /// Renames the scenario (builder style).
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -243,6 +423,7 @@ impl ScenarioSpec {
             WorkloadSpec::ClosedLoop { concurrency } => {
                 *concurrency = (((*concurrency as f64) * multiplier).round() as u32).max(1);
             }
+            WorkloadSpec::Shaped { base_rate, .. } => *base_rate *= multiplier,
         }
         self
     }
@@ -303,8 +484,57 @@ impl ScenarioSpec {
                 })
                 .generate(),
             ),
+            WorkloadSpec::OpenLoop { .. }
+            | WorkloadSpec::ClosedLoop { .. }
+            | WorkloadSpec::Shaped { .. } => None,
+        }
+    }
+
+    /// Generates the full up-front trace of any pre-generated workload:
+    /// [`WorkloadSpec::Azure`] and [`WorkloadSpec::Shaped`] scenarios
+    /// produce their whole trace here (a pure function of the spec);
+    /// open-loop and closed-loop scenarios return `None` — their requests
+    /// are generated per model by the experiment runner.
+    pub fn generated_trace(&self) -> Option<Trace> {
+        match self.workload {
+            WorkloadSpec::Azure { .. } => self.azure_trace(),
+            WorkloadSpec::Shaped {
+                base_rate,
+                profile,
+                popularity,
+                tiers,
+            } => {
+                let models: Vec<ModelId> = (0..self.models as u32).map(ModelId).collect();
+                let shape = ShapedWorkload {
+                    base_rate,
+                    profile,
+                    popularity,
+                    tiers,
+                };
+                Some(shape.generate(
+                    &models,
+                    self.slo(),
+                    self.duration(),
+                    &SimRng::seeded(self.workload_seed),
+                ))
+            }
             WorkloadSpec::OpenLoop { .. } | WorkloadSpec::ClosedLoop { .. } => None,
         }
+    }
+
+    /// Serializes the spec to a self-contained JSON document —
+    /// [`ScenarioSpec::from_json`] inverts it exactly. Stored alongside
+    /// results, the document is a complete, replayable description of the
+    /// experiment that produced them; on invariant violations the fuzz
+    /// harness writes the offending spec through this so failures arrive
+    /// with their minimized repro attached.
+    pub fn to_json(&self) -> String {
+        json::spec_to_json(self)
+    }
+
+    /// Parses a spec previously written by [`ScenarioSpec::to_json`].
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, String> {
+        json::spec_from_json(text)
     }
 
     /// The cluster configuration this spec describes.
@@ -344,6 +574,560 @@ impl ServingSystem {
             }
         }
         system
+    }
+}
+
+/// Hand-written JSON round-trip for [`ScenarioSpec`].
+///
+/// The writer emits a stable field order; the reader is a small
+/// recursive-descent JSON parser that accepts any field order and rejects
+/// malformed documents with a path-qualified error. Numbers are kept as raw
+/// tokens until a field asks for `u64` or `f64`, so 64-bit timestamps and
+/// seeds round-trip without passing through `f64`.
+mod json {
+    use super::*;
+    use clockwork_faults::FaultKind;
+
+    // ---------------------------------------------------------------- value
+
+    enum Value {
+        Null,
+        Bool(bool),
+        Num(String),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        fn get<'a>(&'a self, key: &str) -> Result<&'a Value, String> {
+            match self {
+                Value::Obj(fields) => fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("missing field `{key}`")),
+                _ => Err(format!("expected object around `{key}`")),
+            }
+        }
+
+        fn as_u64(&self, key: &str) -> Result<u64, String> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("`{key}`: not a u64: {raw}")),
+                _ => Err(format!("`{key}`: expected a number")),
+            }
+        }
+
+        fn as_f64(&self, key: &str) -> Result<f64, String> {
+            match self {
+                Value::Num(raw) => raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("`{key}`: not a number: {raw}")),
+                _ => Err(format!("`{key}`: expected a number")),
+            }
+        }
+
+        fn as_bool(&self, key: &str) -> Result<bool, String> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(format!("`{key}`: expected a bool")),
+            }
+        }
+
+        fn as_str(&self, key: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("`{key}`: expected a string")),
+            }
+        }
+
+        fn as_arr(&self, key: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                _ => Err(format!("`{key}`: expected an array")),
+            }
+        }
+    }
+
+    fn u64_of(v: &Value, key: &str) -> Result<u64, String> {
+        v.get(key)?.as_u64(key)
+    }
+
+    fn f64_of(v: &Value, key: &str) -> Result<f64, String> {
+        v.get(key)?.as_f64(key)
+    }
+
+    // --------------------------------------------------------------- parser
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.pos == start {
+                return Err(format!("expected a value at byte {start}"));
+            }
+            let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "invalid utf-8 in number".to_string())?;
+            raw.parse::<f64>()
+                .map_err(|_| format!("malformed number: {raw}"))?;
+            Ok(Value::Num(raw.to_string()))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = *self
+                    .bytes
+                    .get(self.pos)
+                    .ok_or_else(|| "unterminated string".to_string())?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = *self
+                            .bytes
+                            .get(self.pos)
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape: {hex}"))?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| format!("bad codepoint {code}"))?,
+                                );
+                            }
+                            _ => return Err(format!("unknown escape \\{}", esc as char)),
+                        }
+                    }
+                    _ => {
+                        // Re-assemble multi-byte UTF-8 sequences verbatim.
+                        let len = match b {
+                            _ if b < 0x80 => 1,
+                            _ if b >> 5 == 0b110 => 2,
+                            _ if b >> 4 == 0b1110 => 3,
+                            _ => 4,
+                        };
+                        let start = self.pos - 1;
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .and_then(|c| std::str::from_utf8(c).ok())
+                            .ok_or_else(|| "invalid utf-8 in string".to_string())?;
+                        out.push_str(chunk);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(format!("expected `,` or `]`, got `{}`", other as char)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                fields.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    other => return Err(format!("expected `,` or `}}`, got `{}`", other as char)),
+                }
+            }
+        }
+    }
+
+    fn parse(text: &str) -> Result<Value, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    // --------------------------------------------------------------- writer
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn workload_to_json(workload: &WorkloadSpec) -> String {
+        match *workload {
+            WorkloadSpec::Azure {
+                functions,
+                target_rate,
+            } => {
+                format!(r#"{{"kind":"azure","functions":{functions},"target_rate":{target_rate}}}"#)
+            }
+            WorkloadSpec::OpenLoop { rate_per_model } => {
+                format!(r#"{{"kind":"open_loop","rate_per_model":{rate_per_model}}}"#)
+            }
+            WorkloadSpec::ClosedLoop { concurrency } => {
+                format!(r#"{{"kind":"closed_loop","concurrency":{concurrency}}}"#)
+            }
+            WorkloadSpec::Shaped {
+                base_rate,
+                profile,
+                popularity,
+                tiers,
+            } => {
+                let profile = match profile {
+                    RateProfile::Constant => r#"{"kind":"constant"}"#.to_string(),
+                    RateProfile::Diurnal { amplitude, cycles } => {
+                        format!(r#"{{"kind":"diurnal","amplitude":{amplitude},"cycles":{cycles}}}"#)
+                    }
+                    RateProfile::FlashCrowd {
+                        start_frac,
+                        len_frac,
+                        multiplier,
+                    } => format!(
+                        r#"{{"kind":"flash_crowd","start_frac":{start_frac},"len_frac":{len_frac},"multiplier":{multiplier}}}"#
+                    ),
+                };
+                let popularity = match popularity {
+                    PopularityModel::Uniform => r#"{"kind":"uniform"}"#.to_string(),
+                    PopularityModel::Zipf {
+                        exponent_milli,
+                        drift_segments,
+                    } => format!(
+                        r#"{{"kind":"zipf","exponent_milli":{exponent_milli},"drift_segments":{drift_segments}}}"#
+                    ),
+                };
+                format!(
+                    r#"{{"kind":"shaped","base_rate":{base_rate},"profile":{profile},"popularity":{popularity},"tiers":{{"strict_share_milli":{},"best_effort_slo_ms":{}}}}}"#,
+                    tiers.strict_share_milli, tiers.best_effort_slo_ms
+                )
+            }
+        }
+    }
+
+    fn fault_to_json(at: Timestamp, kind: &FaultKind) -> String {
+        let at = at.as_nanos();
+        match *kind {
+            FaultKind::GpuFail { worker, gpu } => {
+                format!(r#"{{"at_ns":{at},"kind":"gpu_fail","worker":{worker},"gpu":{gpu}}}"#)
+            }
+            FaultKind::GpuRecover { worker, gpu } => {
+                format!(r#"{{"at_ns":{at},"kind":"gpu_recover","worker":{worker},"gpu":{gpu}}}"#)
+            }
+            FaultKind::WorkerCrash { worker } => {
+                format!(r#"{{"at_ns":{at},"kind":"worker_crash","worker":{worker}}}"#)
+            }
+            FaultKind::WorkerRestart { worker } => {
+                format!(r#"{{"at_ns":{at},"kind":"worker_restart","worker":{worker}}}"#)
+            }
+            FaultKind::LinkDegrade {
+                worker,
+                factor_milli,
+            } => format!(
+                r#"{{"at_ns":{at},"kind":"link_degrade","worker":{worker},"factor_milli":{factor_milli}}}"#
+            ),
+            FaultKind::LinkRestore { worker } => {
+                format!(r#"{{"at_ns":{at},"kind":"link_restore","worker":{worker}}}"#)
+            }
+            FaultKind::PartitionStart { worker } => {
+                format!(r#"{{"at_ns":{at},"kind":"partition_start","worker":{worker}}}"#)
+            }
+            FaultKind::PartitionEnd { worker } => {
+                format!(r#"{{"at_ns":{at},"kind":"partition_end","worker":{worker}}}"#)
+            }
+            FaultKind::WorkerJoin { worker } => {
+                format!(r#"{{"at_ns":{at},"kind":"worker_join","worker":{worker}}}"#)
+            }
+        }
+    }
+
+    pub(super) fn spec_to_json(spec: &ScenarioSpec) -> String {
+        let model_set = match spec.model_set {
+            ModelSet::ZooCycle => "zoo_cycle",
+            ModelSet::Resnet50Copies => "resnet50_copies",
+        };
+        let throttle = match spec.variance.throttle_mean_interval {
+            Some(interval) => interval.as_nanos().to_string(),
+            None => "null".to_string(),
+        };
+        let variance = format!(
+            r#"{{"spike_probability":{},"max_spike_ns":{},"throttle_mean_interval_ns":{},"throttle_duration_ns":{},"throttle_factor":{}}}"#,
+            spec.variance.spike_probability,
+            spec.variance.max_spike.as_nanos(),
+            throttle,
+            spec.variance.throttle_duration.as_nanos(),
+            spec.variance.throttle_factor,
+        );
+        let faults: Vec<String> = spec
+            .faults
+            .events()
+            .iter()
+            .map(|e| fault_to_json(e.at, &e.kind))
+            .collect();
+        format!(
+            concat!(
+                r#"{{"name":"{name}","workers":{workers},"gpus_per_worker":{gpus},"#,
+                r#""models":{models},"model_set":"{model_set}","workload":{workload},"#,
+                r#""slo_ms":{slo_ms},"duration_secs":{duration},"drain_secs":{drain},"#,
+                r#""seed":{seed},"workload_seed":{workload_seed},"variance":{variance},"#,
+                r#""keep_responses":{keep},"faults":[{faults}],"trace":{trace},"#,
+                r#""trace_capacity":{trace_capacity}}}"#
+            ),
+            name = escape(&spec.name),
+            workers = spec.workers,
+            gpus = spec.gpus_per_worker,
+            models = spec.models,
+            model_set = model_set,
+            workload = workload_to_json(&spec.workload),
+            slo_ms = spec.slo_ms,
+            duration = spec.duration_secs,
+            drain = spec.drain_secs,
+            seed = spec.seed,
+            workload_seed = spec.workload_seed,
+            variance = variance,
+            keep = spec.keep_responses,
+            faults = faults.join(","),
+            trace = spec.trace,
+            trace_capacity = spec.trace_capacity,
+        )
+    }
+
+    // --------------------------------------------------------------- reader
+
+    fn workload_from_value(v: &Value) -> Result<WorkloadSpec, String> {
+        match v.get("kind")?.as_str("workload.kind")? {
+            "azure" => Ok(WorkloadSpec::Azure {
+                functions: u64_of(v, "functions")? as usize,
+                target_rate: f64_of(v, "target_rate")?,
+            }),
+            "open_loop" => Ok(WorkloadSpec::OpenLoop {
+                rate_per_model: f64_of(v, "rate_per_model")?,
+            }),
+            "closed_loop" => Ok(WorkloadSpec::ClosedLoop {
+                concurrency: u64_of(v, "concurrency")? as u32,
+            }),
+            "shaped" => {
+                let profile = v.get("profile")?;
+                let profile = match profile.get("kind")?.as_str("profile.kind")? {
+                    "constant" => RateProfile::Constant,
+                    "diurnal" => RateProfile::Diurnal {
+                        amplitude: f64_of(profile, "amplitude")?,
+                        cycles: f64_of(profile, "cycles")?,
+                    },
+                    "flash_crowd" => RateProfile::FlashCrowd {
+                        start_frac: f64_of(profile, "start_frac")?,
+                        len_frac: f64_of(profile, "len_frac")?,
+                        multiplier: f64_of(profile, "multiplier")?,
+                    },
+                    other => return Err(format!("unknown rate profile `{other}`")),
+                };
+                let popularity = v.get("popularity")?;
+                let popularity = match popularity.get("kind")?.as_str("popularity.kind")? {
+                    "uniform" => PopularityModel::Uniform,
+                    "zipf" => PopularityModel::Zipf {
+                        exponent_milli: u64_of(popularity, "exponent_milli")? as u32,
+                        drift_segments: u64_of(popularity, "drift_segments")? as u32,
+                    },
+                    other => return Err(format!("unknown popularity model `{other}`")),
+                };
+                let tiers = v.get("tiers")?;
+                Ok(WorkloadSpec::Shaped {
+                    base_rate: f64_of(v, "base_rate")?,
+                    profile,
+                    popularity,
+                    tiers: TierMix {
+                        strict_share_milli: u64_of(tiers, "strict_share_milli")? as u32,
+                        best_effort_slo_ms: u64_of(tiers, "best_effort_slo_ms")?,
+                    },
+                })
+            }
+            other => Err(format!("unknown workload kind `{other}`")),
+        }
+    }
+
+    fn fault_from_value(v: &Value) -> Result<(Timestamp, FaultKind), String> {
+        let at = Timestamp::from_nanos(u64_of(v, "at_ns")?);
+        let worker = u64_of(v, "worker")? as u32;
+        let kind = match v.get("kind")?.as_str("fault.kind")? {
+            "gpu_fail" => FaultKind::GpuFail {
+                worker,
+                gpu: u64_of(v, "gpu")? as u32,
+            },
+            "gpu_recover" => FaultKind::GpuRecover {
+                worker,
+                gpu: u64_of(v, "gpu")? as u32,
+            },
+            "worker_crash" => FaultKind::WorkerCrash { worker },
+            "worker_restart" => FaultKind::WorkerRestart { worker },
+            "link_degrade" => FaultKind::LinkDegrade {
+                worker,
+                factor_milli: u64_of(v, "factor_milli")? as u32,
+            },
+            "link_restore" => FaultKind::LinkRestore { worker },
+            "partition_start" => FaultKind::PartitionStart { worker },
+            "partition_end" => FaultKind::PartitionEnd { worker },
+            "worker_join" => FaultKind::WorkerJoin { worker },
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        Ok((at, kind))
+    }
+
+    pub(super) fn spec_from_json(text: &str) -> Result<ScenarioSpec, String> {
+        let root = parse(text)?;
+        let variance = root.get("variance")?;
+        let throttle = match variance.get("throttle_mean_interval_ns")? {
+            Value::Null => None,
+            v => Some(Nanos::from_nanos(v.as_u64("throttle_mean_interval_ns")?)),
+        };
+        let mut faults = FaultPlan::new();
+        for item in root.get("faults")?.as_arr("faults")? {
+            let (at, kind) = fault_from_value(item)?;
+            faults.push(at, kind);
+        }
+        Ok(ScenarioSpec {
+            name: root.get("name")?.as_str("name")?.to_string(),
+            workers: u64_of(&root, "workers")? as u32,
+            gpus_per_worker: u64_of(&root, "gpus_per_worker")? as u32,
+            models: u64_of(&root, "models")? as usize,
+            model_set: match root.get("model_set")?.as_str("model_set")? {
+                "zoo_cycle" => ModelSet::ZooCycle,
+                "resnet50_copies" => ModelSet::Resnet50Copies,
+                other => return Err(format!("unknown model set `{other}`")),
+            },
+            workload: workload_from_value(root.get("workload")?)?,
+            slo_ms: u64_of(&root, "slo_ms")?,
+            duration_secs: u64_of(&root, "duration_secs")?,
+            drain_secs: u64_of(&root, "drain_secs")?,
+            seed: u64_of(&root, "seed")?,
+            workload_seed: u64_of(&root, "workload_seed")?,
+            variance: VarianceConfig {
+                spike_probability: f64_of(variance, "spike_probability")?,
+                max_spike: Nanos::from_nanos(u64_of(variance, "max_spike_ns")?),
+                throttle_mean_interval: throttle,
+                throttle_duration: Nanos::from_nanos(u64_of(variance, "throttle_duration_ns")?),
+                throttle_factor: f64_of(variance, "throttle_factor")?,
+            },
+            keep_responses: root.get("keep_responses")?.as_bool("keep_responses")?,
+            faults,
+            trace: root.get("trace")?.as_bool("trace")?,
+            trace_capacity: u64_of(&root, "trace_capacity")? as usize,
+        })
     }
 }
 
@@ -403,6 +1187,106 @@ mod tests {
             .with_trace(true)
             .with_trace_capacity(512);
         assert_eq!(on.system_config().trace_capacity, Some(512));
+    }
+
+    #[test]
+    fn zoo_presets_cover_the_advertised_diversity() {
+        let zoo = ScenarioSpec::zoo();
+        assert_eq!(zoo.len(), 5);
+        let names: Vec<&str> = zoo.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "diurnal",
+                "flash_crowd",
+                "zipf_drift",
+                "multi_tenant",
+                "autoscale_churn"
+            ]
+        );
+        for spec in &zoo {
+            assert_eq!(spec.seed, 2020, "{}: presets share the seed", spec.name);
+            assert!(!spec.trace, "{}: presets ship untraced", spec.name);
+        }
+        // The flash crowd is the tiered overload scenario.
+        let flash = &zoo[1];
+        match flash.workload {
+            WorkloadSpec::Shaped { profile, tiers, .. } => {
+                assert!(matches!(
+                    profile,
+                    RateProfile::FlashCrowd { multiplier, .. } if multiplier == 10.0
+                ));
+                assert!(tiers.is_tiered());
+            }
+            ref other => panic!("flash_crowd should be shaped, got {other:?}"),
+        }
+        // The churn preset joins workers beyond the initial fleet while
+        // crashing existing ones.
+        let churn = &zoo[4];
+        assert_eq!(churn.faults.worker_joins(), 2);
+        assert_eq!(churn.faults.worker_crashes(), 2);
+        assert_eq!(churn.faults.gpu_failures(), 1);
+    }
+
+    #[test]
+    fn shaped_scenarios_generate_their_traces() {
+        for spec in ScenarioSpec::zoo() {
+            let spec = spec.with_duration_secs(5);
+            let trace = spec.generated_trace().expect("zoo workloads pre-generate");
+            assert!(!trace.is_empty(), "{}", spec.name);
+            let again = spec.generated_trace().unwrap();
+            assert_eq!(trace, again, "{}: trace is a pure function", spec.name);
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let mut all = ScenarioSpec::zoo();
+        all.push(ScenarioSpec::fleet_scale());
+        all.push(ScenarioSpec::chaos_fleet());
+        all.push(ScenarioSpec::smoke(7));
+        all.push(
+            ScenarioSpec::smoke(9)
+                .named("hostile \"quoted\"\nname")
+                .with_trace(true),
+        );
+        let mut hostile = ScenarioSpec::smoke(11);
+        hostile.variance = VarianceConfig::hostile();
+        hostile.workload = WorkloadSpec::OpenLoop {
+            rate_per_model: 12.5,
+        };
+        all.push(hostile);
+        let mut closed = ScenarioSpec::smoke(13);
+        closed.workload = WorkloadSpec::ClosedLoop { concurrency: 4 };
+        all.push(closed);
+        for spec in all {
+            let json = spec.to_json();
+            let back = ScenarioSpec::from_json(&json)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{json}", spec.name));
+            assert_eq!(spec, back, "{} round-trips", spec.name);
+        }
+    }
+
+    #[test]
+    fn malformed_spec_json_is_rejected_not_defaulted() {
+        assert!(ScenarioSpec::from_json("").is_err());
+        assert!(ScenarioSpec::from_json("{}").is_err());
+        assert!(ScenarioSpec::from_json("not json").is_err());
+        let good = ScenarioSpec::flash_crowd().to_json();
+        assert!(ScenarioSpec::from_json(&good[..good.len() - 1]).is_err());
+        let tampered = good.replace("\"flash_crowd\"", "\"no_such_profile\"");
+        assert!(ScenarioSpec::from_json(&tampered).is_err());
+        let trailing = format!("{good} extra");
+        assert!(ScenarioSpec::from_json(&trailing).is_err());
+    }
+
+    #[test]
+    fn rate_multiplier_scales_shaped_workloads() {
+        let spec = ScenarioSpec::flash_crowd().with_rate_multiplier(2.0);
+        match spec.workload {
+            WorkloadSpec::Shaped { base_rate, .. } => assert_eq!(base_rate, 600.0),
+            ref other => panic!("unexpected workload {other:?}"),
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! and workers are distinct machines, every hop pays a network delay, and the
 //! controller is the only component that makes decisions.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use clockwork_controller::registry::{ClockworkFactory, SchedulerFactory};
@@ -21,7 +21,7 @@ use clockwork_controller::worker_state::GpuRef;
 use clockwork_controller::SchedProfile;
 use clockwork_faults::FaultPlan;
 use clockwork_metrics::trace::{RingTracer, TraceEvent, Tracer};
-use clockwork_model::{ModelId, ModelSpec};
+use clockwork_model::{ModelId, ModelSpec, Tier};
 use clockwork_sim::engine::{EventId, EventQueue, FaultKind};
 use clockwork_sim::network::NetworkModel;
 use clockwork_sim::rng::SimRng;
@@ -136,6 +136,7 @@ enum SystemEvent {
     ClientSubmit {
         model: ModelId,
         slo: Nanos,
+        tier: Tier,
         client: Option<usize>,
     },
     /// The request reaches the controller.
@@ -256,6 +257,10 @@ pub struct ServingSystem {
     telemetry: SystemTelemetry,
     clients: Vec<ClosedLoopClient>,
     request_owner: HashMap<RequestId, usize>,
+    /// Ids of in-flight best-effort requests. Strict requests (the default
+    /// and the entire population of legacy scenarios) are never inserted,
+    /// so the set stays empty and costs one lookup per response at most.
+    best_effort: HashSet<RequestId>,
     models: HashMap<ModelId, Arc<ModelSpec>>,
     /// Dense worker lookup by id, so routing an action is one hash probe
     /// instead of a scan over the fleet.
@@ -367,6 +372,7 @@ impl ServingSystem {
             telemetry,
             clients: Vec::new(),
             request_owner: HashMap::new(),
+            best_effort: HashSet::new(),
             models: HashMap::new(),
             worker_index,
             links: (0..worker_count).map(|_| LinkState::healthy()).collect(),
@@ -684,6 +690,7 @@ impl ServingSystem {
                 SystemEvent::ClientSubmit {
                     model: event.model,
                     slo: event.slo,
+                    tier: event.tier,
                     client: None,
                 },
             )
@@ -702,6 +709,7 @@ impl ServingSystem {
                 SystemEvent::ClientSubmit {
                     model,
                     slo,
+                    tier: Tier::Strict,
                     client: Some(index),
                 },
             );
@@ -715,6 +723,7 @@ impl ServingSystem {
             SystemEvent::ClientSubmit {
                 model,
                 slo,
+                tier: Tier::Strict,
                 client: None,
             },
         );
@@ -868,7 +877,13 @@ impl ServingSystem {
         let mut responses = std::mem::take(&mut self.response_buf);
         self.ctx.drain_responses_into(&mut responses);
         for response in responses.drain(..) {
-            self.telemetry.record_response(&response);
+            let tier = if self.best_effort.is_empty() || !self.best_effort.remove(&response.request)
+            {
+                Tier::Strict
+            } else {
+                Tier::BestEffort
+            };
+            self.telemetry.record_response_with_tier(&response, tier);
             if self.tracer.is_some() {
                 self.trace_response(&response);
             }
@@ -889,7 +904,12 @@ impl ServingSystem {
 
     fn handle_event(&mut self, event: SystemEvent) {
         match event {
-            SystemEvent::ClientSubmit { model, slo, client } => {
+            SystemEvent::ClientSubmit {
+                model,
+                slo,
+                tier,
+                client,
+            } => {
                 let bytes = self
                     .models
                     .get(&model)
@@ -901,17 +921,24 @@ impl ServingSystem {
                 if let Some(client) = client {
                     self.request_owner.insert(id, client);
                 }
+                if tier != Tier::Strict {
+                    // Tier is recovered at response time from this set; only
+                    // best-effort ids are stored so all-strict runs never
+                    // touch it.
+                    self.best_effort.insert(id);
+                }
                 let at_controller = self.now + delay;
                 let request = InferenceRequest {
                     id,
                     model,
                     arrival: at_controller,
                     slo,
+                    tier,
                 };
                 self.push_event(at_controller, SystemEvent::ControllerRequest { request });
             }
             SystemEvent::ControllerRequest { request } => {
-                self.telemetry.record_arrival(self.now);
+                self.telemetry.record_arrival(self.now, request.tier);
                 if self.tracer.is_some() {
                     self.trace(TraceEvent::Enqueued {
                         request: request.id.0,
@@ -985,6 +1012,7 @@ impl ServingSystem {
                             SystemEvent::ClientSubmit {
                                 model,
                                 slo,
+                                tier: Tier::Strict,
                                 client: Some(index),
                             },
                         );

@@ -7,9 +7,9 @@
 
 use std::collections::HashMap;
 
-use clockwork_controller::request::{RequestOutcome, Response};
+use clockwork_controller::request::{RejectReason, RequestOutcome, Response};
 use clockwork_metrics::{LatencyHistogram, Summary, TimeSeries};
-use clockwork_model::ModelId;
+use clockwork_model::{ModelId, Tier};
 use clockwork_sim::engine::FaultKind;
 use clockwork_sim::time::{Nanos, Timestamp};
 
@@ -140,6 +140,38 @@ impl EventMix {
     }
 }
 
+/// Outcome counters for one service tier.
+///
+/// Graceful degradation is judged by comparing these across tiers: under
+/// overload the strict tier should retain a larger fraction of its traffic
+/// than the best-effort tier (which is shed first).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierOutcomes {
+    /// Requests of this tier that arrived at the controller.
+    pub submitted: u64,
+    /// Requests that returned a successful inference.
+    pub successes: u64,
+    /// Successful requests that met their SLO.
+    pub goodput: u64,
+    /// Requests rejected (all reasons, shedding included).
+    pub rejected: u64,
+    /// Requests shed by tier-aware admission
+    /// ([`RejectReason::BestEffortShed`]).
+    pub shed: u64,
+}
+
+impl TierOutcomes {
+    /// Fraction of this tier's submitted requests that met their SLO — the
+    /// per-tier analogue of workload satisfaction, called *retention* in the
+    /// scenario-matrix tables. 1.0 when the tier saw no traffic.
+    pub fn retention(&self) -> f64 {
+        if self.submitted == 0 {
+            return 1.0;
+        }
+        self.goodput as f64 / self.submitted as f64
+    }
+}
+
 /// Aggregated metrics of one experiment run.
 #[derive(Clone, Debug)]
 pub struct ExperimentMetrics {
@@ -161,6 +193,8 @@ pub struct ExperimentMetrics {
     pub cold_starts: u64,
     /// Duration of the experiment (last event seen).
     pub horizon: Timestamp,
+    /// Per-tier outcome breakdown, indexed by [`Tier::index`].
+    pub tiers: [TierOutcomes; Tier::COUNT],
 }
 
 impl ExperimentMetrics {
@@ -199,6 +233,11 @@ impl ExperimentMetrics {
         }
         self.cold_starts as f64 / self.successes as f64
     }
+
+    /// The outcome counters of one tier.
+    pub fn tier(&self, tier: Tier) -> &TierOutcomes {
+        &self.tiers[tier.index()]
+    }
 }
 
 /// Collects per-request outcomes and time series during a run.
@@ -227,6 +266,10 @@ pub struct SystemTelemetry {
     /// Latency (ms) samples per second (gauge, for max/percentile plots).
     pub latency_series: TimeSeries,
     per_model_success: HashMap<ModelId, u64>,
+    /// Per-tier outcome counters, indexed by [`Tier::index`]. Deliberately
+    /// NOT folded into the determinism digest: the tier annotation must not
+    /// change the digest of a run whose scheduling decisions are unchanged.
+    tiers: [TierOutcomes; Tier::COUNT],
     faults: Vec<FaultRecord>,
     /// Event-mix counters, maintained by the driving event loop.
     pub(crate) event_mix: EventMix,
@@ -267,6 +310,7 @@ impl SystemTelemetry {
             batch_series: TimeSeries::per_second(),
             latency_series: TimeSeries::per_second(),
             per_model_success: HashMap::new(),
+            tiers: [TierOutcomes::default(); Tier::COUNT],
             faults: Vec::new(),
             event_mix: EventMix::default(),
             sched_ticks_full: 0,
@@ -335,14 +379,22 @@ impl SystemTelemetry {
     }
 
     /// Records that a request arrived at the controller.
-    pub fn record_arrival(&mut self, at: Timestamp) {
+    pub fn record_arrival(&mut self, at: Timestamp, tier: Tier) {
         self.total_requests += 1;
+        self.tiers[tier.index()].submitted += 1;
         self.request_series.record_event(at);
         self.advance(at);
     }
 
-    /// Records a response returned to a client.
+    /// Records a response returned to a client, attributed to
+    /// [`Tier::Strict`]. Callers that know the tier (the facade event loop)
+    /// use [`SystemTelemetry::record_response_with_tier`].
     pub fn record_response(&mut self, response: &Response) {
+        self.record_response_with_tier(response, Tier::Strict);
+    }
+
+    /// Records a response returned to a client of a known tier.
+    pub fn record_response_with_tier(&mut self, response: &Response, tier: Tier) {
         self.digest_fold(response.request.0);
         self.digest_fold(u64::from(response.model.0));
         match &response.outcome {
@@ -360,6 +412,7 @@ impl SystemTelemetry {
                 self.digest_fold(u64::from(gpu.0));
                 self.digest_fold(u64::from(*cold_start));
                 self.successes += 1;
+                self.tiers[tier.index()].successes += 1;
                 let latency = *completed - response.arrival;
                 self.latency.record(latency);
                 self.latency_series
@@ -374,6 +427,7 @@ impl SystemTelemetry {
                 }
                 if response.met_slo() {
                     self.goodput += 1;
+                    self.tiers[tier.index()].goodput += 1;
                     self.goodput_latency.record(latency);
                     self.goodput_series.record_event(*completed);
                 }
@@ -385,6 +439,10 @@ impl SystemTelemetry {
                 self.digest_fold(at.as_nanos());
                 self.digest_fold(*reason as u64);
                 *self.rejections.entry(reason.as_str()).or_insert(0) += 1;
+                self.tiers[tier.index()].rejected += 1;
+                if *reason == RejectReason::BestEffortShed {
+                    self.tiers[tier.index()].shed += 1;
+                }
                 self.advance(*at);
             }
         }
@@ -477,6 +535,11 @@ impl SystemTelemetry {
         &self.per_model_success
     }
 
+    /// Per-tier outcome counters, indexed by [`Tier::index`].
+    pub fn tier_outcomes(&self) -> &[TierOutcomes; Tier::COUNT] {
+        &self.tiers
+    }
+
     /// Latency of all completed requests at a percentile.
     pub fn latency_percentile(&self, p: f64) -> Nanos {
         self.latency.percentile(p)
@@ -494,6 +557,7 @@ impl SystemTelemetry {
             mean_batch: self.batch_sizes.mean(),
             cold_starts: self.cold_starts,
             horizon: self.horizon,
+            tiers: self.tiers,
         }
     }
 }
@@ -523,9 +587,9 @@ mod tests {
     #[test]
     fn aggregates_follow_responses() {
         let mut t = SystemTelemetry::new(true);
-        t.record_arrival(Timestamp::from_millis(0));
-        t.record_arrival(Timestamp::from_millis(1));
-        t.record_arrival(Timestamp::from_millis(2));
+        t.record_arrival(Timestamp::from_millis(0), Tier::Strict);
+        t.record_arrival(Timestamp::from_millis(1), Tier::Strict);
+        t.record_arrival(Timestamp::from_millis(2), Tier::Strict);
         t.record_response(&success(0, 10, 100, false)); // met SLO
         t.record_response(&success(1, 500, 100, true)); // missed SLO
         t.record_response(&Response {
@@ -556,7 +620,7 @@ mod tests {
     #[test]
     fn keep_responses_flag_controls_raw_storage() {
         let mut t = SystemTelemetry::new(false);
-        t.record_arrival(Timestamp::ZERO);
+        t.record_arrival(Timestamp::ZERO, Tier::Strict);
         t.record_response(&success(0, 10, 100, false));
         assert!(t.responses().is_empty());
         assert_eq!(t.metrics().successes, 1);
@@ -605,7 +669,7 @@ mod tests {
     fn phase_windows_sum_the_per_second_series() {
         let mut t = SystemTelemetry::new(false);
         for s in 0..10u64 {
-            t.record_arrival(Timestamp::from_secs(s));
+            t.record_arrival(Timestamp::from_secs(s), Tier::Strict);
             t.record_response(&success(s * 1000, s * 1000 + 10, s * 1000 + 100, false));
         }
         assert_eq!(
@@ -628,10 +692,55 @@ mod tests {
     }
 
     #[test]
+    fn tier_breakdown_tracks_outcomes_without_touching_the_digest() {
+        let mut strict = SystemTelemetry::new(false);
+        let mut tiered = SystemTelemetry::new(false);
+        strict.record_arrival(Timestamp::ZERO, Tier::Strict);
+        tiered.record_arrival(Timestamp::ZERO, Tier::BestEffort);
+        strict.record_response(&success(0, 10, 100, false));
+        tiered.record_response_with_tier(&success(0, 10, 100, false), Tier::BestEffort);
+        assert_eq!(
+            strict.response_digest(),
+            tiered.response_digest(),
+            "the tier annotation must not alter the determinism digest"
+        );
+        let m = tiered.metrics();
+        assert_eq!(m.tier(Tier::BestEffort).submitted, 1);
+        assert_eq!(m.tier(Tier::BestEffort).goodput, 1);
+        assert_eq!(m.tier(Tier::Strict).submitted, 0);
+        assert!((m.tier(Tier::BestEffort).retention() - 1.0).abs() < 1e-9);
+
+        let mut shed = SystemTelemetry::new(false);
+        shed.record_arrival(Timestamp::ZERO, Tier::BestEffort);
+        shed.record_response_with_tier(
+            &Response {
+                request: RequestId(7),
+                model: ModelId(1),
+                arrival: Timestamp::ZERO,
+                deadline: Timestamp::from_millis(50),
+                outcome: RequestOutcome::Rejected {
+                    at: Timestamp::from_millis(1),
+                    reason: RejectReason::BestEffortShed,
+                },
+            },
+            Tier::BestEffort,
+        );
+        let be = shed.tier_outcomes()[Tier::BestEffort.index()];
+        assert_eq!(be.rejected, 1);
+        assert_eq!(be.shed, 1);
+        assert_eq!(be.retention(), 0.0);
+        assert_eq!(
+            shed.metrics().rejections.get("best_effort_shed"),
+            Some(&1),
+            "shedding shows up in the global rejection breakdown too"
+        );
+    }
+
+    #[test]
     fn latency_percentiles_track_recorded_values() {
         let mut t = SystemTelemetry::new(false);
         for i in 1..=100u64 {
-            t.record_arrival(Timestamp::ZERO);
+            t.record_arrival(Timestamp::ZERO, Tier::Strict);
             t.record_response(&success(0, i, 1_000, false));
         }
         let p50 = t.latency_percentile(50.0).as_millis_f64();

@@ -190,6 +190,7 @@ fn cold_start_storm_saturates_pcie_but_every_request_is_answered() {
                 at: Timestamp::from_millis(5 * i as u64 + 200 * k),
                 model: m,
                 slo: Nanos::from_millis(800),
+                tier: Tier::Strict,
             });
         }
     }
@@ -227,6 +228,7 @@ fn impossible_then_feasible_requests_do_not_poison_the_scheduler() {
             at: Timestamp::from_millis(i),
             model: id,
             slo: Nanos::from_micros(200),
+            tier: Tier::Strict,
         });
     }
     for i in 0..50u64 {
@@ -234,6 +236,7 @@ fn impossible_then_feasible_requests_do_not_poison_the_scheduler() {
             at: Timestamp::from_millis(500 + 10 * i),
             model: id,
             slo: Nanos::from_millis(100),
+            tier: Tier::Strict,
         });
     }
     system.submit_trace(&Trace::new(events));

@@ -57,6 +57,7 @@ fn run_case(case: &WorkloadCase) -> (ServingSystem, Vec<ModelId>) {
             at: Timestamp::from_millis(at_ms),
             model: ids[model as usize],
             slo: Nanos::from_millis(slo_ms),
+            tier: Tier::Strict,
         })
         .collect();
     system.submit_trace(&Trace::new(events));
@@ -144,6 +145,7 @@ proptest! {
                 at: Timestamp::from_millis(at_ms),
                 model: ids[model as usize],
                 slo: Nanos::from_micros(500),
+                tier: Tier::Strict,
             })
             .collect();
         system.submit_trace(&Trace::new(events));
@@ -189,6 +191,7 @@ proptest! {
                 at: Timestamp::from_millis(at_ms),
                 model: ids[model as usize],
                 slo: Nanos::MAX,
+                tier: Tier::Strict,
             })
             .collect();
         system.submit_trace(&Trace::new(events));
