@@ -80,7 +80,7 @@ fn scenarios(args: &Args) -> Vec<ScenarioSpec> {
                 let rescale_churn = !spec.faults.is_empty();
                 spec = spec.with_duration_secs(secs);
                 if rescale_churn {
-                    spec.faults = spec.elastic_churn();
+                    spec.faults = spec.zoo_faults();
                 }
             }
             if let Some(seed) = args.seed {

@@ -1,0 +1,154 @@
+//! The sharded fleet against its oracles.
+//!
+//! Three layers of evidence that sharding changes *where* work happens but
+//! not *what* happens:
+//!
+//! 1. **The 1-shard fleet is the monolith.** Same spec through
+//!    `ShardedExperiment` with `N = 1` and through `Experiment::run` must
+//!    produce byte-identical response digests — not statistically similar,
+//!    identical. This pins the whole sharded pipeline (partition, local-id
+//!    remap, runner loop) to the unsharded code path.
+//! 2. **Parallel fleets conserve.** With `N > 1` the digests legitimately
+//!    differ from the monolith (each shard schedules its own slice), but
+//!    the global exactly-once identity, per-shard event conservation and
+//!    rerun determinism must all hold — including when a whole shard's
+//!    rack dies mid-run.
+//! 3. **The front door is total.** Property test: for arbitrary model and
+//!    shard counts, the hash router assigns every model to exactly one
+//!    in-range shard and its trace partition loses nothing.
+
+use clockwork::prelude::*;
+use clockwork_shard::{FrontDoorRouter, ShardAssignment, ShardedExperiment, ShardedSpec};
+use proptest::prelude::*;
+
+fn smoke_sharded(shards: u32) -> ShardedSpec {
+    ShardedSpec::new(ScenarioSpec::smoke(7), shards, ShardAssignment::HashByModel)
+}
+
+#[test]
+fn one_shard_fleet_is_byte_identical_to_the_unsharded_oracle() {
+    let factory = ClockworkFactory::default();
+    let fleet = ShardedExperiment::new(smoke_sharded(1)).run(&factory);
+    let oracle = Experiment::new(ScenarioSpec::smoke(7)).run(&factory);
+
+    assert_eq!(fleet.shards.len(), 1);
+    assert_eq!(
+        fleet.shards[0].digest,
+        oracle.digest(),
+        "1-shard digest must equal the monolithic digest byte for byte"
+    );
+    assert_eq!(fleet.submitted(), oracle.submitted);
+    assert_eq!(fleet.total_requests(), oracle.metrics().total_requests);
+    assert_eq!(fleet.successes(), oracle.metrics().successes);
+    assert_eq!(fleet.goodput(), oracle.metrics().goodput);
+    assert_eq!(fleet.rejected(), oracle.rejected());
+    assert_eq!(fleet.events_processed(), oracle.events_processed());
+    assert_eq!(fleet.shards[0].sched, oracle.sched_stats());
+}
+
+#[test]
+fn parallel_fleets_uphold_global_accounting_and_determinism() {
+    let factory = ClockworkFactory::default();
+    let oracle = Experiment::new(ScenarioSpec::smoke(7)).run(&factory);
+    for shards in [2, 4] {
+        let experiment = ShardedExperiment::new(smoke_sharded(shards));
+        let fleet = experiment.run(&factory);
+        let label = format!("{shards} shards");
+        assert_eq!(fleet.shards.len(), shards as usize, "{label}");
+        assert_eq!(
+            fleet.submitted(),
+            oracle.submitted,
+            "{label}: the front door routes the whole workload"
+        );
+        assert_eq!(
+            fleet.submitted(),
+            fleet.total_requests(),
+            "{label}: every routed request arrives at its shard"
+        );
+        assert!(fleet.drained(), "{label}: all shards ran dry");
+        assert!(
+            fleet.identity_ok(),
+            "{label}: successes {} + rejected {} == total {}",
+            fleet.successes(),
+            fleet.rejected(),
+            fleet.total_requests()
+        );
+        assert!(!fleet.overdelivered(), "{label}");
+        assert!(
+            fleet.mix_conserved(),
+            "{label}: per-shard event conservation"
+        );
+        for shard in &fleet.shards {
+            assert!(
+                shard.identity_ok(),
+                "{label}: shard {} accounting",
+                shard.shard
+            );
+        }
+        let rerun = experiment.run(&factory);
+        assert_eq!(
+            fleet.fleet_digest(),
+            rerun.fleet_digest(),
+            "{label}: fleet digest stable across reruns"
+        );
+    }
+}
+
+#[test]
+fn losing_a_whole_shards_rack_keeps_the_fleet_accountable() {
+    let factory = ClockworkFactory::default();
+    let spec = smoke_sharded(2).with_rack_outage(0);
+    let plans = spec.shard_plans();
+    assert!(
+        plans[0].spec.faults.worker_crashes() > 0,
+        "the outage lands on shard 0"
+    );
+    assert!(plans[1].spec.faults.is_empty(), "shard 1 never notices");
+
+    let experiment = ShardedExperiment::new(spec);
+    let fleet = experiment.run(&factory);
+    assert!(fleet.drained());
+    assert!(
+        fleet.identity_ok(),
+        "rack outage: successes {} + rejected {} == total {}",
+        fleet.successes(),
+        fleet.rejected(),
+        fleet.total_requests()
+    );
+    assert!(fleet.mix_conserved());
+    assert!(
+        fleet.shards[0].metrics.goodput <= fleet.shards[1].metrics.goodput
+            || fleet.shards[0].submitted < fleet.shards[1].submitted,
+        "the dead rack's shard should not outperform the healthy one at similar load"
+    );
+    let rerun = experiment.run(&factory);
+    assert_eq!(fleet.fleet_digest(), rerun.fleet_digest());
+}
+
+proptest! {
+    #[test]
+    fn hash_routing_is_total_for_any_population(models in 1usize..200, shards in 1u32..9) {
+        let router = FrontDoorRouter::build(&ShardAssignment::HashByModel, shards, models, None);
+        prop_assert!(router.table().iter().all(|&s| s < shards));
+        let owned_total: usize = (0..shards).map(|s| router.owned_models(s).len()).sum();
+        prop_assert_eq!(owned_total, models, "every model owned exactly once");
+        for model in 0..models as u32 {
+            let owner = router.shard_of(ModelId(model));
+            prop_assert!(router.owned_models(owner).contains(&ModelId(model)));
+        }
+    }
+
+    #[test]
+    fn trace_partition_is_lossless_for_any_shard_count(seed in 0u64..50, shards in 1u32..9) {
+        let spec = ScenarioSpec {
+            duration_secs: 1,
+            ..ScenarioSpec::smoke(seed)
+        };
+        let trace = spec.generated_trace().unwrap();
+        let router = FrontDoorRouter::build(&ShardAssignment::HashByModel, shards, spec.models, None);
+        let parts = router.route(&trace);
+        prop_assert_eq!(parts.len(), shards as usize);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, trace.len(), "no event dropped or duplicated");
+    }
+}

@@ -27,7 +27,7 @@ fn every_zoo_preset_runs_clean_under_every_discipline() {
         let rescale_churn = !preset.faults.is_empty();
         let mut spec = preset.with_duration_secs(4);
         if rescale_churn {
-            spec.faults = spec.elastic_churn();
+            spec.faults = spec.zoo_faults();
         }
 
         let experiment = Experiment::new(spec.clone());
@@ -52,7 +52,7 @@ fn every_zoo_preset_runs_clean_under_every_discipline() {
 #[test]
 fn zoo_presets_are_distinct_and_self_describing() {
     let zoo = ScenarioSpec::zoo();
-    assert_eq!(zoo.len(), 5, "the zoo advertises five scenarios");
+    assert_eq!(zoo.len(), 6, "the zoo advertises six scenarios");
     let names: Vec<&str> = zoo.iter().map(|s| s.name.as_str()).collect();
     assert_eq!(
         names,
@@ -61,7 +61,8 @@ fn zoo_presets_are_distinct_and_self_describing() {
             "flash_crowd",
             "zipf_drift",
             "multi_tenant",
-            "autoscale_churn"
+            "autoscale_churn",
+            "rack_outage"
         ]
     );
     // Every preset must survive the serialize/parse cycle the matrix and

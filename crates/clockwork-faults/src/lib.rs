@@ -165,6 +165,36 @@ impl FaultPlan {
             .with(at + span, FaultKind::PartitionEnd { worker })
     }
 
+    /// A correlated rack failure: every worker in `rack` crashes
+    /// *simultaneously* at `at` (shared power/ToR loss) and restarts
+    /// `downtime` later — and because the rack's shared uplink comes back
+    /// before it is fully resynchronized, each member's link runs degraded
+    /// by `link_factor` for another `downtime / 2` after the restart.
+    ///
+    /// Duplicate worker indices in `rack` are ignored (first occurrence
+    /// wins), so duration-scaled presets that derive rack membership by
+    /// `i % workers` stay well-formed on tiny fleets.
+    pub fn rack_failure(
+        mut self,
+        at: Timestamp,
+        rack: &[u32],
+        link_factor: f64,
+        downtime: Nanos,
+    ) -> Self {
+        let mut seen: Vec<u32> = Vec::with_capacity(rack.len());
+        let resync = Nanos::from_nanos(downtime.as_nanos() / 2);
+        for &worker in rack {
+            if seen.contains(&worker) {
+                continue;
+            }
+            seen.push(worker);
+            self = self
+                .crash_worker_for(at, worker, downtime)
+                .degrade_link_for(at + downtime, worker, link_factor, resync);
+        }
+        self
+    }
+
     /// The time of the first scheduled fault, if any.
     pub fn first_at(&self) -> Option<Timestamp> {
         self.events.first().map(|e| e.at)
@@ -457,5 +487,53 @@ mod tests {
             ..ChurnConfig::default()
         };
         assert!(FaultPlan::random_churn(&config).is_empty());
+    }
+
+    #[test]
+    fn rack_failure_is_a_correlated_crash_plus_degraded_resync() {
+        let at = Timestamp::from_millis(100);
+        let downtime = Nanos::from_millis(40);
+        let plan = FaultPlan::new().rack_failure(at, &[3, 4, 5], 4.0, downtime);
+
+        // Three simultaneous crashes, three restarts, three degrade/restore
+        // pairs — nothing else.
+        assert_eq!(plan.worker_crashes(), 3);
+        assert_eq!(plan.link_degradations(), 3);
+        assert_eq!(plan.len(), 12);
+        let crash_times: Vec<Timestamp> = plan
+            .events()
+            .iter()
+            .filter_map(|e| matches!(e.kind, FaultKind::WorkerCrash { .. }).then_some(e.at))
+            .collect();
+        assert_eq!(crash_times, vec![at; 3], "the rack dies as one");
+
+        // Every member restarts at at+downtime, immediately entering its
+        // degraded-resync window, which lasts downtime/2.
+        for worker in [3u32, 4, 5] {
+            assert!(plan.events().contains(&FaultEvent {
+                at: at + downtime,
+                kind: FaultKind::WorkerRestart { worker }
+            }));
+            assert!(plan.events().contains(&FaultEvent {
+                at: at + downtime,
+                kind: FaultKind::LinkDegrade {
+                    worker,
+                    factor_milli: 4000
+                }
+            }));
+            assert!(plan.events().contains(&FaultEvent {
+                at: at + downtime + Nanos::from_millis(20),
+                kind: FaultKind::LinkRestore { worker }
+            }));
+        }
+        assert_eq!(
+            plan.last_recovery_at(),
+            Some(at + downtime + Nanos::from_millis(20))
+        );
+
+        // Duplicate members collapse to one fault set each.
+        let dup = FaultPlan::new().rack_failure(at, &[7, 7, 7], 2.0, downtime);
+        assert_eq!(dup.worker_crashes(), 1);
+        assert_eq!(dup.len(), 4);
     }
 }

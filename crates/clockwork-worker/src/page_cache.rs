@@ -51,6 +51,9 @@ struct Residency {
     pages: u64,
     last_used: Timestamp,
     loaded_at: Timestamp,
+    /// In-flight references (executing INFERs holding the weights). A model
+    /// cannot be unloaded while its reference count is above zero.
+    refs: u32,
 }
 
 /// A fixed-size paged cache for model weights on one GPU.
@@ -153,14 +156,21 @@ impl PageCache {
                 pages: needed,
                 last_used: now,
                 loaded_at: now,
+                refs: 0,
             },
         );
         Ok(needed)
     }
 
-    /// Releases a model's pages. Returns the number of pages freed (0 if the
-    /// model was not resident). Always succeeds, mirroring UNLOAD semantics.
+    /// Releases a model's pages. Returns the number of pages freed: 0 if the
+    /// model was not resident, or if it is pinned by an in-flight reference —
+    /// a referenced model's pages stay mapped and accounted, so an UNLOAD
+    /// racing an executing INFER can never free weights out from under the
+    /// kernel (and can never double-count the pages when the INFER finishes).
     pub fn release(&mut self, model: ModelId) -> u64 {
+        if self.resident.get(&model).is_some_and(|r| r.refs > 0) {
+            return 0;
+        }
         match self.resident.remove(&model) {
             Some(r) => {
                 self.free_pages += r.pages;
@@ -168,6 +178,44 @@ impl PageCache {
             }
             None => 0,
         }
+    }
+
+    /// Takes a reference on a resident model's weights (an INFER starting
+    /// execution). Returns `false` (and takes nothing) if the model is not
+    /// resident. While the reference is held, [`PageCache::release`] refuses
+    /// to free the pages and the LRU queries skip the model.
+    pub fn pin(&mut self, model: ModelId) -> bool {
+        match self.resident.get_mut(&model) {
+            Some(r) => {
+                r.refs += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops a reference taken by [`PageCache::pin`]. Unknown or unpinned
+    /// models are a no-op: a crash resets the whole cache (dropping every
+    /// reference with it), so a completion drained after recovery may
+    /// legitimately unpin a model the fresh cache has never seen.
+    pub fn unpin(&mut self, model: ModelId) {
+        if let Some(r) = self.resident.get_mut(&model) {
+            r.refs = r.refs.saturating_sub(1);
+        }
+    }
+
+    /// The number of in-flight references currently pinning a model
+    /// (0 if not resident).
+    pub fn ref_count(&self, model: ModelId) -> u32 {
+        self.resident.get(&model).map_or(0, |r| r.refs)
+    }
+
+    /// Pages held by resident models, recomputed from the residency table
+    /// rather than derived from the free counter — so the conservation
+    /// invariant `free_pages + held_pages == total_pages` actually
+    /// cross-checks the two accountings instead of restating one of them.
+    pub fn held_pages(&self) -> u64 {
+        self.resident.values().map(|r| r.pages).sum()
     }
 
     /// Marks a model as used at `now` (INFER touches its weights).
@@ -179,23 +227,26 @@ impl PageCache {
         }
     }
 
-    /// The least recently used resident model, if any. Ties break by model id
+    /// The least recently used resident model, if any. Pinned models are
+    /// skipped — their UNLOAD would refuse anyway. Ties break by model id
     /// for determinism.
     pub fn lru_victim(&self) -> Option<ModelId> {
         self.resident
             .iter()
+            .filter(|(_, r)| r.refs == 0)
             .min_by_key(|(id, r)| (r.last_used, **id))
             .map(|(id, _)| *id)
     }
 
-    /// The least recently used resident models, excluding `protect`, in
-    /// eviction order, whose combined pages are at least `pages_needed`.
-    /// Returns `None` if even evicting everything else would not free enough.
+    /// The least recently used resident models, excluding `protect` and any
+    /// pinned model, in eviction order, whose combined pages are at least
+    /// `pages_needed`. Returns `None` if even evicting everything else would
+    /// not free enough.
     pub fn lru_victims_for(&self, pages_needed: u64, protect: &[ModelId]) -> Option<Vec<ModelId>> {
         let mut candidates: Vec<(&ModelId, &Residency)> = self
             .resident
             .iter()
-            .filter(|(id, _)| !protect.contains(id))
+            .filter(|(id, r)| !protect.contains(id) && r.refs == 0)
             .collect();
         candidates.sort_by_key(|(id, r)| (r.last_used, **id));
         let mut freed = self.free_pages;
@@ -340,6 +391,81 @@ mod tests {
         assert!(c.lru_victims_for(100, &[]).is_none());
         // Already-satisfiable requests need no victims.
         assert_eq!(c.lru_victims_for(1, &[]).unwrap(), Vec::<ModelId>::new());
+    }
+
+    #[test]
+    fn pinned_models_cannot_be_released_and_pages_conserve() {
+        let mut c = cache_with_pages(10);
+        c.allocate(ModelId(1), 48 * MB, Timestamp::ZERO).unwrap(); // 3 pages
+        c.allocate(ModelId(2), 32 * MB, Timestamp::ZERO).unwrap(); // 2 pages
+        assert!(c.pin(ModelId(1)));
+        assert!(c.pin(ModelId(1)), "references stack");
+        assert_eq!(c.ref_count(ModelId(1)), 2);
+
+        // Release refuses while pinned; nothing leaks, nothing frees.
+        assert_eq!(c.release(ModelId(1)), 0);
+        assert!(c.contains(ModelId(1)));
+        assert_eq!(c.free_pages() + c.held_pages(), c.total_pages());
+
+        // Dropping one reference still protects; dropping the last releases.
+        c.unpin(ModelId(1));
+        assert_eq!(c.release(ModelId(1)), 0);
+        c.unpin(ModelId(1));
+        assert_eq!(c.ref_count(ModelId(1)), 0);
+        assert_eq!(c.release(ModelId(1)), 3);
+        assert_eq!(c.free_pages() + c.held_pages(), c.total_pages());
+
+        // Unpinned model 2 releases normally throughout.
+        assert_eq!(c.release(ModelId(2)), 2);
+        assert_eq!(c.free_pages(), 10);
+        assert_eq!(c.held_pages(), 0);
+    }
+
+    #[test]
+    fn pin_unpin_edge_cases_are_safe() {
+        let mut c = cache_with_pages(4);
+        assert!(!c.pin(ModelId(9)), "absent model cannot be pinned");
+        c.unpin(ModelId(9)); // no-op
+        c.allocate(ModelId(1), 16 * MB, Timestamp::ZERO).unwrap();
+        c.unpin(ModelId(1)); // unpin below zero saturates
+        assert_eq!(c.ref_count(ModelId(1)), 0);
+        assert_eq!(c.release(ModelId(1)), 1);
+    }
+
+    #[test]
+    fn lru_queries_skip_pinned_models() {
+        let mut c = cache_with_pages(10);
+        c.allocate(ModelId(1), 48 * MB, Timestamp::from_millis(1))
+            .unwrap(); // 3 pages, oldest
+        c.allocate(ModelId(2), 48 * MB, Timestamp::from_millis(2))
+            .unwrap(); // 3 pages
+        c.pin(ModelId(1));
+        assert_eq!(c.lru_victim(), Some(ModelId(2)));
+        // 4 free pages + 3 from evicting model 2 covers 7; model 1's pages
+        // are unreachable while pinned, so 8 is impossible.
+        assert_eq!(c.lru_victims_for(7, &[]).unwrap(), vec![ModelId(2)]);
+        assert!(c.lru_victims_for(8, &[]).is_none());
+        c.unpin(ModelId(1));
+        assert_eq!(c.lru_victim(), Some(ModelId(1)));
+    }
+
+    #[test]
+    fn held_pages_cross_checks_free_counter_under_churn() {
+        let mut c = cache_with_pages(16);
+        for round in 0..50u64 {
+            let id = ModelId((round % 7) as u32);
+            let t = Timestamp::from_millis(round);
+            if c.contains(id) && round % 3 == 0 {
+                c.release(id);
+            } else {
+                let _ = c.allocate(id, (round % 5 + 1) * 16 * MB, t);
+            }
+            assert_eq!(
+                c.free_pages() + c.held_pages(),
+                c.total_pages(),
+                "page accounting drifted at round {round}"
+            );
+        }
     }
 
     #[test]

@@ -205,6 +205,9 @@ struct Completion {
     result: ActionResult,
     io_release: u64,
     exec_finished: bool,
+    /// Weights reference to drop when the completion fires (successful
+    /// INFERs pin their model's pages for the duration of execution).
+    unpin: Option<ModelId>,
 }
 
 /// A Clockwork worker.
@@ -336,6 +339,26 @@ impl Worker {
             .unwrap_or_else(|| panic!("total_pages for unknown {gpu:?} on worker {:?}", self.id()))
             .page_cache
             .total_pages()
+    }
+
+    /// Pages held by resident models in a GPU's weights cache, recomputed
+    /// from the residency table (see [`PageCache::held_pages`]) — together
+    /// with [`Worker::free_pages`] this exposes the conservation invariant
+    /// `free_pages + held_pages == total_pages` for cross-checking.
+    ///
+    /// Panics on an unknown GPU id, like [`Worker::free_pages`].
+    pub fn held_pages(&self, gpu: GpuId) -> u64 {
+        self.gpu(gpu)
+            .unwrap_or_else(|| panic!("held_pages for unknown {gpu:?} on worker {:?}", self.id()))
+            .page_cache
+            .held_pages()
+    }
+
+    /// In-flight weight references pinning a model on a GPU (0 when absent).
+    pub fn weights_refs(&self, gpu: GpuId, model: ModelId) -> u32 {
+        self.gpu(gpu)
+            .map(|g| g.page_cache.ref_count(model))
+            .unwrap_or(0)
     }
 
     /// Whether a model's weights are resident on a GPU.
@@ -619,6 +642,9 @@ impl Worker {
         if completion.exec_finished && gpu.in_flight_execs > 0 {
             gpu.in_flight_execs -= 1;
         }
+        if let Some(model) = completion.unpin {
+            gpu.page_cache.unpin(model);
+        }
         results.push(completion.result);
     }
 
@@ -707,6 +733,7 @@ impl Worker {
                 result,
                 io_release: 0,
                 exec_finished: false,
+                unpin: None,
             },
         );
     }
@@ -789,6 +816,7 @@ impl Worker {
                 result,
                 io_release: 0,
                 exec_finished: false,
+                unpin: None,
             },
         );
     }
@@ -822,6 +850,7 @@ impl Worker {
                 result,
                 io_release: 0,
                 exec_finished: false,
+                unpin: None,
             },
         );
     }
@@ -921,6 +950,10 @@ impl Worker {
                 gpu.infer_executor.occupy_until(exec_end);
             }
             gpu.page_cache.touch(model, exec_end);
+            // Hold the weights for the in-flight execution: an UNLOAD
+            // arriving before the completion fires must not free (or
+            // double-account) the pages under the running kernel.
+            gpu.page_cache.pin(model);
         }
         self.telemetry
             .record_exec(gpu_index, exec_start, exec_end, exec_duration);
@@ -956,6 +989,7 @@ impl Worker {
                 result,
                 io_release: io_bytes,
                 exec_finished: true,
+                unpin: Some(model),
             },
         );
     }
@@ -1018,8 +1052,103 @@ mod tests {
         )
     }
 
+    fn unload_action(id: u64, model: ModelId) -> Action {
+        make_action(
+            id,
+            GpuId(0),
+            ActionKind::Unload { model },
+            TimeWindow::always(),
+            Nanos::from_micros(5),
+        )
+    }
+
     fn drain(worker: &mut Worker, until: Timestamp) -> Vec<ActionResult> {
         worker.poll(until)
+    }
+
+    fn assert_pages_conserve(w: &Worker, context: &str) {
+        assert_eq!(
+            w.free_pages(GpuId(0)) + w.held_pages(GpuId(0)),
+            w.total_pages(GpuId(0)),
+            "page accounting drifted: {context}"
+        );
+    }
+
+    #[test]
+    fn unload_cannot_free_weights_under_an_executing_infer() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        drain(&mut w, Timestamp::from_millis(15));
+        assert!(w.is_loaded(GpuId(0), ModelId(1)));
+        assert_pages_conserve(&w, "after load");
+
+        // The INFER starts executing at t=20 ms (pinning the weights); the
+        // UNLOAD lands on the load executor at t=21 ms, mid-execution.
+        w.submit(
+            Timestamp::from_millis(20),
+            infer_action(2, ModelId(1), 1, vec![7]),
+        );
+        w.submit(Timestamp::from_millis(21), unload_action(3, ModelId(1)));
+        let mid = drain(&mut w, Timestamp::from_millis(21));
+        assert!(mid.iter().all(|r| r.is_success()));
+        assert_eq!(w.weights_refs(GpuId(0), ModelId(1)), 1, "INFER holds a ref");
+        assert!(
+            w.is_loaded(GpuId(0), ModelId(1)),
+            "pinned weights survive the UNLOAD"
+        );
+        assert_pages_conserve(&w, "after refused unload");
+
+        // Once the INFER completes the reference drops; pages stay accounted
+        // exactly once throughout.
+        let done = drain(&mut w, Timestamp::from_millis(100));
+        assert!(done
+            .iter()
+            .any(|r| r.request_ids == vec![7] && r.is_success()));
+        assert_eq!(w.weights_refs(GpuId(0), ModelId(1)), 0);
+        assert_pages_conserve(&w, "after completion");
+    }
+
+    #[test]
+    fn page_accounting_survives_crash_and_restart() {
+        let mut w = Worker::new(quiet_config());
+        w.register_model(ModelId(1), resnet()).unwrap();
+        w.register_model(ModelId(2), resnet()).unwrap();
+        w.submit(Timestamp::ZERO, load_action(1, ModelId(1)));
+        w.submit(Timestamp::ZERO, load_action(2, ModelId(2)));
+        drain(&mut w, Timestamp::from_millis(25));
+        w.submit(
+            Timestamp::from_millis(30),
+            infer_action(3, ModelId(1), 1, vec![1]),
+        );
+        drain(&mut w, Timestamp::from_millis(31)); // start executing, hold the pin
+        assert_eq!(w.weights_refs(GpuId(0), ModelId(1)), 1);
+        assert_pages_conserve(&w, "pre-crash with a pinned model");
+
+        // Crash mid-execution: caches reset wholesale, references included —
+        // no page (and no refcount) leaks into the cold cache.
+        w.crash(Timestamp::from_millis(32));
+        assert_eq!(w.held_pages(GpuId(0)), 0);
+        assert_eq!(w.free_pages(GpuId(0)), w.total_pages(GpuId(0)));
+        assert_eq!(w.weights_refs(GpuId(0), ModelId(1)), 0);
+        assert_pages_conserve(&w, "after crash");
+
+        // The restarted worker is cold but fully functional: reload and
+        // serve, with the conservation identity intact at every step.
+        w.restart(Timestamp::from_millis(40));
+        w.submit(Timestamp::from_millis(41), load_action(4, ModelId(1)));
+        drain(&mut w, Timestamp::from_millis(60));
+        assert_pages_conserve(&w, "after reload");
+        w.submit(
+            Timestamp::from_millis(61),
+            infer_action(5, ModelId(1), 1, vec![2]),
+        );
+        let done = drain(&mut w, Timestamp::from_millis(100));
+        assert!(done
+            .iter()
+            .any(|r| r.request_ids == vec![2] && r.is_success()));
+        assert_eq!(w.weights_refs(GpuId(0), ModelId(1)), 0);
+        assert_pages_conserve(&w, "after restart round trip");
     }
 
     #[test]

@@ -112,6 +112,48 @@ impl Trace {
         Trace::new(events)
     }
 
+    /// Splits the trace into `shards` traces by a model-owner function,
+    /// preserving arrival order within each shard (shard-stable: an event's
+    /// destination depends only on its model, never on its position, so
+    /// re-merging the partitions reproduces the original trace exactly).
+    ///
+    /// Owners returned outside `0..shards` panic — routing must be total.
+    pub fn partitioned(
+        &self,
+        shards: usize,
+        mut owner: impl FnMut(ModelId) -> usize,
+    ) -> Vec<Trace> {
+        let mut parts: Vec<Vec<TraceEvent>> = vec![Vec::new(); shards];
+        for e in &self.events {
+            let shard = owner(e.model);
+            assert!(
+                shard < shards,
+                "trace partition routed {:?} to shard {shard} of {shards}",
+                e.model
+            );
+            parts[shard].push(*e);
+        }
+        // Each partition is a subsequence of an ordered trace, so it is
+        // already sorted; construct directly rather than re-sorting.
+        parts.into_iter().map(|events| Trace { events }).collect()
+    }
+
+    /// Returns a copy with every event's model id remapped. With a monotone
+    /// map (as when compacting a shard's owned models to dense local ids)
+    /// the `(at, model)` event order is preserved byte for byte; a
+    /// non-monotone map still yields a valid trace via re-sorting.
+    pub fn with_models_mapped(&self, mut map: impl FnMut(ModelId) -> ModelId) -> Trace {
+        Trace::new(
+            self.events
+                .iter()
+                .map(|e| TraceEvent {
+                    model: map(e.model),
+                    ..*e
+                })
+                .collect(),
+        )
+    }
+
     /// Serialises the trace to a simple CSV (`at_ns,model,slo_ns,tier`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("at_ns,model,slo_ns,tier\n");
@@ -213,6 +255,49 @@ mod tests {
         let t = Trace::new(events);
         // 100 events over 1 second.
         assert!((t.mean_rate() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn partitioning_is_shard_stable_and_lossless() {
+        let t = Trace::new((0..60).map(|i| event(i * 10, (i % 5) as u32)).collect());
+        let parts = t.partitioned(2, |m| (m.0 % 2) as usize);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len() + parts[1].len(), t.len());
+        for (shard, part) in parts.iter().enumerate() {
+            assert!(part
+                .events()
+                .iter()
+                .all(|e| (e.model.0 % 2) as usize == shard));
+            let times: Vec<u64> = part.events().iter().map(|e| e.at.as_nanos()).collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]), "order preserved");
+        }
+        // Re-merging the partitions reproduces the original trace exactly.
+        assert_eq!(parts[0].merged(&parts[1]), t);
+        // Partitioning is per-model, so it commutes with popularity skew:
+        // routing everything to one shard leaves the other empty.
+        let all_one = t.partitioned(3, |_| 1);
+        assert!(all_one[0].is_empty() && all_one[2].is_empty());
+        assert_eq!(all_one[1], t);
+    }
+
+    #[test]
+    #[should_panic(expected = "routed")]
+    fn partitioning_rejects_non_total_routing() {
+        let t = Trace::new(vec![event(1, 0)]);
+        let _ = t.partitioned(2, |_| 7);
+    }
+
+    #[test]
+    fn model_remapping_preserves_order_for_monotone_maps() {
+        let t = Trace::new((0..20).map(|i| event(100, (i % 4) as u32 * 2)).collect());
+        // Compact global ids {0,2,4,6} to dense local ids {0,1,2,3}.
+        let local = t.with_models_mapped(|m| ModelId(m.0 / 2));
+        assert_eq!(local.len(), t.len());
+        for (a, b) in t.events().iter().zip(local.events()) {
+            assert_eq!(b.model.0, a.model.0 / 2, "same event, remapped id");
+            assert_eq!(b.at, a.at);
+            assert_eq!(b.slo, a.slo);
+        }
     }
 
     #[test]

@@ -355,6 +355,53 @@ impl ScenarioSpec {
             .crash_worker_for(at(0.50), worker(5), lasting(0.20))
     }
 
+    /// Workload-zoo preset: a correlated rack outage — the Azure-derived
+    /// trace at 700 r/s while a three-machine rack (workers 2–4 of the
+    /// 8-worker zoo fleet) loses power as one at 30 % of the run, restarts
+    /// cold 20 % later, and resyncs over a 4× degraded shared uplink. The
+    /// correlated-failure counterpart of `autoscale_churn`'s independent
+    /// faults: three simultaneous crashes remove 3/8 of capacity in one
+    /// instant instead of spreading the damage out.
+    pub fn rack_outage() -> Self {
+        let mut spec = ScenarioSpec::zoo_base(
+            "rack_outage",
+            WorkloadSpec::Azure {
+                functions: 160,
+                target_rate: 700.0,
+            },
+        );
+        spec.faults = spec.rack_churn();
+        spec
+    }
+
+    /// The rack-outage schedule, scaled to the scenario duration (see
+    /// [`ScenarioSpec::rack_outage`]): workers 2–4 (mod fleet size) crash
+    /// simultaneously at 30 % of the run for 20 % of it, then resync over a
+    /// 4× degraded link for another 10 %. Like
+    /// [`ScenarioSpec::scripted_churn`], call this *after* any duration
+    /// change so the plan scales with it.
+    pub fn rack_churn(&self) -> FaultPlan {
+        let span = self.duration_secs as f64 * 1e9;
+        let at = |f: f64| Timestamp::from_nanos((f * span) as u64);
+        let lasting = |f: f64| Nanos::from_nanos((f * span) as u64);
+        let n = self.workers.max(1);
+        let rack: Vec<u32> = (2..5).map(|i| i % n).collect();
+        FaultPlan::new().rack_failure(at(0.30), &rack, 4.0, lasting(0.20))
+    }
+
+    /// The duration-scaled fault plan belonging to a zoo preset, dispatched
+    /// by preset name — the regeneration hook harnesses use after shortening
+    /// a preset (`scenario_matrix --duration-secs`, the zoo-matrix tests):
+    /// `autoscale_churn` regenerates its elastic churn, `rack_outage` its
+    /// rack failure, every other preset is fault-free.
+    pub fn zoo_faults(&self) -> FaultPlan {
+        match self.name.as_str() {
+            "autoscale_churn" => self.elastic_churn(),
+            "rack_outage" => self.rack_churn(),
+            _ => FaultPlan::new(),
+        }
+    }
+
     /// Every workload-zoo preset, in a stable order — the scenario matrix
     /// iterates this against every registered discipline.
     pub fn zoo() -> Vec<ScenarioSpec> {
@@ -364,6 +411,7 @@ impl ScenarioSpec {
             ScenarioSpec::zipf_drift(),
             ScenarioSpec::multi_tenant(),
             ScenarioSpec::autoscale_churn(),
+            ScenarioSpec::rack_outage(),
         ]
     }
 
@@ -1192,7 +1240,7 @@ mod tests {
     #[test]
     fn zoo_presets_cover_the_advertised_diversity() {
         let zoo = ScenarioSpec::zoo();
-        assert_eq!(zoo.len(), 5);
+        assert_eq!(zoo.len(), 6);
         let names: Vec<&str> = zoo.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
@@ -1201,7 +1249,8 @@ mod tests {
                 "flash_crowd",
                 "zipf_drift",
                 "multi_tenant",
-                "autoscale_churn"
+                "autoscale_churn",
+                "rack_outage"
             ]
         );
         for spec in &zoo {
@@ -1226,6 +1275,37 @@ mod tests {
         assert_eq!(churn.faults.worker_joins(), 2);
         assert_eq!(churn.faults.worker_crashes(), 2);
         assert_eq!(churn.faults.gpu_failures(), 1);
+        // The rack preset is the correlated-failure scenario: three workers
+        // crash at the same instant and resync over degraded links.
+        let rack = &zoo[5];
+        assert_eq!(rack.faults.worker_crashes(), 3);
+        assert_eq!(rack.faults.link_degradations(), 3);
+        let crash_times: Vec<Timestamp> = rack
+            .faults
+            .events()
+            .iter()
+            .filter_map(|e| {
+                matches!(e.kind, clockwork_faults::FaultKind::WorkerCrash { .. }).then_some(e.at)
+            })
+            .collect();
+        assert_eq!(crash_times.len(), 3);
+        assert!(
+            crash_times.windows(2).all(|w| w[0] == w[1]),
+            "the rack dies as one"
+        );
+        // zoo_faults re-derives each preset's plan, scaled to duration.
+        for spec in &zoo {
+            assert_eq!(
+                spec.zoo_faults(),
+                spec.faults,
+                "{}: plan mismatch",
+                spec.name
+            );
+            let short = spec.clone().with_duration_secs(6);
+            if let Some(last) = short.zoo_faults().last_at() {
+                assert!(last <= short.horizon(), "{}: scaled plan fits", spec.name);
+            }
+        }
     }
 
     #[test]
